@@ -1,0 +1,157 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out.
+//!
+//! Each ablation computes its *quality* metric (mean estimation error or
+//! unfairness) once, prints it to stderr, and then times the configuration
+//! under Criterion, so `cargo bench` both regenerates the ablation numbers
+//! and tracks their simulation cost.
+
+use std::time::Duration;
+
+use asm_bench::{micro_config, micro_cycles, micro_workload};
+use asm_core::{EpochAssignment, EstimatorSet, MemPolicy, PrefetchConfig, Runner, SystemConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Mean ASM error (%) under a configuration, across all quanta but the
+/// first.
+fn asm_error(config: &SystemConfig) -> f64 {
+    let mut runner = Runner::new(config.clone());
+    let r = runner.run(&micro_workload(), micro_cycles());
+    let mut agg = asm_metrics_error_aggregate();
+    for q in r.quanta.iter().skip(1) {
+        if let Some(est) = q.estimates.iter().find(|(n, _)| n == "ASM") {
+            for (&e, &a) in est.1.iter().zip(&q.actual) {
+                if a.is_finite() && a > 0.0 {
+                    agg.add_error_pct(asm_metrics::estimation_error_pct(e, a));
+                }
+            }
+        }
+    }
+    agg.mean_pct().unwrap_or(f64::NAN)
+}
+
+fn asm_metrics_error_aggregate() -> asm_metrics::ErrorAggregate {
+    asm_metrics::ErrorAggregate::new()
+}
+
+fn run_once(config: SystemConfig) -> f64 {
+    let mut runner = Runner::new(config);
+    let r = runner.run(&micro_workload(), micro_cycles());
+    r.whole_run_slowdowns.iter().sum()
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
+
+    // 1) Aggregation granularity: epoch-based (ASM) vs per-request
+    // (FST/PTCA): the paper's central claim, quantified in figures 2-3.
+    g.bench_function("aggregation_epoch_based", |b| {
+        let mut cfg = micro_config();
+        cfg.estimators = EstimatorSet::asm_only();
+        eprintln!(
+            "[ablation] ASM (epoch aggregation) error: {:.1}%",
+            asm_error(&cfg)
+        );
+        b.iter(|| black_box(run_once(cfg.clone())));
+    });
+    g.bench_function("aggregation_per_request", |b| {
+        let mut cfg = micro_config();
+        cfg.estimators = EstimatorSet {
+            fst: true,
+            ptca: true,
+            ..EstimatorSet::none()
+        };
+        b.iter(|| black_box(run_once(cfg.clone())));
+    });
+
+    // 2) ATS sampling factor.
+    for sets in [8usize, 64, 256] {
+        g.bench_function(format!("ats_sampling_{sets}_sets"), |b| {
+            let mut cfg = micro_config();
+            cfg.estimators = EstimatorSet::asm_only();
+            cfg.ats_sampled_sets = Some(sets);
+            eprintln!(
+                "[ablation] ASM error with {sets} sampled sets: {:.1}%",
+                asm_error(&cfg)
+            );
+            b.iter(|| black_box(run_once(cfg.clone())));
+        });
+    }
+
+    // 3) Probabilistic vs round-robin epoch assignment (§4.2).
+    for (label, assignment) in [
+        ("probabilistic", EpochAssignment::Probabilistic),
+        ("round_robin", EpochAssignment::RoundRobin),
+    ] {
+        g.bench_function(format!("epoch_assignment_{label}"), |b| {
+            let mut cfg = micro_config();
+            cfg.estimators = EstimatorSet::asm_only();
+            cfg.epoch_assignment = assignment;
+            eprintln!(
+                "[ablation] ASM error with {label} epochs: {:.1}%",
+                asm_error(&cfg)
+            );
+            b.iter(|| black_box(run_once(cfg.clone())));
+        });
+    }
+
+    // 4) §4.3 queueing-delay correction on/off.
+    for (label, enabled) in [("on", true), ("off", false)] {
+        g.bench_function(format!("queueing_correction_{label}"), |b| {
+            let mut cfg = micro_config();
+            cfg.estimators = EstimatorSet::asm_only();
+            cfg.asm_queueing_correction = enabled;
+            eprintln!(
+                "[ablation] ASM error with queueing correction {label}: {:.1}%",
+                asm_error(&cfg)
+            );
+            b.iter(|| black_box(run_once(cfg.clone())));
+        });
+    }
+
+    // 5) Prefetcher interaction.
+    for (label, pf) in [("off", None), ("on", Some(PrefetchConfig::default()))] {
+        g.bench_function(format!("prefetcher_{label}"), |b| {
+            let mut cfg = micro_config();
+            cfg.estimators = EstimatorSet::asm_only();
+            cfg.prefetcher = pf;
+            eprintln!(
+                "[ablation] ASM error with prefetcher {label}: {:.1}%",
+                asm_error(&cfg)
+            );
+            b.iter(|| black_box(run_once(cfg.clone())));
+        });
+    }
+
+    // 6) The epoch substrate itself (uniform priority rotation) vs none —
+    // quantifies how much of any mechanism gain comes from epochs alone.
+    for (label, epochs) in [("on", true), ("off", false)] {
+        g.bench_function(format!("epoch_substrate_{label}"), |b| {
+            let mut cfg = micro_config();
+            cfg.estimators = if epochs {
+                EstimatorSet::asm_only()
+            } else {
+                EstimatorSet::none()
+            };
+            cfg.epochs_enabled = epochs;
+            cfg.mem_policy = MemPolicy::Uniform;
+            let mut runner = Runner::new(cfg.clone());
+            let r = runner.run(&micro_workload(), micro_cycles());
+            let max = r
+                .whole_run_slowdowns
+                .iter()
+                .copied()
+                .fold(f64::MIN, f64::max);
+            eprintln!("[ablation] max slowdown with epochs {label}: {max:.2}");
+            b.iter(|| black_box(run_once(cfg.clone())));
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Micro-benchmarks of the simulator building blocks.
+
+use std::time::Duration;
+
+use asm_cache::{
+    lookahead_partition, AuxiliaryTagStore, CacheGeometry, PollutionFilter, SetAssocCache,
+};
+use asm_cpu::{AppProfile, Core, MemIssueResult, StridePrefetcher};
+use asm_dram::{DramConfig, MemRequest, MemorySystem, SchedulerKind};
+use asm_simcore::{AppId, LineAddr, SimRng};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.measurement_time(Duration::from_secs(1));
+
+    g.bench_function("llc_access_mixed_100k", |b| {
+        let geom = CacheGeometry::from_capacity(2 << 20, 16);
+        b.iter(|| {
+            let mut cache = SetAssocCache::new(geom, 4);
+            let mut rng = SimRng::seed_from(1);
+            let mut hits = 0u64;
+            for i in 0..100_000u64 {
+                let app = AppId::new((i % 4) as usize);
+                let line = LineAddr::new(rng.gen_range(1 << 16));
+                hits += u64::from(cache.access(line, app, i % 5 == 0).hit);
+            }
+            black_box(hits)
+        });
+    });
+
+    g.bench_function("ats_sampled_access_100k", |b| {
+        let geom = CacheGeometry::from_capacity(2 << 20, 16);
+        b.iter(|| {
+            let mut ats = AuxiliaryTagStore::new(geom, Some(64));
+            let mut rng = SimRng::seed_from(2);
+            for _ in 0..100_000u64 {
+                black_box(ats.access(LineAddr::new(rng.gen_range(1 << 16))));
+            }
+            ats.hits()
+        });
+    });
+
+    g.bench_function("pollution_filter_100k", |b| {
+        b.iter(|| {
+            let mut f = PollutionFilter::new(1 << 15);
+            let mut rng = SimRng::seed_from(3);
+            let mut hits = 0u64;
+            for i in 0..100_000u64 {
+                let line = LineAddr::new(rng.gen_range(1 << 14));
+                if i % 2 == 0 {
+                    f.insert(line);
+                } else {
+                    hits += u64::from(f.probably_contains(line));
+                }
+            }
+            black_box(hits)
+        });
+    });
+
+    g.bench_function("ucp_lookahead_16way_8apps", |b| {
+        let curves: Vec<Vec<f64>> = (0..8)
+            .map(|a| (0..=16).map(|n| ((a + 1) * n) as f64).collect())
+            .collect();
+        b.iter(|| black_box(lookahead_partition(&curves, 16, 1)));
+    });
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    g.measurement_time(Duration::from_secs(1));
+
+    for kind in [
+        SchedulerKind::FrFcfs,
+        SchedulerKind::Parbs,
+        SchedulerKind::Tcm,
+    ] {
+        g.bench_function(format!("stream_2k_requests_{kind}"), |b| {
+            b.iter(|| {
+                let mut mem = MemorySystem::new(DramConfig::default(), kind, 4);
+                let mut rng = SimRng::seed_from(4);
+                let mut out = Vec::new();
+                let mut sent = 0u64;
+                let mut now = 0u64;
+                while sent < 2_000 || !out.len().eq(&(sent as usize)) {
+                    if sent < 2_000 {
+                        let line = LineAddr::new(rng.gen_range(1 << 20));
+                        if mem
+                            .enqueue(MemRequest::read(
+                                sent,
+                                line,
+                                AppId::new((sent % 4) as usize),
+                                now,
+                            ))
+                            .is_ok()
+                        {
+                            sent += 1;
+                        }
+                    }
+                    mem.tick(now, &mut out);
+                    now += 1;
+                    if now > 3_000_000 {
+                        break;
+                    }
+                }
+                black_box(out.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cpu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu");
+    g.measurement_time(Duration::from_secs(1));
+
+    g.bench_function("core_tick_100k_cycles", |b| {
+        let profile = AppProfile::builder("bench").mem_per_kilo(100).build();
+        b.iter(|| {
+            let mut core = Core::new(AppId::new(0), &profile, 5);
+            for now in 0..100_000 {
+                core.tick(now, &mut |_, _| MemIssueResult::Completed(now + 50));
+            }
+            black_box(core.retired())
+        });
+    });
+
+    g.bench_function("prefetcher_observe_100k", |b| {
+        b.iter(|| {
+            let mut pf = StridePrefetcher::new(4, 24);
+            let mut issued = 0usize;
+            for i in 0..100_000u64 {
+                issued += pf.observe(LineAddr::new(i)).len();
+            }
+            black_box(issued)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_dram, bench_cpu);
+criterion_main!(benches);

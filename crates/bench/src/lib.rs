@@ -1,0 +1,14 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! The bench targets live in `benches/`:
+//! - `figures.rs` — one benchmark per paper table/figure, running a
+//!   miniaturised version of the corresponding experiment (the full
+//!   versions live in the `asm-experiments` binary);
+//! - `substrates.rs` — micro-benchmarks of the simulator building blocks
+//!   (cache, ATS, DRAM, core, partitioning algorithm);
+//! - `ablation.rs` — the design-choice ablations listed in `DESIGN.md` §5,
+//!   each printing its quality metric once and then timing the run.
+
+pub mod scale;
+
+pub use scale::{micro_config, micro_cycles, micro_workload, BenchScale};

@@ -1,0 +1,87 @@
+//! Reduced-scale experiment parameters for benches.
+
+use asm_core::{EstimatorSet, SystemConfig};
+use asm_cpu::AppProfile;
+use asm_simcore::Cycle;
+use asm_workloads::suite;
+
+/// How much to shrink the paper-scale experiments when running under
+/// Criterion (which repeats each measurement many times).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchScale {
+    /// Simulated cycles per run.
+    pub cycles: u64,
+    /// Number of workload mixes.
+    pub workloads: usize,
+}
+
+impl BenchScale {
+    /// A scale small enough for Criterion's repeated sampling.
+    #[must_use]
+    pub fn tiny() -> Self {
+        BenchScale {
+            cycles: 200_000,
+            workloads: 2,
+        }
+    }
+}
+
+impl Default for BenchScale {
+    fn default() -> Self {
+        Self::tiny()
+    }
+}
+
+/// System configuration for bench-scale runs: Table 2 hardware with a
+/// 200k-cycle quantum.
+#[must_use]
+pub fn micro_config() -> SystemConfig {
+    let mut c = SystemConfig::default();
+    c.quantum = 100_000;
+    c.epoch = 5_000;
+    c.estimators = EstimatorSet::all();
+    c
+}
+
+/// Cycles per bench-scale run (two quanta).
+#[must_use]
+pub fn micro_cycles() -> Cycle {
+    200_000
+}
+
+/// A fixed 4-application workload spanning the behaviour space.
+#[must_use]
+pub fn micro_workload() -> Vec<AppProfile> {
+    vec![
+        suite::by_name("bzip2_like").expect("profile"),
+        suite::by_name("libquantum_like").expect("profile"),
+        suite::by_name("mcf_like").expect("profile"),
+        suite::by_name("h264ref_like").expect("profile"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_config_is_valid() {
+        micro_config().validate();
+        assert!(micro_cycles() >= micro_config().quantum);
+    }
+
+    #[test]
+    fn micro_workload_has_four_distinct_apps() {
+        let w = micro_workload();
+        assert_eq!(w.len(), 4);
+        let names: std::collections::HashSet<_> = w.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn tiny_scale_is_tiny() {
+        let s = BenchScale::tiny();
+        assert!(s.cycles <= 1_000_000);
+        assert_eq!(BenchScale::default(), s);
+    }
+}

@@ -1,0 +1,299 @@
+//! The auxiliary tag store (ATS).
+//!
+//! One ATS per application tracks the tag state the shared cache *would*
+//! have if that application ran alone (§3.2). ASM uses it to count
+//! contention misses in aggregate; PTCA uses it per-request; ASM-Cache and
+//! UCP additionally use its per-recency-position hit counters to predict
+//! hits under any way allocation (§7.1: `quantum-hits_n` "can be directly
+//! obtained from the auxiliary tag store").
+//!
+//! To bound hardware cost the ATS can be *set-sampled* (§4.4): only every
+//! `sets / sampled_sets`-th set keeps tags, and observed hit/miss fractions
+//! are scaled to the full access count by the estimator.
+
+use asm_simcore::LineAddr;
+
+use crate::geometry::CacheGeometry;
+
+/// Result of an ATS lookup for a sampled set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtsOutcome {
+    /// Whether the line would have hit had the application run alone.
+    pub hit: bool,
+    /// On a hit, the LRU-stack position (0 = MRU). Position `p` means the
+    /// access would hit with any allocation of at least `p + 1` ways.
+    pub recency: Option<usize>,
+}
+
+/// A per-application auxiliary tag store, optionally set-sampled.
+///
+/// # Examples
+///
+/// ```
+/// use asm_cache::{AuxiliaryTagStore, CacheGeometry};
+/// use asm_simcore::LineAddr;
+///
+/// let mut ats = AuxiliaryTagStore::new(CacheGeometry::new(64, 4), None);
+/// let line = LineAddr::new(7);
+/// let first = ats.access(line).unwrap();
+/// assert!(!first.hit);
+/// let second = ats.access(line).unwrap();
+/// assert!(second.hit);
+/// assert_eq!(second.recency, Some(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AuxiliaryTagStore {
+    geometry: CacheGeometry,
+    /// Distance between sampled sets (1 = full ATS).
+    stride: usize,
+    /// Tag stacks for sampled sets only, MRU first.
+    sets: Vec<Vec<u64>>,
+    /// Hits observed at each recency position since the last reset.
+    position_hits: Vec<u64>,
+    misses: u64,
+    sampled_accesses: u64,
+}
+
+impl AuxiliaryTagStore {
+    /// Creates an ATS mirroring a shared cache of shape `geometry`.
+    ///
+    /// `sampled_sets = None` keeps tags for every set (the "unsampled"
+    /// configurations of Figures 2/6a); `Some(n)` keeps tags for `n` evenly
+    /// spaced sets (the paper's default is 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sampled_sets` is zero, exceeds the set count, or does not
+    /// divide it evenly.
+    #[must_use]
+    pub fn new(geometry: CacheGeometry, sampled_sets: Option<usize>) -> Self {
+        let sampled = sampled_sets.unwrap_or(geometry.sets());
+        assert!(sampled > 0, "must sample at least one set");
+        assert!(
+            sampled <= geometry.sets() && geometry.sets().is_multiple_of(sampled),
+            "sampled set count {sampled} must evenly divide total sets {}",
+            geometry.sets()
+        );
+        let stride = geometry.sets() / sampled;
+        AuxiliaryTagStore {
+            geometry,
+            stride,
+            sets: vec![Vec::new(); sampled],
+            position_hits: vec![0; geometry.ways()],
+            misses: 0,
+            sampled_accesses: 0,
+        }
+    }
+
+    /// Returns the mirrored cache geometry.
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Returns the number of sampled sets.
+    #[must_use]
+    pub fn sampled_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Returns `total sets / sampled sets` — the factor by which sampled
+    /// counts under-represent the full cache.
+    #[must_use]
+    pub fn sampling_factor(&self) -> f64 {
+        self.stride as f64
+    }
+
+    /// Whether this ATS keeps tags for the set `line` maps to.
+    #[inline]
+    #[must_use]
+    pub fn samples_line(&self, line: LineAddr) -> bool {
+        self.geometry.set_index(line).is_multiple_of(self.stride)
+    }
+
+    /// Simulates the alone-run cache access for `line`.
+    ///
+    /// Returns `None` if the line's set is not sampled; otherwise the
+    /// would-have-been outcome, updating the ATS LRU state and counters.
+    pub fn access(&mut self, line: LineAddr) -> Option<AtsOutcome> {
+        self.update(line, true)
+    }
+
+    /// Updates the ATS tag state for `line` *without* touching the
+    /// hit/miss counters — used for prefetch fills, which the alone run
+    /// would also perform but which are not demand accesses.
+    pub fn touch(&mut self, line: LineAddr) -> Option<AtsOutcome> {
+        self.update(line, false)
+    }
+
+    fn update(&mut self, line: LineAddr, count: bool) -> Option<AtsOutcome> {
+        let set_idx = self.geometry.set_index(line);
+        if !set_idx.is_multiple_of(self.stride) {
+            return None;
+        }
+        let tag = self.geometry.tag(line);
+        let ways = self.geometry.ways();
+        let set = &mut self.sets[set_idx / self.stride];
+        if count {
+            self.sampled_accesses += 1;
+        }
+
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            set.remove(pos);
+            set.insert(0, tag);
+            if count {
+                self.position_hits[pos] += 1;
+            }
+            return Some(AtsOutcome {
+                hit: true,
+                recency: Some(pos),
+            });
+        }
+
+        if set.len() >= ways {
+            set.pop();
+        }
+        set.insert(0, tag);
+        if count {
+            self.misses += 1;
+        }
+        Some(AtsOutcome {
+            hit: false,
+            recency: None,
+        })
+    }
+
+    /// Sampled hits since the last [`reset_counters`](Self::reset_counters).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.position_hits.iter().sum()
+    }
+
+    /// Sampled misses since the last reset.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Sampled accesses since the last reset.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.sampled_accesses
+    }
+
+    /// Hits observed at each recency position since the last reset.
+    /// `position_hits()[p]` hits would become misses with fewer than `p + 1`
+    /// ways.
+    #[must_use]
+    pub fn position_hits(&self) -> &[u64] {
+        &self.position_hits
+    }
+
+    /// Number of sampled accesses that would hit with an `n`-way allocation:
+    /// the sum of hits at recency positions `< n` (the UCP utility curve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the associativity.
+    #[must_use]
+    pub fn hits_with_ways(&self, n: usize) -> u64 {
+        assert!(
+            n <= self.geometry.ways(),
+            "allocation exceeds associativity"
+        );
+        self.position_hits[..n].iter().sum()
+    }
+
+    /// Clears the epoch/quantum counters (tag state is preserved — the
+    /// hypothetical alone cache stays warm across quanta).
+    pub fn reset_counters(&mut self) {
+        self.position_hits.fill(0);
+        self.misses = 0;
+        self.sampled_accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_ats_samples_everything() {
+        let ats = AuxiliaryTagStore::new(CacheGeometry::new(8, 2), None);
+        for i in 0..32 {
+            assert!(ats.samples_line(LineAddr::new(i)));
+        }
+    }
+
+    #[test]
+    fn sampled_ats_covers_fraction_of_sets() {
+        let ats = AuxiliaryTagStore::new(CacheGeometry::new(64, 4), Some(16));
+        assert_eq!(ats.sampling_factor(), 4.0);
+        let sampled = (0..64)
+            .filter(|&s| ats.samples_line(LineAddr::new(s)))
+            .count();
+        assert_eq!(sampled, 16);
+    }
+
+    #[test]
+    fn unsampled_set_returns_none() {
+        let mut ats = AuxiliaryTagStore::new(CacheGeometry::new(64, 4), Some(16));
+        assert!(ats.access(LineAddr::new(1)).is_none());
+        assert!(ats.access(LineAddr::new(0)).is_some());
+        assert_eq!(ats.accesses(), 1);
+    }
+
+    #[test]
+    fn lru_behaviour_matches_alone_cache() {
+        let mut ats = AuxiliaryTagStore::new(CacheGeometry::new(4, 2), None);
+        let l = |k: u64| LineAddr::new(k * 4); // all map to set 0
+        ats.access(l(0));
+        ats.access(l(1));
+        ats.access(l(2)); // evicts l(0)
+        assert!(!ats.access(l(0)).unwrap().hit);
+    }
+
+    #[test]
+    fn position_hits_build_utility_curve() {
+        let mut ats = AuxiliaryTagStore::new(CacheGeometry::new(4, 4), None);
+        let l = |k: u64| LineAddr::new(k * 4);
+        // Fill 4 lines, then hit them at controlled positions.
+        for k in 0..4 {
+            ats.access(l(k));
+        }
+        ats.access(l(3)); // MRU hit, position 0
+        ats.access(l(0)); // was LRU, position 3
+        assert_eq!(ats.hits_with_ways(1), 1);
+        assert_eq!(ats.hits_with_ways(4), 2);
+        assert_eq!(ats.misses(), 4);
+        assert_eq!(ats.accesses(), 6);
+    }
+
+    #[test]
+    fn reset_preserves_tags_but_clears_counts() {
+        let mut ats = AuxiliaryTagStore::new(CacheGeometry::new(4, 2), None);
+        let line = LineAddr::new(5);
+        ats.access(line);
+        ats.reset_counters();
+        assert_eq!(ats.accesses(), 0);
+        assert_eq!(ats.misses(), 0);
+        // The tag survives the reset: this is still a hit.
+        assert!(ats.access(line).unwrap().hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly divide")]
+    fn rejects_non_dividing_sample_count() {
+        let _ = AuxiliaryTagStore::new(CacheGeometry::new(64, 4), Some(48));
+    }
+
+    #[test]
+    fn hits_plus_misses_equals_accesses() {
+        let mut ats = AuxiliaryTagStore::new(CacheGeometry::new(16, 4), None);
+        let mut rng = asm_simcore::SimRng::seed_from(1);
+        for _ in 0..1000 {
+            ats.access(LineAddr::new(rng.gen_range(128)));
+        }
+        assert_eq!(ats.hits() + ats.misses(), ats.accesses());
+    }
+}

@@ -1,0 +1,435 @@
+//! A set-associative cache with true-LRU replacement, per-application line
+//! ownership, and optional way partitioning.
+//!
+//! The same structure models both the private L1 caches and the shared
+//! last-level cache of the paper's system (Table 2). For the shared cache,
+//! each line remembers the application that inserted it, which enables
+//! - way-partition *enforcement* (UCP-style: an application that reaches its
+//!   way quota in a set replaces its own LRU line),
+//! - pollution detection (an eviction caused by a *different* application
+//!   feeds FST's pollution filter).
+
+use asm_simcore::{AppId, LineAddr};
+
+use crate::geometry::CacheGeometry;
+use crate::partition::WayPartition;
+
+/// A line evicted by an insertion, reported so the owner can be credited
+/// with a writeback and/or a pollution-filter update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The address of the evicted line.
+    pub line: LineAddr,
+    /// The application that owned the evicted line.
+    pub owner: AppId,
+    /// Whether the line was dirty (requires a writeback to memory).
+    pub dirty: bool,
+}
+
+/// The result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// On a hit, the LRU-stack position of the line (0 = most recently
+    /// used). `None` on a miss.
+    pub hit_recency: Option<usize>,
+    /// On a miss that displaced a valid line, the displaced line.
+    pub eviction: Option<EvictedLine>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    owner: AppId,
+    dirty: bool,
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Lines are inserted at access time (allocate-on-miss); the *timing* of the
+/// fill is modelled by the surrounding system, which keeps the tag state
+/// deterministic and independent of memory latency.
+///
+/// # Examples
+///
+/// ```
+/// use asm_cache::{CacheGeometry, SetAssocCache};
+/// use asm_simcore::{AppId, LineAddr};
+///
+/// let mut c = SetAssocCache::new(CacheGeometry::new(4, 2), 1);
+/// let app = AppId::new(0);
+/// assert!(!c.access(LineAddr::new(0), app, false).hit);
+/// assert!(!c.access(LineAddr::new(4), app, false).hit); // same set
+/// assert!(c.access(LineAddr::new(0), app, false).hit);
+/// // Inserting a third line in the 2-way set evicts the LRU line (4).
+/// let out = c.access(LineAddr::new(8), app, false);
+/// assert_eq!(out.eviction.unwrap().line, LineAddr::new(4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    /// Each set is an LRU stack: index 0 is the most recently used way.
+    sets: Vec<Vec<Way>>,
+    partition: Option<WayPartition>,
+    app_count: usize,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache for a system with `app_count` applications.
+    #[must_use]
+    pub fn new(geometry: CacheGeometry, app_count: usize) -> Self {
+        SetAssocCache {
+            geometry,
+            sets: vec![Vec::new(); geometry.sets()],
+            partition: None,
+            app_count,
+        }
+    }
+
+    /// Returns the cache geometry.
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Returns the number of applications this cache was configured for.
+    #[must_use]
+    pub fn app_count(&self) -> usize {
+        self.app_count
+    }
+
+    /// Installs (or clears, with `None`) a way partition. Enforcement is
+    /// lazy, as in UCP: resident lines are not flushed; instead replacement
+    /// decisions steer each application toward its quota.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition was built for a different way count or
+    /// application count.
+    pub fn set_partition(&mut self, partition: Option<WayPartition>) {
+        if let Some(p) = &partition {
+            assert_eq!(
+                p.total_ways(),
+                self.geometry.ways(),
+                "partition way count mismatch"
+            );
+            assert_eq!(
+                p.app_count(),
+                self.app_count,
+                "partition app count mismatch"
+            );
+        }
+        self.partition = partition;
+    }
+
+    /// Returns the active partition, if any.
+    #[must_use]
+    pub fn partition(&self) -> Option<&WayPartition> {
+        self.partition.as_ref()
+    }
+
+    /// Accesses `line` on behalf of `app`, updating LRU state and inserting
+    /// the line on a miss. Returns hit/miss, the hit's recency position, and
+    /// any eviction the insertion caused.
+    pub fn access(&mut self, line: LineAddr, app: AppId, is_write: bool) -> AccessOutcome {
+        let set_idx = self.geometry.set_index(line);
+        let tag = self.geometry.tag(line);
+        let ways = self.geometry.ways();
+        let set = &mut self.sets[set_idx];
+
+        if let Some(pos) = set.iter().position(|w| w.tag == tag) {
+            let mut way = set.remove(pos);
+            way.dirty |= is_write;
+            set.insert(0, way);
+            return AccessOutcome {
+                hit: true,
+                hit_recency: Some(pos),
+                eviction: None,
+            };
+        }
+
+        let eviction = if set.len() >= ways {
+            let victim_pos = Self::pick_victim(set, app, self.partition.as_ref());
+            let victim = set.remove(victim_pos);
+            Some(EvictedLine {
+                line: Self::reconstruct(self.geometry, victim.tag, set_idx),
+                owner: victim.owner,
+                dirty: victim.dirty,
+            })
+        } else {
+            None
+        };
+
+        set.insert(
+            0,
+            Way {
+                tag,
+                owner: app,
+                dirty: is_write,
+            },
+        );
+
+        AccessOutcome {
+            hit: false,
+            hit_recency: None,
+            eviction,
+        }
+    }
+
+    /// Checks residency without updating any state.
+    #[must_use]
+    pub fn probe(&self, line: LineAddr) -> bool {
+        let set = &self.sets[self.geometry.set_index(line)];
+        let tag = self.geometry.tag(line);
+        set.iter().any(|w| w.tag == tag)
+    }
+
+    /// Removes `line` if resident, returning whether it was dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let set_idx = self.geometry.set_index(line);
+        let tag = self.geometry.tag(line);
+        let set = &mut self.sets[set_idx];
+        set.iter()
+            .position(|w| w.tag == tag)
+            .map(|pos| set.remove(pos).dirty)
+    }
+
+    /// Returns how many lines `app` currently holds across the whole cache.
+    /// (Linear in cache size; intended for tests and coarse statistics.)
+    #[must_use]
+    pub fn occupancy(&self, app: AppId) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|w| w.owner == app).count())
+            .sum()
+    }
+
+    /// Picks the victim way index for an insertion by `app`.
+    ///
+    /// Without a partition this is the global LRU way. With a partition it
+    /// follows UCP's enforcement: if the inserting application has reached
+    /// its quota in this set, it victimises its own LRU line; otherwise the
+    /// LRU line of any application holding more than its quota; otherwise
+    /// the global LRU line.
+    fn pick_victim(set: &[Way], app: AppId, partition: Option<&WayPartition>) -> usize {
+        let Some(partition) = partition else {
+            return set.len() - 1;
+        };
+        let own_quota = partition.ways_for(app);
+        let own_occupancy = set.iter().filter(|w| w.owner == app).count();
+        if own_occupancy >= own_quota && own_occupancy > 0 {
+            // At (or over) quota: replace own LRU line (search from the LRU
+            // end). This also confines zero-quota applications to at most
+            // one transient line per set.
+            if let Some(rpos) = set.iter().rposition(|w| w.owner == app) {
+                return rpos;
+            }
+        }
+        // Replace the LRU line of an over-quota application.
+        let mut occupancy = vec![0usize; partition.app_count()];
+        for w in set {
+            occupancy[w.owner.index()] += 1;
+        }
+        if let Some(rpos) = set
+            .iter()
+            .rposition(|w| occupancy[w.owner.index()] > partition.ways_for(w.owner))
+        {
+            return rpos;
+        }
+        set.len() - 1
+    }
+
+    fn reconstruct(geometry: CacheGeometry, tag: u64, set_idx: usize) -> LineAddr {
+        LineAddr::new((tag << geometry.sets().trailing_zeros()) | set_idx as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(sets: usize, ways: usize, apps: usize) -> SetAssocCache {
+        SetAssocCache::new(CacheGeometry::new(sets, ways), apps)
+    }
+
+    fn same_set_line(sets: usize, set: usize, k: u64) -> LineAddr {
+        LineAddr::new(k * sets as u64 + set as u64)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = cache(8, 2, 1);
+        let a = AppId::new(0);
+        let l = LineAddr::new(42);
+        assert!(!c.access(l, a, false).hit);
+        let out = c.access(l, a, false);
+        assert!(out.hit);
+        assert_eq!(out.hit_recency, Some(0));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = cache(4, 2, 1);
+        let a = AppId::new(0);
+        let l0 = same_set_line(4, 1, 0);
+        let l1 = same_set_line(4, 1, 1);
+        let l2 = same_set_line(4, 1, 2);
+        c.access(l0, a, false);
+        c.access(l1, a, false);
+        c.access(l0, a, false); // l1 becomes LRU
+        let out = c.access(l2, a, false);
+        assert_eq!(out.eviction.unwrap().line, l1);
+        assert!(c.probe(l0));
+        assert!(!c.probe(l1));
+    }
+
+    #[test]
+    fn hit_recency_reports_stack_position() {
+        let mut c = cache(4, 4, 1);
+        let a = AppId::new(0);
+        let lines: Vec<_> = (0..4).map(|k| same_set_line(4, 0, k)).collect();
+        for &l in &lines {
+            c.access(l, a, false);
+        }
+        // lines[0] is now at LRU position 3.
+        assert_eq!(c.access(lines[0], a, false).hit_recency, Some(3));
+        // And after that access, it's MRU.
+        assert_eq!(c.access(lines[0], a, false).hit_recency, Some(0));
+    }
+
+    #[test]
+    fn write_marks_dirty_and_eviction_reports_it() {
+        let mut c = cache(4, 1, 1);
+        let a = AppId::new(0);
+        let l0 = same_set_line(4, 2, 0);
+        let l1 = same_set_line(4, 2, 1);
+        c.access(l0, a, true);
+        let ev = c.access(l1, a, false).eviction.unwrap();
+        assert_eq!(ev.line, l0);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn read_then_write_hit_dirties_line() {
+        let mut c = cache(4, 2, 1);
+        let a = AppId::new(0);
+        let l0 = same_set_line(4, 0, 0);
+        let l1 = same_set_line(4, 0, 1);
+        c.access(l0, a, false);
+        c.access(l0, a, true); // dirty via write hit
+        c.access(l1, a, false);
+        let ev = c.access(same_set_line(4, 0, 2), a, false).eviction.unwrap();
+        assert_eq!(ev.line, l0);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn eviction_reports_original_owner() {
+        let mut c = cache(4, 1, 2);
+        let a0 = AppId::new(0);
+        let a1 = AppId::new(1);
+        c.access(same_set_line(4, 0, 0), a0, false);
+        let ev = c
+            .access(same_set_line(4, 0, 1), a1, false)
+            .eviction
+            .unwrap();
+        assert_eq!(ev.owner, a0);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = cache(4, 2, 1);
+        let a = AppId::new(0);
+        let l = LineAddr::new(9);
+        c.access(l, a, true);
+        assert_eq!(c.invalidate(l), Some(true));
+        assert!(!c.probe(l));
+        assert_eq!(c.invalidate(l), None);
+    }
+
+    #[test]
+    fn partition_confines_over_quota_app() {
+        let mut c = cache(1, 4, 2);
+        let a0 = AppId::new(0);
+        let a1 = AppId::new(1);
+        c.set_partition(Some(WayPartition::new(vec![2, 2])));
+        // app0 fills its 2 ways, then keeps inserting: it must victimise
+        // itself, never touching app1's lines.
+        c.access(LineAddr::new(0), a0, false);
+        c.access(LineAddr::new(1), a0, false);
+        c.access(LineAddr::new(2), a1, false);
+        c.access(LineAddr::new(3), a1, false);
+        for k in 4..10 {
+            let ev = c.access(LineAddr::new(k), a0, false).eviction.unwrap();
+            assert_eq!(ev.owner, a0, "app0 should evict only its own lines");
+        }
+        assert!(c.probe(LineAddr::new(2)));
+        assert!(c.probe(LineAddr::new(3)));
+    }
+
+    #[test]
+    fn partition_reclaims_from_over_quota_app() {
+        let mut c = cache(1, 4, 2);
+        let a0 = AppId::new(0);
+        let a1 = AppId::new(1);
+        // app0 fills all 4 ways without a partition.
+        for k in 0..4 {
+            c.access(LineAddr::new(k), a0, false);
+        }
+        // Now partition 2/2: app1's inserts must reclaim from app0.
+        c.set_partition(Some(WayPartition::new(vec![2, 2])));
+        let ev = c.access(LineAddr::new(100), a1, false).eviction.unwrap();
+        assert_eq!(ev.owner, a0);
+        let ev = c.access(LineAddr::new(101), a1, false).eviction.unwrap();
+        assert_eq!(ev.owner, a0);
+        // app1 at quota: next insert victimises its own lines.
+        let ev = c.access(LineAddr::new(102), a1, false).eviction.unwrap();
+        assert_eq!(ev.owner, a1);
+    }
+
+    #[test]
+    fn zero_quota_app_still_makes_progress() {
+        // An app with a zero allocation replaces the LRU of over-quota apps
+        // (or global LRU) rather than deadlocking.
+        let mut c = cache(1, 2, 2);
+        let a0 = AppId::new(0);
+        let a1 = AppId::new(1);
+        c.set_partition(Some(WayPartition::new(vec![2, 0])));
+        c.access(LineAddr::new(0), a0, false);
+        c.access(LineAddr::new(1), a0, false);
+        let out = c.access(LineAddr::new(2), a1, false);
+        assert!(!out.hit);
+        assert!(out.eviction.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "partition way count mismatch")]
+    fn partition_way_count_validated() {
+        let mut c = cache(4, 4, 2);
+        c.set_partition(Some(WayPartition::new(vec![1, 2])));
+    }
+
+    #[test]
+    fn occupancy_counts_lines_per_app() {
+        let mut c = cache(8, 2, 2);
+        let a0 = AppId::new(0);
+        let a1 = AppId::new(1);
+        c.access(LineAddr::new(0), a0, false);
+        c.access(LineAddr::new(1), a0, false);
+        c.access(LineAddr::new(2), a1, false);
+        assert_eq!(c.occupancy(a0), 2);
+        assert_eq!(c.occupancy(a1), 1);
+    }
+
+    #[test]
+    fn reconstructed_eviction_address_is_exact() {
+        let mut c = cache(8, 1, 1);
+        let a = AppId::new(0);
+        let l = LineAddr::new(0xABCD_EF01);
+        c.access(l, a, false);
+        let conflicting = LineAddr::new(l.raw() + 8); // same set, different tag
+        let ev = c.access(conflicting, a, false).eviction.unwrap();
+        assert_eq!(ev.line, l);
+    }
+}

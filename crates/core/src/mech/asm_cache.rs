@@ -1,0 +1,161 @@
+//! ASM-Cache: slowdown-aware cache partitioning (§7.1).
+//!
+//! For every candidate allocation `n`, ASM-Cache predicts the
+//! application's slowdown:
+//!
+//! ```text
+//! slowdown_n = CAR_alone / CAR_n
+//! CAR_n = (quantum_hits + quantum_misses) / cycles_n
+//! cycles_n = Q − Δhits × (quantum_miss_time − quantum_hit_time)
+//! Δhits = quantum_hits_n − quantum_hits        (from the ATS, §7.1.1)
+//! ```
+//!
+//! and then runs UCP's look-ahead loop on *marginal slowdown utility*
+//! (`(slowdown_n − slowdown_{n+k}) / k`) instead of marginal miss utility.
+//! The paper stresses that this extension is only straightforward because
+//! ASM works with aggregate access rates (§3.3, third reason).
+
+use asm_cache::{lookahead_partition, AuxiliaryTagStore, WayPartition};
+use asm_simcore::Cycle;
+
+use crate::system::AppQuantumStats;
+
+/// Fallback average miss time (cycles) when an application had no misses
+/// this quantum.
+const DEFAULT_MISS_TIME: f64 = 200.0;
+
+/// Predicted slowdown of one application for every way allocation
+/// `0..=ways`.
+///
+/// Returns a flat all-ones curve when the application was idle or no
+/// `CAR_alone` estimate is available.
+#[must_use]
+pub fn slowdown_curve(
+    ats: &AuxiliaryTagStore,
+    stats: &AppQuantumStats,
+    car_alone: Option<f64>,
+    quantum: Cycle,
+    llc_latency: Cycle,
+    ways: usize,
+) -> Vec<f64> {
+    let accesses = stats.hits + stats.misses;
+    let Some(car_alone) = car_alone.filter(|c| *c > 0.0) else {
+        return vec![1.0; ways + 1];
+    };
+    if accesses == 0 {
+        return vec![1.0; ways + 1];
+    }
+    let factor = ats.sampling_factor();
+    let hit_t = stats.avg_hit_time(llc_latency as f64);
+    let miss_t = stats.avg_miss_time(DEFAULT_MISS_TIME);
+    let penalty = (miss_t - hit_t).max(0.0);
+    let q = quantum as f64;
+
+    (0..=ways)
+        .map(|n| {
+            let hits_n = ats.hits_with_ways(n.min(ats.geometry().ways())) as f64 * factor;
+            let delta_hits = hits_n - stats.hits as f64;
+            let cycles_n = (q - delta_hits * penalty).clamp(q * 0.05, q * 4.0);
+            let car_n = accesses as f64 / cycles_n;
+            (car_alone / car_n).max(0.01)
+        })
+        .collect()
+}
+
+/// Computes the ASM-Cache partition for this quantum.
+///
+/// `car_alone` is ASM's per-application `CAR_alone` estimate; without it
+/// (ASM disabled) the partition degrades gracefully to an even-ish split
+/// driven by flat curves.
+///
+/// # Panics
+///
+/// Panics if `ats`/`qstats` lengths differ or exceed `ways`.
+#[must_use]
+pub fn partition(
+    ats: &[AuxiliaryTagStore],
+    qstats: &[AppQuantumStats],
+    car_alone: Option<&[f64]>,
+    quantum: Cycle,
+    llc_latency: Cycle,
+    ways: usize,
+) -> WayPartition {
+    assert_eq!(ats.len(), qstats.len(), "per-app inputs must align");
+    // Benefit = negated slowdown, so marginal utility = slowdown decrease.
+    let benefit: Vec<Vec<f64>> = ats
+        .iter()
+        .zip(qstats)
+        .enumerate()
+        .map(|(i, (a, s))| {
+            let ca = car_alone.and_then(|c| c.get(i)).copied();
+            slowdown_curve(a, s, ca, quantum, llc_latency, ways)
+                .into_iter()
+                .map(|sd| -sd)
+                .collect()
+        })
+        .collect();
+    lookahead_partition(&benefit, ways, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mech::testutil::{ats_with_curve, stats};
+    use asm_simcore::AppId;
+
+    #[test]
+    fn curve_without_car_alone_is_flat() {
+        let ats = ats_with_curve(16, 4, 5);
+        let c = slowdown_curve(&ats, &stats(10, 10), None, 1_000_000, 20, 16);
+        assert!(c.iter().all(|&s| s == 1.0));
+    }
+
+    #[test]
+    fn more_ways_less_predicted_slowdown() {
+        let ats = ats_with_curve(16, 8, 20);
+        let mut st = stats(50, 100);
+        // Make misses expensive so extra hits matter.
+        st.miss_time.add(0, 30_000);
+        st.hit_time.add(0, 1_000);
+        let c = slowdown_curve(&ats, &st, Some(0.01), 1_000_000, 20, 16);
+        assert!(
+            c[16] <= c[1],
+            "slowdown should not increase with more ways: {c:?}"
+        );
+    }
+
+    #[test]
+    fn slowdown_sensitive_app_wins_ways() {
+        // App 0: deep reuse + expensive misses -> big slowdown reduction
+        // from ways. App 1: no reuse -> flat curve.
+        let ats = vec![ats_with_curve(16, 12, 30), ats_with_curve(16, 1, 0)];
+        let mut st0 = stats(100, 200);
+        st0.miss_time.add(0, 60_000);
+        st0.hit_time.add(0, 2_000);
+        let st1 = stats(5, 300);
+        let p = partition(&ats, &[st0, st1], Some(&[0.02, 0.01]), 1_000_000, 20, 16);
+        assert!(p.ways_for(AppId::new(0)) > p.ways_for(AppId::new(1)));
+        assert_eq!(p.total_ways(), 16);
+    }
+
+    #[test]
+    fn idle_apps_get_minimum_allocation() {
+        let ats = vec![ats_with_curve(16, 8, 10), ats_with_curve(16, 1, 0)];
+        let p = partition(
+            &ats,
+            &[stats(100, 50), stats(0, 0)],
+            Some(&[0.01, 0.0]),
+            1_000_000,
+            20,
+            16,
+        );
+        assert!(p.ways_for(AppId::new(1)) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_inputs_rejected() {
+        let ats = vec![ats_with_curve(16, 2, 1)];
+        let _ = partition(&ats, &[], None, 1_000, 20, 16);
+    }
+}

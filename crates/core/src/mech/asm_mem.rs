@@ -1,0 +1,49 @@
+//! ASM-Mem: slowdown-aware memory-bandwidth partitioning (§7.2).
+//!
+//! ASM-Mem does not replace the memory scheduler; it changes *who gets the
+//! epochs*. The probability that an epoch is assigned to application `i`
+//! is
+//!
+//! ```text
+//! P(i) = slowdown(i) / Σ_k slowdown(k)
+//! ```
+//!
+//! so the most slowed-down applications get the most prioritised memory
+//! time. The epoch sampling itself lives in the system's
+//! `begin_epoch`; this module computes the weights.
+
+/// Computes epoch-assignment weights proportional to ASM's slowdown
+/// estimates. Falls back to uniform weights when no estimates exist yet
+/// (e.g. the first quantum).
+#[must_use]
+pub fn weights(asm_estimates: Option<&[f64]>, apps: usize) -> Vec<f64> {
+    match asm_estimates {
+        Some(est) if est.len() == apps && est.iter().all(|s| s.is_finite() && *s > 0.0) => {
+            est.to_vec()
+        }
+        _ => vec![1.0; apps],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_follow_estimates() {
+        let w = weights(Some(&[1.0, 3.0]), 2);
+        assert_eq!(w, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn missing_estimates_fall_back_to_uniform() {
+        assert_eq!(weights(None, 3), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn invalid_estimates_fall_back_to_uniform() {
+        assert_eq!(weights(Some(&[1.0, f64::NAN]), 2), vec![1.0; 2]);
+        assert_eq!(weights(Some(&[1.0]), 2), vec![1.0; 2]);
+        assert_eq!(weights(Some(&[0.0, 1.0]), 2), vec![1.0; 2]);
+    }
+}

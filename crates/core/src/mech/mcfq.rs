@@ -1,0 +1,104 @@
+//! Simplified MCFQ: MLP- and cache-friendliness-aware quasi-partitioning
+//! [Kaseridis+, IEEE TC 2014].
+//!
+//! The full MCFQ scheme quasi-partitions by adjusting insertion/promotion
+//! policies; we implement its decision core on top of strict way
+//! partitioning, preserving the two ideas the paper contrasts with
+//! ASM-Cache (§7.1.2):
+//!
+//! 1. **cache friendliness**: streaming/thrashing applications (no reuse in
+//!    the ATS even with the full cache) are confined to a single way;
+//! 2. **MLP awareness**: an application that overlaps its misses suffers
+//!    less per miss, so its hit utility is discounted by its measured MLP.
+//!
+//! What it (by design) lacks — and what Figure 9 shows hurts under
+//! memory-intensive workloads — is any notion of *memory bandwidth*
+//! interference: utilities are still cache-local.
+
+use asm_cache::{lookahead_partition, AuxiliaryTagStore, WayPartition};
+
+use crate::system::AppQuantumStats;
+
+/// ATS hit-rate threshold below which an application is treated as
+/// thrashing/streaming and confined to one way.
+const THRASH_HIT_RATE: f64 = 0.05;
+
+/// Computes the MCFQ partition for this quantum.
+///
+/// # Panics
+///
+/// Panics if `ats`/`qstats` lengths differ or exceed `ways`.
+#[must_use]
+pub fn partition(
+    ats: &[AuxiliaryTagStore],
+    qstats: &[AppQuantumStats],
+    ways: usize,
+) -> WayPartition {
+    assert_eq!(ats.len(), qstats.len(), "per-app inputs must align");
+    let benefit: Vec<Vec<f64>> = ats
+        .iter()
+        .zip(qstats)
+        .map(|(a, s)| {
+            let sampled = a.accesses();
+            let full_hits = a.hits_with_ways(a.geometry().ways());
+            let hit_rate = if sampled > 0 {
+                full_hits as f64 / sampled as f64
+            } else {
+                0.0
+            };
+            let cap = if hit_rate < THRASH_HIT_RATE { 1 } else { ways };
+            // Discount hit utility by MLP: overlapped misses hurt less.
+            let weight = 1.0 / s.avg_mlp().sqrt();
+            (0..=ways)
+                .map(|n| weight * a.hits_with_ways(n.min(cap).min(a.geometry().ways())) as f64)
+                .collect()
+        })
+        .collect();
+    lookahead_partition(&benefit, ways, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mech::testutil::{ats_with_curve, stats};
+    use asm_simcore::AppId;
+
+    #[test]
+    fn thrashing_app_confined_to_one_way() {
+        // App 1 never re-hits in its ATS: thrashing.
+        let ats = vec![ats_with_curve(16, 8, 10), ats_with_curve(16, 8, 0)];
+        let p = partition(&ats, &[stats(100, 50), stats(0, 500)], 16);
+        assert_eq!(p.ways_for(AppId::new(1)), 1);
+        assert_eq!(p.ways_for(AppId::new(0)), 15);
+    }
+
+    #[test]
+    fn high_mlp_app_discounted() {
+        let ats = vec![ats_with_curve(16, 8, 10), ats_with_curve(16, 8, 10)];
+        let mut st0 = stats(100, 50);
+        st0.mlp_sum = 50; // avg MLP 1
+        st0.mlp_samples = 50;
+        let mut st1 = stats(100, 50);
+        st1.mlp_sum = 800; // avg MLP 16
+        st1.mlp_samples = 50;
+        let p = partition(&ats, &[st0, st1], 16);
+        assert!(
+            p.ways_for(AppId::new(0)) >= p.ways_for(AppId::new(1)),
+            "low-MLP app should be favoured: {:?}",
+            p.as_slice()
+        );
+    }
+
+    #[test]
+    fn all_ways_distributed() {
+        let ats = vec![
+            ats_with_curve(16, 4, 3),
+            ats_with_curve(16, 6, 2),
+            ats_with_curve(16, 2, 8),
+            ats_with_curve(16, 8, 1),
+        ];
+        let qs = vec![stats(10, 10); 4];
+        let p = partition(&ats, &qs, 16);
+        assert_eq!(p.total_ways(), 16);
+    }
+}

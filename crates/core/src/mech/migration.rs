@@ -1,0 +1,138 @@
+//! Job migration and admission control advice (§7.5).
+//!
+//! Previous work migrates applications based on proxies (miss counts,
+//! bandwidth utilisation); ASM's slowdown estimates are a *direct* measure
+//! of the impact of interference, so the system software can act on them:
+//! migrate applications away from machines where slowdowns are high, and
+//! refuse new admissions where current tenants already exceed their SLAs.
+//! This module implements that decision logic over per-machine slowdown
+//! snapshots; it is advisory (the actual migration is the OS/cluster
+//! manager's job).
+
+/// One machine's latest per-application slowdown estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSnapshot {
+    /// Machine identifier.
+    pub machine: usize,
+    /// Slowdown estimate per resident application.
+    pub slowdowns: Vec<f64>,
+}
+
+impl MachineSnapshot {
+    /// The machine's worst-case slowdown (infinity-free; empty machines
+    /// report 1.0).
+    #[must_use]
+    pub fn max_slowdown(&self) -> f64 {
+        self.slowdowns
+            .iter()
+            .copied()
+            .filter(|s| s.is_finite())
+            .fold(1.0, f64::max)
+    }
+}
+
+/// A recommended migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// Source machine.
+    pub from: usize,
+    /// Index of the application on the source machine.
+    pub app_index: usize,
+    /// Destination machine.
+    pub to: usize,
+}
+
+/// Recommends migrating the most-slowed-down application from the most
+/// contended machine to the least contended one, when the gap exceeds
+/// `threshold` (e.g. 1.5 = only migrate if the worst machine's maximum
+/// slowdown is 1.5x the best machine's).
+///
+/// Returns `None` when fewer than two machines are given or no move clears
+/// the threshold.
+#[must_use]
+pub fn recommend_migration(snapshots: &[MachineSnapshot], threshold: f64) -> Option<Migration> {
+    if snapshots.len() < 2 {
+        return None;
+    }
+    let worst = snapshots
+        .iter()
+        .max_by(|a, b| a.max_slowdown().total_cmp(&b.max_slowdown()))?;
+    let best = snapshots
+        .iter()
+        .min_by(|a, b| a.max_slowdown().total_cmp(&b.max_slowdown()))?;
+    if worst.machine == best.machine || worst.max_slowdown() < threshold * best.max_slowdown() {
+        return None;
+    }
+    let app_index = worst
+        .slowdowns
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.total_cmp(b))
+        .map(|(i, _)| i)?;
+    Some(Migration {
+        from: worst.machine,
+        app_index,
+        to: best.machine,
+    })
+}
+
+/// Admission control: may a new application be scheduled on this machine
+/// without (further) violating the SLA bound on current tenants?
+///
+/// Conservative rule: admit only if every resident application currently
+/// sits below `sla_bound` with `headroom` to spare (e.g. bound 3.0,
+/// headroom 0.5 admits while all slowdowns are below 2.5).
+#[must_use]
+pub fn admit(snapshot: &MachineSnapshot, sla_bound: f64, headroom: f64) -> bool {
+    snapshot
+        .slowdowns
+        .iter()
+        .all(|s| s.is_finite() && *s + headroom <= sla_bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(machine: usize, slowdowns: &[f64]) -> MachineSnapshot {
+        MachineSnapshot {
+            machine,
+            slowdowns: slowdowns.to_vec(),
+        }
+    }
+
+    #[test]
+    fn migrates_hottest_app_from_hottest_machine() {
+        let snaps = [snap(0, &[1.2, 1.1]), snap(1, &[4.0, 2.0]), snap(2, &[1.5])];
+        let m = recommend_migration(&snaps, 1.5).expect("migration recommended");
+        assert_eq!(m.from, 1);
+        assert_eq!(m.app_index, 0);
+        assert_eq!(m.to, 0);
+    }
+
+    #[test]
+    fn no_migration_below_threshold() {
+        let snaps = [snap(0, &[2.0]), snap(1, &[2.5])];
+        assert_eq!(recommend_migration(&snaps, 1.5), None);
+    }
+
+    #[test]
+    fn single_machine_never_migrates() {
+        let snaps = [snap(0, &[10.0])];
+        assert_eq!(recommend_migration(&snaps, 1.0), None);
+    }
+
+    #[test]
+    fn admission_requires_headroom() {
+        let m = snap(0, &[2.0, 2.4]);
+        assert!(admit(&m, 3.0, 0.5));
+        assert!(!admit(&m, 3.0, 0.7));
+    }
+
+    #[test]
+    fn empty_machine_admits() {
+        let m = snap(0, &[]);
+        assert!(admit(&m, 3.0, 0.5));
+        assert!((m.max_slowdown() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Resource-management mechanisms built on slowdown estimates (§7) and the
+//! prior-work baselines they are compared against.
+//!
+//! - [`asm_cache`]: ASM-Cache (§7.1) — marginal *slowdown* utility cache
+//!   partitioning.
+//! - [`ucp`]: Utility-based Cache Partitioning \[56\] — marginal *miss*
+//!   utility.
+//! - [`mcfq`]: simplified MCFQ \[27\] — MLP- and friendliness-aware
+//!   partitioning.
+//! - [`qos`]: ASM-QoS and Naive-QoS (§7.3) — soft slowdown guarantees.
+//! - [`asm_mem`]: ASM-Mem (§7.2) — slowdown-proportional epoch assignment.
+//! - [`billing`]: fair (alone-equivalent) cloud pricing (§7.4).
+//! - [`migration`]: slowdown-driven migration and admission control (§7.5).
+//! - [`throttle`]: FST-style source throttling (§8).
+//!
+//! All cache mechanisms run at quantum boundaries and produce a
+//! [`WayPartition`] the system installs in the shared cache.
+
+pub mod asm_cache;
+pub mod asm_mem;
+pub mod billing;
+pub mod mcfq;
+pub mod migration;
+pub mod qos;
+pub mod throttle;
+pub mod ucp;
+
+use ::asm_cache::{AuxiliaryTagStore, WayPartition};
+use asm_simcore::Cycle;
+
+use crate::config::{CachePolicy, MemPolicy};
+use crate::system::AppQuantumStats;
+
+/// Computes the way partition the configured cache policy wants at this
+/// quantum boundary (`None` = leave the cache unpartitioned / unchanged).
+#[must_use]
+pub fn apply_cache_policy(
+    policy: CachePolicy,
+    ats: &[AuxiliaryTagStore],
+    qstats: &[AppQuantumStats],
+    car_alone: Option<&[f64]>,
+    quantum: Cycle,
+    llc_latency: Cycle,
+    ways: usize,
+) -> Option<WayPartition> {
+    match policy {
+        CachePolicy::None => None,
+        CachePolicy::Ucp => Some(ucp::partition(ats, ways)),
+        CachePolicy::Mcfq => Some(mcfq::partition(ats, qstats, ways)),
+        CachePolicy::AsmCache => Some(asm_cache::partition(
+            ats,
+            qstats,
+            car_alone,
+            quantum,
+            llc_latency,
+            ways,
+        )),
+        CachePolicy::AsmQos(qos_cfg) => Some(qos::asm_qos_partition(
+            qos_cfg,
+            ats,
+            qstats,
+            car_alone,
+            quantum,
+            llc_latency,
+            ways,
+        )),
+        CachePolicy::NaiveQos(target) => Some(qos::naive_qos_partition(target, ats.len(), ways)),
+    }
+}
+
+/// Computes next quantum's epoch-assignment weights.
+#[must_use]
+pub fn epoch_weights(policy: MemPolicy, asm_estimates: Option<&[f64]>, apps: usize) -> Vec<f64> {
+    match policy {
+        MemPolicy::Uniform => vec![1.0; apps],
+        MemPolicy::SlowdownWeighted => asm_mem::weights(asm_estimates, apps),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use ::asm_cache::CacheGeometry;
+    use asm_simcore::LineAddr;
+
+    /// A small ATS pre-populated so that `hits_with_ways(n)` grows with `n`
+    /// at a controllable rate: `reuses` hits at stack positions spread over
+    /// `depth` ways.
+    pub fn ats_with_curve(ways: usize, depth: usize, reuses: usize) -> AuxiliaryTagStore {
+        let geom = CacheGeometry::new(4, ways);
+        let mut ats = AuxiliaryTagStore::new(geom, None);
+        // Touch `depth` distinct lines mapping to set 0, then re-touch them
+        // in reverse order so hits land at varying stack depths.
+        for k in 0..depth as u64 {
+            ats.access(LineAddr::new(k * 4));
+        }
+        for _ in 0..reuses {
+            for k in (0..depth as u64).rev() {
+                ats.access(LineAddr::new(k * 4));
+            }
+        }
+        ats
+    }
+
+    pub fn stats(hits: u64, misses: u64) -> AppQuantumStats {
+        AppQuantumStats {
+            accesses: hits + misses,
+            hits,
+            misses,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testutil::*;
+
+    #[test]
+    fn none_policy_yields_no_partition() {
+        let p = apply_cache_policy(CachePolicy::None, &[], &[], None, 1_000, 20, 16);
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn uniform_weights_are_equal() {
+        assert_eq!(epoch_weights(MemPolicy::Uniform, None, 3), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn ucp_policy_produces_full_partition() {
+        let ats = vec![ats_with_curve(8, 4, 10), ats_with_curve(8, 2, 1)];
+        let qs = vec![stats(100, 10), stats(10, 100)];
+        let p = apply_cache_policy(CachePolicy::Ucp, &ats, &qs, None, 1_000_000, 20, 8).unwrap();
+        assert_eq!(p.total_ways(), 8);
+    }
+}

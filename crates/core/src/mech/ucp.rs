@@ -1,0 +1,70 @@
+//! Utility-based Cache Partitioning [Qureshi & Patt, MICRO 2006].
+//!
+//! UCP's utility of giving an application `n` ways is the number of its
+//! accesses that would hit with `n` ways — read directly off the ATS's
+//! per-recency-position hit counters. The look-ahead algorithm then
+//! maximises total marginal utility. The paper's critique (§7.1.2): miss
+//! counts are only a *proxy* for performance, blind to how much each miss
+//! actually costs each application.
+
+use asm_cache::{lookahead_partition, AuxiliaryTagStore, WayPartition};
+
+/// Computes the UCP partition from this quantum's ATS hit curves.
+///
+/// # Panics
+///
+/// Panics if `ats` is empty or has more entries than `ways` (every
+/// application is reserved one way).
+#[must_use]
+pub fn partition(ats: &[AuxiliaryTagStore], ways: usize) -> WayPartition {
+    let benefit: Vec<Vec<f64>> = ats.iter().map(|a| hit_curve(a, ways)).collect();
+    lookahead_partition(&benefit, ways, 1)
+}
+
+/// The cumulative-hits utility curve: `curve[n]` = sampled accesses that
+/// would hit with `n` ways.
+#[must_use]
+pub fn hit_curve(ats: &AuxiliaryTagStore, ways: usize) -> Vec<f64> {
+    (0..=ways)
+        .map(|n| ats.hits_with_ways(n.min(ats.geometry().ways())) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mech::testutil::ats_with_curve;
+
+    #[test]
+    fn cache_hungry_app_gets_more_ways() {
+        // App 0 re-hits 8 distinct depths many times; app 1 barely reuses.
+        let ats = vec![ats_with_curve(16, 8, 20), ats_with_curve(16, 2, 1)];
+        let p = partition(&ats, 16);
+        assert!(p.ways_for(asm_simcore::AppId::new(0)) > p.ways_for(asm_simcore::AppId::new(1)));
+        assert_eq!(p.total_ways(), 16);
+    }
+
+    #[test]
+    fn hit_curve_is_monotone() {
+        let ats = ats_with_curve(16, 8, 5);
+        let c = hit_curve(&ats, 16);
+        for w in c.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(c.len(), 17);
+    }
+
+    #[test]
+    fn every_app_keeps_at_least_one_way() {
+        let ats = vec![
+            ats_with_curve(16, 12, 50),
+            ats_with_curve(16, 1, 0),
+            ats_with_curve(16, 1, 0),
+            ats_with_curve(16, 1, 0),
+        ];
+        let p = partition(&ats, 16);
+        for i in 0..4 {
+            assert!(p.ways_for(asm_simcore::AppId::new(i)) >= 1);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The experiment runner: pairs a shared run with per-application alone
+//! runs to compute ground-truth slowdowns (§5, Metrics).
+//!
+//! "Actual slowdown" for a quantum is `IPC_alone / IPC_shared` *for the
+//! same amount of work*: the alone-run cycle cost of the instruction window
+//! the shared run retired in that quantum, read off the alone run's
+//! [`asm_cpu::ProgressLog`].
+//!
+//! Alone runs are cached per `(profile, slot)` within a [`Runner`], so
+//! sweeping many shared workloads that reuse applications does not repeat
+//! alone simulations.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use asm_cpu::{AppProfile, ProgressLog};
+use asm_metrics::SlowdownSample;
+use asm_simcore::{AppId, Cycle, Histogram};
+
+use crate::config::{CachePolicy, EstimatorSet, MemPolicy, SystemConfig};
+use crate::system::System;
+
+/// One quantum's estimates and ground truth.
+#[derive(Debug, Clone)]
+pub struct QuantumResult {
+    /// Slowdown estimates per estimator `(name, per-app)`.
+    pub estimates: Vec<(String, Vec<f64>)>,
+    /// Measured slowdown per application (NaN when the application retired
+    /// nothing in the quantum).
+    pub actual: Vec<f64>,
+    /// Measured `CAR_shared` per application.
+    pub car_shared: Vec<f64>,
+    /// Way partition applied at this quantum's end, if any.
+    pub partition: Option<Vec<usize>>,
+}
+
+/// The outcome of one workload run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Profile names per application slot.
+    pub app_names: Vec<String>,
+    /// Per-quantum results.
+    pub quanta: Vec<QuantumResult>,
+    /// Whole-run measured slowdown per application (alone cycles for the
+    /// total work divided by total shared cycles).
+    pub whole_run_slowdowns: Vec<f64>,
+    /// Measured alone miss-latency distribution, merged over applications
+    /// (present when `latency_hist` is configured).
+    pub alone_latency_hist: Option<Histogram>,
+    /// Estimated alone miss-latency distributions per estimator, from the
+    /// shared run.
+    pub estimator_latency_hists: Vec<(String, Histogram)>,
+}
+
+impl RunResult {
+    /// Flattens this run into `(estimated, actual)` samples for the named
+    /// estimator, one per application per quantum (skipping quanta without
+    /// valid ground truth).
+    #[must_use]
+    pub fn samples(&self, estimator: &str) -> Vec<SlowdownSample> {
+        let mut out = Vec::new();
+        for q in &self.quanta {
+            let Some(est) = q
+                .estimates
+                .iter()
+                .find(|(n, _)| n == estimator)
+                .map(|(_, v)| v)
+            else {
+                continue;
+            };
+            for (i, (&e, &a)) in est.iter().zip(&q.actual).enumerate() {
+                if a.is_finite() && a > 0.0 {
+                    out.push(SlowdownSample {
+                        app_name: self.app_names[i].clone(),
+                        estimated: e,
+                        actual: a,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Names of the estimators present in this run.
+    #[must_use]
+    pub fn estimator_names(&self) -> Vec<String> {
+        self.quanta
+            .first()
+            .map(|q| q.estimates.iter().map(|(n, _)| n.clone()).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[derive(Clone)]
+struct AloneRecord {
+    cycles: Cycle,
+    progress: Rc<ProgressLog>,
+    latency_hist: Option<Histogram>,
+}
+
+/// Runs workloads against a fixed [`SystemConfig`], caching alone runs.
+///
+/// # Examples
+///
+/// See the crate-level example in [`crate`].
+#[derive(Debug)]
+pub struct Runner {
+    config: SystemConfig,
+    alone_cache: HashMap<(String, usize), AloneRecord>,
+}
+
+impl std::fmt::Debug for AloneRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AloneRecord({} cycles)", self.cycles)
+    }
+}
+
+impl Runner {
+    /// Creates a runner for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: SystemConfig) -> Self {
+        config.validate();
+        Runner {
+            config,
+            alone_cache: HashMap::new(),
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Switches the cache/memory mechanisms for subsequent runs while
+    /// keeping the cached alone runs — valid because alone runs strip all
+    /// mechanisms anyway (see [`Self::config`]'s alone derivation). Use
+    /// this when comparing mechanisms on identical hardware so each scheme
+    /// does not repeat the alone simulations.
+    pub fn set_policies(&mut self, cache: CachePolicy, mem: MemPolicy) {
+        self.config.cache_policy = cache;
+        self.config.mem_policy = mem;
+    }
+
+    /// The configuration used for alone runs: same hardware, but no
+    /// estimators or allocation mechanisms (they would be no-ops or noise
+    /// for a single application).
+    fn alone_config(&self) -> SystemConfig {
+        let mut c = self.config.clone();
+        c.estimators = EstimatorSet::none();
+        c.cache_policy = CachePolicy::None;
+        c.mem_policy = MemPolicy::Uniform;
+        c
+    }
+
+    fn alone_record(&mut self, apps: &[AppProfile], slot: usize, cycles: Cycle) -> AloneRecord {
+        let key = (apps[slot].name().to_owned(), slot);
+        if let Some(rec) = self.alone_cache.get(&key) {
+            if rec.cycles >= cycles {
+                return rec.clone();
+            }
+        }
+        let mut sys = System::new_alone(apps, self.alone_config(), AppId::new(slot));
+        sys.enable_progress_logging();
+        sys.run_for(cycles);
+        let rec = AloneRecord {
+            cycles,
+            progress: Rc::new(sys.progress_log(AppId::new(slot)).clone()),
+            latency_hist: sys.measured_miss_latency_hist().cloned(),
+        };
+        self.alone_cache.insert(key, rec.clone());
+        rec
+    }
+
+    /// Runs `apps` together for `cycles` cycles (plus the necessary alone
+    /// runs) and returns estimates and ground truth per quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    pub fn run(&mut self, apps: &[AppProfile], cycles: Cycle) -> RunResult {
+        assert!(!apps.is_empty(), "need at least one application");
+        let n = apps.len();
+
+        // Alone runs (cached).
+        let alone: Vec<AloneRecord> = (0..n)
+            .map(|slot| self.alone_record(apps, slot, cycles))
+            .collect();
+
+        // Shared run.
+        let mut sys = System::new(apps, self.config.clone());
+        sys.run_for(cycles);
+
+        // Ground truth per quantum.
+        let quanta: Vec<QuantumResult> = sys
+            .records()
+            .iter()
+            .map(|r| {
+                let q_cycles = (r.end_cycle - r.start_cycle) as f64;
+                let actual: Vec<f64> = (0..n)
+                    .map(|i| {
+                        let work = r.retired_end[i].saturating_sub(r.retired_start[i]);
+                        if work == 0 {
+                            return f64::NAN;
+                        }
+                        let alone_cycles = alone[i]
+                            .progress
+                            .cycles_between(r.retired_start[i], r.retired_end[i]);
+                        if alone_cycles <= 0.0 {
+                            return f64::NAN;
+                        }
+                        let ipc_shared = work as f64 / q_cycles;
+                        let ipc_alone = work as f64 / alone_cycles;
+                        (ipc_alone / ipc_shared).max(1.0)
+                    })
+                    .collect();
+                QuantumResult {
+                    estimates: r.estimates.clone(),
+                    actual,
+                    car_shared: r.car_shared.clone(),
+                    partition: r.partition.clone(),
+                }
+            })
+            .collect();
+
+        // Whole-run slowdowns.
+        let total_cycles = sys.now() as f64;
+        let whole_run_slowdowns: Vec<f64> = (0..n)
+            .map(|i| {
+                let retired = sys.retired(AppId::new(i));
+                if retired == 0 {
+                    return f64::NAN;
+                }
+                let alone_cycles = alone[i].progress.cycle_at(retired);
+                (total_cycles / alone_cycles.max(1.0)).max(1.0)
+            })
+            .collect();
+
+        // Latency histograms (Figure 6).
+        let alone_latency_hist =
+            alone
+                .iter()
+                .filter_map(|a| a.latency_hist.clone())
+                .reduce(|mut acc, h| {
+                    acc.merge(&h);
+                    acc
+                });
+        let estimator_latency_hists = ["ASM", "FST", "PTCA"]
+            .iter()
+            .filter_map(|name| {
+                sys.estimator_latency_hist(name)
+                    .map(|h| ((*name).to_owned(), h.clone()))
+            })
+            .collect();
+
+        RunResult {
+            app_names: sys.app_names().to_vec(),
+            quanta,
+            whole_run_slowdowns,
+            alone_latency_hist,
+            estimator_latency_hists,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm_workloads::suite;
+
+    fn config() -> SystemConfig {
+        let mut c = SystemConfig::default();
+        c.quantum = 50_000;
+        c.epoch = 1_000;
+        c.estimators = EstimatorSet::all();
+        c
+    }
+
+    fn apps() -> Vec<AppProfile> {
+        vec![
+            suite::by_name("mcf_like").unwrap(),
+            suite::by_name("h264ref_like").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn produces_one_result_per_quantum() {
+        let mut runner = Runner::new(config());
+        let r = runner.run(&apps(), 150_000);
+        assert_eq!(r.quanta.len(), 3);
+        assert_eq!(r.app_names.len(), 2);
+    }
+
+    #[test]
+    fn actual_slowdowns_are_sane() {
+        let mut runner = Runner::new(config());
+        let r = runner.run(&apps(), 150_000);
+        for q in &r.quanta {
+            for &a in &q.actual {
+                assert!(a.is_nan() || (1.0..100.0).contains(&a), "actual {a}");
+            }
+        }
+        for &s in &r.whole_run_slowdowns {
+            assert!((1.0..100.0).contains(&s), "whole-run {s}");
+        }
+    }
+
+    #[test]
+    fn alone_cache_reused_across_runs() {
+        let mut runner = Runner::new(config());
+        let _ = runner.run(&apps(), 100_000);
+        let cached = runner.alone_cache.len();
+        assert_eq!(cached, 2);
+        let _ = runner.run(&apps(), 100_000);
+        assert_eq!(runner.alone_cache.len(), cached);
+    }
+
+    #[test]
+    fn samples_skip_invalid_ground_truth() {
+        let mut runner = Runner::new(config());
+        let r = runner.run(&apps(), 100_000);
+        let samples = r.samples("ASM");
+        assert!(!samples.is_empty());
+        for s in &samples {
+            assert!(s.actual.is_finite() && s.actual >= 1.0);
+            assert!(s.estimated >= 1.0);
+        }
+    }
+
+    #[test]
+    fn estimator_names_reported() {
+        let mut runner = Runner::new(config());
+        let r = runner.run(&apps(), 60_000);
+        let names = r.estimator_names();
+        assert_eq!(names, vec!["ASM", "FST", "PTCA", "MISE"]);
+    }
+
+    #[test]
+    fn latency_hists_present_when_configured() {
+        let mut c = config();
+        c.latency_hist = Some((50.0, 40));
+        let mut runner = Runner::new(c);
+        let r = runner.run(&apps(), 100_000);
+        assert!(r.alone_latency_hist.is_some());
+        assert!(!r.estimator_latency_hists.is_empty());
+    }
+}

@@ -1,0 +1,1218 @@
+//! The full-system simulator: cores, private L1s, shared LLC, auxiliary
+//! tag stores, pollution filters, optional prefetchers, the DDR3 memory
+//! system, and the quantum/epoch machinery of §4.
+//!
+//! # Structure of a cycle
+//!
+//! 1. At a quantum boundary (`now % Q == 0`), collect estimates from every
+//!    estimator, apply the configured cache/memory mechanisms, record a
+//!    [`QuantumRecord`], and reset per-quantum state.
+//! 2. At an epoch boundary (`now % E == 0`), pick the epoch owner (uniform
+//!    or slowdown-weighted) and give it highest priority at the memory
+//!    controller.
+//! 3. Tick the memory system; deliver completions (fill cores, emit
+//!    [`MissEvent`]s, insert prefetched lines).
+//! 4. Tick each active core; demand accesses traverse L1 → LLC → memory,
+//!    updating the ATS/pollution filters and emitting
+//!    [`AccessEvent`]s along the way.
+
+use std::collections::HashMap;
+
+use asm_cache::{AuxiliaryTagStore, PollutionFilter, SetAssocCache, WayPartition};
+use asm_cpu::{AppProfile, Core, MemIssueResult, ProgressLog, StridePrefetcher};
+use asm_dram::{Completion, MemRequest, MemorySystem};
+use asm_simcore::{AppId, Cycle, Histogram, LineAddr, SimRng};
+
+use crate::config::SystemConfig;
+use crate::estimator::{
+    AccessEvent, AsmEstimator, FstEstimator, MiseEstimator, MissEvent, PtcaEstimator, QuantumCtx,
+    SlowdownEstimator, StfmEstimator, UnionTime,
+};
+use crate::mech;
+
+/// Per-application statistics accumulated over the current quantum; used
+/// by the ASM-Cache/UCP/MCFQ mechanisms and exposed in [`QuantumRecord`]s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AppQuantumStats {
+    /// Demand accesses to the shared cache.
+    pub accesses: u64,
+    /// Shared-cache hits.
+    pub hits: u64,
+    /// Shared-cache misses.
+    pub misses: u64,
+    /// Cycles with at least one outstanding shared-cache hit.
+    pub(crate) hit_time: UnionTime,
+    /// Cycles with at least one outstanding miss.
+    pub(crate) miss_time: UnionTime,
+    /// Sum of concurrent-miss counts sampled at miss completions.
+    pub mlp_sum: u64,
+    /// Number of miss completions sampled.
+    pub mlp_samples: u64,
+}
+
+impl AppQuantumStats {
+    /// Average shared-cache hit service time this quantum (falls back to
+    /// `default` when there were no hits).
+    #[must_use]
+    pub fn avg_hit_time(&self, default: f64) -> f64 {
+        if self.hits > 0 {
+            self.hit_time.total as f64 / self.hits as f64
+        } else {
+            default
+        }
+    }
+
+    /// Average miss service time this quantum (falls back to `default`).
+    #[must_use]
+    pub fn avg_miss_time(&self, default: f64) -> f64 {
+        if self.misses > 0 {
+            self.miss_time.total as f64 / self.misses as f64
+        } else {
+            default
+        }
+    }
+
+    /// Average memory-level parallelism observed at miss completions.
+    #[must_use]
+    pub fn avg_mlp(&self) -> f64 {
+        if self.mlp_samples > 0 {
+            self.mlp_sum as f64 / self.mlp_samples as f64
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Everything the system learned in one quantum.
+#[derive(Debug, Clone)]
+pub struct QuantumRecord {
+    /// First cycle of the quantum.
+    pub start_cycle: Cycle,
+    /// One-past-last cycle of the quantum.
+    pub end_cycle: Cycle,
+    /// Per-application retired-instruction counts at the quantum start.
+    pub retired_start: Vec<u64>,
+    /// Per-application retired-instruction counts at the quantum end.
+    pub retired_end: Vec<u64>,
+    /// Measured `CAR_shared` per application (accesses / cycle).
+    pub car_shared: Vec<f64>,
+    /// Slowdown estimates per estimator: `(name, per-app estimates)`.
+    pub estimates: Vec<(String, Vec<f64>)>,
+    /// The way partition applied at the end of this quantum, if any.
+    pub partition: Option<Vec<usize>>,
+}
+
+impl QuantumRecord {
+    /// The estimates of the named estimator, if present.
+    #[must_use]
+    pub fn estimates_of(&self, name: &str) -> Option<&[f64]> {
+        self.estimates
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Per-application IPC over this quantum.
+    #[must_use]
+    pub fn ipc_shared(&self) -> Vec<f64> {
+        let cycles = (self.end_cycle - self.start_cycle) as f64;
+        self.retired_start
+            .iter()
+            .zip(&self.retired_end)
+            .map(|(s, e)| (e - s) as f64 / cycles)
+            .collect()
+    }
+}
+
+#[derive(Debug)]
+struct MissEntry {
+    app: AppId,
+    tokens: Vec<u64>,
+    prefetch: bool,
+    epoch_owned: bool,
+    ats_hit: Option<bool>,
+    pollution_hit: bool,
+    /// When a demand access merges into an in-flight *prefetch*, the merge
+    /// context: the demand sees only the residual latency, and the miss
+    /// event must reflect that short wait, not a full memory access.
+    demand_merge: Option<DemandMerge>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DemandMerge {
+    arrival: Cycle,
+    epoch_owned: bool,
+    ats_hit: Option<bool>,
+    pollution_hit: bool,
+}
+
+/// Cumulative per-application statistics over a whole run (see
+/// [`System::app_summary`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppSummary {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Instructions per cycle over the run so far.
+    pub ipc: f64,
+    /// Demand accesses to the shared cache.
+    pub llc_accesses: u64,
+    /// Shared-cache hits.
+    pub llc_hits: u64,
+    /// Shared-cache misses.
+    pub llc_misses: u64,
+    /// Shared-cache misses per kilo-instruction.
+    pub llc_mpki: f64,
+    /// Mean shared-cache access rate (accesses per cycle) — the CAR of
+    /// §3.1.
+    pub car: f64,
+}
+
+/// An explicit application specification for trace-driven workloads (see
+/// [`System::from_specs`]).
+#[derive(Debug)]
+pub struct AppSpec {
+    /// Display name.
+    pub name: String,
+    /// The access source driving the application's core.
+    pub source: Box<dyn asm_cpu::AccessSource>,
+    /// Probability that an instruction is a memory operation.
+    pub mem_probability: f64,
+    /// Outstanding-miss cap.
+    pub mlp: u32,
+}
+
+/// The simulated multi-core system.
+///
+/// # Examples
+///
+/// ```
+/// use asm_core::{System, SystemConfig};
+/// use asm_workloads::suite;
+///
+/// let mut config = SystemConfig::default();
+/// config.quantum = 50_000;
+/// config.epoch = 1_000;
+/// let apps = vec![suite::by_name("libquantum_like").unwrap(); 2];
+/// let mut sys = System::new(&apps, config);
+/// sys.run_for(100_000);
+/// assert_eq!(sys.records().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct System {
+    config: SystemConfig,
+    app_names: Vec<String>,
+    cores: Vec<Core>,
+    l1s: Vec<SetAssocCache>,
+    llc: SetAssocCache,
+    ats: Vec<AuxiliaryTagStore>,
+    pollution: Vec<PollutionFilter>,
+    prefetchers: Vec<StridePrefetcher>,
+    mem: MemorySystem,
+    mshr: HashMap<u64, MissEntry>,
+    estimators: Vec<Box<dyn SlowdownEstimator>>,
+    qstats: Vec<AppQuantumStats>,
+    records: Vec<QuantumRecord>,
+    /// Cumulative (accesses, hits, misses) per app from *completed* quanta;
+    /// `app_summary` adds the in-progress quantum on top.
+    lifetime: Vec<(u64, u64, u64)>,
+    progress: Vec<ProgressLog>,
+    record_progress: bool,
+    alone_miss_hist: Option<Histogram>,
+    epoch_owner: Option<AppId>,
+    epoch_weights: Vec<f64>,
+    epoch_counter: u64,
+    throttle: mech::throttle::ThrottleState,
+    rng: SimRng,
+    now: Cycle,
+    next_req: u64,
+    active_only: Option<AppId>,
+    last_quantum_end: Cycle,
+    retired_at_quantum_start: Vec<u64>,
+    dropped_writebacks: u64,
+    completion_buf: Vec<Completion>,
+}
+
+impl System {
+    /// Builds the system for a multi-programmed workload: one core per
+    /// profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or the configuration is inconsistent
+    /// (see [`SystemConfig::validate`]).
+    #[must_use]
+    pub fn new(profiles: &[AppProfile], config: SystemConfig) -> Self {
+        Self::build(profiles, config, None)
+    }
+
+    /// Builds an *alone-run* system: the same hardware and workload slots,
+    /// but only `app`'s core executes. Address streams and seeds match the
+    /// shared run exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` is out of range or the configuration is invalid.
+    #[must_use]
+    pub fn new_alone(profiles: &[AppProfile], config: SystemConfig, app: AppId) -> Self {
+        assert!(app.index() < profiles.len(), "alone app out of range");
+        Self::build(profiles, config, Some(app))
+    }
+
+    /// Builds the system from explicit per-application specifications —
+    /// the entry point for *trace-driven* workloads (each spec can carry a
+    /// [`asm_cpu::TraceSource`] replaying a recorded access trace).
+    ///
+    /// Note: [`crate::Runner`] needs to re-create each application for its
+    /// alone runs, which requires cloneable profiles; trace-driven systems
+    /// are therefore driven directly via [`System`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty or the configuration is invalid.
+    #[must_use]
+    pub fn from_specs(specs: Vec<AppSpec>, config: SystemConfig) -> Self {
+        assert!(!specs.is_empty(), "need at least one application");
+        let names = specs.iter().map(|s| s.name.clone()).collect();
+        let cores = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                Core::from_source(
+                    AppId::new(i),
+                    spec.source,
+                    spec.mem_probability,
+                    spec.mlp,
+                    config.seed,
+                    asm_cpu::core::DEFAULT_WINDOW,
+                    asm_cpu::core::DEFAULT_WIDTH,
+                )
+            })
+            .collect();
+        Self::assemble(names, cores, config, None)
+    }
+
+    fn build(profiles: &[AppProfile], config: SystemConfig, active_only: Option<AppId>) -> Self {
+        assert!(!profiles.is_empty(), "need at least one application");
+        let names = profiles.iter().map(|p| p.name().to_owned()).collect();
+        let cores: Vec<Core> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Core::new(AppId::new(i), p, config.seed))
+            .collect();
+        Self::assemble(names, cores, config, active_only)
+    }
+
+    fn assemble(
+        app_names: Vec<String>,
+        cores: Vec<Core>,
+        config: SystemConfig,
+        active_only: Option<AppId>,
+    ) -> Self {
+        config.validate();
+        let n = cores.len();
+        let l1s = (0..n)
+            .map(|_| SetAssocCache::new(config.l1_geometry, 1))
+            .collect();
+        let llc = SetAssocCache::new(config.llc_geometry, n);
+        let ats = (0..n)
+            .map(|_| AuxiliaryTagStore::new(config.llc_geometry, config.ats_sampled_sets))
+            .collect();
+        let pollution = (0..n)
+            .map(|_| PollutionFilter::new(config.pollution_filter_bits))
+            .collect();
+        let prefetchers = match config.prefetcher {
+            Some(pc) => (0..n)
+                .map(|_| StridePrefetcher::new(pc.degree, pc.distance))
+                .collect(),
+            None => Vec::new(),
+        };
+        let mem = MemorySystem::with_seed(
+            config.dram.clone(),
+            config.scheduler,
+            n,
+            config.seed ^ 0xD12A,
+        );
+
+        let sampling_factor = config
+            .ats_sampled_sets
+            .map_or(1.0, |s| config.llc_geometry.sets() as f64 / s as f64);
+        let mut estimators: Vec<Box<dyn SlowdownEstimator>> = Vec::new();
+        if config.estimators.asm {
+            let mut asm = AsmEstimator::new(n, config.llc_latency, config.latency_hist);
+            asm.set_queueing_correction(config.asm_queueing_correction);
+            estimators.push(Box::new(asm));
+        }
+        if config.estimators.fst {
+            estimators.push(Box::new(FstEstimator::new(
+                n,
+                config.llc_latency,
+                config.latency_hist,
+            )));
+        }
+        if config.estimators.ptca {
+            estimators.push(Box::new(PtcaEstimator::new(
+                n,
+                config.llc_latency,
+                sampling_factor,
+                config.latency_hist,
+            )));
+        }
+        if config.estimators.mise {
+            estimators.push(Box::new(MiseEstimator::new(n)));
+        }
+        if config.estimators.stfm {
+            estimators.push(Box::new(StfmEstimator::new(n)));
+        }
+
+        let progress = (0..n)
+            .map(|_| ProgressLog::new(config.progress_interval))
+            .collect();
+        let rng = SimRng::seed_from(config.seed ^ 0xE90C);
+        let alone_miss_hist = config.latency_hist.map(|(w, b)| Histogram::new(w, b));
+
+        System {
+            app_names,
+            cores,
+            l1s,
+            llc,
+            ats,
+            pollution,
+            prefetchers,
+            mem,
+            mshr: HashMap::new(),
+            estimators,
+            qstats: vec![AppQuantumStats::default(); n],
+            records: Vec::new(),
+            lifetime: vec![(0, 0, 0); n],
+            progress,
+            record_progress: false,
+            alone_miss_hist,
+            epoch_owner: None,
+            epoch_weights: vec![1.0; n],
+            epoch_counter: 0,
+            throttle: mech::throttle::ThrottleState::new(n),
+            rng,
+            now: 0,
+            next_req: 0,
+            active_only,
+            last_quantum_end: 0,
+            retired_at_quantum_start: vec![0; n],
+            dropped_writebacks: 0,
+            completion_buf: Vec::new(),
+            config,
+        }
+    }
+
+    /// Number of applications in the workload.
+    #[must_use]
+    pub fn app_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Profile names, indexed by application.
+    #[must_use]
+    pub fn app_names(&self) -> &[String] {
+        &self.app_names
+    }
+
+    /// Completed quanta so far.
+    #[must_use]
+    pub fn records(&self) -> &[QuantumRecord] {
+        &self.records
+    }
+
+    /// Current simulation cycle.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Instructions retired by `app` so far.
+    #[must_use]
+    pub fn retired(&self, app: AppId) -> u64 {
+        self.cores[app.index()].retired()
+    }
+
+    /// Enables per-cycle progress logging (used by alone runs).
+    pub fn enable_progress_logging(&mut self) {
+        self.record_progress = true;
+    }
+
+    /// The progress log for `app` (meaningful when progress logging was
+    /// enabled).
+    #[must_use]
+    pub fn progress_log(&self, app: AppId) -> &ProgressLog {
+        &self.progress[app.index()]
+    }
+
+    /// Writebacks dropped because a write queue was full (diagnostic; at
+    /// sane configurations this stays zero or negligible).
+    #[must_use]
+    pub fn dropped_writebacks(&self) -> u64 {
+        self.dropped_writebacks
+    }
+
+    /// Histogram of *measured* miss latencies (only collected when
+    /// `latency_hist` is configured) — during an alone run this is the
+    /// ground-truth alone miss-service-time distribution of Figure 6.
+    #[must_use]
+    pub fn measured_miss_latency_hist(&self) -> Option<&Histogram> {
+        self.alone_miss_hist.as_ref()
+    }
+
+    /// The named estimator's alone-miss-latency histogram (Figure 6).
+    #[must_use]
+    pub fn estimator_latency_hist(&self, name: &str) -> Option<&Histogram> {
+        self.estimators
+            .iter()
+            .find(|e| e.name() == name)
+            .and_then(|e| e.miss_latency_histogram())
+    }
+
+    /// The shared-cache way partition currently in force.
+    #[must_use]
+    pub fn current_partition(&self) -> Option<&WayPartition> {
+        self.llc.partition()
+    }
+
+    /// Cumulative statistics for `app` over the whole run so far.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use asm_core::{System, SystemConfig};
+    /// use asm_simcore::AppId;
+    /// use asm_workloads::suite;
+    ///
+    /// let mut config = SystemConfig::default();
+    /// config.quantum = 50_000;
+    /// config.epoch = 1_000;
+    /// let apps = vec![suite::by_name("mcf_like").unwrap()];
+    /// let mut sys = System::new(&apps, config);
+    /// sys.run_for(100_000);
+    /// let s = sys.app_summary(AppId::new(0));
+    /// assert!(s.ipc > 0.0);
+    /// assert_eq!(s.llc_accesses, s.llc_hits + s.llc_misses);
+    /// ```
+    #[must_use]
+    pub fn app_summary(&self, app: AppId) -> AppSummary {
+        let i = app.index();
+        let (mut accesses, mut hits, mut misses) = self.lifetime[i];
+        accesses += self.qstats[i].accesses;
+        hits += self.qstats[i].hits;
+        misses += self.qstats[i].misses;
+        let instructions = self.cores[i].retired();
+        let cycles = self.now.max(1) as f64;
+        AppSummary {
+            instructions,
+            ipc: instructions as f64 / cycles,
+            llc_accesses: accesses,
+            llc_hits: hits,
+            llc_misses: misses,
+            llc_mpki: if instructions > 0 {
+                misses as f64 * 1_000.0 / instructions as f64
+            } else {
+                0.0
+            },
+            car: accesses as f64 / cycles,
+        }
+    }
+
+    /// Runs the simulation for `cycles` cycles. A quantum that completes
+    /// exactly at the end of the run is finalised before returning.
+    pub fn run_for(&mut self, cycles: Cycle) {
+        let end = self.now + cycles;
+        while self.now < end {
+            self.step();
+        }
+        let now = self.now;
+        if now > self.last_quantum_end && now.is_multiple_of(self.config.quantum) {
+            self.end_quantum(now);
+        }
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        if now > self.last_quantum_end && now.is_multiple_of(self.config.quantum) {
+            self.end_quantum(now);
+        }
+        if self.config.epochs_enabled && now.is_multiple_of(self.config.epoch) {
+            self.begin_epoch(now);
+        }
+        self.tick_hierarchy(now);
+        if self.record_progress {
+            for i in 0..self.cores.len() {
+                if self.is_active(i) {
+                    self.progress[i].record(self.cores[i].retired(), now);
+                }
+            }
+        }
+        self.now = now + 1;
+    }
+
+    fn is_active(&self, idx: usize) -> bool {
+        self.active_only.is_none_or(|a| a.index() == idx)
+    }
+
+    /// Picks the epoch owner (§4.2: probabilistic assignment; §7.2:
+    /// slowdown-proportional under ASM-Mem) and applies memory priority.
+    fn begin_epoch(&mut self, now: Cycle) {
+        let owner = if let Some(active) = self.active_only {
+            // Alone runs: the single application always has priority (it is
+            // alone anyway; this keeps queueing accounting consistent).
+            Some(active)
+        } else {
+            match self.config.epoch_assignment {
+                crate::config::EpochAssignment::Probabilistic => {
+                    self.rng.pick_weighted(&self.epoch_weights).map(AppId::new)
+                }
+                crate::config::EpochAssignment::RoundRobin => {
+                    Some(AppId::new((self.epoch_counter as usize) % self.cores.len()))
+                }
+            }
+        };
+        self.epoch_counter += 1;
+        self.epoch_owner = owner;
+        self.mem.set_priority_app(now, owner);
+        for est in &mut self.estimators {
+            est.on_epoch_start(now, owner);
+        }
+    }
+
+    /// Finalises the quantum ending at `now`: estimates, mechanisms,
+    /// record, reset.
+    fn end_quantum(&mut self, now: Cycle) {
+        self.last_quantum_end = now;
+        let n = self.cores.len();
+        let q = self.config.quantum;
+
+        let queueing: Vec<Cycle> = (0..n)
+            .map(|i| self.mem.queueing_cycles(AppId::new(i)))
+            .collect();
+        let ctx = QuantumCtx {
+            now,
+            quantum: q,
+            epoch: self.config.epoch,
+            queueing_cycles: &queueing,
+            llc_latency: self.config.llc_latency,
+        };
+        let estimates: Vec<(String, Vec<f64>)> = self
+            .estimators
+            .iter_mut()
+            .map(|e| (e.name().to_owned(), e.on_quantum_end(&ctx)))
+            .collect();
+
+        let asm = estimates
+            .iter()
+            .find(|(name, _)| name == "ASM")
+            .map(|(_, v)| v.clone());
+        let car_alone = self
+            .estimators
+            .iter()
+            .find(|e| e.name() == "ASM")
+            .and_then(|e| e.car_alone().map(<[f64]>::to_vec));
+
+        // Cache mechanism.
+        let partition = mech::apply_cache_policy(
+            self.config.cache_policy,
+            &self.ats,
+            &self.qstats,
+            car_alone.as_deref(),
+            q,
+            self.config.llc_latency,
+            self.llc.geometry().ways(),
+        );
+        if let Some(p) = &partition {
+            self.llc.set_partition(Some(p.clone()));
+        }
+
+        // Memory (epoch-weight) mechanism.
+        self.epoch_weights = mech::epoch_weights(self.config.mem_policy, asm.as_deref(), n);
+
+        // Source throttling (FST's actuator): prefers FST's own estimates,
+        // falling back to ASM's when FST is not instantiated.
+        if let crate::config::ThrottlePolicy::Fst {
+            unfairness_threshold,
+        } = self.config.throttle_policy
+        {
+            let slowdowns = estimates
+                .iter()
+                .find(|(name, _)| name == "FST")
+                .or_else(|| estimates.iter().find(|(name, _)| name == "ASM"))
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| vec![1.0; n]);
+            self.throttle.update(&slowdowns, unfairness_threshold);
+            for (i, core) in self.cores.iter_mut().enumerate() {
+                let cap = self.throttle.mlp_cap(i, core.base_mlp());
+                core.set_mlp_throttle(Some(cap));
+            }
+        }
+
+        // Record.
+        let retired_end: Vec<u64> = self.cores.iter().map(Core::retired).collect();
+        self.records.push(QuantumRecord {
+            start_cycle: now - q,
+            end_cycle: now,
+            retired_start: self.retired_at_quantum_start.clone(),
+            retired_end: retired_end.clone(),
+            car_shared: self
+                .qstats
+                .iter()
+                .map(|s| s.accesses as f64 / q as f64)
+                .collect(),
+            estimates,
+            partition: partition.as_ref().map(|p| p.as_slice().to_vec()),
+        });
+        self.retired_at_quantum_start = retired_end;
+
+        // Reset per-quantum state (folding it into lifetime totals first).
+        for (life, s) in self.lifetime.iter_mut().zip(&self.qstats) {
+            life.0 += s.accesses;
+            life.1 += s.hits;
+            life.2 += s.misses;
+        }
+        for s in &mut self.qstats {
+            let mut hit_time = s.hit_time;
+            let mut miss_time = s.miss_time;
+            hit_time.reset();
+            miss_time.reset();
+            *s = AppQuantumStats {
+                hit_time,
+                miss_time,
+                ..AppQuantumStats::default()
+            };
+        }
+        for a in &mut self.ats {
+            a.reset_counters();
+        }
+        for p in &mut self.pollution {
+            p.clear();
+        }
+        self.mem.reset_queueing_cycles();
+    }
+
+    /// One cycle of memory + cores.
+    fn tick_hierarchy(&mut self, now: Cycle) {
+        let System {
+            config,
+            cores,
+            l1s,
+            llc,
+            ats,
+            pollution,
+            prefetchers,
+            mem,
+            mshr,
+            estimators,
+            qstats,
+            epoch_owner,
+            next_req,
+            dropped_writebacks,
+            alone_miss_hist,
+            completion_buf,
+            active_only,
+            ..
+        } = self;
+
+        let mut hier = Hier {
+            config,
+            l1s,
+            llc,
+            ats,
+            pollution,
+            prefetchers,
+            mem,
+            mshr,
+            estimators,
+            qstats,
+            epoch_owner: *epoch_owner,
+            next_req,
+            dropped_writebacks,
+            alone_miss_hist,
+        };
+
+        // Memory tick + completions.
+        completion_buf.clear();
+        hier.mem.tick(now, completion_buf);
+        for c in completion_buf.drain(..) {
+            hier.handle_completion(now, &c, cores);
+        }
+
+        // Core ticks. (Indexed loop: `hier` and `cores` must borrow
+        // disjointly, so iterators over `cores` cannot be used here.)
+        #[allow(clippy::needless_range_loop)]
+        for idx in 0..cores.len() {
+            if let Some(a) = active_only {
+                if a.index() != idx {
+                    continue;
+                }
+            }
+            let app = AppId::new(idx);
+            let core = &mut cores[idx];
+            core.tick(now, &mut |line, is_write| {
+                hier.issue(now, app, line, is_write)
+            });
+        }
+    }
+}
+
+/// The memory-hierarchy context used during one cycle's core ticks; split
+/// out of [`System`] so core ticks can borrow cores and the hierarchy
+/// disjointly.
+struct Hier<'a> {
+    config: &'a SystemConfig,
+    l1s: &'a mut Vec<SetAssocCache>,
+    llc: &'a mut SetAssocCache,
+    ats: &'a mut Vec<AuxiliaryTagStore>,
+    pollution: &'a mut Vec<PollutionFilter>,
+    prefetchers: &'a mut Vec<StridePrefetcher>,
+    mem: &'a mut MemorySystem,
+    mshr: &'a mut HashMap<u64, MissEntry>,
+    estimators: &'a mut Vec<Box<dyn SlowdownEstimator>>,
+    qstats: &'a mut Vec<AppQuantumStats>,
+    epoch_owner: Option<AppId>,
+    next_req: &'a mut u64,
+    dropped_writebacks: &'a mut u64,
+    alone_miss_hist: &'a mut Option<Histogram>,
+}
+
+impl Hier<'_> {
+    fn fresh_id(&mut self) -> u64 {
+        *self.next_req += 1;
+        *self.next_req
+    }
+
+    /// Handles a finished DRAM read: fill waiters, emit the miss event,
+    /// insert prefetched lines.
+    fn handle_completion(&mut self, now: Cycle, c: &Completion, cores: &mut [Core]) {
+        let Some(entry) = self.mshr.remove(&c.line.raw()) else {
+            return; // e.g. a dropped-writeback artefact; cannot happen for reads
+        };
+        for token in &entry.tokens {
+            cores[entry.app.index()].complete(*token, c.finish);
+        }
+        if entry.prefetch {
+            // Fill the prefetched line into the shared cache now, and
+            // mirror the fill into the ATS (the alone run prefetches the
+            // same stream); demand counters are not touched.
+            let out = self.llc.access(c.line, entry.app, false);
+            self.handle_llc_eviction(entry.app, out.eviction, now);
+            self.ats[entry.app.index()].touch(c.line);
+            // A demand access that merged into this prefetch experienced
+            // only the residual latency; report that short miss.
+            let Some(merge) = entry.demand_merge else {
+                return;
+            };
+            self.emit_demand_miss(
+                entry.app,
+                c,
+                merge.arrival,
+                merge.epoch_owned,
+                merge.ats_hit,
+                merge.pollution_hit,
+            );
+            return;
+        }
+        self.emit_demand_miss(
+            entry.app,
+            c,
+            c.arrival,
+            entry.epoch_owned,
+            entry.ats_hit,
+            entry.pollution_hit,
+        );
+    }
+
+    /// Records a finished demand miss: quantum stats, the measured-latency
+    /// histogram, and the estimator event.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_demand_miss(
+        &mut self,
+        app: AppId,
+        c: &Completion,
+        arrival: Cycle,
+        epoch_owned: bool,
+        ats_hit: Option<bool>,
+        pollution_hit: bool,
+    ) {
+        let stats = &mut self.qstats[app.index()];
+        stats.miss_time.add(arrival, c.finish);
+        let concurrent = self.mem.outstanding_reads(app) + 1;
+        stats.mlp_sum += concurrent;
+        stats.mlp_samples += 1;
+        if let Some(h) = self.alone_miss_hist {
+            h.add((c.finish - arrival) as f64);
+        }
+        let epoch_end = if epoch_owned {
+            (arrival / self.config.epoch + 1) * self.config.epoch
+        } else {
+            Cycle::MAX
+        };
+        let ev = MissEvent {
+            app,
+            line: c.line,
+            arrival,
+            finish: c.finish,
+            interference_cycles: c.interference_cycles.min(c.finish - arrival),
+            concurrent_misses: concurrent,
+            epoch_owned_at_issue: epoch_owned,
+            epoch_end,
+            was_ats_hit: ats_hit,
+            pollution_hit,
+        };
+        for est in self.estimators.iter_mut() {
+            est.on_miss_complete(&ev);
+        }
+    }
+
+    /// Side effects of an LLC insertion's eviction: pollution-filter update
+    /// when another application caused the eviction, and a writeback when
+    /// the line was dirty.
+    fn handle_llc_eviction(
+        &mut self,
+        inserter: AppId,
+        eviction: Option<asm_cache::EvictedLine>,
+        now: Cycle,
+    ) {
+        let Some(ev) = eviction else { return };
+        if ev.owner != inserter {
+            self.pollution[ev.owner.index()].insert(ev.line);
+        }
+        if ev.dirty {
+            let id = self.fresh_id();
+            let req = MemRequest::write(id, ev.line, ev.owner, now);
+            if self.mem.enqueue(req).is_err() {
+                *self.dropped_writebacks += 1;
+            }
+        }
+    }
+
+    /// The full demand-access path: L1 → LLC → memory.
+    fn issue(&mut self, now: Cycle, app: AppId, line: LineAddr, is_write: bool) -> MemIssueResult {
+        let a = app.index();
+
+        // Private L1.
+        if self.l1s[a].probe(line) {
+            self.l1s[a].access(line, app, is_write);
+            return MemIssueResult::Completed(now + self.config.l1_latency);
+        }
+
+        // L1 miss. Before mutating anything, make sure a memory request
+        // could be issued if needed (otherwise stall the core).
+        let llc_resident = self.llc.probe(line);
+        let merged = self.mshr.contains_key(&line.raw());
+        if !llc_resident && !merged && !self.mem.can_accept_read(line) {
+            return MemIssueResult::Stall;
+        }
+
+        // Commit the L1 fill (allocate-on-miss) and push any dirty victim
+        // down to the LLC (or memory if not resident there).
+        let l1_out = self.l1s[a].access(line, app, is_write);
+        if let Some(victim) = l1_out.eviction {
+            if victim.dirty {
+                if self.llc.probe(victim.line) {
+                    self.llc.access(victim.line, victim.owner, true);
+                } else {
+                    let id = self.fresh_id();
+                    let req = MemRequest::write(id, victim.line, victim.owner, now);
+                    if self.mem.enqueue(req).is_err() {
+                        *self.dropped_writebacks += 1;
+                    }
+                }
+            }
+        }
+
+        // Demand access to the shared cache (this is the access CAR
+        // counts).
+        let ats_out = self.ats[a].access(line);
+        let llc_out = self.llc.access(line, app, is_write);
+        let pollution_hit = !llc_out.hit && self.pollution[a].probably_contains(line);
+        self.handle_llc_eviction(app, llc_out.eviction, now);
+
+        let stats = &mut self.qstats[a];
+        stats.accesses += 1;
+        if llc_out.hit {
+            stats.hits += 1;
+            stats.hit_time.add(now, now + self.config.llc_latency);
+        } else {
+            stats.misses += 1;
+        }
+
+        let event = AccessEvent {
+            now,
+            app,
+            line,
+            llc_hit: llc_out.hit,
+            ats: ats_out,
+            pollution_hit,
+            epoch_owner: self.epoch_owner,
+            is_write,
+        };
+        for est in self.estimators.iter_mut() {
+            est.on_access(&event);
+        }
+
+        // The prefetcher observes the demand stream; its prefetches are
+        // issued only after the demand request claims its queue slot, so
+        // prefetch traffic can never invalidate the capacity check above.
+        let prefetches = if self.prefetchers.is_empty() {
+            Vec::new()
+        } else {
+            self.prefetchers[a].observe(line)
+        };
+
+        let result = if llc_out.hit {
+            MemIssueResult::Completed(now + self.config.llc_latency)
+        } else if self.mshr.contains_key(&line.raw()) {
+            // Merge into the outstanding request for this line. If that
+            // request is a prefetch, remember the demand context so the
+            // residual wait is reported as a (short) miss.
+            let epoch_owned = self.epoch_owner == Some(app);
+            let token = if is_write {
+                None
+            } else {
+                Some(self.fresh_id())
+            };
+            let entry = self.mshr.get_mut(&line.raw()).expect("checked above");
+            if entry.prefetch && entry.demand_merge.is_none() {
+                entry.demand_merge = Some(DemandMerge {
+                    arrival: now,
+                    epoch_owned,
+                    ats_hit: ats_out.map(|o| o.hit),
+                    pollution_hit,
+                });
+            }
+            match token {
+                Some(token) => {
+                    entry.tokens.push(token);
+                    MemIssueResult::Pending(token)
+                }
+                None => MemIssueResult::Completed(now + 1),
+            }
+        } else {
+            let id = self.fresh_id();
+            let tokens = if is_write { Vec::new() } else { vec![id] };
+            self.mshr.insert(
+                line.raw(),
+                MissEntry {
+                    app,
+                    tokens,
+                    prefetch: false,
+                    epoch_owned: self.epoch_owner == Some(app),
+                    ats_hit: ats_out.map(|o| o.hit),
+                    pollution_hit,
+                    demand_merge: None,
+                },
+            );
+            self.mem
+                .enqueue(MemRequest::read(id, line, app, now))
+                .expect("capacity was checked before mutation");
+            if is_write {
+                MemIssueResult::Completed(now + 1)
+            } else {
+                MemIssueResult::Pending(id)
+            }
+        };
+
+        for pline in prefetches {
+            self.maybe_prefetch(now, app, pline);
+        }
+        result
+    }
+
+    /// Issues a prefetch for `line` if it is absent everywhere and the
+    /// memory system has room. The ATS is updated when the fill completes
+    /// (see `handle_completion`), keeping its state aligned with the
+    /// shared cache's actual contents.
+    fn maybe_prefetch(&mut self, now: Cycle, app: AppId, line: LineAddr) {
+        if self.llc.probe(line)
+            || self.mshr.contains_key(&line.raw())
+            || !self.mem.can_accept_read(line)
+        {
+            return;
+        }
+        let id = self.fresh_id();
+        self.mshr.insert(
+            line.raw(),
+            MissEntry {
+                app,
+                tokens: Vec::new(),
+                prefetch: true,
+                epoch_owned: false,
+                ats_hit: None,
+                pollution_hit: false,
+                demand_merge: None,
+            },
+        );
+        self.mem
+            .enqueue(MemRequest::prefetch(id, line, app, now))
+            .expect("capacity was checked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CachePolicy, EstimatorSet, MemPolicy};
+    use asm_workloads::suite;
+
+    fn small_config() -> SystemConfig {
+        let mut c = SystemConfig::default();
+        c.quantum = 50_000;
+        c.epoch = 1_000;
+        c.estimators = EstimatorSet::all();
+        c
+    }
+
+    fn two_apps() -> Vec<AppProfile> {
+        vec![
+            suite::by_name("libquantum_like").unwrap(),
+            suite::by_name("h264ref_like").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn quanta_are_recorded() {
+        let mut sys = System::new(&two_apps(), small_config());
+        sys.run_for(150_000);
+        assert_eq!(sys.records().len(), 3);
+        let r = &sys.records()[1];
+        assert_eq!(r.start_cycle, 50_000);
+        assert_eq!(r.end_cycle, 100_000);
+        assert_eq!(r.estimates.len(), 4); // ASM, FST, PTCA, MISE
+    }
+
+    #[test]
+    fn cores_make_progress_and_access_memory() {
+        let mut sys = System::new(&two_apps(), small_config());
+        sys.run_for(60_000);
+        for i in 0..2 {
+            assert!(sys.retired(AppId::new(i)) > 1_000, "app{i} stalled");
+        }
+        let r = &sys.records()[0];
+        assert!(r.car_shared.iter().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn estimates_are_at_least_unity() {
+        let mut sys = System::new(&two_apps(), small_config());
+        sys.run_for(100_000);
+        for r in sys.records() {
+            for (_, est) in &r.estimates {
+                for &s in est {
+                    assert!(s >= 1.0, "estimate {s} below 1");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alone_run_only_executes_target() {
+        let mut sys = System::new_alone(&two_apps(), small_config(), AppId::new(1));
+        sys.run_for(60_000);
+        assert_eq!(sys.retired(AppId::new(0)), 0);
+        assert!(sys.retired(AppId::new(1)) > 1_000);
+    }
+
+    #[test]
+    fn alone_run_is_faster_than_shared() {
+        let apps = vec![
+            suite::by_name("mcf_like").unwrap(),
+            suite::by_name("libquantum_like").unwrap(),
+            suite::by_name("soplex_like").unwrap(),
+            suite::by_name("milc_like").unwrap(),
+        ];
+        let cfg = small_config();
+        let mut shared = System::new(&apps, cfg.clone());
+        shared.run_for(200_000);
+        let mut alone = System::new_alone(&apps, cfg, AppId::new(0));
+        alone.run_for(200_000);
+        let shared_ipc = shared.retired(AppId::new(0));
+        let alone_ipc = alone.retired(AppId::new(0));
+        assert!(
+            alone_ipc > shared_ipc,
+            "alone {alone_ipc} should outpace shared {shared_ipc}"
+        );
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut sys = System::new(&two_apps(), small_config());
+            sys.run_for(100_000);
+            (
+                sys.retired(AppId::new(0)),
+                sys.retired(AppId::new(1)),
+                sys.records()
+                    .iter()
+                    .flat_map(|r| r.car_shared.clone())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn progress_logging_records_milestones() {
+        let mut sys = System::new_alone(&two_apps(), small_config(), AppId::new(0));
+        sys.enable_progress_logging();
+        sys.run_for(50_000);
+        assert!(sys.progress_log(AppId::new(0)).milestones() > 0);
+    }
+
+    #[test]
+    fn prefetcher_runs_without_breaking_anything() {
+        let mut cfg = small_config();
+        cfg.prefetcher = Some(crate::config::PrefetchConfig::default());
+        let mut with_pf = System::new(&two_apps(), cfg);
+        with_pf.run_for(100_000);
+        let mut without_pf = System::new(&two_apps(), small_config());
+        without_pf.run_for(100_000);
+        // The streaming app should benefit from (or at least not be hurt
+        // much by) prefetching.
+        let w = with_pf.retired(AppId::new(0));
+        let wo = without_pf.retired(AppId::new(0));
+        assert!(
+            w as f64 > wo as f64 * 0.8,
+            "prefetching collapsed performance: {w} vs {wo}"
+        );
+    }
+
+    #[test]
+    fn asm_cache_policy_installs_partition() {
+        let mut cfg = small_config();
+        cfg.cache_policy = CachePolicy::AsmCache;
+        let mut sys = System::new(&two_apps(), cfg);
+        sys.run_for(120_000);
+        let p = sys.current_partition().expect("partition installed");
+        assert_eq!(p.total_ways(), 16);
+    }
+
+    #[test]
+    fn mem_policy_weights_follow_estimates() {
+        let mut cfg = small_config();
+        cfg.mem_policy = MemPolicy::SlowdownWeighted;
+        let mut sys = System::new(&two_apps(), cfg);
+        sys.run_for(120_000);
+        // Weights must be valid probabilities-in-waiting (positive).
+        assert!(sys.epoch_weights.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn latency_histograms_collect_when_enabled() {
+        let mut cfg = small_config();
+        cfg.latency_hist = Some((50.0, 40));
+        let mut sys = System::new(&two_apps(), cfg);
+        sys.run_for(100_000);
+        assert!(sys.measured_miss_latency_hist().unwrap().total() > 0);
+        assert!(sys.estimator_latency_hist("ASM").is_some());
+        assert!(sys.estimator_latency_hist("FST").unwrap().total() > 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Synthetic application profiles.
+//!
+//! Each profile captures the axes along which the paper's workloads differ
+//! and that determine interference behaviour:
+//!
+//! - **memory intensity** (`mem_per_kilo`): cache accesses per 1000
+//!   instructions — the paper sorts benchmarks by this (Figures 2/3);
+//! - **cache sensitivity** (`working_set_lines`, `hot_lines`, `hot_frac`):
+//!   how much of the footprint benefits from shared-cache capacity;
+//! - **row-buffer locality** (`seq_run`): expected length of sequential
+//!   bursts, which become DRAM row hits;
+//! - **memory-level parallelism** (`mlp`): how many misses the application
+//!   can keep outstanding.
+
+use std::fmt;
+
+/// A synthetic application's behavioural parameters.
+///
+/// Construct with [`AppProfile::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use asm_cpu::AppProfile;
+/// let p = AppProfile::builder("mcf_like")
+///     .mem_per_kilo(120)
+///     .working_set_lines(1 << 20)
+///     .seq_run(2)
+///     .mlp(8)
+///     .build();
+/// assert_eq!(p.name(), "mcf_like");
+/// assert_eq!(p.mem_per_kilo(), 120);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    name: String,
+    mem_per_kilo: u32,
+    write_frac: f64,
+    working_set_lines: u64,
+    hot_lines: u64,
+    hot_frac: f64,
+    seq_run: u32,
+    mlp: u32,
+}
+
+impl AppProfile {
+    /// Starts building a profile with sensible defaults (moderate intensity
+    /// and locality).
+    #[must_use]
+    pub fn builder(name: &str) -> AppProfileBuilder {
+        AppProfileBuilder {
+            profile: AppProfile {
+                name: name.to_owned(),
+                mem_per_kilo: 30,
+                write_frac: 0.25,
+                working_set_lines: 1 << 16, // 4 MB footprint
+                hot_lines: 1 << 12,         // 256 KB hot set
+                hot_frac: 0.6,
+                seq_run: 8,
+                mlp: 8,
+            },
+        }
+    }
+
+    /// The profile's display name (e.g. `"mcf_like"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cache accesses (line-granularity memory operations) per 1000
+    /// instructions.
+    #[must_use]
+    pub fn mem_per_kilo(&self) -> u32 {
+        self.mem_per_kilo
+    }
+
+    /// Fraction of memory operations that are writes.
+    #[must_use]
+    pub fn write_frac(&self) -> f64 {
+        self.write_frac
+    }
+
+    /// Total footprint in 64-byte lines.
+    #[must_use]
+    pub fn working_set_lines(&self) -> u64 {
+        self.working_set_lines
+    }
+
+    /// Size of the frequently-reused hot region in lines.
+    #[must_use]
+    pub fn hot_lines(&self) -> u64 {
+        self.hot_lines
+    }
+
+    /// Probability that a fresh access burst targets the hot region.
+    #[must_use]
+    pub fn hot_frac(&self) -> f64 {
+        self.hot_frac
+    }
+
+    /// Expected length (in lines) of sequential access bursts.
+    #[must_use]
+    pub fn seq_run(&self) -> u32 {
+        self.seq_run
+    }
+
+    /// Maximum memory requests the application keeps outstanding.
+    #[must_use]
+    pub fn mlp(&self) -> u32 {
+        self.mlp
+    }
+
+    /// Probability that any given instruction is a memory operation.
+    #[must_use]
+    pub fn mem_probability(&self) -> f64 {
+        f64::from(self.mem_per_kilo) / 1000.0
+    }
+}
+
+impl fmt::Display for AppProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (MPK {}, ws {} lines, hot {} lines @ {:.0}%, run {}, mlp {})",
+            self.name,
+            self.mem_per_kilo,
+            self.working_set_lines,
+            self.hot_lines,
+            self.hot_frac * 100.0,
+            self.seq_run,
+            self.mlp
+        )
+    }
+}
+
+/// Builder for [`AppProfile`]; see [`AppProfile::builder`].
+#[derive(Debug, Clone)]
+pub struct AppProfileBuilder {
+    profile: AppProfile,
+}
+
+impl AppProfileBuilder {
+    /// Sets memory operations per 1000 instructions (0..=1000).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn mem_per_kilo(mut self, v: u32) -> Self {
+        assert!(v <= 1000, "mem_per_kilo must be at most 1000");
+        self.profile.mem_per_kilo = v;
+        self
+    }
+
+    /// Sets the write fraction of memory operations (0..=1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn write_frac(mut self, v: f64) -> Self {
+        assert!((0.0..=1.0).contains(&v), "write_frac must be in [0,1]");
+        self.profile.write_frac = v;
+        self
+    }
+
+    /// Sets the total footprint in lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    #[must_use]
+    pub fn working_set_lines(mut self, v: u64) -> Self {
+        assert!(v > 0, "working set must be non-empty");
+        self.profile.working_set_lines = v;
+        self
+    }
+
+    /// Sets the hot-region size in lines (clamped to the working set at
+    /// build time).
+    #[must_use]
+    pub fn hot_lines(mut self, v: u64) -> Self {
+        self.profile.hot_lines = v;
+        self
+    }
+
+    /// Sets the probability a burst targets the hot region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn hot_frac(mut self, v: f64) -> Self {
+        assert!((0.0..=1.0).contains(&v), "hot_frac must be in [0,1]");
+        self.profile.hot_frac = v;
+        self
+    }
+
+    /// Sets the expected sequential burst length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    #[must_use]
+    pub fn seq_run(mut self, v: u32) -> Self {
+        assert!(v > 0, "seq_run must be positive");
+        self.profile.seq_run = v;
+        self
+    }
+
+    /// Sets the outstanding-miss cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    #[must_use]
+    pub fn mlp(mut self, v: u32) -> Self {
+        assert!(v > 0, "mlp must be positive");
+        self.profile.mlp = v;
+        self
+    }
+
+    /// Finalises the profile.
+    #[must_use]
+    pub fn build(mut self) -> AppProfile {
+        self.profile.hot_lines = self.profile.hot_lines.min(self.profile.working_set_lines);
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_sane() {
+        let p = AppProfile::builder("x").build();
+        assert!(p.mem_per_kilo() > 0);
+        assert!(p.hot_lines() <= p.working_set_lines());
+        assert!(p.mlp() > 0);
+    }
+
+    #[test]
+    fn hot_lines_clamped_to_working_set() {
+        let p = AppProfile::builder("x")
+            .working_set_lines(100)
+            .hot_lines(1_000)
+            .build();
+        assert_eq!(p.hot_lines(), 100);
+    }
+
+    #[test]
+    fn mem_probability_derivation() {
+        let p = AppProfile::builder("x").mem_per_kilo(250).build();
+        assert!((p.mem_probability() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mem_per_kilo")]
+    fn rejects_excess_intensity() {
+        let _ = AppProfile::builder("x").mem_per_kilo(1001);
+    }
+
+    #[test]
+    fn display_includes_name() {
+        let p = AppProfile::builder("streamy").build();
+        assert!(p.to_string().contains("streamy"));
+    }
+}

@@ -1,0 +1,512 @@
+//! The out-of-order core model.
+//!
+//! A 128-entry instruction window with 3-wide fetch and in-order 3-wide
+//! retirement (Table 2). Non-memory instructions complete in one cycle;
+//! memory instructions resolve through the cache hierarchy via a callback
+//! supplied by the system simulator. Independent misses overlap up to the
+//! application's MLP cap and the window size — reproducing the
+//! memory-level parallelism that makes per-request interference accounting
+//! inaccurate (§2.2).
+//!
+//! Stores are modelled as non-blocking (retired through a store buffer):
+//! they generate cache/memory traffic but never stall retirement, matching
+//! the common simplification that load latency dominates stalls.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use asm_simcore::{AppId, Cycle, LineAddr};
+
+use crate::appmodel::AppProfile;
+use crate::source::AccessSource;
+use crate::stream::{AddressStream, MemOp};
+
+/// What the memory hierarchy did with an issued access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemIssueResult {
+    /// The access hit in a cache; data arrives at the given cycle.
+    Completed(Cycle),
+    /// The access misses to main memory; the token will be passed to
+    /// [`Core::complete`] when data returns.
+    Pending(u64),
+    /// The memory system cannot accept the access now; the core retries
+    /// next cycle.
+    Stall,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SlotState {
+    /// Completes (and may retire) at the given cycle.
+    Done(Cycle),
+    /// A memory operation waiting to be issued to the hierarchy.
+    WaitIssue(MemOp),
+    /// A memory operation outstanding in the memory system.
+    Outstanding,
+}
+
+/// The out-of-order core for one application.
+///
+/// Drive it by calling [`tick`](Self::tick) once per cycle with a callback
+/// that performs the cache access, and [`complete`](Self::complete) when a
+/// pending access's data returns.
+///
+/// # Examples
+///
+/// ```
+/// use asm_cpu::{AppProfile, Core, MemIssueResult};
+/// use asm_simcore::AppId;
+///
+/// let p = AppProfile::builder("t").mem_per_kilo(0).build();
+/// let mut core = Core::new(AppId::new(0), &p, 42);
+/// for now in 0..100 {
+///     core.tick(now, &mut |_, _| MemIssueResult::Stall);
+/// }
+/// // With no memory operations the core retires at full width.
+/// assert!(core.retired() >= 3 * 98);
+/// ```
+#[derive(Debug)]
+pub struct Core {
+    app: AppId,
+    source: Box<dyn AccessSource>,
+    typ_rng: asm_simcore::SimRng,
+    mem_prob: f64,
+    window: usize,
+    width: usize,
+    mlp_cap: u32,
+
+    mlp_throttle: Option<u32>,
+    rob: VecDeque<SlotState>,
+    first_id: u64,
+    next_id: u64,
+    waiting: VecDeque<u64>,
+    tokens: HashMap<u64, u64>,
+    outstanding: u32,
+    gap_left: u64,
+
+    retired: u64,
+    mem_ops_issued: u64,
+}
+
+/// The paper's window size (Table 2).
+pub const DEFAULT_WINDOW: usize = 128;
+/// The paper's issue/retire width (Table 2).
+pub const DEFAULT_WIDTH: usize = 3;
+
+impl Core {
+    /// Creates a core running `profile` as application `app`, with
+    /// deterministic behaviour derived from `seed`.
+    #[must_use]
+    pub fn new(app: AppId, profile: &AppProfile, seed: u64) -> Self {
+        Self::with_window(app, profile, seed, DEFAULT_WINDOW, DEFAULT_WIDTH)
+    }
+
+    /// Like [`new`](Self::new) with explicit window size and width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `width` is zero.
+    #[must_use]
+    pub fn with_window(
+        app: AppId,
+        profile: &AppProfile,
+        seed: u64,
+        window: usize,
+        width: usize,
+    ) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(width > 0, "width must be positive");
+        let source = Box::new(AddressStream::new(profile, app.index(), seed));
+        Self::from_source(
+            app,
+            source,
+            profile.mem_probability(),
+            profile.mlp(),
+            seed,
+            window,
+            width,
+        )
+    }
+
+    /// Builds a core around an arbitrary access source (e.g. a
+    /// [`crate::source::TraceSource`] replaying a recorded trace).
+    ///
+    /// `mem_probability` is the chance any instruction is a memory
+    /// operation; `mlp` caps outstanding misses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window`, `width` or `mlp` is zero, or `mem_probability`
+    /// is outside `[0, 1]`.
+    #[must_use]
+    pub fn from_source(
+        app: AppId,
+        source: Box<dyn AccessSource>,
+        mem_probability: f64,
+        mlp: u32,
+        seed: u64,
+        window: usize,
+        width: usize,
+    ) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(width > 0, "width must be positive");
+        assert!(mlp > 0, "mlp must be positive");
+        assert!(
+            (0.0..=1.0).contains(&mem_probability),
+            "mem_probability must be in [0, 1]"
+        );
+        let mut typ_rng = asm_simcore::SimRng::seed_from(
+            seed ^ 0xC0DE ^ (app.index() as u64).wrapping_mul(0x1234_5678_9ABC_DEF1),
+        );
+        let mem_prob = mem_probability;
+        let gap_left = Self::sample_gap(&mut typ_rng, mem_prob);
+        Core {
+            app,
+            source,
+            typ_rng,
+            mem_prob,
+            window,
+            width,
+            mlp_cap: mlp,
+            mlp_throttle: None,
+            rob: VecDeque::with_capacity(window),
+            first_id: 0,
+            next_id: 0,
+            waiting: VecDeque::new(),
+            tokens: HashMap::new(),
+            outstanding: 0,
+            gap_left,
+            retired: 0,
+            mem_ops_issued: 0,
+        }
+    }
+
+    /// The application this core runs.
+    #[must_use]
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// Instructions retired so far.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Memory operations issued to the hierarchy so far.
+    #[must_use]
+    pub fn mem_ops_issued(&self) -> u64 {
+        self.mem_ops_issued
+    }
+
+    /// Memory accesses currently outstanding in the memory system.
+    #[must_use]
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
+
+    /// The application's intrinsic MLP cap (ignoring any throttle).
+    #[must_use]
+    pub fn base_mlp(&self) -> u32 {
+        self.mlp_cap
+    }
+
+    /// Applies (or clears) a source-throttling cap on outstanding misses;
+    /// the effective cap is the minimum of the intrinsic MLP and the
+    /// throttle. Used by FST-style source throttling.
+    pub fn set_mlp_throttle(&mut self, throttle: Option<u32>) {
+        self.mlp_throttle = throttle.map(|t| t.max(1));
+    }
+
+    fn effective_mlp(&self) -> u32 {
+        self.mlp_throttle
+            .map_or(self.mlp_cap, |t| t.min(self.mlp_cap))
+    }
+
+    /// Geometric inter-memory-op gap (number of non-memory instructions
+    /// before the next memory op).
+    fn sample_gap(rng: &mut asm_simcore::SimRng, p: f64) -> u64 {
+        if p <= 0.0 {
+            return u64::MAX;
+        }
+        if p >= 1.0 {
+            return 0;
+        }
+        let u = rng.gen_f64().max(1e-18);
+        (u.ln() / (1.0 - p).ln()) as u64
+    }
+
+    /// Advances the core one cycle. `issue` is called for each memory
+    /// operation ready to access the hierarchy this cycle.
+    pub fn tick(&mut self, now: Cycle, issue: &mut dyn FnMut(LineAddr, bool) -> MemIssueResult) {
+        // 1) In-order retirement, up to `width` per cycle.
+        let mut retired_now = 0;
+        while retired_now < self.width {
+            match self.rob.front() {
+                Some(SlotState::Done(c)) if *c <= now => {
+                    self.rob.pop_front();
+                    self.first_id += 1;
+                    self.retired += 1;
+                    retired_now += 1;
+                }
+                _ => break,
+            }
+        }
+
+        // 2) Fetch up to `width` new instructions into the window.
+        let mut fetched = 0;
+        while fetched < self.width && self.rob.len() < self.window {
+            if self.gap_left == 0 {
+                let op = self.source.next_op();
+                self.rob.push_back(SlotState::WaitIssue(op));
+                self.waiting.push_back(self.next_id);
+                self.gap_left = Self::sample_gap(&mut self.typ_rng, self.mem_prob);
+            } else {
+                self.gap_left -= 1;
+                self.rob.push_back(SlotState::Done(now + 1));
+            }
+            self.next_id += 1;
+            fetched += 1;
+        }
+
+        // 3) Issue waiting memory operations (program order) while under
+        // the (possibly throttled) MLP cap.
+        while self.outstanding < self.effective_mlp() {
+            let Some(&id) = self.waiting.front() else {
+                break;
+            };
+            let idx = (id - self.first_id) as usize;
+            let SlotState::WaitIssue(op) = self.rob[idx] else {
+                unreachable!("waiting queue points at a non-waiting slot");
+            };
+            match issue(op.line, op.is_write) {
+                MemIssueResult::Completed(c) => {
+                    self.rob[idx] = SlotState::Done(c);
+                    self.waiting.pop_front();
+                    self.mem_ops_issued += 1;
+                }
+                MemIssueResult::Pending(token) => {
+                    self.rob[idx] = SlotState::Outstanding;
+                    self.tokens.insert(token, id);
+                    self.waiting.pop_front();
+                    self.outstanding += 1;
+                    self.mem_ops_issued += 1;
+                }
+                MemIssueResult::Stall => break,
+            }
+        }
+    }
+
+    /// Delivers data for a pending access issued earlier; `finish` is the
+    /// cycle the data arrived. Unknown tokens are ignored (e.g. prefetch
+    /// fills the core never waited on).
+    pub fn complete(&mut self, token: u64, finish: Cycle) {
+        if let Some(id) = self.tokens.remove(&token) {
+            let idx = (id - self.first_id) as usize;
+            self.rob[idx] = SlotState::Done(finish);
+            self.outstanding -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(mpk: u32) -> AppProfile {
+        AppProfile::builder("t").mem_per_kilo(mpk).mlp(4).build()
+    }
+
+    #[test]
+    fn compute_bound_core_reaches_full_width_ipc() {
+        let mut core = Core::new(AppId::new(0), &profile(0), 1);
+        for now in 0..1_000 {
+            core.tick(now, &mut |_, _| MemIssueResult::Stall);
+        }
+        let ipc = core.retired() as f64 / 1_000.0;
+        assert!(ipc > 2.9, "IPC {ipc}");
+    }
+
+    #[test]
+    fn memory_latency_reduces_ipc() {
+        let run = |latency: Cycle| {
+            let mut core = Core::new(AppId::new(0), &profile(100), 1);
+            for now in 0..20_000 {
+                core.tick(now, &mut |_, _| MemIssueResult::Completed(now + latency));
+            }
+            core.retired()
+        };
+        let fast = run(5);
+        let slow = run(300);
+        assert!(
+            fast as f64 > slow as f64 * 1.5,
+            "fast {fast} vs slow {slow}"
+        );
+    }
+
+    #[test]
+    fn pending_accesses_block_head_until_completed() {
+        let mut core = Core::new(AppId::new(0), &profile(1000), 1);
+        // Every instruction is a memory op; never complete them.
+        let mut token = 0u64;
+        for now in 0..200 {
+            core.tick(now, &mut |_, _| {
+                token += 1;
+                MemIssueResult::Pending(token)
+            });
+        }
+        // mlp cap 4: at most 4 outstanding, nothing retires.
+        assert_eq!(core.retired(), 0);
+        assert_eq!(core.outstanding(), 4);
+    }
+
+    #[test]
+    fn completion_unblocks_retirement() {
+        let mut core = Core::new(AppId::new(0), &profile(1000), 1);
+        let mut tokens = Vec::new();
+        for now in 0..10 {
+            core.tick(now, &mut |_, _| {
+                let t = 1000 + tokens.len() as u64;
+                tokens.push(t);
+                MemIssueResult::Pending(t)
+            });
+        }
+        let before = core.retired();
+        for &t in &tokens {
+            core.complete(t, 10);
+        }
+        for now in 11..40 {
+            core.tick(now, &mut |_, _| MemIssueResult::Stall);
+        }
+        assert!(core.retired() > before);
+        assert_eq!(core.outstanding(), 0);
+    }
+
+    #[test]
+    fn stall_retries_without_losing_ops() {
+        let mut core = Core::new(AppId::new(0), &profile(1000), 1);
+        // Stall for a while, then accept everything.
+        for now in 0..50 {
+            core.tick(now, &mut |_, _| MemIssueResult::Stall);
+        }
+        assert_eq!(core.mem_ops_issued(), 0);
+        for now in 50..200 {
+            core.tick(now, &mut |_, _| MemIssueResult::Completed(now + 1));
+        }
+        assert!(core.mem_ops_issued() > 0);
+        assert!(core.retired() > 0);
+    }
+
+    #[test]
+    fn mlp_cap_limits_overlap() {
+        let p = AppProfile::builder("t").mem_per_kilo(1000).mlp(2).build();
+        let mut core = Core::new(AppId::new(0), &p, 1);
+        let mut max_outstanding = 0;
+        let mut token = 0u64;
+        for now in 0..300 {
+            core.tick(now, &mut |_, _| {
+                token += 1;
+                MemIssueResult::Pending(token)
+            });
+            max_outstanding = max_outstanding.max(core.outstanding());
+        }
+        assert_eq!(max_outstanding, 2);
+    }
+
+    #[test]
+    fn unknown_token_completion_is_ignored() {
+        let mut core = Core::new(AppId::new(0), &profile(10), 1);
+        core.complete(9999, 5); // must not panic or underflow
+        assert_eq!(core.outstanding(), 0);
+    }
+
+    #[test]
+    fn window_bounds_rob_occupancy() {
+        let mut core = Core::with_window(AppId::new(0), &profile(1000), 1, 16, 3);
+        let mut token = 0u64;
+        for now in 0..200 {
+            core.tick(now, &mut |_, _| {
+                token += 1;
+                MemIssueResult::Pending(token)
+            });
+        }
+        assert!(core.rob.len() <= 16);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let run = || {
+            let mut core = Core::new(AppId::new(0), &profile(100), 77);
+            for now in 0..5_000 {
+                core.tick(now, &mut |_, _| MemIssueResult::Completed(now + 20));
+            }
+            core.retired()
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Whatever the memory hierarchy does (random latencies, stalls,
+        /// out-of-order completions), the core's structural invariants
+        /// hold every cycle.
+        #[test]
+        fn core_invariants_under_random_memory(
+            seed in 0u64..10_000,
+            mpk in 0u32..1000,
+            mlp in 1u32..16,
+        ) {
+            let profile = AppProfile::builder("prop")
+                .mem_per_kilo(mpk)
+                .mlp(mlp)
+                .build();
+            let mut core = Core::new(AppId::new(0), &profile, seed);
+            let mut rng = asm_simcore::SimRng::seed_from(seed ^ 0xFEED);
+            let mut pending: Vec<(u64, u64)> = Vec::new(); // (token, finish)
+            let mut next_token = 0u64;
+            let mut last_retired = 0;
+            for now in 0..3_000u64 {
+                // Randomly complete some pending accesses.
+                pending.retain(|&(token, finish)| {
+                    if finish <= now {
+                        core.complete(token, finish);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                core.tick(now, &mut |_, _| match rng.gen_range(3) {
+                    0 => MemIssueResult::Completed(now + 1 + rng.gen_range(50)),
+                    1 => {
+                        next_token += 1;
+                        pending.push((next_token, now + 1 + rng.gen_range(400)));
+                        MemIssueResult::Pending(next_token)
+                    }
+                    _ => MemIssueResult::Stall,
+                });
+                prop_assert!(core.rob.len() <= DEFAULT_WINDOW, "ROB overflow");
+                prop_assert!(core.outstanding() <= mlp, "MLP cap violated");
+                prop_assert!(core.retired() >= last_retired, "retirement regressed");
+                prop_assert!(
+                    core.retired() <= (now + 1) * DEFAULT_WIDTH as u64,
+                    "retired more than width allows"
+                );
+                last_retired = core.retired();
+            }
+            // Everything still pending can complete and the core drains.
+            for (token, _) in pending.drain(..) {
+                core.complete(token, 3_000);
+            }
+            for now in 3_000..3_200 {
+                core.tick(now, &mut |_, _| MemIssueResult::Completed(now + 1));
+            }
+            prop_assert!(core.retired() > last_retired || last_retired > 0);
+        }
+    }
+}

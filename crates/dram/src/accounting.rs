@@ -1,0 +1,266 @@
+//! Interference and queueing-cycle accounting.
+//!
+//! Two counters feed the slowdown estimators:
+//!
+//! 1. **Per-request interference cycles** (for FST/PTCA): cycles a queued
+//!    read spends waiting while its bank services *another* application's
+//!    request. Reported in each [`crate::Completion`].
+//! 2. **Queueing cycles** (§4.3, for ASM/MISE): "a cycle is deemed a
+//!    queueing cycle if a request from the highest-priority application is
+//!    outstanding and the previous command issued by the memory controller
+//!    was from another application."
+//!
+//! Both conditions only change at controller *events* (enqueue, issue,
+//! completion, priority change), so the accounting is lazy: state is
+//! advanced over the interval since the previous event instead of every
+//! cycle, keeping the per-cycle simulation cost near zero.
+
+use asm_simcore::{AppId, Cycle};
+
+use crate::bank::Bank;
+use crate::sched::QueuedRequest;
+
+/// Lazy per-channel accounting state.
+#[derive(Debug, Clone)]
+pub struct ChannelAccounting {
+    last_event: Cycle,
+    /// Outstanding (queued or in-flight) reads per application.
+    outstanding_reads: Vec<u64>,
+    /// Reads waiting in the request buffer (not yet issued to a bank) per
+    /// application — the "outstanding request" of the §4.3 queueing-cycle
+    /// definition (a request already in service at its bank is not being
+    /// queued behind anyone).
+    waiting_reads: Vec<u64>,
+    /// Accumulated §4.3 queueing cycles per application (fractional: a
+    /// waiting cycle during which some of the application's own requests
+    /// are still in service is only partially lost).
+    queueing_cycles: Vec<f64>,
+    priority_app: Option<AppId>,
+    last_issued_app: Option<AppId>,
+}
+
+impl ChannelAccounting {
+    /// Creates accounting state for `app_count` applications.
+    #[must_use]
+    pub fn new(app_count: usize) -> Self {
+        ChannelAccounting {
+            last_event: 0,
+            outstanding_reads: vec![0; app_count],
+            waiting_reads: vec![0; app_count],
+            queueing_cycles: vec![0.0; app_count],
+            priority_app: None,
+            last_issued_app: None,
+        }
+    }
+
+    /// Advances accounting to `now`, accruing per-request interference into
+    /// `queue` entries and queueing cycles for the priority application.
+    ///
+    /// Must be called *before* any state mutation at an event so the
+    /// interval is charged under the pre-event state.
+    pub fn advance(&mut self, now: Cycle, queue: &mut [QueuedRequest], banks: &[Bank]) {
+        if now <= self.last_event {
+            return;
+        }
+        let span_start = self.last_event;
+
+        // Per-request interference: the bank's owner is fixed until its
+        // ready_at, and issues (owner changes) are themselves events, so
+        // within this interval each bank has at most one owner.
+        for q in queue.iter_mut() {
+            let bank = &banks[q.loc.bank];
+            if let Some(owner) = bank.busy_owner(span_start) {
+                if owner != q.req.app {
+                    let busy_until = bank.ready_at().min(now);
+                    q.interference += busy_until.saturating_sub(span_start);
+                }
+            }
+        }
+
+        // §4.3 queueing cycles for the priority application: it has a
+        // request *waiting* and the previous command issued went to another
+        // application. A cycle during which some of the application's own
+        // requests are still in service is only partially lost (its
+        // memory-level parallelism keeps making progress), so the cycle is
+        // weighted by the stalled fraction of its outstanding requests.
+        if let Some(p) = self.priority_app {
+            let idx = p.index();
+            if idx < self.waiting_reads.len()
+                && self.waiting_reads[idx] > 0
+                && self.last_issued_app != Some(p)
+            {
+                let waiting = self.waiting_reads[idx] as f64;
+                let outstanding = self.outstanding_reads[idx].max(1) as f64;
+                let stalled_fraction = (waiting / outstanding).min(1.0);
+                // Squaring biases toward "mostly stalled" situations;
+                // a single waiting request among many in flight is almost
+                // free, while a fully stalled queue costs the whole cycle.
+                let weight = stalled_fraction * stalled_fraction;
+                self.queueing_cycles[idx] += weight * (now - span_start) as f64;
+            }
+        }
+
+        self.last_event = now;
+    }
+
+    /// Records a read entering the request buffer.
+    pub fn on_read_enqueued(&mut self, app: AppId) {
+        self.outstanding_reads[app.index()] += 1;
+        self.waiting_reads[app.index()] += 1;
+    }
+
+    /// Records a command issue for `app`; `is_read` distinguishes reads
+    /// (which leave the waiting pool) from writebacks.
+    pub fn on_issue(&mut self, app: AppId, is_read: bool) {
+        self.last_issued_app = Some(app);
+        if is_read {
+            let w = &mut self.waiting_reads[app.index()];
+            debug_assert!(*w > 0, "read issue without waiting read");
+            *w = w.saturating_sub(1);
+        }
+    }
+
+    /// Records a read completion for `app`.
+    pub fn on_read_completed(&mut self, app: AppId) {
+        let c = &mut self.outstanding_reads[app.index()];
+        debug_assert!(*c > 0, "completion without outstanding read");
+        *c = c.saturating_sub(1);
+    }
+
+    /// Changes the highest-priority application. Call
+    /// [`advance`](Self::advance) first.
+    pub fn set_priority_app(&mut self, app: Option<AppId>) {
+        self.priority_app = app;
+    }
+
+    /// The currently prioritised application.
+    #[must_use]
+    pub fn priority_app(&self) -> Option<AppId> {
+        self.priority_app
+    }
+
+    /// Accumulated queueing cycles for `app` (rounded down).
+    #[must_use]
+    pub fn queueing_cycles(&self, app: AppId) -> Cycle {
+        self.queueing_cycles
+            .get(app.index())
+            .copied()
+            .unwrap_or(0.0) as Cycle
+    }
+
+    /// Clears all queueing-cycle counters (done at quantum boundaries).
+    pub fn reset_queueing_cycles(&mut self) {
+        self.queueing_cycles.fill(0.0);
+    }
+
+    /// Outstanding reads for `app` in this channel.
+    #[must_use]
+    pub fn outstanding_reads(&self, app: AppId) -> u64 {
+        self.outstanding_reads
+            .get(app.index())
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Loc;
+    use crate::request::MemRequest;
+    use crate::timing::DramTiming;
+    use asm_simcore::LineAddr;
+
+    fn queued_at_bank(app: usize, bank: usize) -> QueuedRequest {
+        QueuedRequest {
+            req: MemRequest::read(0, LineAddr::new(0), AppId::new(app), 0),
+            loc: Loc {
+                channel: 0,
+                bank,
+                row: 0,
+                col: 0,
+            },
+            marked: false,
+            interference: 0,
+        }
+    }
+
+    #[test]
+    fn interference_accrues_only_against_other_apps() {
+        let timing = DramTiming::ddr3_1333(1);
+        let mut banks = vec![Bank::new(); 2];
+        // Bank 0 busy with app1 from cycle 0.
+        let (_, finish) = banks[0].schedule(&timing, 0, 5, AppId::new(1), false);
+        let mut acct = ChannelAccounting::new(2);
+        let mut queue = vec![
+            queued_at_bank(0, 0), // app0 waiting behind app1: interferes
+            queued_at_bank(1, 0), // app1 waiting behind itself: no interference
+            queued_at_bank(0, 1), // idle bank: no interference
+        ];
+        acct.advance(10, &mut queue, &banks);
+        assert_eq!(queue[0].interference, 10.min(finish));
+        assert_eq!(queue[1].interference, 0);
+        assert_eq!(queue[2].interference, 0);
+    }
+
+    #[test]
+    fn interference_stops_when_bank_frees() {
+        let timing = DramTiming::ddr3_1333(1);
+        let mut banks = vec![Bank::new()];
+        let (_, finish) = banks[0].schedule(&timing, 0, 5, AppId::new(1), false);
+        let mut acct = ChannelAccounting::new(2);
+        let mut queue = vec![queued_at_bank(0, 0)];
+        acct.advance(finish + 100, &mut queue, &banks);
+        assert_eq!(queue[0].interference, finish);
+    }
+
+    #[test]
+    fn queueing_cycles_require_outstanding_and_foreign_last_issue() {
+        let banks = vec![Bank::new()];
+        let mut acct = ChannelAccounting::new(2);
+        let p = AppId::new(0);
+        acct.set_priority_app(Some(p));
+
+        // No outstanding request: no queueing cycles.
+        acct.advance(10, &mut [], &banks);
+        assert_eq!(acct.queueing_cycles(p), 0);
+
+        // Outstanding, last issue by another app: accrues.
+        acct.on_read_enqueued(p);
+        acct.on_issue(AppId::new(1), false);
+        acct.advance(30, &mut [], &banks);
+        assert_eq!(acct.queueing_cycles(p), 20);
+
+        // Last issue by the priority app itself: stops accruing.
+        acct.on_issue(p, true);
+        acct.advance(50, &mut [], &banks);
+        assert_eq!(acct.queueing_cycles(p), 20);
+    }
+
+    #[test]
+    fn reset_clears_queueing() {
+        let banks = vec![Bank::new()];
+        let mut acct = ChannelAccounting::new(1);
+        let p = AppId::new(0);
+        acct.set_priority_app(Some(p));
+        acct.on_read_enqueued(p);
+        acct.on_issue(AppId::new(0), true);
+        acct.set_priority_app(Some(p));
+        acct.advance(10, &mut [], &banks);
+        acct.reset_queueing_cycles();
+        assert_eq!(acct.queueing_cycles(p), 0);
+    }
+
+    #[test]
+    fn advance_is_idempotent_at_same_cycle() {
+        let banks = vec![Bank::new()];
+        let mut acct = ChannelAccounting::new(1);
+        acct.set_priority_app(Some(AppId::new(0)));
+        acct.on_read_enqueued(AppId::new(0));
+        acct.on_issue(AppId::new(0), true);
+        acct.advance(10, &mut [], &banks);
+        let before = acct.queueing_cycles(AppId::new(0));
+        acct.advance(10, &mut [], &banks);
+        assert_eq!(acct.queueing_cycles(AppId::new(0)), before);
+    }
+}

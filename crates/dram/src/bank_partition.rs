@@ -1,0 +1,174 @@
+//! Application-aware DRAM bank partitioning.
+//!
+//! Bank partitioning (§8 cites [26, 35, 45, 71]) eliminates *bank-level*
+//! interference by construction: each application's lines are remapped so
+//! they only ever touch that application's banks, so no application can
+//! close another's row buffers or occupy its banks. The cost is reduced
+//! per-application bank-level parallelism. It is orthogonal to scheduling
+//! and to ASM (which the paper notes can be combined with it).
+
+use asm_simcore::AppId;
+
+use crate::mapping::Loc;
+
+/// An assignment of each channel's banks to applications.
+///
+/// # Examples
+///
+/// ```
+/// use asm_dram::BankPartition;
+/// // 8 banks split evenly between 2 applications.
+/// let p = BankPartition::even(2, 8);
+/// assert_eq!(p.banks_for(asm_simcore::AppId::new(0)), &[0, 1, 2, 3]);
+/// assert_eq!(p.banks_for(asm_simcore::AppId::new(1)), &[4, 5, 6, 7]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankPartition {
+    /// `assignments[app]` = the banks that application may use.
+    assignments: Vec<Vec<usize>>,
+    banks: usize,
+}
+
+impl BankPartition {
+    /// Creates a partition from explicit per-application bank lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any application has no banks, or any listed bank is out
+    /// of range for `banks`.
+    #[must_use]
+    pub fn new(assignments: Vec<Vec<usize>>, banks: usize) -> Self {
+        assert!(!assignments.is_empty(), "need at least one application");
+        for (a, list) in assignments.iter().enumerate() {
+            assert!(!list.is_empty(), "app {a} has no banks");
+            for &b in list {
+                assert!(b < banks, "app {a} assigned out-of-range bank {b}");
+            }
+        }
+        BankPartition { assignments, banks }
+    }
+
+    /// Splits `banks` banks evenly among `apps` applications (contiguous
+    /// ranges; remainder banks go to the last applications).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is zero or exceeds `banks`.
+    #[must_use]
+    pub fn even(apps: usize, banks: usize) -> Self {
+        assert!(apps > 0, "need at least one application");
+        assert!(apps <= banks, "more applications than banks");
+        let assignments = (0..apps)
+            .map(|a| {
+                let lo = a * banks / apps;
+                let hi = (a + 1) * banks / apps;
+                (lo..hi).collect()
+            })
+            .collect();
+        BankPartition { assignments, banks }
+    }
+
+    /// The banks application `app` may use (applications beyond the
+    /// partition's range get every bank, i.e. are unpartitioned).
+    #[must_use]
+    pub fn banks_for(&self, app: AppId) -> &[usize] {
+        static EMPTY: &[usize] = &[];
+        self.assignments
+            .get(app.index())
+            .map_or(EMPTY, Vec::as_slice)
+    }
+
+    /// Number of banks per channel this partition was built for.
+    #[must_use]
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Remaps a decoded location so `app` only touches its own banks. The
+    /// original bank index is folded into the row so distinct (bank, row)
+    /// pairs stay distinct after remapping.
+    #[must_use]
+    pub fn remap(&self, app: AppId, loc: Loc) -> Loc {
+        let allowed = self.banks_for(app);
+        if allowed.is_empty() {
+            return loc;
+        }
+        let slot = loc.bank % allowed.len();
+        Loc {
+            bank: allowed[slot],
+            row: loc.row * (self.banks as u64) + (loc.bank / allowed.len()) as u64,
+            ..loc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(bank: usize, row: u64) -> Loc {
+        Loc {
+            channel: 0,
+            bank,
+            row,
+            col: 0,
+        }
+    }
+
+    #[test]
+    fn even_split_covers_all_banks_disjointly() {
+        let p = BankPartition::even(4, 8);
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..4 {
+            for &b in p.banks_for(AppId::new(a)) {
+                assert!(seen.insert(b), "bank {b} assigned twice");
+            }
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn remap_confines_app_to_its_banks() {
+        let p = BankPartition::even(2, 8);
+        for bank in 0..8 {
+            for row in 0..4 {
+                let l = p.remap(AppId::new(1), loc(bank, row));
+                assert!(p.banks_for(AppId::new(1)).contains(&l.bank));
+            }
+        }
+    }
+
+    #[test]
+    fn remap_is_injective_per_app() {
+        let p = BankPartition::even(2, 8);
+        let mut seen = std::collections::HashSet::new();
+        for bank in 0..8 {
+            for row in 0..16 {
+                let l = p.remap(AppId::new(0), loc(bank, row));
+                assert!(
+                    seen.insert((l.bank, l.row, l.col)),
+                    "collision at bank {bank} row {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_app_is_unpartitioned() {
+        let p = BankPartition::even(2, 8);
+        let l = loc(5, 3);
+        assert_eq!(p.remap(AppId::new(7), l), l);
+    }
+
+    #[test]
+    #[should_panic(expected = "more applications than banks")]
+    fn too_many_apps_rejected() {
+        let _ = BankPartition::even(9, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range bank")]
+    fn invalid_bank_rejected() {
+        let _ = BankPartition::new(vec![vec![8]], 8);
+    }
+}

@@ -1,0 +1,1083 @@
+//! The memory controller front-end: request buffers, bank/bus timing
+//! enforcement, write draining, epoch prioritisation, and completion
+//! delivery.
+
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use asm_simcore::{AppId, Cycle, LineAddr};
+
+use crate::accounting::ChannelAccounting;
+use crate::bank::Bank;
+use crate::mapping::AddressMapping;
+use crate::request::{Completion, MemRequest};
+use crate::sched::{Candidate, QueuedRequest, SchedulerKind, SchedulerPolicy};
+use crate::timing::DramTiming;
+
+/// Configuration of the main-memory system.
+///
+/// Defaults match Table 2: DDR3-1333 (10-10-10), 1 channel, 1 rank/channel,
+/// 8 banks/rank, 8 KB rows, 128-entry request buffer per controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Device timing (in core cycles).
+    pub timing: DramTiming,
+    /// Number of channels (each with its own controller).
+    pub channels: usize,
+    /// Banks per channel (single rank per channel).
+    pub banks: usize,
+    /// Cache lines per row (8 KB row / 64 B line = 128).
+    pub row_lines: u64,
+    /// Read request buffer entries per controller.
+    pub read_queue_capacity: usize,
+    /// Write buffer entries per controller.
+    pub write_queue_capacity: usize,
+    /// Write occupancy at which the controller switches to draining writes.
+    pub write_drain_high: usize,
+    /// Write occupancy at which draining stops.
+    pub write_drain_low: usize,
+    /// Periodic all-bank refresh; `None` (the default) disables refresh,
+    /// which is application-independent and cancels out of slowdown
+    /// ratios.
+    pub refresh: Option<crate::timing::RefreshConfig>,
+    /// Application-aware bank partitioning; `None` (the default) lets every
+    /// application use every bank.
+    pub bank_partition: Option<crate::bank_partition::BankPartition>,
+    /// Row-buffer management policy (open-page by default, per Table 2).
+    pub row_policy: crate::bank::RowPolicy,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            timing: DramTiming::default(),
+            channels: 1,
+            banks: 8,
+            row_lines: 128,
+            read_queue_capacity: 128,
+            write_queue_capacity: 64,
+            write_drain_high: 48,
+            write_drain_low: 8,
+            refresh: None,
+            bank_partition: None,
+            row_policy: crate::bank::RowPolicy::Open,
+        }
+    }
+}
+
+impl DramConfig {
+    /// Returns the address mapping implied by this configuration.
+    #[must_use]
+    pub fn mapping(&self) -> AddressMapping {
+        AddressMapping::new(self.channels, self.banks, self.row_lines)
+    }
+}
+
+/// Error returned by [`MemorySystem::enqueue`] when the target channel's
+/// request buffer is full; the caller should stall and retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFullError {
+    /// The channel whose buffer was full.
+    pub channel: usize,
+    /// Whether the rejected request was a write.
+    pub is_write: bool,
+}
+
+impl fmt::Display for QueueFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} queue of channel {} is full",
+            if self.is_write { "write" } else { "read" },
+            self.channel
+        )
+    }
+}
+
+impl Error for QueueFullError {}
+
+/// Per-application service statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppServiceStats {
+    /// Reads completed.
+    pub reads: u64,
+    /// Reads that hit the open row.
+    pub row_hits: u64,
+    /// Sum of total read latencies (arrival to data).
+    pub total_read_latency: Cycle,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    finish: Cycle,
+    seq: u64,
+    completion: Completion,
+    is_write: bool,
+    is_demand: bool,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.finish == other.finish && self.seq == other.seq
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse order: the heap becomes a min-heap on (finish, seq).
+        (other.finish, other.seq).cmp(&(self.finish, self.seq))
+    }
+}
+
+/// The cycle value used for "nothing to schedule until an event arrives".
+const IDLE: Cycle = Cycle::MAX;
+
+#[derive(Debug)]
+struct Channel {
+    banks: Vec<Bank>,
+    read_queue: Vec<QueuedRequest>,
+    write_queue: VecDeque<QueuedRequest>,
+    policy: Box<dyn SchedulerPolicy>,
+    bus_free_at: Cycle,
+    /// Timestamps of up to the last four activations (for tFAW).
+    activates: VecDeque<Cycle>,
+    last_activate: Option<Cycle>,
+    draining_writes: bool,
+    in_flight: BinaryHeap<InFlight>,
+    accounting: ChannelAccounting,
+    next_try: Cycle,
+    next_refresh_at: Cycle,
+}
+
+impl Channel {
+    fn new(config: &DramConfig, policy: Box<dyn SchedulerPolicy>, app_count: usize) -> Self {
+        Channel {
+            banks: vec![Bank::new(); config.banks],
+            read_queue: Vec::with_capacity(config.read_queue_capacity),
+            write_queue: VecDeque::with_capacity(config.write_queue_capacity),
+            policy,
+            bus_free_at: 0,
+            activates: VecDeque::with_capacity(4),
+            last_activate: None,
+            draining_writes: false,
+            in_flight: BinaryHeap::new(),
+            accounting: ChannelAccounting::new(app_count),
+            next_try: IDLE,
+            next_refresh_at: config.refresh.map_or(IDLE, |r| r.trefi),
+        }
+    }
+
+    /// Earliest cycle at which an *activating* command may issue, honouring
+    /// tRRD and tFAW for the channel's single rank.
+    fn activation_earliest(&self, timing: &DramTiming) -> Cycle {
+        let mut earliest = 0;
+        if let Some(last) = self.last_activate {
+            earliest = earliest.max(last + timing.trrd);
+        }
+        if self.activates.len() == 4 {
+            earliest = earliest.max(self.activates[0] + timing.tfaw);
+        }
+        earliest
+    }
+
+    /// Earliest cycle at which queued request `q` could be scheduled.
+    fn earliest_for(&self, timing: &DramTiming, q: &QueuedRequest) -> Cycle {
+        let bank = &self.banks[q.loc.bank];
+        let mut earliest = bank.ready_at();
+        if bank.needs_activate(q.loc.row) {
+            earliest = earliest.max(self.activation_earliest(timing));
+        }
+        earliest
+    }
+
+    fn record_activate(&mut self, now: Cycle) {
+        if self.activates.len() == 4 {
+            self.activates.pop_front();
+        }
+        self.activates.push_back(now);
+        self.last_activate = Some(now);
+    }
+
+    fn advance_accounting(&mut self, now: Cycle) {
+        self.accounting
+            .advance(now, &mut self.read_queue, &self.banks);
+    }
+}
+
+/// The main-memory system: one controller per channel, a pluggable
+/// scheduling policy, and the epoch-priority hook ASM relies on.
+///
+/// Call [`tick`](Self::tick) exactly once per core cycle with
+/// monotonically increasing `now`; completions of reads are appended to the
+/// output vector.
+///
+/// # Examples
+///
+/// ```
+/// use asm_dram::{DramConfig, MemRequest, MemorySystem, SchedulerKind};
+/// use asm_simcore::{AppId, LineAddr};
+///
+/// let mut mem = MemorySystem::new(DramConfig::default(), SchedulerKind::FrFcfs, 1);
+/// mem.enqueue(MemRequest::read(7, LineAddr::new(0), AppId::new(0), 0)).unwrap();
+/// let mut done = Vec::new();
+/// let mut now = 0;
+/// while done.is_empty() {
+///     mem.tick(now, &mut done);
+///     now += 1;
+/// }
+/// assert_eq!(done[0].id, 7);
+/// assert!(done[0].finish <= now);
+/// ```
+#[derive(Debug)]
+pub struct MemorySystem {
+    config: DramConfig,
+    mapping: AddressMapping,
+    channels: Vec<Channel>,
+    priority_app: Option<AppId>,
+    app_stats: Vec<AppServiceStats>,
+    seq: u64,
+    last_tick: Option<Cycle>,
+    audit: Option<crate::audit::TimingAudit>,
+}
+
+impl MemorySystem {
+    /// Creates the memory system with `app_count` applications and the
+    /// given scheduling policy (seeded deterministically).
+    #[must_use]
+    pub fn new(config: DramConfig, scheduler: SchedulerKind, app_count: usize) -> Self {
+        Self::with_seed(config, scheduler, app_count, 0x5EED)
+    }
+
+    /// Like [`new`](Self::new) but with an explicit seed for stochastic
+    /// policies (TCM's shuffling).
+    #[must_use]
+    pub fn with_seed(
+        config: DramConfig,
+        scheduler: SchedulerKind,
+        app_count: usize,
+        seed: u64,
+    ) -> Self {
+        let mapping = config.mapping();
+        let channels = (0..config.channels)
+            .map(|ch| {
+                Channel::new(
+                    &config,
+                    scheduler.build(app_count, seed ^ (ch as u64).wrapping_mul(0x9E37)),
+                    app_count,
+                )
+            })
+            .collect();
+        MemorySystem {
+            config,
+            mapping,
+            channels,
+            priority_app: None,
+            app_stats: vec![AppServiceStats::default(); app_count],
+            seq: 0,
+            last_tick: None,
+            audit: None,
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// The address mapping in force.
+    #[must_use]
+    pub fn mapping(&self) -> AddressMapping {
+        self.mapping
+    }
+
+    /// Whether the read buffer for `line`'s channel can accept a request.
+    #[must_use]
+    pub fn can_accept_read(&self, line: LineAddr) -> bool {
+        let ch = self.mapping.decode(line).channel;
+        self.channels[ch].read_queue.len() < self.config.read_queue_capacity
+    }
+
+    /// Whether the write buffer for `line`'s channel can accept a request.
+    #[must_use]
+    pub fn can_accept_write(&self, line: LineAddr) -> bool {
+        let ch = self.mapping.decode(line).channel;
+        self.channels[ch].write_queue.len() < self.config.write_queue_capacity
+    }
+
+    /// Submits a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFullError`] if the target channel's buffer is full;
+    /// the request is not enqueued and the caller should stall and retry.
+    pub fn enqueue(&mut self, req: MemRequest) -> Result<(), QueueFullError> {
+        let mut loc = self.mapping.decode(req.line);
+        if let Some(p) = &self.config.bank_partition {
+            loc = p.remap(req.app, loc);
+        }
+        let entry = QueuedRequest {
+            req,
+            loc,
+            marked: false,
+            interference: 0,
+        };
+        let cap_r = self.config.read_queue_capacity;
+        let cap_w = self.config.write_queue_capacity;
+        let ch = &mut self.channels[loc.channel];
+        ch.advance_accounting(req.arrival);
+        if req.is_write {
+            if ch.write_queue.len() >= cap_w {
+                return Err(QueueFullError {
+                    channel: loc.channel,
+                    is_write: true,
+                });
+            }
+            ch.write_queue.push_back(entry);
+        } else {
+            if ch.read_queue.len() >= cap_r {
+                return Err(QueueFullError {
+                    channel: loc.channel,
+                    is_write: false,
+                });
+            }
+            ch.read_queue.push(entry);
+            if req.is_demand_read() {
+                ch.accounting.on_read_enqueued(req.app);
+            }
+        }
+        ch.next_try = ch.next_try.min(req.arrival);
+        Ok(())
+    }
+
+    /// Sets (or clears) the highest-priority application — the epoch-owner
+    /// hook of §3.2 step 1. Takes effect immediately.
+    pub fn set_priority_app(&mut self, now: Cycle, app: Option<AppId>) {
+        self.priority_app = app;
+        for ch in &mut self.channels {
+            ch.advance_accounting(now);
+            ch.accounting.set_priority_app(app);
+            ch.next_try = ch.next_try.min(now);
+        }
+    }
+
+    /// The application currently holding highest priority, if any.
+    #[must_use]
+    pub fn priority_app(&self) -> Option<AppId> {
+        self.priority_app
+    }
+
+    /// Accumulated §4.3 queueing cycles for `app` across all channels.
+    #[must_use]
+    pub fn queueing_cycles(&self, app: AppId) -> Cycle {
+        self.channels
+            .iter()
+            .map(|ch| ch.accounting.queueing_cycles(app))
+            .sum()
+    }
+
+    /// Clears queueing-cycle counters on all channels.
+    pub fn reset_queueing_cycles(&mut self) {
+        for ch in &mut self.channels {
+            ch.accounting.reset_queueing_cycles();
+        }
+    }
+
+    /// Starts recording every issued command for post-hoc timing
+    /// validation (see [`crate::TimingAudit`]). Adds one Vec push per
+    /// command; intended for tests and validation runs.
+    pub fn enable_audit(&mut self) {
+        self.audit = Some(crate::audit::TimingAudit::new());
+    }
+
+    /// The audit log, when auditing is enabled.
+    #[must_use]
+    pub fn audit(&self) -> Option<&crate::audit::TimingAudit> {
+        self.audit.as_ref()
+    }
+
+    /// Completed-read statistics for `app`.
+    #[must_use]
+    pub fn app_stats(&self, app: AppId) -> AppServiceStats {
+        self.app_stats.get(app.index()).copied().unwrap_or_default()
+    }
+
+    /// Total reads currently outstanding (queued or in flight) for `app`.
+    #[must_use]
+    pub fn outstanding_reads(&self, app: AppId) -> u64 {
+        self.channels
+            .iter()
+            .map(|ch| ch.accounting.outstanding_reads(app))
+            .sum()
+    }
+
+    /// Advances the memory system to cycle `now`, appending read
+    /// completions to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if called with a non-monotonic `now`.
+    pub fn tick(&mut self, now: Cycle, out: &mut Vec<Completion>) {
+        debug_assert!(
+            self.last_tick.is_none_or(|t| now >= t),
+            "tick must be called with monotonically increasing cycles"
+        );
+        self.last_tick = Some(now);
+
+        for ch_idx in 0..self.channels.len() {
+            self.maybe_refresh(ch_idx, now);
+            self.pop_completions(ch_idx, now, out);
+            let retry = {
+                let ch = &self.channels[ch_idx];
+                now >= ch.next_try && (!ch.read_queue.is_empty() || !ch.write_queue.is_empty())
+            };
+            if retry {
+                self.attempt_issue(ch_idx, now);
+            }
+        }
+    }
+
+    /// Performs an all-bank refresh when tREFI elapses: every bank is
+    /// blocked for tRFC with its row closed, and no application is charged
+    /// interference for the gap.
+    fn maybe_refresh(&mut self, ch_idx: usize, now: Cycle) {
+        let Some(refresh) = self.config.refresh else {
+            return;
+        };
+        let ch = &mut self.channels[ch_idx];
+        if now < ch.next_refresh_at {
+            return;
+        }
+        ch.advance_accounting(now);
+        let until = now + refresh.trfc;
+        for bank in &mut ch.banks {
+            bank.refresh_until(until);
+        }
+        ch.bus_free_at = ch.bus_free_at.max(until);
+        ch.next_refresh_at = now + refresh.trefi;
+    }
+
+    fn pop_completions(&mut self, ch_idx: usize, now: Cycle, out: &mut Vec<Completion>) {
+        let ch = &mut self.channels[ch_idx];
+        let any_done = ch.in_flight.peek().is_some_and(|entry| entry.finish <= now);
+        if !any_done {
+            return;
+        }
+        ch.advance_accounting(now);
+        while let Some(entry) = ch.in_flight.peek() {
+            if entry.finish > now {
+                break;
+            }
+            let entry = ch.in_flight.pop().expect("peeked entry");
+            if !entry.is_write {
+                let c = entry.completion;
+                ch.policy.on_completion(c.app);
+                if entry.is_demand {
+                    ch.accounting.on_read_completed(c.app);
+                }
+                let stats = &mut self.app_stats[c.app.index()];
+                stats.reads += 1;
+                stats.row_hits += u64::from(c.row_hit);
+                stats.total_read_latency += c.total_latency();
+                out.push(c);
+            }
+            // A bank just freed: scheduling may now be possible.
+            ch.next_try = now;
+        }
+    }
+
+    fn attempt_issue(&mut self, ch_idx: usize, now: Cycle) {
+        let timing = self.config.timing;
+        let high = self.config.write_drain_high;
+        let low = self.config.write_drain_low;
+        let ch = &mut self.channels[ch_idx];
+
+        ch.advance_accounting(now);
+
+        // Write-drain hysteresis.
+        if ch.draining_writes {
+            if ch.write_queue.len() <= low {
+                ch.draining_writes = false;
+            }
+        } else if ch.write_queue.len() >= high {
+            ch.draining_writes = true;
+        }
+        let write_mode =
+            ch.draining_writes || (ch.read_queue.is_empty() && !ch.write_queue.is_empty());
+
+        if write_mode {
+            Self::issue_write(
+                ch,
+                ch_idx,
+                self.audit.as_mut(),
+                &timing,
+                self.config.row_policy,
+                now,
+            );
+            return;
+        }
+
+        // Collect bank-ready read candidates.
+        ch.policy.maintain(now, &mut ch.read_queue);
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut priority_candidates: Vec<Candidate> = Vec::new();
+        let mut earliest_any = IDLE;
+        for (i, q) in ch.read_queue.iter().enumerate() {
+            let earliest = ch.earliest_for(&timing, q);
+            if earliest <= now {
+                let cand = Candidate {
+                    queue_idx: i,
+                    row_hit: ch.banks[q.loc.bank].open_row() == Some(q.loc.row),
+                };
+                if self.priority_app == Some(q.req.app) {
+                    priority_candidates.push(cand);
+                }
+                candidates.push(cand);
+            } else {
+                earliest_any = earliest_any.min(earliest);
+            }
+        }
+
+        // Epoch prioritisation: if the priority application has ready
+        // requests, the scheduler chooses among those only.
+        let pool = if priority_candidates.is_empty() {
+            &candidates
+        } else {
+            &priority_candidates
+        };
+
+        if pool.is_empty() {
+            ch.next_try = earliest_any;
+            return;
+        }
+
+        let picked = ch.policy.pick(now, &ch.read_queue, pool);
+        let Some(picked) = picked else {
+            ch.next_try = earliest_any.max(now + 1);
+            return;
+        };
+        let queue_idx = pool[picked].queue_idx;
+        let q = ch.read_queue.swap_remove(queue_idx);
+        Self::issue_request(
+            ch,
+            ch_idx,
+            self.audit.as_mut(),
+            &timing,
+            self.config.row_policy,
+            now,
+            q,
+            false,
+            &mut self.seq,
+        );
+        ch.next_try = now + 1;
+    }
+
+    fn issue_write(
+        ch: &mut Channel,
+        ch_idx: usize,
+        audit: Option<&mut crate::audit::TimingAudit>,
+        timing: &DramTiming,
+        row_policy: crate::bank::RowPolicy,
+        now: Cycle,
+    ) {
+        // FR-FCFS among ready writes.
+        let mut best: Option<(usize, bool, Cycle)> = None; // (idx, row_hit, arrival)
+        let mut earliest_any = IDLE;
+        for (i, q) in ch.write_queue.iter().enumerate() {
+            let earliest = ch.earliest_for(timing, q);
+            if earliest <= now {
+                let row_hit = ch.banks[q.loc.bank].open_row() == Some(q.loc.row);
+                let better = match best {
+                    None => true,
+                    Some((_, bh, ba)) => (!row_hit, q.req.arrival) < (!bh, ba),
+                };
+                if better {
+                    best = Some((i, row_hit, q.req.arrival));
+                }
+            } else {
+                earliest_any = earliest_any.min(earliest);
+            }
+        }
+        match best {
+            Some((idx, _, _)) => {
+                let q = ch.write_queue.remove(idx).expect("index valid");
+                let mut seq = 0;
+                Self::issue_request(ch, ch_idx, audit, timing, row_policy, now, q, true, &mut seq);
+                ch.next_try = now + 1;
+            }
+            None => {
+                ch.next_try = earliest_any;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue_request(
+        ch: &mut Channel,
+        ch_idx: usize,
+        audit: Option<&mut crate::audit::TimingAudit>,
+        timing: &DramTiming,
+        row_policy: crate::bank::RowPolicy,
+        now: Cycle,
+        q: QueuedRequest,
+        is_write: bool,
+        seq: &mut u64,
+    ) {
+        let bank = &mut ch.banks[q.loc.bank];
+        let needs_activate = bank.needs_activate(q.loc.row);
+        let (outcome, bank_finish) =
+            bank.schedule_with_policy(timing, now, q.loc.row, q.req.app, is_write, row_policy);
+        // Serialise data bursts on the channel bus.
+        let finish = bank_finish.max(ch.bus_free_at + timing.burst);
+        if finish > bank_finish {
+            bank.extend_reservation(finish);
+        }
+        ch.bus_free_at = finish;
+        if needs_activate {
+            ch.record_activate(now);
+        }
+        if let Some(audit) = audit {
+            audit.record(crate::audit::AuditEvent {
+                channel: ch_idx,
+                bank: q.loc.bank,
+                start: now,
+                finish,
+                activated: needs_activate,
+            });
+        }
+        ch.accounting.on_issue(q.req.app, q.req.is_demand_read());
+        *seq += 1;
+        ch.in_flight.push(InFlight {
+            finish,
+            seq: *seq,
+            is_demand: q.req.is_demand_read(),
+            completion: Completion {
+                id: q.req.id,
+                line: q.req.line,
+                app: q.req.app,
+                arrival: q.req.arrival,
+                service_start: now,
+                finish,
+                interference_cycles: q.interference,
+                row_hit: matches!(outcome, crate::bank::RowOutcome::Hit),
+            },
+            is_write,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system(channels: usize) -> MemorySystem {
+        let config = DramConfig {
+            channels,
+            ..DramConfig::default()
+        };
+        MemorySystem::new(config, SchedulerKind::FrFcfs, 4)
+    }
+
+    fn run_until(mem: &mut MemorySystem, start: Cycle, end: Cycle) -> Vec<Completion> {
+        let mut out = Vec::new();
+        for now in start..end {
+            mem.tick(now, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn single_read_completes_with_closed_row_latency() {
+        let mut mem = system(1);
+        mem.enqueue(MemRequest::read(1, LineAddr::new(0), AppId::new(0), 0))
+            .unwrap();
+        let done = run_until(&mut mem, 0, 1_000);
+        assert_eq!(done.len(), 1);
+        let t = mem.config().timing;
+        assert_eq!(done[0].finish, t.row_closed_latency());
+        assert!(!done[0].row_hit);
+    }
+
+    #[test]
+    fn second_access_to_same_row_is_a_row_hit() {
+        let mut mem = system(1);
+        mem.enqueue(MemRequest::read(1, LineAddr::new(0), AppId::new(0), 0))
+            .unwrap();
+        mem.enqueue(MemRequest::read(2, LineAddr::new(1), AppId::new(0), 0))
+            .unwrap();
+        let done = run_until(&mut mem, 0, 2_000);
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().any(|c| c.row_hit));
+    }
+
+    #[test]
+    fn bank_parallelism_overlaps_requests() {
+        // Two requests to different banks should finish much sooner than
+        // two serialised conflict accesses.
+        let mut mem = system(1);
+        let m = mem.mapping();
+        // Find two lines in different banks.
+        let l0 = LineAddr::new(0);
+        let l1 = (1..10_000)
+            .map(LineAddr::new)
+            .find(|&l| m.decode(l).bank != m.decode(l0).bank)
+            .unwrap();
+        mem.enqueue(MemRequest::read(1, l0, AppId::new(0), 0))
+            .unwrap();
+        mem.enqueue(MemRequest::read(2, l1, AppId::new(0), 0))
+            .unwrap();
+        let done = run_until(&mut mem, 0, 4_000);
+        assert_eq!(done.len(), 2);
+        let t = mem.config().timing;
+        let last = done.iter().map(|c| c.finish).max().unwrap();
+        // Banks overlap: only the bus burst serialises.
+        assert!(last <= t.row_closed_latency() + t.burst);
+    }
+
+    #[test]
+    fn same_bank_different_row_serialises_with_conflict() {
+        let mut mem = system(1);
+        let m = mem.mapping();
+        let l0 = LineAddr::new(0);
+        let same_bank_other_row = (1..1_000_000)
+            .map(LineAddr::new)
+            .find(|&l| {
+                let a = m.decode(l0);
+                let b = m.decode(l);
+                a.bank == b.bank && a.channel == b.channel && a.row != b.row
+            })
+            .unwrap();
+        mem.enqueue(MemRequest::read(1, l0, AppId::new(0), 0))
+            .unwrap();
+        mem.enqueue(MemRequest::read(2, same_bank_other_row, AppId::new(0), 0))
+            .unwrap();
+        let done = run_until(&mut mem, 0, 4_000);
+        assert_eq!(done.len(), 2);
+        let t = mem.config().timing;
+        let last = done.iter().map(|c| c.finish).max().unwrap();
+        assert_eq!(
+            last,
+            t.row_closed_latency() + t.row_conflict_latency(),
+            "second access waits for the first, then pays a conflict"
+        );
+    }
+
+    #[test]
+    fn priority_app_jumps_the_queue() {
+        // Fill the queue with app1 requests to one bank, then add one app0
+        // request to the same bank; with priority, app0 is serviced next
+        // despite arriving last and row-hitting worse.
+        let mut mem = system(1);
+        mem.set_priority_app(0, Some(AppId::new(0)));
+        let m = mem.mapping();
+        let l0 = LineAddr::new(0);
+        let bank0 = m.decode(l0).bank;
+        let same_bank_lines: Vec<LineAddr> = (0..2_000_000u64)
+            .map(LineAddr::new)
+            .filter(|&l| m.decode(l).bank == bank0)
+            .take(6)
+            .collect();
+        for (i, &l) in same_bank_lines.iter().enumerate().take(5) {
+            mem.enqueue(MemRequest::read(i as u64, l, AppId::new(1), 0))
+                .unwrap();
+        }
+        mem.enqueue(MemRequest::read(99, same_bank_lines[5], AppId::new(0), 0))
+            .unwrap();
+        let done = run_until(&mut mem, 0, 10_000);
+        assert_eq!(done.len(), 6);
+        let pos_app0 = done.iter().position(|c| c.id == 99).unwrap();
+        // One app1 request may already be in service; app0 must be within
+        // the first two completions.
+        assert!(
+            pos_app0 <= 1,
+            "priority request finished at position {pos_app0}"
+        );
+    }
+
+    #[test]
+    fn queue_full_is_reported() {
+        let config = DramConfig {
+            read_queue_capacity: 2,
+            ..DramConfig::default()
+        };
+        let mut mem = MemorySystem::new(config, SchedulerKind::FrFcfs, 1);
+        let a = AppId::new(0);
+        // Use same-bank conflicting rows so nothing drains instantly.
+        mem.enqueue(MemRequest::read(1, LineAddr::new(0), a, 0))
+            .unwrap();
+        mem.enqueue(MemRequest::read(2, LineAddr::new(1 << 12), a, 0))
+            .unwrap();
+        let err = mem
+            .enqueue(MemRequest::read(3, LineAddr::new(2 << 12), a, 0))
+            .unwrap_err();
+        assert!(!err.is_write);
+        assert_eq!(err.to_string(), "read queue of channel 0 is full");
+    }
+
+    #[test]
+    fn writes_complete_silently_and_dont_block_reads_forever() {
+        let mut mem = system(1);
+        let a = AppId::new(0);
+        for i in 0..10 {
+            mem.enqueue(MemRequest::write(i, LineAddr::new(i * 128), a, 0))
+                .unwrap();
+        }
+        mem.enqueue(MemRequest::read(100, LineAddr::new(50 * 128), a, 0))
+            .unwrap();
+        let done = run_until(&mut mem, 0, 50_000);
+        // Only the read surfaces.
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, 100);
+    }
+
+    #[test]
+    fn interference_cycles_reported_for_blocked_app() {
+        let mut mem = system(1);
+        let m = mem.mapping();
+        let l0 = LineAddr::new(0);
+        let same_bank = (1..2_000_000u64)
+            .map(LineAddr::new)
+            .find(|&l| {
+                let a = m.decode(l0);
+                let b = m.decode(l);
+                a.bank == b.bank && a.row != b.row
+            })
+            .unwrap();
+        mem.enqueue(MemRequest::read(1, l0, AppId::new(0), 0))
+            .unwrap();
+        mem.enqueue(MemRequest::read(2, same_bank, AppId::new(1), 0))
+            .unwrap();
+        let done = run_until(&mut mem, 0, 4_000);
+        let blocked = done.iter().find(|c| c.id == 2).unwrap();
+        assert!(
+            blocked.interference_cycles > 0,
+            "app1 waited behind app0's bank occupancy"
+        );
+        let first = done.iter().find(|c| c.id == 1).unwrap();
+        assert_eq!(first.interference_cycles, 0);
+    }
+
+    #[test]
+    fn queueing_cycles_accrue_for_priority_app() {
+        let mut mem = system(1);
+        let m = mem.mapping();
+        let l0 = LineAddr::new(0);
+        let same_bank = (1..2_000_000u64)
+            .map(LineAddr::new)
+            .find(|&l| {
+                let a = m.decode(l0);
+                let b = m.decode(l);
+                a.bank == b.bank && a.row != b.row
+            })
+            .unwrap();
+        // app1's request is in service when app0 (priority) arrives.
+        mem.enqueue(MemRequest::read(1, l0, AppId::new(1), 0))
+            .unwrap();
+        let mut out = Vec::new();
+        for now in 0..10 {
+            mem.tick(now, &mut out);
+        }
+        mem.set_priority_app(10, Some(AppId::new(0)));
+        mem.enqueue(MemRequest::read(2, same_bank, AppId::new(0), 10))
+            .unwrap();
+        for now in 10..4_000 {
+            mem.tick(now, &mut out);
+        }
+        assert!(mem.queueing_cycles(AppId::new(0)) > 0);
+        mem.reset_queueing_cycles();
+        assert_eq!(mem.queueing_cycles(AppId::new(0)), 0);
+    }
+
+    #[test]
+    fn multi_channel_requests_route_independently() {
+        let mut mem = system(2);
+        let m = mem.mapping();
+        let l0 = LineAddr::new(0);
+        let other_channel = (1..10_000u64)
+            .map(LineAddr::new)
+            .find(|&l| m.decode(l).channel != m.decode(l0).channel)
+            .unwrap();
+        mem.enqueue(MemRequest::read(1, l0, AppId::new(0), 0))
+            .unwrap();
+        mem.enqueue(MemRequest::read(2, other_channel, AppId::new(0), 0))
+            .unwrap();
+        let done = run_until(&mut mem, 0, 2_000);
+        assert_eq!(done.len(), 2);
+        let t = mem.config().timing;
+        // Fully parallel: both finish at the closed-row latency.
+        for c in &done {
+            assert_eq!(c.finish, t.row_closed_latency());
+        }
+    }
+
+    #[test]
+    fn app_stats_track_reads_and_row_hits() {
+        let mut mem = system(1);
+        let a = AppId::new(0);
+        mem.enqueue(MemRequest::read(1, LineAddr::new(0), a, 0))
+            .unwrap();
+        mem.enqueue(MemRequest::read(2, LineAddr::new(1), a, 0))
+            .unwrap();
+        run_until(&mut mem, 0, 2_000);
+        let stats = mem.app_stats(a);
+        assert_eq!(stats.reads, 2);
+        assert_eq!(stats.row_hits, 1);
+        assert!(stats.total_read_latency > 0);
+    }
+
+    #[test]
+    fn idle_system_ticks_cheaply() {
+        let mut mem = system(1);
+        let mut out = Vec::new();
+        for now in 0..100_000 {
+            mem.tick(now, &mut out);
+        }
+        assert!(out.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod refresh_tests {
+    use super::*;
+    use crate::timing::RefreshConfig;
+
+    #[test]
+    fn refresh_delays_requests_landing_in_the_blackout() {
+        let mut config = DramConfig::default();
+        config.refresh = Some(RefreshConfig {
+            trefi: 1_000,
+            trfc: 500,
+        });
+        let mut with_refresh = MemorySystem::new(config, SchedulerKind::FrFcfs, 1);
+        let mut without = MemorySystem::new(DramConfig::default(), SchedulerKind::FrFcfs, 1);
+        // Enqueue a read right at the refresh boundary.
+        let run = |mem: &mut MemorySystem| {
+            let mut out = Vec::new();
+            for now in 0..1_000 {
+                mem.tick(now, &mut out);
+            }
+            mem.enqueue(MemRequest::read(1, LineAddr::new(0), AppId::new(0), 1_000))
+                .unwrap();
+            for now in 1_000..10_000 {
+                mem.tick(now, &mut out);
+            }
+            out[0].finish
+        };
+        let delayed = run(&mut with_refresh);
+        let normal = run(&mut without);
+        assert!(
+            delayed >= normal + 400,
+            "refresh should delay the request: {delayed} vs {normal}"
+        );
+    }
+
+    #[test]
+    fn refresh_closes_open_rows() {
+        let mut config = DramConfig::default();
+        config.refresh = Some(RefreshConfig {
+            trefi: 2_000,
+            trfc: 100,
+        });
+        let mut mem = MemorySystem::new(config, SchedulerKind::FrFcfs, 1);
+        let mut out = Vec::new();
+        mem.enqueue(MemRequest::read(1, LineAddr::new(0), AppId::new(0), 0))
+            .unwrap();
+        for now in 0..2_500 {
+            mem.tick(now, &mut out);
+        }
+        // Same row after the refresh: must pay an activate again (row was
+        // closed), i.e. be slower than a pure row hit.
+        mem.enqueue(MemRequest::read(2, LineAddr::new(1), AppId::new(0), 2_500))
+            .unwrap();
+        for now in 2_500..5_000 {
+            mem.tick(now, &mut out);
+        }
+        assert_eq!(out.len(), 2);
+        assert!(!out[1].row_hit, "refresh should have closed the row");
+    }
+
+    #[test]
+    fn refresh_steals_no_interference_cycles() {
+        let mut config = DramConfig::default();
+        config.refresh = Some(RefreshConfig {
+            trefi: 500,
+            trfc: 400,
+        });
+        let mut mem = MemorySystem::new(config, SchedulerKind::FrFcfs, 2);
+        mem.set_priority_app(0, Some(AppId::new(0)));
+        let mut out = Vec::new();
+        for now in 0..400 {
+            mem.tick(now, &mut out);
+        }
+        // A request arriving during the refresh blackout waits, but no
+        // other application issued: queueing may accrue (last issue was
+        // nobody), and crucially its interference counter stays zero.
+        mem.enqueue(MemRequest::read(1, LineAddr::new(0), AppId::new(0), 500))
+            .unwrap();
+        for now in 500..5_000 {
+            mem.tick(now, &mut out);
+        }
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].interference_cycles, 0);
+    }
+}
+
+#[cfg(test)]
+mod row_policy_tests {
+    use super::*;
+    use crate::bank::RowPolicy;
+
+    fn streaming_latency(policy: RowPolicy) -> u64 {
+        let mut config = DramConfig::default();
+        config.row_policy = policy;
+        let mut mem = MemorySystem::new(config, SchedulerKind::FrFcfs, 1);
+        // Sequential lines within one row: open-page turns these into row
+        // hits, closed-page pays an activate each time.
+        for i in 0..8u64 {
+            mem.enqueue(MemRequest::read(i, LineAddr::new(i), AppId::new(0), 0))
+                .unwrap();
+        }
+        let mut out = Vec::new();
+        for now in 0..50_000 {
+            mem.tick(now, &mut out);
+            if out.len() == 8 {
+                break;
+            }
+        }
+        out.iter().map(|c| c.finish).max().unwrap()
+    }
+
+    #[test]
+    fn closed_page_is_slower_for_streaming() {
+        let open = streaming_latency(RowPolicy::Open);
+        let closed = streaming_latency(RowPolicy::Closed);
+        assert!(
+            closed > open,
+            "closed-page should lose row hits: open {open} vs closed {closed}"
+        );
+    }
+
+    #[test]
+    fn closed_page_never_reports_row_hits() {
+        let mut config = DramConfig::default();
+        config.row_policy = RowPolicy::Closed;
+        let mut mem = MemorySystem::new(config, SchedulerKind::FrFcfs, 1);
+        for i in 0..6u64 {
+            mem.enqueue(MemRequest::read(i, LineAddr::new(i), AppId::new(0), 0))
+                .unwrap();
+        }
+        let mut out = Vec::new();
+        for now in 0..50_000 {
+            mem.tick(now, &mut out);
+        }
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|c| !c.row_hit));
+    }
+}

@@ -1,0 +1,217 @@
+//! Shared accuracy-collection machinery for the estimation-error
+//! experiments (Figures 2-8, Table 3, §6.4 and the database study).
+
+use std::collections::BTreeMap;
+
+use asm_core::{Runner, SystemConfig};
+use asm_cpu::AppProfile;
+use asm_metrics::{ErrorAggregate, ErrorDistribution};
+use asm_simcore::Cycle;
+
+/// Accumulated accuracy statistics across a set of workloads.
+#[derive(Debug, Default)]
+pub struct AccuracyStats {
+    /// Mean/max error per estimator.
+    pub per_estimator: BTreeMap<String, ErrorAggregate>,
+    /// Mean error per (estimator, benchmark name).
+    pub per_app: BTreeMap<(String, String), ErrorAggregate>,
+    /// Error distribution per estimator (10%-wide buckets).
+    pub dist: BTreeMap<String, ErrorDistribution>,
+    /// Per-workload mean error per estimator (for std-dev error bars).
+    pub per_workload: BTreeMap<String, Vec<f64>>,
+}
+
+impl AccuracyStats {
+    /// Mean error (%) of `estimator` across all samples.
+    #[must_use]
+    pub fn mean_error(&self, estimator: &str) -> Option<f64> {
+        self.per_estimator.get(estimator)?.mean_pct()
+    }
+
+    /// Standard deviation of per-workload mean errors (the paper's error
+    /// bars in Figures 5, 7, 8).
+    #[must_use]
+    pub fn workload_std_dev(&self, estimator: &str) -> Option<f64> {
+        let v = self.per_workload.get(estimator)?;
+        if v.is_empty() {
+            return None;
+        }
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        Some((v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64).sqrt())
+    }
+
+    /// Benchmark names seen, in first-seen order of the provided list.
+    #[must_use]
+    pub fn mean_error_for_app(&self, estimator: &str, app: &str) -> Option<f64> {
+        self.per_app
+            .get(&(estimator.to_owned(), app.to_owned()))?
+            .mean_pct()
+    }
+}
+
+/// Runs `workloads` under `config` and accumulates estimation-error
+/// statistics, skipping `warmup_quanta` leading quanta of every run.
+///
+/// Prints one progress dot per workload to stderr.
+#[must_use]
+pub fn collect_accuracy(
+    config: &SystemConfig,
+    workloads: &[Vec<AppProfile>],
+    cycles: Cycle,
+    warmup_quanta: usize,
+) -> AccuracyStats {
+    let mut runner = Runner::new(config.clone());
+    let mut stats = AccuracyStats::default();
+    for w in workloads {
+        let result = runner.run(w, cycles);
+        let mut workload_err: BTreeMap<String, ErrorAggregate> = BTreeMap::new();
+        for q in result.quanta.iter().skip(warmup_quanta) {
+            for (name, est) in &q.estimates {
+                for (i, (&e, &a)) in est.iter().zip(&q.actual).enumerate() {
+                    if !(a.is_finite() && a > 0.0) {
+                        continue;
+                    }
+                    let err = asm_metrics::estimation_error_pct(e, a);
+                    stats
+                        .per_estimator
+                        .entry(name.clone())
+                        .or_default()
+                        .add_error_pct(err);
+                    stats
+                        .per_app
+                        .entry((name.clone(), result.app_names[i].clone()))
+                        .or_default()
+                        .add_error_pct(err);
+                    stats
+                        .dist
+                        .entry(name.clone())
+                        .or_insert_with(|| ErrorDistribution::new(10.0, 15))
+                        .add(err);
+                    workload_err
+                        .entry(name.clone())
+                        .or_default()
+                        .add_error_pct(err);
+                }
+            }
+        }
+        for (name, agg) in workload_err {
+            if let Some(m) = agg.mean_pct() {
+                stats.per_workload.entry(name).or_default().push(m);
+            }
+        }
+        if std::env::var_os("ASM_DEBUG_SIGNED").is_some() {
+            for q in result.quanta.iter().skip(warmup_quanta).take(1) {
+                for (name, est) in &q.estimates {
+                    let pairs: Vec<String> = est
+                        .iter()
+                        .zip(&q.actual)
+                        .map(|(e, a)| format!("{e:.2}/{a:.2}"))
+                        .collect();
+                    eprintln!("[signed] {name}: est/actual {}", pairs.join(" "));
+                }
+            }
+        }
+        eprint!(".");
+    }
+    eprintln!();
+    stats
+}
+
+/// Formats an optional percentage for table cells.
+#[must_use]
+pub fn pct(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.1}%"),
+        None => "-".to_owned(),
+    }
+}
+
+/// Averaged fairness/performance outcome of a resource-management
+/// mechanism across workloads (Figures 9-11).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MechOutcome {
+    /// Mean of per-workload maximum slowdown (unfairness; lower is better).
+    pub unfairness: f64,
+    /// Standard deviation of per-workload maximum slowdown.
+    pub unfairness_std: f64,
+    /// Mean harmonic speedup (system performance; higher is better).
+    pub harmonic_speedup: f64,
+}
+
+/// Runs `workloads` under `config` and averages whole-run unfairness and
+/// harmonic speedup.
+#[must_use]
+pub fn eval_mechanism(
+    config: &SystemConfig,
+    workloads: &[Vec<AppProfile>],
+    cycles: Cycle,
+) -> MechOutcome {
+    let mut runner = Runner::new(config.clone());
+    eval_mechanism_with(&mut runner, workloads, cycles)
+}
+
+/// Like [`eval_mechanism`], reusing an existing runner (and its cached
+/// alone runs — use with [`Runner::set_policies`] when sweeping
+/// mechanisms on identical hardware).
+#[must_use]
+pub fn eval_mechanism_with(
+    runner: &mut Runner,
+    workloads: &[Vec<AppProfile>],
+    cycles: Cycle,
+) -> MechOutcome {
+    let mut maxes = Vec::new();
+    let mut hspeeds = Vec::new();
+    for w in workloads {
+        let r = runner.run(w, cycles);
+        let slowdowns: Vec<f64> = r
+            .whole_run_slowdowns
+            .iter()
+            .copied()
+            .filter(|s| s.is_finite())
+            .collect();
+        if let Some(m) = asm_metrics::max_slowdown(&slowdowns) {
+            maxes.push(m);
+        }
+        if let Some(h) = asm_metrics::harmonic_speedup(&slowdowns) {
+            hspeeds.push(h);
+        }
+        eprint!(".");
+    }
+    eprintln!();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let m = mean(&maxes);
+    let std =
+        (maxes.iter().map(|x| (x - m).powi(2)).sum::<f64>() / maxes.len().max(1) as f64).sqrt();
+    MechOutcome {
+        unfairness: m,
+        unfairness_std: std,
+        harmonic_speedup: mean(&hspeeds),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use asm_core::EstimatorSet;
+    use asm_workloads::mix;
+
+    #[test]
+    fn collects_errors_for_all_estimators() {
+        let scale = Scale::tiny();
+        let mut config = scale.base_config();
+        config.estimators = EstimatorSet::all();
+        let workloads = mix::random_mixes(1, 2, 7);
+        let stats = collect_accuracy(&config, &workloads, scale.cycles, scale.warmup_quanta);
+        for name in ["ASM", "FST", "PTCA", "MISE"] {
+            assert!(stats.mean_error(name).is_some(), "missing stats for {name}");
+        }
+        assert!(stats.workload_std_dev("ASM").is_some());
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(Some(12.34)), "12.3%");
+        assert_eq!(pct(None), "-");
+    }
+}

@@ -1,0 +1,69 @@
+//! §7.2 "Combining ASM-Cache and ASM-Mem": the coordinated
+//! ASM-Cache-Mem scheme vs the strongest prior combination (PARBS + UCP).
+
+use asm_core::{CachePolicy, EstimatorSet, MemPolicy, SystemConfig};
+use asm_dram::SchedulerKind;
+use asm_metrics::Table;
+use asm_workloads::mix;
+
+use crate::collect::eval_mechanism;
+use crate::scale::Scale;
+
+fn asm_cache_mem(scale: Scale) -> SystemConfig {
+    let mut c = scale.base_config();
+    c.estimators = EstimatorSet::asm_only();
+    c.epochs_enabled = true;
+    c.cache_policy = CachePolicy::AsmCache;
+    c.mem_policy = MemPolicy::SlowdownWeighted;
+    c
+}
+
+fn parbs_ucp(scale: Scale) -> SystemConfig {
+    let mut c = scale.base_config();
+    c.estimators = EstimatorSet::none();
+    c.epochs_enabled = false;
+    c.scheduler = SchedulerKind::Parbs;
+    c.cache_policy = CachePolicy::Ucp;
+    c
+}
+
+fn baseline(scale: Scale) -> SystemConfig {
+    let mut c = parbs_ucp(scale);
+    c.scheduler = SchedulerKind::FrFcfs;
+    c.cache_policy = CachePolicy::None;
+    c
+}
+
+/// Runs the combined-scheme comparison (16-core, plus 8-core for context).
+pub fn run(scale: Scale) {
+    println!("\n=== ASM-Cache-Mem vs PARBS+UCP (combined cache + memory management) ===");
+    let mut table = Table::new(vec![
+        "cores".into(),
+        "scheme".into(),
+        "unfairness (max slowdown)".into(),
+        "harmonic speedup".into(),
+    ]);
+    for cores in [8usize, 16] {
+        let workloads = mix::binned_mixes(
+            (scale.workloads * 4 / cores).max(2),
+            cores,
+            scale.seed ^ 0xC0DE ^ cores as u64,
+        );
+        for (name, config) in [
+            ("FRFCFS+NoPart", baseline(scale)),
+            ("PARBS+UCP", parbs_ucp(scale)),
+            ("ASM-Cache-Mem", asm_cache_mem(scale)),
+        ] {
+            let out = eval_mechanism(&config, &workloads, scale.cycles);
+            table.row(vec![
+                cores.to_string(),
+                name.into(),
+                format!("{:.2}", out.unfairness),
+                format!("{:.3}", out.harmonic_speedup),
+            ]);
+        }
+    }
+    crate::output::emit("combined", &table);
+    println!("Paper: ASM-Cache-Mem improves fairness by 14.6% over PARBS+UCP on 16-core");
+    println!("1-channel, with performance within 1%.");
+}

@@ -1,0 +1,48 @@
+//! §6 "Accuracy with Database Workloads": TPC-C / YCSB-like mixes.
+//!
+//! The paper reports FST (unsampled) 27%, PTCA (unsampled) 12%, ASM
+//! (sampled) 4%.
+
+use asm_core::EstimatorSet;
+use asm_metrics::Table;
+use asm_workloads::{mix, suite};
+
+use crate::collect::{collect_accuracy, pct};
+use crate::scale::Scale;
+
+/// Runs the database-workload accuracy study.
+pub fn run(scale: Scale) {
+    println!("\n=== Database workloads (TPC-C / YCSB-like): estimation accuracy ===");
+    let pool = suite::db();
+    let workloads = mix::mixes_from_pool(&pool, scale.workloads, 4, scale.seed ^ 0xDB);
+
+    // FST/PTCA at their best (unsampled) vs ASM deployed (sampled).
+    let mut unsampled = scale.base_config();
+    unsampled.estimators = EstimatorSet::all();
+    unsampled.ats_sampled_sets = None;
+    unsampled.pollution_filter_bits = 1 << 20;
+    let stats_u = collect_accuracy(&unsampled, &workloads, scale.cycles, scale.warmup_quanta);
+
+    let mut sampled = scale.base_config();
+    sampled.estimators = EstimatorSet::all();
+    sampled.ats_sampled_sets = Some(64);
+    let stats_s = collect_accuracy(&sampled, &workloads, scale.cycles, scale.warmup_quanta);
+
+    let mut table = Table::new(vec!["model".into(), "mean error".into(), "paper".into()]);
+    table.row(vec![
+        "FST (unsampled)".into(),
+        pct(stats_u.mean_error("FST")),
+        "27%".into(),
+    ]);
+    table.row(vec![
+        "PTCA (unsampled)".into(),
+        pct(stats_u.mean_error("PTCA")),
+        "12%".into(),
+    ]);
+    table.row(vec![
+        "ASM (sampled)".into(),
+        pct(stats_s.mean_error("ASM")),
+        "4%".into(),
+    ]);
+    crate::output::emit("db", &table);
+}

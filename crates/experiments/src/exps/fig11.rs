@@ -1,0 +1,67 @@
+//! Figure 11: soft slowdown guarantees — ASM-QoS-X vs Naive-QoS for an
+//! application of interest (`h264ref_like`), reporting every
+//! application's slowdown and overall performance per scheme.
+
+use asm_core::{CachePolicy, QosConfig, Runner};
+use asm_metrics::{harmonic_speedup, Table};
+use asm_simcore::AppId;
+use asm_workloads::suite;
+
+use crate::exps::fig9::policy_config;
+use crate::scale::Scale;
+
+/// The slowdown bounds swept for ASM-QoS (the paper's "X" values).
+pub const BOUNDS: &[f64] = &[2.5, 3.0, 3.5, 4.0];
+
+/// Runs the Figure 11 experiment.
+pub fn run(scale: Scale) {
+    println!("\n=== Figure 11: ASM-QoS soft slowdown guarantees (target: h264ref_like) ===");
+    let apps = vec![
+        suite::by_name("h264ref_like").expect("profile"),
+        suite::by_name("mcf_like").expect("profile"),
+        suite::by_name("libquantum_like").expect("profile"),
+        suite::by_name("sphinx3_like").expect("profile"),
+    ];
+    let target = AppId::new(0);
+
+    let mut schemes: Vec<(String, CachePolicy)> = vec![
+        ("NoPart".into(), CachePolicy::None),
+        ("Naive-QoS".into(), CachePolicy::NaiveQos(target)),
+    ];
+    for &bound in BOUNDS {
+        schemes.push((
+            format!("ASM-QoS-{bound}"),
+            CachePolicy::AsmQos(QosConfig { target, bound }),
+        ));
+    }
+
+    let mut table = Table::new(vec![
+        "scheme".into(),
+        "h264ref".into(),
+        "mcf".into(),
+        "libquantum".into(),
+        "sphinx3".into(),
+        "harmonic speedup".into(),
+    ]);
+    let mut runner = Runner::new(policy_config(scale, CachePolicy::None));
+    for (name, policy) in schemes {
+        runner.set_policies(policy, asm_core::MemPolicy::Uniform);
+        let r = runner.run(&apps, scale.cycles);
+        let s = &r.whole_run_slowdowns;
+        let hs = harmonic_speedup(s).unwrap_or(f64::NAN);
+        table.row(vec![
+            name,
+            format!("{:.2}", s[0]),
+            format!("{:.2}", s[1]),
+            format!("{:.2}", s[2]),
+            format!("{:.2}", s[3]),
+            format!("{hs:.3}"),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    crate::output::emit("fig11", &table);
+    println!("Expected shape: Naive-QoS minimises the target's slowdown but punishes the");
+    println!("other applications; ASM-QoS-X keeps the target near its bound X while the");
+    println!("others' slowdowns shrink as X loosens.");
+}

@@ -1,0 +1,82 @@
+//! Figure 4: distribution of slowdown-estimation error — FST and PTCA
+//! unsampled, ASM sampled (the paper's deployment configurations).
+
+use asm_core::EstimatorSet;
+use asm_metrics::Table;
+use asm_workloads::mix;
+
+use crate::collect::collect_accuracy;
+use crate::scale::Scale;
+
+/// Runs the Figure 4 experiment.
+pub fn run(scale: Scale) {
+    println!("\n=== Figure 4: error distribution (FST/PTCA unsampled, ASM sampled) ===");
+    let workloads = mix::random_mixes(scale.workloads, 4, scale.seed);
+
+    // Run 1: unsampled (for FST and PTCA).
+    let mut unsampled = scale.base_config();
+    unsampled.estimators = EstimatorSet::all();
+    unsampled.ats_sampled_sets = None;
+    unsampled.pollution_filter_bits = 1 << 20;
+    let stats_u = collect_accuracy(&unsampled, &workloads, scale.cycles, scale.warmup_quanta);
+
+    // Run 2: sampled (for ASM).
+    let mut sampled = scale.base_config();
+    sampled.estimators = EstimatorSet::all();
+    sampled.ats_sampled_sets = Some(64);
+    sampled.pollution_filter_bits = 1 << 15;
+    let stats_s = collect_accuracy(&sampled, &workloads, scale.cycles, scale.warmup_quanta);
+
+    let fst = stats_u.dist.get("FST");
+    let ptca = stats_u.dist.get("PTCA");
+    let asm = stats_s.dist.get("ASM");
+
+    let mut table = Table::new(vec![
+        "error range".into(),
+        "FST".into(),
+        "PTCA".into(),
+        "ASM".into(),
+    ]);
+    let fraction = |d: Option<&asm_metrics::ErrorDistribution>, lo: f64, hi: f64| -> String {
+        match d {
+            Some(d) => format!(
+                "{:.1}%",
+                (d.fraction_within(hi) - d.fraction_within(lo)) * 100.0
+            ),
+            None => "-".to_owned(),
+        }
+    };
+    for k in 0..10 {
+        let lo = k as f64 * 10.0;
+        let hi = lo + 10.0;
+        table.row(vec![
+            format!("[{lo:.0}%, {hi:.0}%)"),
+            fraction(fst, lo, hi),
+            fraction(ptca, lo, hi),
+            fraction(asm, lo, hi),
+        ]);
+    }
+    crate::output::emit("fig4", &table);
+
+    let within20 = |d: Option<&asm_metrics::ErrorDistribution>| -> String {
+        d.map_or("-".into(), |d| {
+            format!("{:.1}%", d.fraction_within(20.0) * 100.0)
+        })
+    };
+    let maxerr = |d: Option<&asm_metrics::ErrorDistribution>| -> String {
+        d.and_then(asm_metrics::ErrorDistribution::max_error)
+            .map_or("-".into(), |m| format!("{m:.0}%"))
+    };
+    println!(
+        "estimates within 20% error: FST {} / PTCA {} / ASM {}  (paper: 76.25% / 79.25% / 95.25%)",
+        within20(fst),
+        within20(ptca),
+        within20(asm),
+    );
+    println!(
+        "maximum error: FST {} / PTCA {} / ASM {}  (paper: 133% / 87% / 36%)",
+        maxerr(fst),
+        maxerr(ptca),
+        maxerr(asm),
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 8: estimation error vs shared cache capacity (1 / 2 / 4 MB),
+//! 4-core workloads.
+
+use asm_cache::CacheGeometry;
+use asm_core::EstimatorSet;
+use asm_metrics::Table;
+use asm_workloads::mix;
+
+use crate::collect::{collect_accuracy, pct};
+use crate::scale::Scale;
+
+/// Cache capacities evaluated (bytes).
+pub const CAPACITIES: &[u64] = &[1 << 20, 2 << 20, 4 << 20];
+
+/// Runs the Figure 8 sweep.
+pub fn run(scale: Scale) {
+    println!("\n=== Figure 8: error vs shared cache capacity (4-core) ===");
+    let workloads = mix::random_mixes(scale.workloads, 4, scale.seed);
+    let mut table = Table::new(vec![
+        "cache".into(),
+        "FST".into(),
+        "PTCA".into(),
+        "ASM".into(),
+    ]);
+    for &cap in CAPACITIES {
+        let mut unsampled = scale.base_config();
+        unsampled.llc_geometry = CacheGeometry::from_capacity(cap, 16);
+        unsampled.estimators = EstimatorSet::all();
+        unsampled.ats_sampled_sets = None;
+        unsampled.pollution_filter_bits = 1 << 20;
+        let stats_u = collect_accuracy(&unsampled, &workloads, scale.cycles, scale.warmup_quanta);
+
+        let mut sampled = scale.base_config();
+        sampled.llc_geometry = CacheGeometry::from_capacity(cap, 16);
+        sampled.estimators = EstimatorSet::all();
+        sampled.ats_sampled_sets = Some(64);
+        let stats_s = collect_accuracy(&sampled, &workloads, scale.cycles, scale.warmup_quanta);
+
+        table.row(vec![
+            format!("{} MB", cap >> 20),
+            pct(stats_u.mean_error("FST")),
+            pct(stats_u.mean_error("PTCA")),
+            pct(stats_s.mean_error("ASM")),
+        ]);
+    }
+    crate::output::emit("fig8", &table);
+    println!("Expected shape: ASM most accurate at every capacity.");
+}

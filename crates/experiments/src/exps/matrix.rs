@@ -1,0 +1,74 @@
+//! Pairwise interference matrix (the §7.5 characterisation underlying
+//! migration decisions, in the style of Mars+ \[40\]'s
+//! sensitivity/propensity profiling — except measured *online* by
+//! co-running, which is exactly what ASM replaces with estimation).
+//!
+//! For every ordered pair (victim, aggressor) of a representative
+//! application set, co-runs the two and reports the victim's measured
+//! whole-run slowdown. Rows are victims, columns aggressors.
+
+use asm_core::{EstimatorSet, Runner};
+use asm_metrics::Table;
+use asm_workloads::suite;
+
+use crate::scale::Scale;
+
+/// Representative applications spanning the behaviour space.
+pub const APPS: &[&str] = &[
+    "h264ref_like",    // moderate, cache-friendly
+    "bzip2_like",      // cache-sensitive
+    "ft_like",         // cache-sensitive (NAS)
+    "libquantum_like", // streaming
+    "mcf_like",        // irregular memory-bound
+    "cg_like",         // irregular memory-bound (NAS)
+];
+
+/// Runs the pairwise interference matrix.
+pub fn run(scale: Scale) {
+    println!("\n=== Pairwise interference matrix (victim slowdown under one aggressor) ===");
+    let mut config = scale.base_config();
+    config.estimators = EstimatorSet::none();
+    config.epochs_enabled = false;
+    let cycles = scale.cycles / 2;
+    let mut runner = Runner::new(config);
+
+    let mut table = Table::new(
+        std::iter::once("victim \\ aggressor".to_owned())
+            .chain(APPS.iter().map(|a| a.trim_end_matches("_like").to_owned()))
+            .collect(),
+    );
+    for victim in APPS {
+        let mut row = vec![victim.trim_end_matches("_like").to_owned()];
+        for aggressor in APPS {
+            let apps = vec![
+                suite::by_name(victim).expect("profile"),
+                suite::by_name(aggressor).expect("profile"),
+            ];
+            let r = runner.run(&apps, cycles);
+            row.push(format!("{:.2}", r.whole_run_slowdowns[0]));
+            eprint!(".");
+        }
+        table.row(row);
+    }
+    eprintln!();
+    crate::output::emit("matrix", &table);
+    println!("Expected shape: streaming/irregular aggressors (libquantum, mcf, cg) hurt");
+    println!("everyone; cache-sensitive victims (bzip2, ft) suffer most; compute-bound");
+    println!("pairings stay near 1.0.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_apps_exist_and_span_the_spectrum() {
+        let profiles: Vec<_> = APPS
+            .iter()
+            .map(|n| suite::by_name(n).expect("profile exists"))
+            .collect();
+        let min = profiles.iter().map(|p| p.mem_per_kilo()).min().unwrap();
+        let max = profiles.iter().map(|p| p.mem_per_kilo()).max().unwrap();
+        assert!(max >= 4 * min, "matrix apps should span intensities");
+    }
+}

@@ -1,0 +1,60 @@
+//! One module per paper table/figure.
+
+pub mod ablation;
+pub mod channels;
+pub mod combined;
+pub mod db;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod matrix;
+pub mod mise;
+pub mod table3;
+pub mod workloads;
+
+use crate::scale::Scale;
+
+/// All experiment names, in paper order.
+pub const ALL: &[&str] = &[
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "db", "mise", "fig7", "fig8", "table3", "fig9",
+    "fig10", "combined", "fig11",
+];
+
+/// Dispatches one experiment by name. Returns `false` for unknown names.
+pub fn run(name: &str, scale: Scale) -> bool {
+    match name {
+        "fig1" => fig1::run(scale),
+        "fig2" => fig2::run(scale, false),
+        "fig3" => fig2::run(scale, true),
+        "fig4" => fig4::run(scale),
+        "fig5" => fig5::run(scale),
+        "fig6" => fig6::run(scale),
+        "db" => db::run(scale),
+        "mise" => mise::run(scale),
+        "fig7" => fig7::run(scale),
+        "fig8" => fig8::run(scale),
+        "table3" => table3::run(scale),
+        "fig9" => fig9::run(scale),
+        "fig10" => fig10::run(scale),
+        "combined" => combined::run(scale),
+        "fig11" => fig11::run(scale),
+        "channels" => channels::run(scale),
+        "ablation" => ablation::run(scale),
+        "matrix" => matrix::run(scale),
+        "workloads" => workloads::run(scale),
+        "all" => {
+            for n in ALL {
+                run(n, scale);
+            }
+        }
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,20 @@
+//! Experiment harness regenerating every table and figure of the ASM
+//! paper's evaluation (see `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results).
+//!
+//! Run via the `asm-experiments` binary:
+//!
+//! ```text
+//! asm-experiments <experiment> [--full|--tiny] [--workloads N]
+//!                 [--cycles N] [--seed N]
+//! ```
+//!
+//! where `<experiment>` is one of `fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
+//! table3 mise db fig9 fig10 fig11 combined all`.
+
+pub mod collect;
+pub mod exps;
+pub mod output;
+pub mod scale;
+
+pub use scale::Scale;

@@ -1,0 +1,87 @@
+//! CLI entry point: regenerates the paper's tables and figures.
+
+use asm_experiments::{exps, Scale};
+
+const USAGE: &str = "\
+asm-experiments — regenerate the ASM paper's evaluation
+
+USAGE:
+    asm-experiments <experiment> [options]
+
+EXPERIMENTS:
+    fig1      CAR vs performance correlation (with a hog)
+    fig2      per-benchmark error, unsampled ATS
+    fig3      per-benchmark error, sampled ATS (64 sets)
+    fig4      error distribution
+    fig5      error with a stride prefetcher
+    fig6      alone miss-latency distributions (6a and 6b)
+    db        database (TPC-C/YCSB-like) workload accuracy
+    mise      MISE vs ASM (section 6.4)
+    fig7      error vs core count
+    fig8      error vs cache capacity
+    table3    error vs quantum/epoch lengths
+    fig9      ASM-Cache vs NoPart/UCP/MCFQ
+    fig10     ASM-Mem vs FRFCFS/PARBS/TCM
+    combined  ASM-Cache-Mem vs PARBS+UCP
+    fig11     ASM-QoS slowdown guarantees
+    all       everything above, in order
+
+OPTIONS:
+    --full           paper scale (100 workloads, 100M cycles, Q=5M) — hours
+    --tiny           smoke-test scale — seconds
+    --workloads N    override workload count
+    --cycles N       override cycles per run
+    --seed N         override master seed
+    --csv DIR        additionally write every table to DIR/<name>.csv
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(experiment) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+
+    let mut scale = Scale::reduced();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => scale = Scale::full(),
+            "--tiny" => scale = Scale::tiny(),
+            "--csv" => {
+                let Some(dir) = args.get(i + 1) else {
+                    eprintln!("error: --csv needs a directory");
+                    std::process::exit(2);
+                };
+                asm_experiments::output::set_csv_dir(dir.into());
+                i += 1;
+            }
+            "--workloads" | "--cycles" | "--seed" => {
+                let Some(value) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("error: {} needs a numeric value", args[i]);
+                    std::process::exit(2);
+                };
+                match args[i].as_str() {
+                    "--workloads" => scale.workloads = value as usize,
+                    "--cycles" => scale.cycles = value,
+                    _ => scale.seed = value,
+                }
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown option {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!(
+        "scale: {} workloads x {} cycles (Q={}, E={}, warmup {} quanta, seed {})",
+        scale.workloads, scale.cycles, scale.quantum, scale.epoch, scale.warmup_quanta, scale.seed
+    );
+    if !exps::run(experiment, scale) {
+        eprintln!("error: unknown experiment '{experiment}'\n{USAGE}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,51 @@
+//! Experiment output: pretty-printing plus optional CSV export.
+//!
+//! When `--csv <dir>` is passed to `asm-experiments`, every emitted table
+//! is additionally written to `<dir>/<name>.csv`, so results can be
+//! plotted without scraping stdout.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use asm_metrics::Table;
+
+static CSV_DIR: OnceLock<PathBuf> = OnceLock::new();
+
+/// Sets the CSV output directory (once per process; later calls are
+/// ignored). The directory is created on first write.
+pub fn set_csv_dir(dir: PathBuf) {
+    let _ = CSV_DIR.set(dir);
+}
+
+/// Prints `table` to stdout and, when CSV export is enabled, writes it to
+/// `<csv dir>/<name>.csv`. I/O failures are reported to stderr but never
+/// abort the experiment.
+pub fn emit(name: &str, table: &Table) {
+    println!("{table}");
+    let Some(dir) = CSV_DIR.get() else {
+        return;
+    };
+    let write = || -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, table.to_csv())?;
+        Ok(path)
+    };
+    match write() {
+        Ok(path) => eprintln!("[csv] wrote {}", path.display()),
+        Err(e) => eprintln!("[csv] failed to write {name}.csv: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_without_csv_dir_only_prints() {
+        // Must not panic or create files.
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into()]);
+        emit("smoke_test_no_csv", &t);
+    }
+}

@@ -1,0 +1,114 @@
+//! Experiment scale: the paper simulates 100 workloads × 100 M cycles per
+//! configuration; the default scale here is reduced so the whole suite
+//! finishes in minutes. `--full` restores paper scale.
+
+use asm_core::SystemConfig;
+use asm_simcore::Cycle;
+
+/// How big to run each experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Number of multi-programmed workloads per configuration.
+    pub workloads: usize,
+    /// Simulated cycles per run.
+    pub cycles: Cycle,
+    /// Quantum length Q.
+    pub quantum: Cycle,
+    /// Epoch length E.
+    pub epoch: Cycle,
+    /// Leading quanta excluded from error statistics (cache warm-up).
+    pub warmup_quanta: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The default reduced scale (minutes for the whole suite).
+    #[must_use]
+    pub fn reduced() -> Self {
+        Scale {
+            workloads: 15,
+            cycles: 8_000_000,
+            quantum: 1_000_000,
+            epoch: 10_000,
+            warmup_quanta: 2,
+            seed: 42,
+        }
+    }
+
+    /// The paper's scale (§5): Q = 5 M, E = 10 k, 100 workloads, 100 M
+    /// cycles. Expect hours.
+    #[must_use]
+    pub fn full() -> Self {
+        Scale {
+            workloads: 100,
+            cycles: 100_000_000,
+            quantum: 5_000_000,
+            epoch: 10_000,
+            warmup_quanta: 2,
+            seed: 42,
+        }
+    }
+
+    /// A tiny scale for smoke tests and benches.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Scale {
+            workloads: 2,
+            cycles: 600_000,
+            quantum: 200_000,
+            epoch: 5_000,
+            warmup_quanta: 1,
+            seed: 42,
+        }
+    }
+
+    /// Base system configuration at this scale (Table 2 hardware).
+    #[must_use]
+    pub fn base_config(&self) -> SystemConfig {
+        let mut c = SystemConfig::default();
+        c.quantum = self.quantum;
+        c.epoch = self.epoch;
+        c.seed = self.seed;
+        c
+    }
+
+    /// Quanta that contribute to statistics at this scale.
+    #[must_use]
+    pub fn measured_quanta(&self) -> usize {
+        ((self.cycles / self.quantum) as usize).saturating_sub(self.warmup_quanta)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::reduced()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matches_paper_parameters() {
+        let s = Scale::full();
+        assert_eq!(s.quantum, 5_000_000);
+        assert_eq!(s.epoch, 10_000);
+        assert_eq!(s.workloads, 100);
+    }
+
+    #[test]
+    fn base_config_inherits_q_and_e() {
+        let s = Scale::reduced();
+        let c = s.base_config();
+        assert_eq!(c.quantum, s.quantum);
+        assert_eq!(c.epoch, s.epoch);
+    }
+
+    #[test]
+    fn measured_quanta_excludes_warmup() {
+        let s = Scale::reduced();
+        assert_eq!(s.measured_quanta(), 6);
+    }
+}

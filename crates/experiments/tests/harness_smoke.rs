@@ -1,0 +1,34 @@
+//! Smoke test: every registered experiment must run to completion at a
+//! micro scale. Guards `asm-experiments all` against bit-rot in any
+//! single experiment.
+
+use asm_experiments::{exps, Scale};
+
+/// A scale even smaller than `Scale::tiny()`, so the whole sweep stays
+/// test-suite friendly.
+fn micro() -> Scale {
+    Scale {
+        workloads: 1,
+        cycles: 200_000,
+        quantum: 100_000,
+        epoch: 5_000,
+        warmup_quanta: 1,
+        seed: 7,
+    }
+}
+
+#[test]
+fn every_experiment_runs_at_micro_scale() {
+    for name in exps::ALL {
+        // `all` recurses; skip it (it is the loop we are running).
+        if *name == "all" {
+            continue;
+        }
+        assert!(exps::run(name, micro()), "experiment {name} not found");
+    }
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    assert!(!exps::run("definitely-not-an-experiment", micro()));
+}

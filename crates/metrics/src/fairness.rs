@@ -1,0 +1,76 @@
+//! Fairness and system-performance metrics (Figures 9 and 10).
+
+/// Maximum slowdown across a workload — the paper's unfairness metric
+/// (§7.1.2, citing [13, 30, 31, 61, 66, 69]). Lower is fairer.
+///
+/// Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use asm_metrics::max_slowdown;
+/// assert_eq!(max_slowdown(&[1.2, 3.0, 1.5]), Some(3.0));
+/// ```
+#[must_use]
+pub fn max_slowdown(slowdowns: &[f64]) -> Option<f64> {
+    slowdowns
+        .iter()
+        .copied()
+        .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
+}
+
+/// Harmonic speedup [Luo+, ISPASS 2001; Eyerman & Eeckhout, IEEE Micro
+/// 2008] — the paper's system-performance metric:
+///
+/// `N / Σ_i (IPC_alone_i / IPC_shared_i)  =  N / Σ_i slowdown_i`.
+///
+/// Higher is better. Returns `None` for an empty slice or non-positive
+/// slowdowns.
+///
+/// # Examples
+///
+/// ```
+/// use asm_metrics::harmonic_speedup;
+/// // Two apps, each slowed down 2x: harmonic speedup 0.5.
+/// assert_eq!(harmonic_speedup(&[2.0, 2.0]), Some(0.5));
+/// ```
+#[must_use]
+pub fn harmonic_speedup(slowdowns: &[f64]) -> Option<f64> {
+    if slowdowns.is_empty() || slowdowns.iter().any(|s| *s <= 0.0) {
+        return None;
+    }
+    let sum: f64 = slowdowns.iter().sum();
+    Some(slowdowns.len() as f64 / sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_slowdown_empty_is_none() {
+        assert_eq!(max_slowdown(&[]), None);
+    }
+
+    #[test]
+    fn harmonic_speedup_of_no_slowdown_is_one() {
+        assert_eq!(harmonic_speedup(&[1.0, 1.0, 1.0]), Some(1.0));
+    }
+
+    #[test]
+    fn harmonic_speedup_penalises_outliers() {
+        // Same average slowdown, but the unbalanced case scores worse than
+        // the perfectly estimated version of itself would under max
+        // slowdown; harmonic speedup is equal for equal sums.
+        let balanced = harmonic_speedup(&[2.0, 2.0]).unwrap();
+        let unbalanced = harmonic_speedup(&[1.0, 3.0]).unwrap();
+        assert_eq!(balanced, unbalanced);
+        assert!(max_slowdown(&[1.0, 3.0]) > max_slowdown(&[2.0, 2.0]));
+    }
+
+    #[test]
+    fn invalid_slowdowns_are_none() {
+        assert_eq!(harmonic_speedup(&[]), None);
+        assert_eq!(harmonic_speedup(&[1.0, 0.0]), None);
+    }
+}

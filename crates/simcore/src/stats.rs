@@ -1,0 +1,382 @@
+//! Small statistics helpers used throughout the simulator: running means,
+//! running standard deviations, and fixed-bucket histograms (used for the
+//! paper's latency-distribution and error-distribution figures).
+
+use std::fmt;
+
+/// Accumulates a running mean without storing samples.
+///
+/// # Examples
+///
+/// ```
+/// use asm_simcore::MeanAccumulator;
+/// let mut m = MeanAccumulator::new();
+/// m.add(2.0);
+/// m.add(4.0);
+/// assert_eq!(m.mean(), Some(3.0));
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeanAccumulator {
+    sum: f64,
+    count: u64,
+}
+
+impl MeanAccumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, sample: f64) {
+        self.sum += sample;
+        self.count += 1;
+    }
+
+    /// Returns the mean of the samples seen so far, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Returns the number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &MeanAccumulator) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// Welford's online algorithm for mean and standard deviation.
+///
+/// # Examples
+///
+/// ```
+/// use asm_simcore::RunningStats;
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.add(x);
+/// }
+/// assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+/// assert!((s.population_std_dev().unwrap() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty statistics accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, sample: f64) {
+        self.count += 1;
+        let delta = sample - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (sample - self.mean);
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Returns the number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the mean, or `None` if no samples were added.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Returns the population standard deviation, or `None` if empty.
+    #[must_use]
+    pub fn population_std_dev(&self) -> Option<f64> {
+        (self.count > 0).then(|| (self.m2 / self.count as f64).sqrt())
+    }
+
+    /// Returns the sample standard deviation, or `None` with fewer than two
+    /// samples.
+    #[must_use]
+    pub fn sample_std_dev(&self) -> Option<f64> {
+        (self.count > 1).then(|| (self.m2 / (self.count - 1) as f64).sqrt())
+    }
+
+    /// Returns the smallest sample, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Returns the largest sample, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// A histogram over `[0, bucket_width * buckets)` with uniform buckets and an
+/// overflow bucket; used for the miss-service-time distributions of Figure 6
+/// and the error distribution of Figure 4.
+///
+/// # Examples
+///
+/// ```
+/// use asm_simcore::Histogram;
+/// let mut h = Histogram::new(10.0, 5);
+/// h.add(3.0);
+/// h.add(12.0);
+/// h.add(1000.0); // overflow
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(1), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bucket_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` uniform buckets of width
+    /// `bucket_width` plus an overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not positive or `buckets` is zero.
+    #[must_use]
+    pub fn new(bucket_width: f64, buckets: usize) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            bucket_width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Adds one sample. Negative samples land in bucket 0.
+    pub fn add(&mut self, sample: f64) {
+        self.total += 1;
+        let idx = (sample.max(0.0) / self.bucket_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Returns the count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Returns the count of samples beyond the last bucket.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Returns the total number of samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns the number of regular buckets.
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns the width of each regular bucket.
+    #[must_use]
+    pub fn bucket_width(&self) -> f64 {
+        self.bucket_width
+    }
+
+    /// Returns the inclusive-exclusive range covered by bucket `i`.
+    #[must_use]
+    pub fn bucket_range(&self, i: usize) -> (f64, f64) {
+        (
+            i as f64 * self.bucket_width,
+            (i + 1) as f64 * self.bucket_width,
+        )
+    }
+
+    /// Returns each bucket's share of the total (overflow excluded from the
+    /// iteration but included in the denominator). Empty histogram yields
+    /// all-zero fractions.
+    pub fn fractions(&self) -> impl Iterator<Item = f64> + '_ {
+        let total = self.total.max(1) as f64;
+        self.counts.iter().map(move |&c| c as f64 / total)
+    }
+
+    /// Merges another histogram with identical geometry into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bucket width or count.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "bucket width mismatch"
+        );
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "histogram (bucket width {}):", self.bucket_width)?;
+        for (i, c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bucket_range(i);
+            writeln!(f, "  [{lo:8.1}, {hi:8.1}): {c}")?;
+        }
+        write!(f, "  overflow: {}", self.overflow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_accumulator_empty_is_none() {
+        assert_eq!(MeanAccumulator::new().mean(), None);
+    }
+
+    #[test]
+    fn mean_accumulator_merge() {
+        let mut a = MeanAccumulator::new();
+        a.add(1.0);
+        let mut b = MeanAccumulator::new();
+        b.add(3.0);
+        a.merge(&b);
+        assert_eq!(a.mean(), Some(2.0));
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn running_stats_min_max() {
+        let mut s = RunningStats::new();
+        for x in [3.0, -1.0, 7.0] {
+            s.add(x);
+        }
+        assert_eq!(s.min(), Some(-1.0));
+        assert_eq!(s.max(), Some(7.0));
+    }
+
+    #[test]
+    fn running_stats_empty() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.population_std_dev(), None);
+        assert_eq!(s.sample_std_dev(), None);
+    }
+
+    #[test]
+    fn running_stats_single_sample_population_std_is_zero() {
+        let mut s = RunningStats::new();
+        s.add(5.0);
+        assert_eq!(s.population_std_dev(), Some(0.0));
+        assert_eq!(s.sample_std_dev(), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(5.0, 3);
+        for x in [0.0, 4.9, 5.0, 14.9, 15.0, 99.0] {
+            h.add(x);
+        }
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(2), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_negative_lands_in_first_bucket() {
+        let mut h = Histogram::new(1.0, 2);
+        h.add(-3.0);
+        assert_eq!(h.bucket_count(0), 1);
+    }
+
+    #[test]
+    fn histogram_fractions_sum_below_one_with_overflow() {
+        let mut h = Histogram::new(1.0, 2);
+        h.add(0.5);
+        h.add(10.0);
+        let s: f64 = h.fractions().sum();
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new(1.0, 2);
+        a.add(0.0);
+        let mut b = Histogram::new(1.0, 2);
+        b.add(1.5);
+        b.add(9.0);
+        a.merge(&b);
+        assert_eq!(a.bucket_count(0), 1);
+        assert_eq!(a.bucket_count(1), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width mismatch")]
+    fn histogram_merge_rejects_mismatch() {
+        let mut a = Histogram::new(1.0, 2);
+        let b = Histogram::new(2.0, 2);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,83 @@
+//! The memory-bandwidth / cache-capacity hog of the Figure 1 experiment.
+//!
+//! Figure 1 validates ASM's core observation (performance ∝ shared-cache
+//! access rate) by co-running each application with "a memory
+//! bandwidth/cache capacity hog program" whose "cache and memory access
+//! behavior can be varied to cause different amounts of interference".
+
+use asm_cpu::AppProfile;
+
+/// Builds a hog profile at interference `level` out of `levels`.
+///
+/// Level 0 is a near-idle hog; the maximum level is a full-rate streaming
+/// sweep of a footprint many times the shared cache, saturating both cache
+/// capacity and memory bandwidth.
+///
+/// # Panics
+///
+/// Panics if `levels` is zero or `level >= levels`.
+///
+/// # Examples
+///
+/// ```
+/// use asm_workloads::hog_profile;
+/// let quiet = hog_profile(0, 5);
+/// let loud = hog_profile(4, 5);
+/// assert!(loud.mem_per_kilo() > quiet.mem_per_kilo());
+/// ```
+#[must_use]
+pub fn hog_profile(level: usize, levels: usize) -> AppProfile {
+    assert!(levels > 0, "need at least one level");
+    assert!(level < levels, "level {level} out of range 0..{levels}");
+    let t = if levels == 1 {
+        1.0
+    } else {
+        level as f64 / (levels - 1) as f64
+    };
+    // Intensity ramps 5 -> 300 accesses per kilo-instruction; footprint
+    // ramps from L1-resident to 16x the LLC.
+    let mpk = (5.0 + t * 295.0) as u32;
+    let ws = (1_024.0 * (512.0f64).powf(t)) as u64; // 1k -> 512k lines
+    AppProfile::builder(&format!("hog_l{level}"))
+        .mem_per_kilo(mpk)
+        .working_set_lines(ws.max(1_024))
+        .hot_lines(256)
+        .hot_frac(0.05)
+        .seq_run(32)
+        .mlp(12)
+        .write_frac(0.3)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_increase_interference_monotonically() {
+        let hogs: Vec<_> = (0..6).map(|l| hog_profile(l, 6)).collect();
+        for w in hogs.windows(2) {
+            assert!(w[0].mem_per_kilo() <= w[1].mem_per_kilo());
+            assert!(w[0].working_set_lines() <= w[1].working_set_lines());
+        }
+    }
+
+    #[test]
+    fn max_hog_overwhelms_llc() {
+        let h = hog_profile(4, 5);
+        assert!(h.working_set_lines() > 32_768 * 8);
+        assert!(h.mem_per_kilo() >= 290);
+    }
+
+    #[test]
+    fn single_level_is_maximum() {
+        let h = hog_profile(0, 1);
+        assert!(h.mem_per_kilo() >= 290);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_level_rejected() {
+        let _ = hog_profile(5, 5);
+    }
+}

@@ -1,0 +1,188 @@
+//! Named synthetic profiles standing in for the paper's benchmarks.
+//!
+//! Parameters are chosen relative to the simulated hierarchy (64 KB L1 =
+//! 1024 lines; 2 MB LLC = 32768 lines):
+//!
+//! - *compute-bound* profiles keep their hot set L1-resident and access
+//!   memory rarely;
+//! - *cache-sensitive* profiles (`bzip2_like`, `dealII_like`, `ft_like`)
+//!   have hot sets that fit the LLC only when they get enough of it — they
+//!   lose the most to shared-cache interference;
+//! - *memory-intensive streaming* profiles (`libquantum_like`, `lbm_like`)
+//!   sweep footprints far beyond the LLC with long sequential bursts (high
+//!   row-buffer locality);
+//! - *memory-intensive irregular* profiles (`mcf_like`, `cg_like`) do the
+//!   same with short bursts (row-buffer hostile) and high MLP.
+
+use asm_cpu::AppProfile;
+
+/// Builds one profile by short name. Names follow the paper's benchmarks
+/// with a `_like` suffix. (One positional argument per profile axis keeps
+/// the suite tables readable.)
+#[allow(clippy::too_many_arguments)]
+fn make(
+    name: &str,
+    mpk: u32,
+    ws: u64,
+    hot: u64,
+    hot_frac: f64,
+    run: u32,
+    mlp: u32,
+    wf: f64,
+) -> AppProfile {
+    AppProfile::builder(name)
+        .mem_per_kilo(mpk)
+        .working_set_lines(ws)
+        .hot_lines(hot)
+        .hot_frac(hot_frac)
+        .seq_run(run)
+        .mlp(mlp)
+        .write_frac(wf)
+        .build()
+}
+
+/// SPEC CPU2006-like profiles, in increasing memory intensity (the x-axis
+/// order of Figures 2 and 3).
+#[must_use]
+pub fn spec() -> Vec<AppProfile> {
+    vec![
+        make("povray_like", 5, 2_048, 512, 0.95, 16, 2, 0.20),
+        make("calculix_like", 8, 4_096, 1_024, 0.92, 16, 2, 0.20),
+        make("tonto_like", 10, 6_144, 1_024, 0.90, 12, 3, 0.25),
+        make("namd_like", 12, 8_192, 2_048, 0.90, 32, 4, 0.20),
+        make("perlbench_like", 15, 12_288, 2_048, 0.85, 6, 3, 0.30),
+        make("gobmk_like", 18, 12_288, 3_072, 0.82, 4, 3, 0.25),
+        make("sjeng_like", 18, 16_384, 4_096, 0.85, 4, 3, 0.25),
+        make("gcc_like", 20, 20_480, 4_096, 0.80, 8, 4, 0.30),
+        make("h264ref_like", 25, 16_384, 4_096, 0.85, 24, 4, 0.25),
+        make("gromacs_like", 28, 16_384, 2_048, 0.75, 24, 4, 0.20),
+        make("bzip2_like", 35, 30_720, 12_288, 0.75, 12, 4, 0.30),
+        make("astar_like", 38, 32_768, 8_192, 0.65, 3, 4, 0.25),
+        make("dealII_like", 40, 40_960, 16_384, 0.80, 8, 4, 0.25),
+        make("hmmer_like", 42, 24_576, 6_144, 0.70, 16, 4, 0.20),
+        make("cactusADM_like", 45, 65_536, 8_192, 0.55, 24, 6, 0.30),
+        make("sphinx3_like", 45, 65_536, 8_192, 0.60, 16, 6, 0.15),
+        make("zeusmp_like", 50, 98_304, 4_096, 0.45, 32, 6, 0.30),
+        make("omnetpp_like", 60, 262_144, 2_048, 0.40, 2, 6, 0.30),
+        make("leslie3d_like", 70, 262_144, 1_024, 0.20, 48, 8, 0.30),
+        make("GemsFDTD_like", 80, 524_288, 1_024, 0.20, 32, 8, 0.30),
+        make("milc_like", 85, 524_288, 512, 0.15, 24, 8, 0.30),
+        make("lbm_like", 90, 524_288, 512, 0.10, 64, 10, 0.40),
+        make("soplex_like", 100, 524_288, 4_096, 0.30, 6, 8, 0.20),
+        make("libquantum_like", 110, 524_288, 256, 0.05, 96, 12, 0.25),
+        make("mcf_like", 120, 1_048_576, 8_192, 0.35, 2, 10, 0.20),
+    ]
+}
+
+/// NAS Parallel Benchmark-like profiles, in increasing memory intensity.
+#[must_use]
+pub fn nas() -> Vec<AppProfile> {
+    vec![
+        make("bt_like", 15, 16_384, 4_096, 0.85, 24, 4, 0.30),
+        make("sp_like", 25, 32_768, 6_144, 0.75, 24, 4, 0.30),
+        make("ua_like", 35, 49_152, 8_192, 0.65, 8, 4, 0.30),
+        make("is_like", 50, 131_072, 2_048, 0.35, 2, 6, 0.35),
+        make("lu_like", 55, 65_536, 8_192, 0.60, 32, 6, 0.30),
+        make("ft_like", 55, 36_864, 24_576, 0.75, 16, 6, 0.30),
+        make("mg_like", 75, 262_144, 2_048, 0.25, 48, 8, 0.30),
+        make("cg_like", 95, 524_288, 1_024, 0.20, 2, 10, 0.20),
+    ]
+}
+
+/// Database-workload-like profiles (TPC-C / YCSB; §6 "Accuracy with
+/// Database Workloads").
+#[must_use]
+pub fn db() -> Vec<AppProfile> {
+    vec![
+        make("tpcc_like", 55, 1_048_576, 16_384, 0.50, 3, 4, 0.35),
+        make("ycsb_like", 45, 1_048_576, 8_192, 0.60, 4, 6, 0.25),
+    ]
+}
+
+/// Every profile (SPEC-like then NAS-like; database profiles are separate
+/// as in the paper).
+#[must_use]
+pub fn all() -> Vec<AppProfile> {
+    let mut v = spec();
+    v.extend(nas());
+    v
+}
+
+/// Looks up a profile by name across all suites (including database
+/// profiles).
+#[must_use]
+pub fn by_name(name: &str) -> Option<AppProfile> {
+    all().into_iter().chain(db()).find(|p| p.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_expected_sizes() {
+        assert_eq!(spec().len(), 25);
+        assert_eq!(nas().len(), 8);
+        assert_eq!(db().len(), 2);
+        assert_eq!(all().len(), 33);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all().iter().map(|p| p.name().to_owned()).collect();
+        names.extend(db().iter().map(|p| p.name().to_owned()));
+        let count = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), count);
+    }
+
+    #[test]
+    fn spec_sorted_by_intensity() {
+        let s = spec();
+        for w in s.windows(2) {
+            assert!(
+                w[0].mem_per_kilo() <= w[1].mem_per_kilo(),
+                "{} > {}",
+                w[0].name(),
+                w[1].name()
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_finds_db_profiles() {
+        assert!(by_name("tpcc_like").is_some());
+        assert!(by_name("mcf_like").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn hot_sets_within_working_sets() {
+        for p in all().iter().chain(db().iter()) {
+            assert!(p.hot_lines() <= p.working_set_lines(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn suite_spans_cache_sensitivity_spectrum() {
+        const LLC_LINES: u64 = 32_768; // 2 MB / 64 B
+        let profiles = all();
+        let fits_llc = profiles
+            .iter()
+            .filter(|p| p.hot_lines() <= LLC_LINES && p.hot_lines() > 1_024)
+            .count();
+        let exceeds_llc = profiles
+            .iter()
+            .filter(|p| p.working_set_lines() > 4 * LLC_LINES)
+            .count();
+        assert!(
+            fits_llc >= 8,
+            "need cache-sensitive profiles, got {fits_llc}"
+        );
+        assert!(
+            exceeds_llc >= 8,
+            "need memory-bound profiles, got {exceeds_llc}"
+        );
+    }
+}

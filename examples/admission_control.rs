@@ -1,0 +1,99 @@
+//! Slowdown-driven job migration and admission control (§7.5).
+//!
+//! Simulates two consolidated "machines" (two independent 4-core systems),
+//! reads ASM's online slowdown estimates from each, and applies the
+//! migration/admission logic of `asm_core::mech::migration`: move the
+//! most-slowed-down job off the hottest machine, and check whether either
+//! machine can admit new work under an SLA bound.
+//!
+//! Run with: `cargo run --release --example admission_control`
+
+use asm_repro::core::mech::migration::{admit, recommend_migration, MachineSnapshot};
+use asm_repro::core::{EstimatorSet, System, SystemConfig};
+use asm_repro::metrics::Table;
+use asm_repro::workloads::suite;
+
+fn config() -> SystemConfig {
+    let mut c = SystemConfig::default();
+    c.quantum = 1_000_000;
+    c.epoch = 10_000;
+    c.estimators = EstimatorSet::asm_only();
+    c
+}
+
+fn snapshot(machine: usize, sys: &System) -> MachineSnapshot {
+    let slowdowns = sys
+        .records()
+        .last()
+        .and_then(|r| r.estimates_of("ASM").map(<[f64]>::to_vec))
+        .unwrap_or_default();
+    MachineSnapshot { machine, slowdowns }
+}
+
+fn main() {
+    // Machine 0: an overloaded mix of heavy streamers.
+    let hot = vec![
+        suite::by_name("mcf_like").expect("profile"),
+        suite::by_name("libquantum_like").expect("profile"),
+        suite::by_name("lbm_like").expect("profile"),
+        suite::by_name("soplex_like").expect("profile"),
+    ];
+    // Machine 1: light compute-bound tenants.
+    let cool = vec![
+        suite::by_name("povray_like").expect("profile"),
+        suite::by_name("namd_like").expect("profile"),
+        suite::by_name("h264ref_like").expect("profile"),
+        suite::by_name("gcc_like").expect("profile"),
+    ];
+
+    println!("simulating both machines for 3M cycles...");
+    let mut m0 = System::new(&hot, config());
+    let mut m1 = System::new(&cool, config());
+    m0.run_for(3_000_000);
+    m1.run_for(3_000_000);
+
+    let snaps = [snapshot(0, &m0), snapshot(1, &m1)];
+    let mut table = Table::new(vec![
+        "machine".into(),
+        "apps".into(),
+        "ASM slowdowns".into(),
+        "max".into(),
+    ]);
+    for (snap, sys) in snaps.iter().zip([&m0, &m1]) {
+        table.row(vec![
+            snap.machine.to_string(),
+            sys.app_names().join(", "),
+            snap.slowdowns
+                .iter()
+                .map(|s| format!("{s:.2}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+            format!("{:.2}", snap.max_slowdown()),
+        ]);
+    }
+    println!("{table}");
+
+    match recommend_migration(&snaps, 1.3) {
+        Some(m) => {
+            let name = [&m0, &m1][m.from].app_names()[m.app_index].clone();
+            println!(
+                "migration advice: move {name} (app{}) from machine {} to machine {}",
+                m.app_index, m.from, m.to
+            );
+        }
+        None => println!("migration advice: machines are balanced, no move"),
+    }
+
+    let sla = 3.0;
+    for snap in &snaps {
+        println!(
+            "admission control (SLA {sla}x, 0.5 headroom): machine {} {}",
+            snap.machine,
+            if admit(snap, sla, 0.5) {
+                "CAN admit new work"
+            } else {
+                "must REJECT new work"
+            }
+        );
+    }
+}

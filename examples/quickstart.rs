@@ -1,0 +1,68 @@
+//! Quickstart: estimate application slowdowns online with ASM.
+//!
+//! Builds a 4-application workload, simulates it on the Table 2 system,
+//! and prints ASM's per-quantum slowdown estimates next to the measured
+//! ground truth (from alone runs of the same applications).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use asm_repro::core::{EstimatorSet, Runner, SystemConfig};
+use asm_repro::metrics::Table;
+use asm_repro::workloads::suite;
+
+fn main() {
+    // A mix spanning the behaviour space: cache-sensitive (bzip2),
+    // streaming (libquantum), irregular memory-bound (mcf), and moderate
+    // (h264ref).
+    let apps = vec![
+        suite::by_name("bzip2_like").expect("profile exists"),
+        suite::by_name("libquantum_like").expect("profile exists"),
+        suite::by_name("mcf_like").expect("profile exists"),
+        suite::by_name("h264ref_like").expect("profile exists"),
+    ];
+
+    // Table 2 hardware with a scaled-down quantum so the example finishes
+    // in seconds (the paper uses Q = 5M cycles).
+    let mut config = SystemConfig::default();
+    config.quantum = 1_000_000;
+    config.epoch = 10_000;
+    config.estimators = EstimatorSet::asm_only();
+
+    let mut runner = Runner::new(config);
+    println!("simulating 6M cycles (plus alone runs for ground truth)...");
+    let result = runner.run(&apps, 6_000_000);
+
+    let mut table = Table::new(vec![
+        "quantum".into(),
+        "app".into(),
+        "ASM estimate".into(),
+        "actual".into(),
+        "error".into(),
+    ]);
+    for (qi, q) in result.quanta.iter().enumerate() {
+        let est = q
+            .estimates
+            .iter()
+            .find(|(n, _)| n == "ASM")
+            .map(|(_, v)| v.as_slice())
+            .expect("ASM enabled");
+        for (i, name) in result.app_names.iter().enumerate() {
+            let (e, a) = (est[i], q.actual[i]);
+            if !a.is_finite() {
+                continue;
+            }
+            table.row(vec![
+                qi.to_string(),
+                name.clone(),
+                format!("{e:.2}x"),
+                format!("{a:.2}x"),
+                format!("{:.1}%", asm_repro::metrics::estimation_error_pct(e, a)),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("whole-run slowdowns: ");
+    for (name, s) in result.app_names.iter().zip(&result.whole_run_slowdowns) {
+        println!("  {name}: {s:.2}x");
+    }
+}

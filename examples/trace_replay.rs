@@ -1,0 +1,84 @@
+//! Trace-driven simulation: estimate slowdowns for *recorded* access
+//! traces instead of synthetic profiles.
+//!
+//! The paper drives its simulator with Pin traces of real benchmarks; this
+//! example shows the equivalent interface here. It first records a short
+//! trace from two synthetic applications (standing in for real traces on
+//! disk), writes them in the text trace format, then replays them through
+//! [`System::from_specs`] with ASM estimating slowdowns online.
+//!
+//! Run with: `cargo run --release --example trace_replay`
+
+use asm_repro::core::{AppSpec, EstimatorSet, System, SystemConfig};
+use asm_repro::cpu::{AddressStream, AppProfile, TraceSource};
+use asm_repro::metrics::Table;
+use asm_repro::workloads::suite;
+
+/// Records `len` accesses of `profile` (slot `slot`) into the text trace
+/// format — a stand-in for a real Pin trace on disk.
+fn record_trace(profile: &AppProfile, slot: usize, len: usize) -> Vec<u8> {
+    let mut stream = AddressStream::new(profile, slot, 7);
+    let ops: Vec<_> = (0..len).map(|_| stream.next_op()).collect();
+    let trace = TraceSource::new(ops);
+    let mut buf = Vec::new();
+    trace.write_to(&mut buf).expect("in-memory write");
+    buf
+}
+
+fn main() {
+    let profiles = [
+        suite::by_name("mcf_like").expect("profile"),
+        suite::by_name("h264ref_like").expect("profile"),
+    ];
+
+    // "Record" traces (in a real deployment these are files on disk).
+    println!("recording traces...");
+    let traces: Vec<Vec<u8>> = profiles
+        .iter()
+        .enumerate()
+        .map(|(slot, p)| record_trace(p, slot, 200_000))
+        .collect();
+    for (p, t) in profiles.iter().zip(&traces) {
+        println!("  {}: {} bytes of trace", p.name(), t.len());
+    }
+
+    // Replay through the full system with ASM observing.
+    let specs: Vec<AppSpec> = profiles
+        .iter()
+        .zip(&traces)
+        .map(|(p, bytes)| AppSpec {
+            name: format!("{}(trace)", p.name()),
+            source: Box::new(TraceSource::parse(bytes.as_slice()).expect("valid trace")),
+            mem_probability: p.mem_probability(),
+            mlp: p.mlp(),
+        })
+        .collect();
+
+    let mut config = SystemConfig::default();
+    config.quantum = 500_000;
+    config.epoch = 10_000;
+    config.estimators = EstimatorSet::asm_only();
+
+    let mut sys = System::from_specs(specs, config);
+    println!("replaying for 2M cycles...");
+    sys.run_for(2_000_000);
+
+    let mut table = Table::new(vec![
+        "quantum".into(),
+        "app".into(),
+        "CAR (acc/kcycle)".into(),
+        "ASM slowdown".into(),
+    ]);
+    for (qi, r) in sys.records().iter().enumerate() {
+        let est = r.estimates_of("ASM").expect("ASM enabled");
+        for (i, name) in sys.app_names().iter().enumerate() {
+            table.row(vec![
+                qi.to_string(),
+                name.clone(),
+                format!("{:.2}", r.car_shared[i] * 1_000.0),
+                format!("{:.2}x", est[i]),
+            ]);
+        }
+    }
+    println!("{table}");
+}

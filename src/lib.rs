@@ -1,0 +1,29 @@
+//! Umbrella crate for the ASM (Application Slowdown Model) reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests can `use asm_repro::...`.
+//!
+//! # Examples
+//!
+//! ```
+//! use asm_repro::core::{Runner, SystemConfig};
+//! use asm_repro::workloads::suite;
+//!
+//! let mut config = SystemConfig::default();
+//! config.quantum = 100_000;
+//! config.epoch = 2_000;
+//! let apps = vec![
+//!     suite::by_name("libquantum_like").unwrap(),
+//!     suite::by_name("bzip2_like").unwrap(),
+//! ];
+//! let result = Runner::new(config).run(&apps, 200_000);
+//! assert_eq!(result.quanta.len(), 2);
+//! ```
+
+pub use asm_cache as cache;
+pub use asm_core as core;
+pub use asm_cpu as cpu;
+pub use asm_dram as dram;
+pub use asm_metrics as metrics;
+pub use asm_simcore as simcore;
+pub use asm_workloads as workloads;

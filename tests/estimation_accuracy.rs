@@ -1,0 +1,97 @@
+//! End-to-end accuracy tests: the paper's headline qualitative results
+//! must hold at test scale.
+
+use asm_repro::core::{EstimatorSet, Runner, SystemConfig};
+use asm_repro::metrics::ErrorAggregate;
+use asm_repro::workloads::mix;
+
+fn accuracy_config(sampled: bool) -> SystemConfig {
+    let mut c = SystemConfig::default();
+    c.quantum = 500_000;
+    c.epoch = 10_000;
+    c.estimators = EstimatorSet::all();
+    c.ats_sampled_sets = if sampled { Some(64) } else { None };
+    c
+}
+
+/// Mean error per estimator across a few workloads, skipping one warmup
+/// quantum per run.
+fn mean_errors(sampled: bool, workload_count: usize, cycles: u64) -> Vec<(String, f64)> {
+    let mut runner = Runner::new(accuracy_config(sampled));
+    let workloads = mix::random_mixes(workload_count, 4, 1234);
+    let mut aggs: Vec<(String, ErrorAggregate)> = Vec::new();
+    for w in &workloads {
+        let r = runner.run(w, cycles);
+        for q in r.quanta.iter().skip(2) {
+            for (name, est) in &q.estimates {
+                let agg = match aggs.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, a)) => a,
+                    None => {
+                        aggs.push((name.clone(), ErrorAggregate::new()));
+                        &mut aggs.last_mut().unwrap().1
+                    }
+                };
+                for (&e, &a) in est.iter().zip(&q.actual) {
+                    if a.is_finite() && a > 0.0 {
+                        agg.add_error_pct(asm_repro::metrics::estimation_error_pct(e, a));
+                    }
+                }
+            }
+        }
+    }
+    aggs.into_iter()
+        .map(|(n, a)| (n, a.mean_pct().unwrap_or(f64::NAN)))
+        .collect()
+}
+
+fn error_of(errors: &[(String, f64)], name: &str) -> f64 {
+    errors
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, e)| *e)
+        .expect("estimator present")
+}
+
+#[test]
+fn asm_is_most_accurate_with_sampling() {
+    // Figure 3's headline: with realistic (sampled) hardware budgets, ASM
+    // beats both per-request models.
+    let errors = mean_errors(true, 4, 3_000_000);
+    let asm = error_of(&errors, "ASM");
+    let fst = error_of(&errors, "FST");
+    let ptca = error_of(&errors, "PTCA");
+    assert!(asm < fst, "ASM ({asm:.1}%) should beat FST ({fst:.1}%)");
+    assert!(asm < ptca, "ASM ({asm:.1}%) should beat PTCA ({ptca:.1}%)");
+    assert!(asm < 30.0, "ASM error too high: {asm:.1}%");
+}
+
+#[test]
+fn sampling_hurts_ptca_much_more_than_asm() {
+    // Figure 2 -> Figure 3 transition: PTCA degrades drastically under ATS
+    // sampling; ASM barely moves.
+    let unsampled = mean_errors(false, 3, 2_000_000);
+    let sampled = mean_errors(true, 3, 2_000_000);
+    let asm_delta = error_of(&sampled, "ASM") - error_of(&unsampled, "ASM");
+    let ptca_delta = error_of(&sampled, "PTCA") - error_of(&unsampled, "PTCA");
+    assert!(
+        ptca_delta > asm_delta,
+        "sampling should hurt PTCA ({ptca_delta:+.1}%) more than ASM ({asm_delta:+.1}%)"
+    );
+}
+
+#[test]
+fn runner_results_are_reproducible() {
+    let mut a = Runner::new(accuracy_config(true));
+    let mut b = Runner::new(accuracy_config(true));
+    let w = mix::random_mixes(1, 4, 99).remove(0);
+    let ra = a.run(&w, 1_500_000);
+    let rb = b.run(&w, 1_500_000);
+    assert_eq!(ra.quanta.len(), rb.quanta.len());
+    for (qa, qb) in ra.quanta.iter().zip(&rb.quanta) {
+        assert_eq!(qa.actual, qb.actual);
+        for ((na, ea), (nb, eb)) in qa.estimates.iter().zip(&qb.estimates) {
+            assert_eq!(na, nb);
+            assert_eq!(ea, eb);
+        }
+    }
+}

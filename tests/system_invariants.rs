@@ -1,0 +1,220 @@
+//! Whole-system integration tests: invariants that span cores, caches,
+//! the ATS and main memory.
+
+use asm_repro::core::{EstimatorSet, System, SystemConfig};
+use asm_repro::cpu::AppProfile;
+use asm_repro::simcore::AppId;
+use asm_repro::workloads::suite;
+
+fn small_config() -> SystemConfig {
+    let mut c = SystemConfig::default();
+    c.quantum = 200_000;
+    c.epoch = 5_000;
+    c.estimators = EstimatorSet::all();
+    c
+}
+
+#[test]
+fn alone_run_with_full_ats_matches_shared_cache_exactly() {
+    // For a single read-only application with a full (unsampled) ATS and no
+    // prefetcher, the ATS sees exactly the accesses the shared cache sees
+    // and must produce identical hit counts — the strongest cross-check of
+    // the "ATS mirrors the alone cache" design.
+    let app = AppProfile::builder("readonly")
+        .mem_per_kilo(80)
+        .working_set_lines(40_000)
+        .hot_lines(8_000)
+        .hot_frac(0.7)
+        .write_frac(0.0)
+        .build();
+    let mut config = small_config();
+    config.ats_sampled_sets = None;
+    config.estimators = EstimatorSet::asm_only();
+    let mut sys = System::new_alone(&[app], config, AppId::new(0));
+    sys.run_for(600_000);
+    // In an alone run every epoch belongs to the app, so the ASM record's
+    // contention misses should be ~zero: estimates stay at 1.0.
+    for r in sys.records() {
+        let asm = r.estimates_of("ASM").expect("ASM enabled");
+        assert!(
+            (asm[0] - 1.0).abs() < 0.15,
+            "alone run should estimate ~no slowdown, got {}",
+            asm[0]
+        );
+    }
+}
+
+#[test]
+fn car_shared_matches_retired_work_direction() {
+    // CAR and IPC should move together across quanta (the Figure 1
+    // observation, checked inside one run).
+    let apps = vec![
+        suite::by_name("libquantum_like").unwrap(),
+        suite::by_name("mcf_like").unwrap(),
+    ];
+    let mut sys = System::new(&apps, small_config());
+    sys.run_for(1_000_000);
+    let records = sys.records();
+    assert!(records.len() >= 4);
+    for r in records {
+        for (i, &car) in r.car_shared.iter().enumerate() {
+            let ipc = (r.retired_end[i] - r.retired_start[i]) as f64
+                / (r.end_cycle - r.start_cycle) as f64;
+            assert!(car > 0.0, "app{i} generated no cache accesses");
+            assert!(ipc > 0.0, "app{i} retired nothing");
+        }
+    }
+}
+
+#[test]
+fn estimators_present_and_bounded() {
+    let apps = vec![
+        suite::by_name("soplex_like").unwrap(),
+        suite::by_name("h264ref_like").unwrap(),
+        suite::by_name("milc_like").unwrap(),
+        suite::by_name("gcc_like").unwrap(),
+    ];
+    let mut sys = System::new(&apps, small_config());
+    sys.run_for(800_000);
+    for r in sys.records() {
+        assert_eq!(r.estimates.len(), 4);
+        for (name, est) in &r.estimates {
+            assert_eq!(est.len(), 4, "{name} missing apps");
+            for &s in est {
+                assert!(
+                    (1.0..=30.0).contains(&s),
+                    "{name} produced implausible slowdown {s}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn no_writebacks_dropped_at_default_config() {
+    let apps = vec![
+        suite::by_name("lbm_like").unwrap(), // write-heavy streamer
+        suite::by_name("libquantum_like").unwrap(),
+    ];
+    let mut sys = System::new(&apps, small_config());
+    sys.run_for(600_000);
+    let dropped = sys.dropped_writebacks();
+    let retired: u64 = (0..2).map(|i| sys.retired(AppId::new(i))).sum();
+    assert!(retired > 10_000);
+    // Allow a negligible number under bursts, but not systematic loss.
+    assert!(
+        dropped < 50,
+        "{dropped} writebacks dropped — write path is undersized"
+    );
+}
+
+#[test]
+fn heavier_co_runners_mean_larger_slowdowns() {
+    // The same app co-run with light apps vs heavy streamers: ground-truth
+    // pressure should show up as lower retired counts.
+    let run = |others: &str| {
+        let apps = vec![
+            suite::by_name("bzip2_like").unwrap(),
+            suite::by_name(others).unwrap(),
+            suite::by_name(others).unwrap(),
+            suite::by_name(others).unwrap(),
+        ];
+        let mut sys = System::new(&apps, small_config());
+        sys.run_for(800_000);
+        sys.retired(AppId::new(0))
+    };
+    let with_light = run("povray_like");
+    let with_heavy = run("libquantum_like");
+    assert!(
+        with_light as f64 > with_heavy as f64 * 1.1,
+        "heavy co-runners should slow bzip2 down: light {with_light} vs heavy {with_heavy}"
+    );
+}
+
+#[test]
+fn sixteen_core_system_runs() {
+    let apps: Vec<_> = suite::all().into_iter().take(16).collect();
+    let mut sys = System::new(&apps, small_config());
+    sys.run_for(400_000);
+    for i in 0..16 {
+        assert!(sys.retired(AppId::new(i)) > 0, "core {i} made no progress");
+    }
+}
+
+#[test]
+fn multi_channel_outperforms_single_channel() {
+    let apps = vec![
+        suite::by_name("libquantum_like").unwrap(),
+        suite::by_name("lbm_like").unwrap(),
+        suite::by_name("milc_like").unwrap(),
+        suite::by_name("cg_like").unwrap(),
+    ];
+    let retired_with_channels = |channels: usize| {
+        let mut c = small_config();
+        c.dram.channels = channels;
+        c.estimators = EstimatorSet::asm_only();
+        let mut sys = System::new(&apps, c);
+        sys.run_for(600_000);
+        (0..4).map(|i| sys.retired(AppId::new(i))).sum::<u64>()
+    };
+    let one = retired_with_channels(1);
+    let four = retired_with_channels(4);
+    assert!(
+        four as f64 > one as f64 * 1.3,
+        "4 channels should relieve bandwidth pressure: {one} vs {four}"
+    );
+}
+
+#[test]
+fn app_summary_is_consistent_with_records() {
+    let apps = vec![
+        suite::by_name("mcf_like").unwrap(),
+        suite::by_name("h264ref_like").unwrap(),
+    ];
+    let mut sys = System::new(&apps, small_config());
+    sys.run_for(600_000);
+    for i in 0..2 {
+        let s = sys.app_summary(AppId::new(i));
+        assert_eq!(s.llc_accesses, s.llc_hits + s.llc_misses);
+        assert_eq!(s.instructions, sys.retired(AppId::new(i)));
+        // CAR from the summary must equal the record-weighted CAR.
+        let rec_accesses: f64 = sys
+            .records()
+            .iter()
+            .map(|r| r.car_shared[i] * (r.end_cycle - r.start_cycle) as f64)
+            .sum();
+        assert!(
+            (s.llc_accesses as f64 - rec_accesses).abs() < 1.0,
+            "summary {} vs records {rec_accesses}",
+            s.llc_accesses
+        );
+        assert!(s.llc_mpki > 0.0);
+    }
+}
+
+#[test]
+fn bank_partitioning_eliminates_bank_interference() {
+    use asm_repro::dram::BankPartition;
+    let apps = vec![
+        suite::by_name("libquantum_like").unwrap(),
+        suite::by_name("cg_like").unwrap(),
+    ];
+    let run = |partition: Option<BankPartition>| {
+        let mut c = small_config();
+        c.estimators = EstimatorSet::asm_only();
+        c.dram.bank_partition = partition;
+        let mut sys = System::new(&apps, c);
+        sys.run_for(600_000);
+        (0..2)
+            .map(|i| sys.retired(AppId::new(i)))
+            .collect::<Vec<_>>()
+    };
+    let free = run(None);
+    let partitioned = run(Some(BankPartition::even(2, 8)));
+    // With each app confined to half the banks, progress changes but both
+    // apps must still run; and the partition must be deterministic.
+    for (i, &r) in partitioned.iter().enumerate() {
+        assert!(r > 1_000, "app{i} starved under bank partitioning");
+    }
+    assert_ne!(free, partitioned, "partitioning should change behaviour");
+}
