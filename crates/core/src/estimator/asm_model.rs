@@ -186,10 +186,14 @@ fn estimate_slowdown(
     queueing_correction: bool,
 ) -> Estimate {
     let car_shared = st.accesses as f64 / ctx.quantum as f64;
-    let epoch_cycles = (st.epoch_count * ctx.epoch) as f64;
+    // Keep the degenerate-quantum test in integer cycles (asm-lint R3):
+    // comparing the f64 image of this product against 0.0 is exact today
+    // but fragile under refactoring.
+    let epoch_cycles_int = st.epoch_count * ctx.epoch;
+    let epoch_cycles = epoch_cycles_int as f64;
     let epoch_accesses = st.epoch_hits + st.epoch_misses;
 
-    if st.accesses == 0 || epoch_accesses < MIN_EPOCH_ACCESSES || epoch_cycles == 0.0 {
+    if st.accesses == 0 || epoch_accesses < MIN_EPOCH_ACCESSES || epoch_cycles_int == 0 {
         // Too little information: the application is compute-bound or was
         // barely observed under priority this quantum (Table 3 shows the
         // model needs enough epoch samples); report no slowdown.

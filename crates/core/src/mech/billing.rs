@@ -57,6 +57,8 @@ pub fn mean_slowdown(estimates: &[f64]) -> Option<f64> {
     if estimates.is_empty() || estimates.iter().any(|s| !s.is_finite()) {
         return None;
     }
+    // asm-lint: allow(R5): a billing period holds far fewer than 2^53
+    // quanta, so the usize→f64 conversion of the count is exact
     Some(estimates.iter().sum::<f64>() / estimates.len() as f64)
 }
 

@@ -10,7 +10,7 @@
 //! sweeping many shared workloads that reuse applications does not repeat
 //! alone simulations.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use asm_cpu::{AppProfile, ProgressLog};
@@ -106,7 +106,7 @@ struct AloneRecord {
 #[derive(Debug)]
 pub struct Runner {
     config: SystemConfig,
-    alone_cache: HashMap<(String, usize), AloneRecord>,
+    alone_cache: BTreeMap<(String, usize), AloneRecord>,
 }
 
 impl std::fmt::Debug for AloneRecord {
@@ -126,7 +126,7 @@ impl Runner {
         config.validate();
         Runner {
             config,
-            alone_cache: HashMap::new(),
+            alone_cache: BTreeMap::new(),
         }
     }
 

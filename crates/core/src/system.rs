@@ -16,7 +16,7 @@
 //!    updating the ATS/pollution filters and emitting
 //!    [`AccessEvent`]s along the way.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use asm_cache::{AuxiliaryTagStore, PollutionFilter, SetAssocCache, WayPartition};
 use asm_cpu::{AppProfile, Core, MemIssueResult, ProgressLog, StridePrefetcher};
@@ -208,7 +208,7 @@ pub struct System {
     pollution: Vec<PollutionFilter>,
     prefetchers: Vec<StridePrefetcher>,
     mem: MemorySystem,
-    mshr: HashMap<u64, MissEntry>,
+    mshr: BTreeMap<u64, MissEntry>,
     estimators: Vec<Box<dyn SlowdownEstimator>>,
     qstats: Vec<AppQuantumStats>,
     records: Vec<QuantumRecord>,
@@ -379,7 +379,7 @@ impl System {
             pollution,
             prefetchers,
             mem,
-            mshr: HashMap::new(),
+            mshr: BTreeMap::new(),
             estimators,
             qstats: vec![AppQuantumStats::default(); n],
             records: Vec::new(),
@@ -774,7 +774,7 @@ struct Hier<'a> {
     pollution: &'a mut Vec<PollutionFilter>,
     prefetchers: &'a mut Vec<StridePrefetcher>,
     mem: &'a mut MemorySystem,
-    mshr: &'a mut HashMap<u64, MissEntry>,
+    mshr: &'a mut BTreeMap<u64, MissEntry>,
     estimators: &'a mut Vec<Box<dyn SlowdownEstimator>>,
     qstats: &'a mut Vec<AppQuantumStats>,
     epoch_owner: Option<AppId>,

@@ -12,7 +12,7 @@
 //! they generate cache/memory traffic but never stall retirement, matching
 //! the common simplification that load latency dominates stalls.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use asm_simcore::{AppId, Cycle, LineAddr};
@@ -79,7 +79,7 @@ pub struct Core {
     first_id: u64,
     next_id: u64,
     waiting: VecDeque<u64>,
-    tokens: HashMap<u64, u64>,
+    tokens: BTreeMap<u64, u64>,
     outstanding: u32,
     gap_left: u64,
 
@@ -172,7 +172,7 @@ impl Core {
             first_id: 0,
             next_id: 0,
             waiting: VecDeque::new(),
-            tokens: HashMap::new(),
+            tokens: BTreeMap::new(),
             outstanding: 0,
             gap_left,
             retired: 0,

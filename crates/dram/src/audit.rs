@@ -122,10 +122,10 @@ impl TimingAudit {
         let mut events = self.events.clone();
         events.sort_by_key(|e| e.start);
 
-        use std::collections::HashMap;
-        let mut bank_busy_until: HashMap<(usize, usize), Cycle> = HashMap::new();
-        let mut bus_finishes: HashMap<usize, Vec<Cycle>> = HashMap::new();
-        let mut activates: HashMap<usize, Vec<Cycle>> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut bank_busy_until: BTreeMap<(usize, usize), Cycle> = BTreeMap::new();
+        let mut bus_finishes: BTreeMap<usize, Vec<Cycle>> = BTreeMap::new();
+        let mut activates: BTreeMap<usize, Vec<Cycle>> = BTreeMap::new();
 
         for e in &events {
             if let Some(&busy) = bank_busy_until.get(&(e.channel, e.bank)) {

@@ -225,7 +225,7 @@ impl Channel {
 /// use asm_simcore::{AppId, LineAddr};
 ///
 /// let mut mem = MemorySystem::new(DramConfig::default(), SchedulerKind::FrFcfs, 1);
-/// mem.enqueue(MemRequest::read(7, LineAddr::new(0), AppId::new(0), 0)).unwrap();
+/// mem.enqueue(MemRequest::read(7, LineAddr::new(0), AppId::new(0), 0)).expect("fresh queue has free capacity");
 /// let mut done = Vec::new();
 /// let mut now = 0;
 /// while done.is_empty() {
@@ -697,7 +697,7 @@ mod tests {
     fn single_read_completes_with_closed_row_latency() {
         let mut mem = system(1);
         mem.enqueue(MemRequest::read(1, LineAddr::new(0), AppId::new(0), 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         let done = run_until(&mut mem, 0, 1_000);
         assert_eq!(done.len(), 1);
         let t = mem.config().timing;
@@ -709,9 +709,9 @@ mod tests {
     fn second_access_to_same_row_is_a_row_hit() {
         let mut mem = system(1);
         mem.enqueue(MemRequest::read(1, LineAddr::new(0), AppId::new(0), 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         mem.enqueue(MemRequest::read(2, LineAddr::new(1), AppId::new(0), 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         let done = run_until(&mut mem, 0, 2_000);
         assert_eq!(done.len(), 2);
         assert!(done.iter().any(|c| c.row_hit));
@@ -728,15 +728,15 @@ mod tests {
         let l1 = (1..10_000)
             .map(LineAddr::new)
             .find(|&l| m.decode(l).bank != m.decode(l0).bank)
-            .unwrap();
+            .expect("scan range holds a line mapping to another bank");
         mem.enqueue(MemRequest::read(1, l0, AppId::new(0), 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         mem.enqueue(MemRequest::read(2, l1, AppId::new(0), 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         let done = run_until(&mut mem, 0, 4_000);
         assert_eq!(done.len(), 2);
         let t = mem.config().timing;
-        let last = done.iter().map(|c| c.finish).max().unwrap();
+        let last = done.iter().map(|c| c.finish).max().expect("at least one completion was collected");
         // Banks overlap: only the bus burst serialises.
         assert!(last <= t.row_closed_latency() + t.burst);
     }
@@ -753,15 +753,15 @@ mod tests {
                 let b = m.decode(l);
                 a.bank == b.bank && a.channel == b.channel && a.row != b.row
             })
-            .unwrap();
+            .expect("scan range holds a same-bank different-row line");
         mem.enqueue(MemRequest::read(1, l0, AppId::new(0), 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         mem.enqueue(MemRequest::read(2, same_bank_other_row, AppId::new(0), 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         let done = run_until(&mut mem, 0, 4_000);
         assert_eq!(done.len(), 2);
         let t = mem.config().timing;
-        let last = done.iter().map(|c| c.finish).max().unwrap();
+        let last = done.iter().map(|c| c.finish).max().expect("at least one completion was collected");
         assert_eq!(
             last,
             t.row_closed_latency() + t.row_conflict_latency(),
@@ -786,13 +786,13 @@ mod tests {
             .collect();
         for (i, &l) in same_bank_lines.iter().enumerate().take(5) {
             mem.enqueue(MemRequest::read(i as u64, l, AppId::new(1), 0))
-                .unwrap();
+                .expect("queue has free capacity in this test");
         }
         mem.enqueue(MemRequest::read(99, same_bank_lines[5], AppId::new(0), 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         let done = run_until(&mut mem, 0, 10_000);
         assert_eq!(done.len(), 6);
-        let pos_app0 = done.iter().position(|c| c.id == 99).unwrap();
+        let pos_app0 = done.iter().position(|c| c.id == 99).expect("priority request 99 completed in the run window");
         // One app1 request may already be in service; app0 must be within
         // the first two completions.
         assert!(
@@ -811,9 +811,9 @@ mod tests {
         let a = AppId::new(0);
         // Use same-bank conflicting rows so nothing drains instantly.
         mem.enqueue(MemRequest::read(1, LineAddr::new(0), a, 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         mem.enqueue(MemRequest::read(2, LineAddr::new(1 << 12), a, 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         let err = mem
             .enqueue(MemRequest::read(3, LineAddr::new(2 << 12), a, 0))
             .unwrap_err();
@@ -827,10 +827,10 @@ mod tests {
         let a = AppId::new(0);
         for i in 0..10 {
             mem.enqueue(MemRequest::write(i, LineAddr::new(i * 128), a, 0))
-                .unwrap();
+                .expect("queue has free capacity in this test");
         }
         mem.enqueue(MemRequest::read(100, LineAddr::new(50 * 128), a, 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         let done = run_until(&mut mem, 0, 50_000);
         // Only the read surfaces.
         assert_eq!(done.len(), 1);
@@ -849,18 +849,18 @@ mod tests {
                 let b = m.decode(l);
                 a.bank == b.bank && a.row != b.row
             })
-            .unwrap();
+            .expect("scan range holds a same-bank different-row line");
         mem.enqueue(MemRequest::read(1, l0, AppId::new(0), 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         mem.enqueue(MemRequest::read(2, same_bank, AppId::new(1), 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         let done = run_until(&mut mem, 0, 4_000);
-        let blocked = done.iter().find(|c| c.id == 2).unwrap();
+        let blocked = done.iter().find(|c| c.id == 2).expect("request 2 completed in the run window");
         assert!(
             blocked.interference_cycles > 0,
             "app1 waited behind app0's bank occupancy"
         );
-        let first = done.iter().find(|c| c.id == 1).unwrap();
+        let first = done.iter().find(|c| c.id == 1).expect("request 1 completed in the run window");
         assert_eq!(first.interference_cycles, 0);
     }
 
@@ -876,17 +876,17 @@ mod tests {
                 let b = m.decode(l);
                 a.bank == b.bank && a.row != b.row
             })
-            .unwrap();
+            .expect("scan range holds a same-bank different-row line");
         // app1's request is in service when app0 (priority) arrives.
         mem.enqueue(MemRequest::read(1, l0, AppId::new(1), 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         let mut out = Vec::new();
         for now in 0..10 {
             mem.tick(now, &mut out);
         }
         mem.set_priority_app(10, Some(AppId::new(0)));
         mem.enqueue(MemRequest::read(2, same_bank, AppId::new(0), 10))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         for now in 10..4_000 {
             mem.tick(now, &mut out);
         }
@@ -903,11 +903,11 @@ mod tests {
         let other_channel = (1..10_000u64)
             .map(LineAddr::new)
             .find(|&l| m.decode(l).channel != m.decode(l0).channel)
-            .unwrap();
+            .expect("scan range holds a line on another channel");
         mem.enqueue(MemRequest::read(1, l0, AppId::new(0), 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         mem.enqueue(MemRequest::read(2, other_channel, AppId::new(0), 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         let done = run_until(&mut mem, 0, 2_000);
         assert_eq!(done.len(), 2);
         let t = mem.config().timing;
@@ -922,9 +922,9 @@ mod tests {
         let mut mem = system(1);
         let a = AppId::new(0);
         mem.enqueue(MemRequest::read(1, LineAddr::new(0), a, 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         mem.enqueue(MemRequest::read(2, LineAddr::new(1), a, 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         run_until(&mut mem, 0, 2_000);
         let stats = mem.app_stats(a);
         assert_eq!(stats.reads, 2);
@@ -964,7 +964,7 @@ mod refresh_tests {
                 mem.tick(now, &mut out);
             }
             mem.enqueue(MemRequest::read(1, LineAddr::new(0), AppId::new(0), 1_000))
-                .unwrap();
+                .expect("queue has free capacity in this test");
             for now in 1_000..10_000 {
                 mem.tick(now, &mut out);
             }
@@ -988,14 +988,14 @@ mod refresh_tests {
         let mut mem = MemorySystem::new(config, SchedulerKind::FrFcfs, 1);
         let mut out = Vec::new();
         mem.enqueue(MemRequest::read(1, LineAddr::new(0), AppId::new(0), 0))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         for now in 0..2_500 {
             mem.tick(now, &mut out);
         }
         // Same row after the refresh: must pay an activate again (row was
         // closed), i.e. be slower than a pure row hit.
         mem.enqueue(MemRequest::read(2, LineAddr::new(1), AppId::new(0), 2_500))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         for now in 2_500..5_000 {
             mem.tick(now, &mut out);
         }
@@ -1020,7 +1020,7 @@ mod refresh_tests {
         // other application issued: queueing may accrue (last issue was
         // nobody), and crucially its interference counter stays zero.
         mem.enqueue(MemRequest::read(1, LineAddr::new(0), AppId::new(0), 500))
-            .unwrap();
+            .expect("queue has free capacity in this test");
         for now in 500..5_000 {
             mem.tick(now, &mut out);
         }
@@ -1042,7 +1042,7 @@ mod row_policy_tests {
         // hits, closed-page pays an activate each time.
         for i in 0..8u64 {
             mem.enqueue(MemRequest::read(i, LineAddr::new(i), AppId::new(0), 0))
-                .unwrap();
+                .expect("queue has free capacity in this test");
         }
         let mut out = Vec::new();
         for now in 0..50_000 {
@@ -1051,7 +1051,7 @@ mod row_policy_tests {
                 break;
             }
         }
-        out.iter().map(|c| c.finish).max().unwrap()
+        out.iter().map(|c| c.finish).max().expect("at least one completion was collected")
     }
 
     #[test]
@@ -1071,7 +1071,7 @@ mod row_policy_tests {
         let mut mem = MemorySystem::new(config, SchedulerKind::FrFcfs, 1);
         for i in 0..6u64 {
             mem.enqueue(MemRequest::read(i, LineAddr::new(i), AppId::new(0), 0))
-                .unwrap();
+                .expect("queue has free capacity in this test");
         }
         let mut out = Vec::new();
         for now in 0..50_000 {

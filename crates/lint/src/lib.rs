@@ -1,0 +1,131 @@
+//! `asm-lint`: a workspace determinism & simulation-safety linter.
+//!
+//! A repo-specific static-analysis pass over the seven simulation crates
+//! (`simcore`, `cache`, `dram`, `cpu`, `core`, `workloads`, `metrics`).
+//! It enforces five rules that `rustc`/`clippy` cannot express for us:
+//!
+//! - **R1** — no `HashMap`/`HashSet` in simulation code: hash iteration
+//!   order is randomized per process and feeds simulated event order.
+//!   Use `BTreeMap`/`BTreeSet`.
+//! - **R2** — no `unwrap()` and no bare `expect` outside `#[cfg(test)]`:
+//!   every panic site in simulation code must state its invariant.
+//! - **R3** — no `f64`/`f32` `==`/`!=` comparisons: slowdown and CAR
+//!   ratios must be compared with an epsilon or in integer cycle math.
+//! - **R4** — no wall-clock or OS entropy (`Instant`, `SystemTime`,
+//!   external `rand`, `RandomState`): `SimRng` is the only randomness.
+//! - **R5** — numeric `as` casts in billing/accounting arithmetic
+//!   (`mech/billing.rs`, `dram/accounting.rs`) must be justified.
+//!
+//! Every diagnostic carries `path:line`. Intentional violations are
+//! suppressed with an allow directive stating a reason:
+//!
+//! ```text
+//! // asm-lint: allow(R5): u32 cycle counts fit f64's 53-bit mantissa
+//! ```
+//!
+//! placed either on the offending line (trailing) or on the line above
+//! (standalone). The reason is mandatory by convention; the directive is
+//! greppable so audits can review every suppression.
+//!
+//! The analysis is lexical, not syntactic: comments and literal bodies
+//! are blanked (byte-aligned) before matching, and `#[cfg(test)]` items
+//! are masked, so the rules fire only on live simulation code. This
+//! keeps the linter dependency-free — important because the build
+//! environment has no crates.io access.
+
+pub mod rules;
+pub mod source;
+
+pub use rules::{check, Diagnostic};
+pub use source::{RuleId, SourceModel};
+
+use std::path::{Path, PathBuf};
+
+/// The simulation crates `asm-lint` gates. `vendor/*` shims and the lint
+/// crate itself are exempt: they are not simulation code.
+pub const SIM_CRATES: &[&str] = &[
+    "simcore",
+    "cache",
+    "dram",
+    "cpu",
+    "core",
+    "workloads",
+    "metrics",
+];
+
+/// Lints one file's contents under a display path. The path matters:
+/// R5 only applies to billing/accounting files.
+#[must_use]
+pub fn lint_source(display_path: &str, content: &str) -> Vec<Diagnostic> {
+    check(&SourceModel::new(display_path, content))
+}
+
+/// Walks `<root>/crates/<sim crate>/src` (plus each crate's `benches/`)
+/// and lints every `.rs` file. Paths in diagnostics are relative to
+/// `root`. Returns `Err` only for I/O failures (unreadable tree), never
+/// for violations.
+pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diagnostics = Vec::new();
+    let mut files = Vec::new();
+    for krate in SIM_CRATES {
+        let crate_dir = root.join("crates").join(krate);
+        for sub in ["src", "benches"] {
+            let dir = crate_dir.join(sub);
+            if dir.is_dir() {
+                collect_rs_files(&dir, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    if files.is_empty() {
+        // A typo'd root must not read as "clean": linting nothing is a
+        // configuration error, not a pass.
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!(
+                "no simulation sources found under {} — is this the workspace root?",
+                root.display()
+            ),
+        ));
+    }
+    for file in files {
+        let content = std::fs::read_to_string(&file)?;
+        let display = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        diagnostics.extend(lint_source(&display, &content));
+    }
+    Ok(diagnostics)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_routes_r5_by_path() {
+        let src = "fn f(x: u64) -> f64 { x as f64 }\n";
+        assert!(!lint_source("crates/core/src/mech/billing.rs", src).is_empty());
+        assert!(lint_source("crates/core/src/mech/policy.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sim_crates_list_matches_roadmap() {
+        assert_eq!(SIM_CRATES.len(), 7);
+    }
+}

@@ -1,0 +1,52 @@
+//! CLI for `asm-lint`. Lints the seven simulation crates and exits
+//! non-zero when any rule violation remains.
+//!
+//! ```text
+//! cargo run -p asm-lint --release            # lint the workspace
+//! cargo run -p asm-lint --release -- <root>  # lint another checkout
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/ -> crates/ -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(workspace_root, PathBuf::from);
+
+    let diagnostics = match asm_lint::run_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("asm-lint: failed to read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if diagnostics.is_empty() {
+        println!(
+            "asm-lint: clean — {} simulation crates satisfy R1-R5",
+            asm_lint::SIM_CRATES.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    println!(
+        "asm-lint: {} violation{} (suppress intentional ones with \
+         `// asm-lint: allow(R#): reason`)",
+        diagnostics.len(),
+        if diagnostics.len() == 1 { "" } else { "s" }
+    );
+    ExitCode::FAILURE
+}

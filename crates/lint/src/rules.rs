@@ -1,0 +1,466 @@
+//! The five determinism & simulation-safety rules (R1–R5).
+//!
+//! Each rule scans a [`SourceModel`] line by line over the cleaned text
+//! (comments and literal bodies blanked), skips `#[cfg(test)]` regions
+//! where the rule permits test code, and honours per-line
+//! `// asm-lint: allow(Rn): reason` directives.
+
+use crate::source::{is_ident_byte, RuleId, SourceModel};
+
+/// One rule violation, with a 1-based line for display.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Display path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Runs every rule against one analysed file.
+#[must_use]
+pub fn check(model: &SourceModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    rule_r1_hash_collections(model, &mut out);
+    rule_r2_unwrap(model, &mut out);
+    rule_r3_float_eq(model, &mut out);
+    rule_r4_entropy(model, &mut out);
+    rule_r5_lossy_casts(model, &mut out);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+fn push(
+    model: &SourceModel,
+    out: &mut Vec<Diagnostic>,
+    line: usize,
+    rule: RuleId,
+    message: String,
+) {
+    if model.is_allowed(line, rule) {
+        return;
+    }
+    out.push(Diagnostic {
+        path: model.path.clone(),
+        line: line + 1,
+        rule,
+        message,
+    });
+}
+
+/// Finds `needle` as a whole word in `hay`, starting at `from`.
+fn find_word(hay: &str, needle: &str, from: usize) -> Option<usize> {
+    let bytes = hay.as_bytes();
+    let mut start = from;
+    while let Some(pos) = hay.get(start..).and_then(|s| s.find(needle)) {
+        let abs = start + pos;
+        let before_ok = abs == 0 || !is_ident_byte(bytes[abs - 1]);
+        let after = abs + needle.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        start = abs + 1;
+    }
+    None
+}
+
+fn contains_word(hay: &str, needle: &str) -> bool {
+    find_word(hay, needle, 0).is_some()
+}
+
+/// R1: no `HashMap`/`HashSet` in simulation code. Hash iteration order is
+/// randomized per process and feeds simulated event order.
+fn rule_r1_hash_collections(model: &SourceModel, out: &mut Vec<Diagnostic>) {
+    for (i, line) in model.cleaned.iter().enumerate() {
+        if model.is_test_line(i) {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            if contains_word(line, ty) {
+                push(
+                    model,
+                    out,
+                    i,
+                    RuleId::R1,
+                    format!(
+                        "simulation code uses `{ty}` — iteration order is \
+                         process-randomized and can reorder simulated events; \
+                         use `BTreeMap`/`BTreeSet` or an explicitly sorted drain"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Minimum length for an `expect` message to count as a stated invariant.
+const MIN_INVARIANT_LEN: usize = 10;
+
+/// R2: no `unwrap()` and no bare `expect` outside `#[cfg(test)]`.
+fn rule_r2_unwrap(model: &SourceModel, out: &mut Vec<Diagnostic>) {
+    for (i, line) in model.cleaned.iter().enumerate() {
+        if model.is_test_line(i) {
+            continue;
+        }
+        // `.unwrap()` — exact method name, not unwrap_or/unwrap_err/...
+        let mut from = 0;
+        while let Some(pos) = find_word(line, "unwrap", from) {
+            from = pos + 6;
+            let preceded_by_dot = line[..pos].trim_end().ends_with('.');
+            let followed_by_call = line[pos + 6..].trim_start().starts_with('(');
+            if preceded_by_dot && followed_by_call {
+                push(
+                    model,
+                    out,
+                    i,
+                    RuleId::R2,
+                    "`unwrap()` in simulation code — state the invariant with \
+                     `expect(\"...\")` or propagate the error"
+                        .to_owned(),
+                );
+            }
+        }
+        // `.expect("msg")` — message must state an invariant.
+        let mut from = 0;
+        while let Some(pos) = find_word(line, "expect", from) {
+            from = pos + 6;
+            let preceded_by_dot = line[..pos].trim_end().ends_with('.');
+            if !preceded_by_dot {
+                continue;
+            }
+            let after = &line[pos + 6..];
+            if !after.trim_start().starts_with('(') {
+                continue;
+            }
+            // Read the original text (literals intact), possibly spanning
+            // lines, and extract the first string-literal argument.
+            let window = model.original_window(i, pos, 4);
+            match expect_message(&window) {
+                Some(msg) if msg.chars().count() >= MIN_INVARIANT_LEN => {}
+                Some(_) => push(
+                    model,
+                    out,
+                    i,
+                    RuleId::R2,
+                    "bare `expect` — the message is too short to state an \
+                     invariant; explain why this cannot fail"
+                        .to_owned(),
+                ),
+                None => push(
+                    model,
+                    out,
+                    i,
+                    RuleId::R2,
+                    "`expect` without a literal invariant message — state why \
+                     this cannot fail in a string literal"
+                        .to_owned(),
+                ),
+            }
+        }
+    }
+}
+
+/// Extracts the first string-literal argument after `expect(` in `window`
+/// (which starts at the `expect` token).
+fn expect_message(window: &str) -> Option<String> {
+    let open = window.find('(')?;
+    let rest = &window[open + 1..];
+    // Only accept a literal that starts the argument list (after
+    // whitespace); `expect(&format!(...))` and friends are not literals.
+    let trimmed = rest.trim_start();
+    let inner = trimmed.strip_prefix('"')?;
+    let mut msg = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(msg),
+            '\\' => {
+                if let Some(e) = chars.next() {
+                    msg.push(e);
+                }
+            }
+            _ => msg.push(c),
+        }
+    }
+    None
+}
+
+/// Operand-boundary characters for R3's textual operand extraction.
+const OPERAND_BOUNDARY: &[char] = &[
+    ',', ';', '(', '{', '[', ')', '}', ']', '&', '|', '<', '>', '?',
+];
+
+/// R3: no `f64`/`f32` `==`/`!=` comparisons. Detection is textual: either
+/// operand mentions a float literal, an `f64`/`f32` type, or a float-ish
+/// accessor. Slowdown/CAR ratios must be compared with an epsilon (see
+/// `asm_metrics::approx`) or in integer cycle math.
+fn rule_r3_float_eq(model: &SourceModel, out: &mut Vec<Diagnostic>) {
+    for (i, line) in model.cleaned.iter().enumerate() {
+        if model.is_test_line(i) {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        for pos in 0..bytes.len().saturating_sub(1) {
+            let op = &bytes[pos..pos + 2];
+            let is_eq = op == b"==";
+            let is_ne = op == b"!=";
+            if !is_eq && !is_ne {
+                continue;
+            }
+            // Reject `===`/`!==`/`<=`/`>=`/`=>`-adjacent forms.
+            if pos > 0 && matches!(bytes[pos - 1], b'=' | b'!' | b'<' | b'>') {
+                continue;
+            }
+            if bytes.get(pos + 2) == Some(&b'=') {
+                continue;
+            }
+            let left = &line[..pos];
+            let right = &line[pos + 2..];
+            let left_op = left.rsplit(OPERAND_BOUNDARY).next().unwrap_or("");
+            let right_op = right.split(OPERAND_BOUNDARY).next().unwrap_or("");
+            if is_floaty(left_op) || is_floaty(right_op) {
+                push(
+                    model,
+                    out,
+                    i,
+                    RuleId::R3,
+                    format!(
+                        "float `{}` comparison — exact equality on f64/f32 is \
+                         fragile; use an epsilon helper or integer cycle math",
+                        if is_eq { "==" } else { "!=" }
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Whether an operand snippet is textually float-typed: a float literal
+/// (`1.0`, `0.5`), an `f64`/`f32` mention (type ascription or cast), or
+/// the float constants `NAN`/`INFINITY`.
+fn is_floaty(operand: &str) -> bool {
+    let op = operand.trim();
+    if contains_word(op, "f64") || contains_word(op, "f32") {
+        return true;
+    }
+    if contains_word(op, "NAN") || contains_word(op, "INFINITY") {
+        return true;
+    }
+    // Float literal: digit '.' digit (excludes ranges `0..1` and tuple
+    // field access `x.0` which lacks a digit before the dot).
+    let b = op.as_bytes();
+    (0..b.len().saturating_sub(2)).any(|i| {
+        b[i].is_ascii_digit()
+            && b[i + 1] == b'.'
+            && b[i + 2].is_ascii_digit()
+            && (i == 0 || !is_ident_byte(b[i - 1]))
+    })
+}
+
+/// R4: no wall-clock or OS entropy in simulation crates — `SimRng` only.
+/// (`std::time::Duration` is a plain value type and stays legal.)
+fn rule_r4_entropy(model: &SourceModel, out: &mut Vec<Diagnostic>) {
+    const BANNED: &[(&str, &str)] = &[
+        ("Instant", "wall-clock time is not simulated time"),
+        ("SystemTime", "wall-clock time is not simulated time"),
+        ("thread_rng", "OS entropy breaks seed-reproducibility"),
+        ("from_entropy", "OS entropy breaks seed-reproducibility"),
+        ("getrandom", "OS entropy breaks seed-reproducibility"),
+        (
+            "RandomState",
+            "per-process hash randomization breaks seed-reproducibility",
+        ),
+    ];
+    for (i, line) in model.cleaned.iter().enumerate() {
+        if model.is_test_line(i) {
+            continue;
+        }
+        for &(word, why) in BANNED {
+            if contains_word(line, word) {
+                push(
+                    model,
+                    out,
+                    i,
+                    RuleId::R4,
+                    format!("`{word}` in simulation code — {why}; derive all randomness from `SimRng`"),
+                );
+            }
+        }
+        // External `rand` crate paths (`rand::...` / `use rand`).
+        if let Some(pos) = find_word(line, "rand", 0) {
+            let after = line[pos + 4..].trim_start();
+            let before = line[..pos].trim_end();
+            let is_path_root = after.starts_with("::")
+                && !before.ends_with("::")
+                && !before.ends_with('.');
+            let is_use = before.ends_with("use") && (after.starts_with("::") || after.starts_with(';'));
+            if is_path_root || is_use {
+                push(
+                    model,
+                    out,
+                    i,
+                    RuleId::R4,
+                    "external `rand` crate in simulation code — OS-seeded RNGs \
+                     break seed-reproducibility; derive all randomness from `SimRng`"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+}
+
+/// Numeric cast target types R5 watches for.
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64", "Cycle",
+];
+
+/// Path fragments that place a file inside billing/accounting arithmetic.
+const MONEY_PATHS: &[&str] = &["billing.rs", "accounting.rs"];
+
+/// R5: in billing/accounting arithmetic, every numeric `as` cast must be
+/// justified (allow directive) or replaced with a lossless conversion —
+/// silent truncation or precision loss there corrupts what tenants are
+/// charged.
+fn rule_r5_lossy_casts(model: &SourceModel, out: &mut Vec<Diagnostic>) {
+    if !MONEY_PATHS.iter().any(|p| model.path.ends_with(p)) {
+        return;
+    }
+    for (i, line) in model.cleaned.iter().enumerate() {
+        if model.is_test_line(i) {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(pos) = find_word(line, "as", from) {
+            from = pos + 2;
+            let target = line[pos + 2..].trim_start();
+            let casts_to_numeric = NUMERIC_TYPES
+                .iter()
+                .any(|ty| target.starts_with(ty) && !is_ident_byte(*target.as_bytes().get(ty.len()).unwrap_or(&b' ')));
+            if casts_to_numeric {
+                push(
+                    model,
+                    out,
+                    i,
+                    RuleId::R5,
+                    "numeric `as` cast in billing/accounting arithmetic — \
+                     potential silent truncation/precision loss; use `From`/`try_from` \
+                     or justify with an allow directive"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(path: &str, src: &str) -> Vec<Diagnostic> {
+        check(&SourceModel::new(path, src))
+    }
+
+    #[test]
+    fn r1_fires_outside_tests_only() {
+        let src = "\
+use std::collections::HashMap;
+fn f() { let m: HashMap<u64, u64> = HashMap::new(); }
+#[cfg(test)]
+mod tests { use std::collections::HashSet; }
+";
+        let d = diag("x.rs", src);
+        // One diagnostic per line per offending type.
+        assert_eq!(d.iter().filter(|d| d.rule == RuleId::R1).count(), 2);
+        assert!(d.iter().all(|d| d.line <= 2));
+    }
+
+    #[test]
+    fn r2_distinguishes_bare_and_invariant_expect() {
+        let src = "\
+fn f(o: Option<u32>) -> u32 {
+    let a = o.unwrap();
+    let b = o.expect(\"ok\");
+    let c = o.unwrap_or(3);
+    let d = o.expect(\"checked non-empty at enqueue time\");
+    a + b + c + d
+}
+";
+        let d = diag("x.rs", src);
+        let r2: Vec<_> = d.iter().filter(|d| d.rule == RuleId::R2).collect();
+        assert_eq!(r2.len(), 2, "{r2:?}");
+        assert_eq!(r2[0].line, 2);
+        assert_eq!(r2[1].line, 3);
+    }
+
+    #[test]
+    fn r3_catches_float_literal_comparison() {
+        let src = "fn f(x: f64) -> bool { x == 1.0 }\n";
+        let d = diag("x.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == RuleId::R3).count(), 1);
+        // Integer comparisons stay legal.
+        assert!(diag("x.rs", "fn g(x: u64) -> bool { x == 10 }\n").is_empty());
+        // Ranges are not float literals.
+        assert!(diag("x.rs", "fn h(x: u64) -> bool { (0..1).contains(&x) }\n").is_empty());
+    }
+
+    #[test]
+    fn r4_bans_wall_clock_and_rand() {
+        let src = "\
+use std::time::Instant;
+use rand::Rng;
+fn f() { let t = std::time::SystemTime::now(); }
+fn ok() { let d = std::time::Duration::from_secs(1); }
+";
+        let d = diag("x.rs", src);
+        let r4 = d.iter().filter(|d| d.rule == RuleId::R4).count();
+        assert_eq!(r4, 3, "{d:?}");
+        assert!(!d.iter().any(|d| d.line == 4), "Duration must stay legal");
+    }
+
+    #[test]
+    fn r5_scoped_to_money_paths() {
+        let src = "fn f(x: u64) -> f64 { x as f64 }\n";
+        assert_eq!(diag("crates/dram/src/accounting.rs", src).len(), 1);
+        assert!(diag("crates/dram/src/bank.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses() {
+        let src = "\
+fn f(o: Option<u32>) -> u32 {
+    // asm-lint: allow(R2): demo suppression
+    o.unwrap()
+}
+";
+        assert!(diag("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "\
+fn f() -> &'static str {
+    // HashMap unwrap() Instant 1.0 == 2.0
+    \"HashMap unwrap() Instant 1.0 == 2.0\"
+}
+";
+        assert!(diag("x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,589 @@
+//! Lexical source model the rules run against.
+//!
+//! `asm-lint` deliberately avoids a full parser (the build environment is
+//! offline, so `syn` is unavailable); instead each file is reduced to a
+//! *cleaned* view — comments and string/char literal bodies blanked out,
+//! byte-for-byte aligned with the original so line/column positions match —
+//! plus two line masks: which lines sit inside `#[cfg(test)]` items, and
+//! which lines carry an `asm-lint: allow(...)` escape-hatch directive.
+//!
+//! The cleaning pass understands line comments, nested block comments,
+//! string / raw-string / byte-string / char literals, and distinguishes
+//! lifetimes (`'a`) from char literals (`'a'`).
+
+use std::collections::BTreeSet;
+
+/// One rule's identifier (`R1`..`R5`), as used in allow directives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Hash-ordered collections in simulation state.
+    R1,
+    /// `unwrap()` / bare `expect` outside tests.
+    R2,
+    /// Float `==` / `!=` comparisons.
+    R3,
+    /// Wall-clock or OS entropy in simulation crates.
+    R4,
+    /// Lossy `as` casts in billing/accounting arithmetic.
+    R5,
+}
+
+impl RuleId {
+    /// All rules, in order.
+    pub const ALL: [RuleId; 5] = [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4, RuleId::R5];
+
+    /// Canonical name (`"R1"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::R1 => "R1",
+            RuleId::R2 => "R2",
+            RuleId::R3 => "R3",
+            RuleId::R4 => "R4",
+            RuleId::R5 => "R5",
+        }
+    }
+
+    fn parse(s: &str) -> Option<RuleId> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "R1" => Some(RuleId::R1),
+            "R2" => Some(RuleId::R2),
+            "R3" => Some(RuleId::R3),
+            "R4" => Some(RuleId::R4),
+            "R5" => Some(RuleId::R5),
+            _ => None,
+        }
+    }
+}
+
+/// A lexically analysed source file.
+pub struct SourceModel {
+    /// Display path used in diagnostics.
+    pub path: String,
+    /// Original lines, exactly as read.
+    pub lines: Vec<String>,
+    /// Cleaned lines: comments and literal bodies replaced by spaces,
+    /// same length as the original line (so columns agree).
+    pub cleaned: Vec<String>,
+    /// 0-based line numbers inside `#[cfg(test)]` items.
+    pub test_lines: BTreeSet<usize>,
+    /// Per-line allow directives: `(line, rule)` pairs (0-based lines).
+    pub allows: BTreeSet<(usize, RuleId)>,
+}
+
+impl SourceModel {
+    /// Analyse `content`, labelled `path` in diagnostics.
+    #[must_use]
+    pub fn new(path: &str, content: &str) -> Self {
+        let lines: Vec<String> = content.lines().map(str::to_owned).collect();
+        let (cleaned, comment_spans) = clean(content);
+        let cleaned_lines: Vec<String> = cleaned.lines().map(str::to_owned).collect();
+        let test_lines = find_test_regions(&cleaned);
+        let allows = find_allow_directives(content, &cleaned_lines, &comment_spans);
+        SourceModel {
+            path: path.to_owned(),
+            lines,
+            cleaned: cleaned_lines,
+            test_lines,
+            allows,
+        }
+    }
+
+    /// Whether 0-based `line` is inside a `#[cfg(test)]` item.
+    #[must_use]
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.contains(&line)
+    }
+
+    /// Whether `rule` is suppressed on 0-based `line` by an allow
+    /// directive (same-line trailing comment or a standalone directive
+    /// comment on a preceding line).
+    #[must_use]
+    pub fn is_allowed(&self, line: usize, rule: RuleId) -> bool {
+        self.allows.contains(&(line, rule))
+    }
+
+    /// The original text from (0-based) line/byte-column onwards, joined
+    /// across up to `max_lines` lines — used to inspect literal arguments
+    /// (e.g. an `expect` message) that may continue on following lines.
+    #[must_use]
+    pub fn original_window(&self, line: usize, col: usize, max_lines: usize) -> String {
+        let mut out = String::new();
+        for (i, l) in self.lines.iter().enumerate().skip(line).take(max_lines) {
+            if i == line {
+                out.push_str(l.get(col..).unwrap_or(""));
+            } else {
+                out.push_str(l);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Lexer state for [`clean`].
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Blanks comments and literal bodies with spaces (newlines kept), and
+/// returns the cleaned text plus the byte spans of every comment.
+fn clean(src: &str) -> (String, Vec<(usize, usize)>) {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut state = State::Code;
+    let mut comment_start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match state {
+            State::Code => match b {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    state = State::LineComment;
+                    comment_start = i;
+                    out.push(b' ');
+                    i += 1;
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    state = State::BlockComment(1);
+                    comment_start = i;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'"' => {
+                    // Possible (raw/byte) string start: we are already past
+                    // any `r#`/`b` prefix bytes, which are harmless to keep.
+                    let hashes = raw_hashes_before(bytes, i);
+                    state = match hashes {
+                        Some(h) => State::RawStr(h),
+                        None => State::Str,
+                    };
+                    out.push(b'"');
+                    i += 1;
+                }
+                b'\'' => {
+                    // Char literal vs lifetime: a char literal closes with
+                    // `'` within a few bytes; a lifetime never does.
+                    if is_char_literal(bytes, i) {
+                        state = State::Char;
+                    }
+                    out.push(b'\'');
+                    i += 1;
+                }
+                _ => {
+                    out.push(b);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if b == b'\n' {
+                    comments.push((comment_start, i));
+                    state = State::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(blank(b));
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    if depth == 1 {
+                        comments.push((comment_start, i + 2));
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                out.push(blank(b));
+                i += 1;
+            }
+            State::Str => match b {
+                b'\\' => {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'"' => {
+                    state = State::Code;
+                    out.push(b'"');
+                    i += 1;
+                }
+                _ => {
+                    out.push(blank(b));
+                    i += 1;
+                }
+            },
+            State::RawStr(hashes) => {
+                if b == b'"' && closing_hashes(bytes, i + 1) >= hashes {
+                    out.push(b'"');
+                    // Keep the closing hashes as-is; they are inert.
+                    state = State::Code;
+                } else {
+                    out.push(blank(b));
+                }
+                i += 1;
+            }
+            State::Char => match b {
+                b'\\' => {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'\'' => {
+                    state = State::Code;
+                    out.push(b'\'');
+                    i += 1;
+                }
+                _ => {
+                    out.push(blank(b));
+                    i += 1;
+                }
+            },
+        }
+    }
+    if let State::LineComment = state {
+        comments.push((comment_start, bytes.len()));
+    }
+    // The cleaning pass substitutes ASCII for ASCII, so the output is
+    // valid UTF-8 whenever the input was (multi-byte runs only occur in
+    // comments/literals, where non-ASCII bytes are kept verbatim in line
+    // comments and blanked elsewhere per-byte; blanking a multi-byte char
+    // per byte would break UTF-8, so keep non-ASCII bytes verbatim).
+    (String::from_utf8_lossy(&out).into_owned(), comments)
+}
+
+/// Blanking byte: newlines keep line structure, non-ASCII bytes are kept
+/// verbatim so the output stays valid UTF-8 with unchanged byte offsets
+/// (multi-byte characters cannot match any ASCII rule pattern anyway).
+fn blank(b: u8) -> u8 {
+    // Newlines keep line numbers aligned. Everything else — including each
+    // byte of a multi-byte UTF-8 character — becomes a space: blanked
+    // regions are comments/literals, never code, and an all-ASCII
+    // replacement keeps byte offsets aligned while staying valid UTF-8.
+    if b == b'\n' {
+        b
+    } else {
+        b' '
+    }
+}
+
+/// If the `"` at `quote` is the opening of a raw string (`r"`, `r#"`,
+/// `br##"` ...), the number of hashes; `None` for ordinary strings.
+fn raw_hashes_before(bytes: &[u8], quote: usize) -> Option<u32> {
+    let mut i = quote;
+    let mut hashes = 0u32;
+    while i > 0 && bytes[i - 1] == b'#' {
+        hashes += 1;
+        i -= 1;
+    }
+    if i > 0 && (bytes[i - 1] == b'r' || (bytes[i - 1] == b'b' && i > 1 && bytes[i - 2] == b'r')) {
+        // Reject identifiers ending in `r` (e.g. `var"` cannot occur, but
+        // `r` must not be part of a longer identifier like `for`).
+        let before_r = if bytes[i - 1] == b'b' { i - 2 } else { i - 1 };
+        if before_r == 0 || !is_ident_byte(bytes[before_r - 1]) {
+            return Some(hashes);
+        }
+    }
+    if hashes > 0 {
+        // `#"` without `r` is not a raw string; treat as ordinary.
+        return None;
+    }
+    None
+}
+
+fn closing_hashes(bytes: &[u8], from: usize) -> u32 {
+    let mut n = 0u32;
+    while bytes.get(from + n as usize) == Some(&b'#') {
+        n += 1;
+    }
+    n
+}
+
+fn is_char_literal(bytes: &[u8], tick: usize) -> bool {
+    match bytes.get(tick + 1) {
+        Some(b'\\') => true,
+        Some(_) => bytes.get(tick + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+/// Whether `b` can appear in an identifier.
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Marks every line covered by a `#[cfg(test)]` item (attribute line
+/// through the matching close brace of the item body, or the terminating
+/// semicolon for brace-less items).
+fn find_test_regions(cleaned: &str) -> BTreeSet<usize> {
+    let mut test_lines = BTreeSet::new();
+    let bytes = cleaned.as_bytes();
+    let needle = b"cfg(test)";
+    let mut search = 0usize;
+    while let Some(found) = find_from(bytes, needle, search) {
+        search = found + needle.len();
+        // Must be inside an attribute: look back for `#[` with only
+        // attribute-ish bytes between.
+        let Some(attr_start) = attribute_start(bytes, found) else {
+            continue;
+        };
+        // From the end of the attribute, find the item's extent.
+        let attr_end = match find_from(bytes, b"]", found) {
+            Some(e) => e + 1,
+            None => continue,
+        };
+        let (start, end) = item_extent(bytes, attr_start, attr_end);
+        let first_line = line_of(bytes, start);
+        let last_line = line_of(bytes, end.min(bytes.len().saturating_sub(1)));
+        for l in first_line..=last_line {
+            test_lines.insert(l);
+        }
+        search = search.max(end);
+    }
+    test_lines
+}
+
+/// Looks back from a `cfg(test)` occurrence for the opening `#[`.
+fn attribute_start(bytes: &[u8], from: usize) -> Option<usize> {
+    let mut i = from;
+    while i > 0 {
+        i -= 1;
+        match bytes[i] {
+            b'[' => {
+                if i > 0 && bytes[i - 1] == b'#' {
+                    return Some(i - 1);
+                }
+                return None;
+            }
+            b']' | b';' | b'}' | b'{' => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The byte extent of the item an attribute at `attr_start..attr_end`
+/// applies to: through the matching `}` of the first body brace, or the
+/// first top-level `;` for brace-less items.
+fn item_extent(bytes: &[u8], attr_start: usize, attr_end: usize) -> (usize, usize) {
+    let mut depth_paren = 0i32;
+    let mut depth_brace = 0i32;
+    let mut i = attr_end;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' => depth_paren += 1,
+            b')' | b']' => depth_paren -= 1,
+            b'{' => {
+                depth_brace += 1;
+                // First body brace found: scan to its match.
+                if depth_brace == 1 && depth_paren == 0 {
+                    let mut d = 1i32;
+                    let mut j = i + 1;
+                    while j < bytes.len() && d > 0 {
+                        match bytes[j] {
+                            b'{' => d += 1,
+                            b'}' => d -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    return (attr_start, j);
+                }
+            }
+            b';' if depth_paren == 0 && depth_brace == 0 => {
+                return (attr_start, i + 1);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (attr_start, bytes.len())
+}
+
+fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+fn line_of(bytes: &[u8], pos: usize) -> usize {
+    bytes[..pos.min(bytes.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+/// Parses `asm-lint: allow(R1, R2): reason` directives out of comments.
+///
+/// A directive in a trailing comment suppresses the named rules on its own
+/// line; a directive in a standalone comment suppresses them on the next
+/// line that contains code.
+fn find_allow_directives(
+    content: &str,
+    cleaned: &[String],
+    comment_spans: &[(usize, usize)],
+) -> BTreeSet<(usize, RuleId)> {
+    let mut allows = BTreeSet::new();
+    // Byte offset of each line start in the original content.
+    let mut line_starts = vec![0usize];
+    for (i, b) in content.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    for &(start, end) in comment_spans {
+        let text = content.get(start..end.min(content.len())).unwrap_or("");
+        let Some(rules) = parse_allow(text) else {
+            continue;
+        };
+        let line = line_starts.partition_point(|&s| s <= start) - 1;
+        let has_code_before = cleaned
+            .get(line)
+            .is_some_and(|cl| {
+                let col = start - line_starts[line];
+                cl.get(..col.min(cl.len()))
+                    .is_some_and(|prefix| !prefix.trim().is_empty())
+            });
+        let target = if has_code_before {
+            line
+        } else {
+            // Standalone directive: next line with any code on it.
+            let mut t = line + 1;
+            while t < cleaned.len() && cleaned[t].trim().is_empty() {
+                t += 1;
+            }
+            t
+        };
+        for r in rules {
+            allows.insert((target, r));
+        }
+    }
+    allows
+}
+
+/// Extracts the rule list from one comment's text, if it is a directive.
+fn parse_allow(comment: &str) -> Option<Vec<RuleId>> {
+    let idx = comment.find("asm-lint:")?;
+    let rest = comment[idx + "asm-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<RuleId> = rest[..close]
+        .split(',')
+        .filter_map(RuleId::parse)
+        .collect();
+    if rules.is_empty() {
+        None
+    } else {
+        Some(rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let m = SourceModel::new(
+            "t.rs",
+            "let x = \"HashMap\"; // HashMap here\nlet y = 1;\n",
+        );
+        assert!(!m.cleaned[0].contains("HashMap"));
+        assert_eq!(m.cleaned[1], "let y = 1;");
+        // Columns preserved.
+        assert_eq!(m.lines[0].len(), m.cleaned[0].len());
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let m = SourceModel::new("t.rs", "/* a /* b */ c */ let z = HashMap::new();\n");
+        assert!(m.cleaned[0].contains("HashMap"));
+        assert!(!m.cleaned[0].contains("a "));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let m = SourceModel::new("t.rs", "fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(m.cleaned[0].contains("str"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let m = SourceModel::new("t.rs", "let c = 'x'; let d = '\\n'; let e = 1;\n");
+        assert!(!m.cleaned[0].contains('x'));
+        assert!(m.cleaned[0].contains("let e = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let m = SourceModel::new("t.rs", "let s = r#\"HashMap \"inner\" \"#; let t = 2;\n");
+        assert!(!m.cleaned[0].contains("HashMap"));
+        assert!(m.cleaned[0].contains("let t = 2;"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module_body() {
+        let src = "\
+fn prod() { }
+
+#[cfg(test)]
+mod tests {
+    fn helper() { }
+}
+
+fn also_prod() { }
+";
+        let m = SourceModel::new("t.rs", src);
+        assert!(!m.is_test_line(0));
+        assert!(m.is_test_line(2)); // attribute line
+        assert!(m.is_test_line(3));
+        assert!(m.is_test_line(4));
+        assert!(m.is_test_line(5));
+        assert!(!m.is_test_line(7));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_stops_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() { }\n";
+        let m = SourceModel::new("t.rs", src);
+        assert!(m.is_test_line(1));
+        assert!(!m.is_test_line(2));
+    }
+
+    #[test]
+    fn allow_directive_trailing_and_standalone() {
+        let src = "\
+let a = frob(); // asm-lint: allow(R2): invariant stated elsewhere
+// asm-lint: allow(R1, R3): migration pending
+let b = frob();
+let c = frob();
+";
+        let m = SourceModel::new("t.rs", src);
+        assert!(m.is_allowed(0, RuleId::R2));
+        assert!(!m.is_allowed(0, RuleId::R1));
+        assert!(m.is_allowed(2, RuleId::R1));
+        assert!(m.is_allowed(2, RuleId::R3));
+        assert!(!m.is_allowed(3, RuleId::R1));
+    }
+}

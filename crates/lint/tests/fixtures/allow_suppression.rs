@@ -1,0 +1,15 @@
+//! Fixture: the allow-directive escape hatch. Every violation here is
+//! suppressed with a reasoned directive, so linting must be clean.
+
+use std::collections::HashMap; // asm-lint: allow(R1): fixture demonstrates trailing form
+
+fn drain(queue: &mut Vec<u64>) -> u64 {
+    // asm-lint: allow(R2): fixture demonstrates the standalone form
+    queue.pop().unwrap()
+}
+
+fn compare(slowdown: f64) -> bool {
+    // asm-lint: allow(R3): fixture demonstrates a multi-line reason that
+    // wraps onto a second comment line before the offending code
+    slowdown == 1.0
+}

@@ -1,0 +1,17 @@
+//! Fixture: R1 — hash collections in simulation code.
+
+use std::collections::HashMap;
+
+struct Mshr {
+    entries: HashMap<u64, u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may hash freely; this must NOT be flagged.
+    use std::collections::HashSet;
+
+    fn scratch() -> HashSet<u64> {
+        HashSet::new()
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: R2 — unwrap and bare expect in simulation code.
+
+fn drain(queue: &mut Vec<u64>) -> u64 {
+    let first = queue.pop().unwrap();
+    let second = queue.pop().expect("oops");
+    let third = queue.pop().unwrap_or(0);
+    let fourth = queue
+        .pop()
+        .expect("caller checked the queue holds at least four entries");
+    first + second + third + fourth
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u64> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

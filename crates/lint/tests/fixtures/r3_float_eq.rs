@@ -1,0 +1,13 @@
+//! Fixture: R3 — exact float equality in simulation code.
+
+fn degenerate(epoch_cycles: f64, slowdown: f64) -> bool {
+    epoch_cycles == 0.0 || slowdown != 1.0
+}
+
+fn integer_compare_is_fine(cycles: u64) -> bool {
+    cycles == 0
+}
+
+fn range_is_fine(x: u64) -> bool {
+    (0..10).contains(&x)
+}

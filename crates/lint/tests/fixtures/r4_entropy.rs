@@ -1,0 +1,18 @@
+//! Fixture: R4 — wall-clock time and OS entropy in simulation code.
+
+use std::time::Instant;
+
+fn measure() -> u128 {
+    let start = Instant::now();
+    let stamp = std::time::SystemTime::now();
+    let _ = stamp;
+    start.elapsed().as_nanos()
+}
+
+fn duration_is_fine() -> std::time::Duration {
+    std::time::Duration::from_millis(5)
+}
+
+fn external_rng() -> u64 {
+    rand::random()
+}

@@ -1,0 +1,11 @@
+//! Fixture: R5 — numeric casts in billing/accounting arithmetic.
+//! Linted under a virtual `billing.rs` path; the same content under any
+//! other path must produce no diagnostics.
+
+fn mean(estimates: &[f64]) -> f64 {
+    estimates.iter().sum::<f64>() / estimates.len() as f64
+}
+
+fn round_down(cycles: f64) -> u64 {
+    cycles as u64
+}

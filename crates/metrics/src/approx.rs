@@ -1,0 +1,61 @@
+//! Epsilon comparison for slowdown/CAR ratios.
+//!
+//! Exact `==`/`!=` on `f64` is banned in simulation code (asm-lint rule
+//! R3): slowdown estimates and cycles-per-access ratios come out of
+//! division chains whose rounding differs across optimisation levels and
+//! evaluation orders. Compare them with an explicit tolerance instead.
+
+/// Default tolerance for slowdown/ratio comparisons.
+///
+/// Slowdowns live in `[1, ~50]` and the paper reports them to two
+/// decimal places; `1e-9` is far below any reportable difference while
+/// far above accumulated f64 rounding error for the division chains the
+/// estimators use.
+pub const EPSILON: f64 = 1e-9;
+
+/// Whether `a` and `b` are within `eps` of each other.
+///
+/// Non-finite inputs are never approximately equal (NaN compares unequal
+/// to everything, mirroring IEEE semantics).
+#[must_use]
+pub fn approx_eq_eps(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+/// Whether `a` and `b` are within [`EPSILON`] of each other.
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_eps(a, b, EPSILON)
+}
+
+/// Whether `x` is within [`EPSILON`] of zero.
+#[must_use]
+pub fn approx_zero(x: f64) -> bool {
+    approx_eq_eps(x, 0.0, EPSILON)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_and_nearly_equal() {
+        assert!(approx_eq(1.0, 1.0));
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(approx_zero(0.0));
+        assert!(approx_zero(-1e-12));
+        assert!(!approx_zero(1e-6));
+    }
+
+    #[test]
+    fn non_finite_is_never_equal() {
+        assert!(!approx_eq(f64::NAN, f64::NAN));
+        assert!(!approx_eq(f64::INFINITY, f64::INFINITY), "inf - inf is NaN");
+        assert!(!approx_eq(f64::NAN, 0.0));
+    }
+}

@@ -192,6 +192,60 @@ fn app_summary_is_consistent_with_records() {
     }
 }
 
+/// Renders a run's observable results — per-quantum estimates, CARs and
+/// retired counts — into the `results_default.txt` textual format. Every
+/// f64 is printed with `{:?}` (shortest round-trip), so two renderings
+/// are byte-identical iff the underlying values are bit-identical.
+fn render_results(sys: &asm_repro::core::System, apps: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("# results (default config)\n");
+    for (q, r) in sys.records().iter().enumerate() {
+        let _ = writeln!(out, "quantum {q} cycles {}..{}", r.start_cycle, r.end_cycle);
+        for (name, est) in &r.estimates {
+            let _ = writeln!(out, "  est {name} {est:?}");
+        }
+        let _ = writeln!(out, "  car {:?}", r.car_shared);
+    }
+    for i in 0..apps {
+        let _ = writeln!(out, "retired app{i} {}", sys.retired(AppId::new(i)));
+    }
+    out
+}
+
+#[test]
+fn default_config_runs_are_byte_identical() {
+    // The determinism smoke test backing asm-lint rules R1/R4: after the
+    // BTreeMap migration of the MSHR and alone-cache there is no hash
+    // iteration order left in the simulation, so two back-to-back runs
+    // from identical seeds must agree bit-for-bit — checked by writing
+    // both reports as `results_default.txt` and comparing raw bytes.
+    let run = || {
+        let apps = vec![
+            suite::by_name("mcf_like").unwrap(),
+            suite::by_name("libquantum_like").unwrap(),
+            suite::by_name("h264ref_like").unwrap(),
+            suite::by_name("povray_like").unwrap(),
+        ];
+        let mut sys = System::new(&apps, small_config());
+        sys.run_for(600_000);
+        render_results(&sys, apps.len())
+    };
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(dir).expect("target tmpdir is creatable");
+    let first_path = dir.join("results_default.txt");
+    let second_path = dir.join("results_default_rerun.txt");
+    std::fs::write(&first_path, run()).expect("tmpdir is writable");
+    std::fs::write(&second_path, run()).expect("tmpdir is writable");
+    let first = std::fs::read(&first_path).expect("first report readable");
+    let second = std::fs::read(&second_path).expect("rerun report readable");
+    assert!(!first.is_empty(), "report should contain quantum records");
+    assert_eq!(
+        first, second,
+        "back-to-back default-config runs diverged — nondeterminism \
+         reintroduced (check HashMap/entropy use; see asm-lint R1/R4)"
+    );
+}
+
 #[test]
 fn bank_partitioning_eliminates_bank_interference() {
     use asm_repro::dram::BankPartition;

@@ -1,0 +1,287 @@
+//! Offline shim of the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements exactly the API surface the workspace's property tests
+//! use, with the same semantics where it matters:
+//!
+//! - [`proptest!`] expands each `fn name(arg in strategy, ...) { body }`
+//!   item into a plain `#[test]`-able function that runs `body` for
+//!   `ProptestConfig::cases` generated inputs.
+//! - Strategies ([`Strategy`]) generate values from a deterministic
+//!   splitmix64 stream seeded by the case index, so failures reproduce
+//!   bit-identically on every run and machine. (Upstream proptest seeds
+//!   from OS entropy; determinism is a deliberate upgrade here — it is
+//!   also what lets the workspace ban OS entropy in tests.)
+//! - `prop_assert!`/`prop_assert_eq!` panic with the formatted message
+//!   and the case's generated inputs are implicit in the deterministic
+//!   seed, so there is no shrinking or regression-file persistence.
+//!   `.proptest-regressions` files are ignored.
+//!
+//! Not implemented (unused by this workspace): shrinking, `any::<T>()`,
+//! `prop_compose!`, filtering/flat-mapping, persistence.
+
+use std::ops::Range;
+
+/// Deterministic splitmix64 generator backing every strategy draw.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A distinct, reproducible stream per (test, case) pair.
+    pub fn for_case(case: u64) -> Self {
+        // Fixed golden-ratio offset keeps case 0 away from the weak
+        // all-zeros state.
+        TestRng {
+            state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03,
+        }
+    }
+
+    /// Next raw 64-bit draw (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty range handed to strategy");
+        // Modulo bias is irrelevant for test-case generation.
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of test-case values.
+///
+/// Object-safe so `prop_oneof!` can erase heterogeneous constructors
+/// into `Box<dyn Strategy<Value = T>>`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Type-erase a strategy (used by [`prop_oneof!`] expansion).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Strategy that always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (backs [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the already-boxed alternatives; must be non-empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Strategy combinators namespaced like upstream (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// `Vec` strategy: length drawn from `size`, elements from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-`proptest!`-block execution settings.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Mirror of upstream's `proptest::prelude`, covering what the
+/// workspace imports via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+
+    /// Upstream exposes combinator modules under `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Expand property-test functions into deterministic multi-case tests.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases as u64 {
+                    let mut __proptest_rng = $crate::TestRng::for_case(case);
+                    $(let $arg = $crate::Strategy::generate(
+                        &$strat,
+                        &mut __proptest_rng,
+                    );)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Assertion inside a `proptest!` body; panics (no shrinking phase).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Uniformly choose between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod shim_tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds_and_are_deterministic() {
+        let mut a = crate::TestRng::for_case(3);
+        let mut b = crate::TestRng::for_case(3);
+        for _ in 0..1000 {
+            let x = (5u64..17).generate(&mut a);
+            assert!((5..17).contains(&x));
+            assert_eq!(x, (5u64..17).generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let s = prop::collection::vec(0u64..10, 2..6);
+        let mut rng = crate::TestRng::for_case(0);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_every_arm() {
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = crate::TestRng::for_case(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn the_macro_itself_expands(x in 1u32..100, ys in prop::collection::vec(0u64..4, 1..5)) {
+            prop_assert!(x >= 1, "x was {}", x);
+            prop_assert_eq!(ys.len(), ys.len());
+        }
+    }
+}
