@@ -15,7 +15,7 @@ use std::hint::black_box;
 /// Mean ASM error (%) under a configuration, across all quanta but the
 /// first.
 fn asm_error(config: &SystemConfig) -> f64 {
-    let mut runner = Runner::new(config.clone());
+    let runner = Runner::new(config.clone());
     let r = runner.run(&micro_workload(), micro_cycles());
     let mut agg = asm_metrics_error_aggregate();
     for q in r.quanta.iter().skip(1) {
@@ -35,7 +35,7 @@ fn asm_metrics_error_aggregate() -> asm_metrics::ErrorAggregate {
 }
 
 fn run_once(config: SystemConfig) -> f64 {
-    let mut runner = Runner::new(config);
+    let runner = Runner::new(config);
     let r = runner.run(&micro_workload(), micro_cycles());
     r.whole_run_slowdowns.iter().sum()
 }
@@ -138,7 +138,7 @@ fn bench_ablation(c: &mut Criterion) {
             };
             cfg.epochs_enabled = epochs;
             cfg.mem_policy = MemPolicy::Uniform;
-            let mut runner = Runner::new(cfg.clone());
+            let runner = Runner::new(cfg.clone());
             let r = runner.run(&micro_workload(), micro_cycles());
             let max = r
                 .whole_run_slowdowns

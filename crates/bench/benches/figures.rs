@@ -17,7 +17,7 @@ use asm_workloads::{hog_profile, suite};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn run_once(config: SystemConfig) -> f64 {
-    let mut runner = Runner::new(config);
+    let runner = Runner::new(config);
     let r = runner.run(&micro_workload(), micro_cycles());
     // Return something data-dependent so the optimiser keeps everything.
     r.whole_run_slowdowns.iter().sum()
@@ -86,7 +86,7 @@ fn bench_figures(c: &mut Criterion) {
     // Database workloads.
     g.bench_function("db_workloads", |b| {
         b.iter(|| {
-            let mut runner = Runner::new(micro_config());
+            let runner = Runner::new(micro_config());
             let apps: Vec<_> = suite::db().into_iter().cycle().take(4).collect();
             let r = runner.run(&apps, micro_cycles());
             r.whole_run_slowdowns.iter().sum::<f64>()
@@ -187,5 +187,38 @@ fn bench_figures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_figures);
+/// A miniature fig2-style sweep through the parallel harness, sequential
+/// vs one worker per core. The per-job wall-clock ratio is the speedup
+/// the `--jobs` flag buys on this machine (the acceptance criterion asks
+/// for >=2x on four cores at real scales).
+fn bench_parallel_sweep(c: &mut Criterion) {
+    use asm_experiments::collect::collect_accuracy;
+    use asm_experiments::pool::default_jobs;
+    use asm_workloads::mix;
+
+    let mut g = c.benchmark_group("parallel_sweep");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+
+    let jobs_many = default_jobs();
+    for jobs in [1, jobs_many] {
+        g.bench_function(format!("fig2_micro_8_workloads_jobs_{jobs}"), |b| {
+            b.iter(|| {
+                let mut cfg = micro_config();
+                cfg.estimators = EstimatorSet::all();
+                let workloads = mix::random_mixes(8, 4, 42);
+                let stats =
+                    collect_accuracy(&cfg, &workloads, micro_cycles(), 0, jobs);
+                stats.mean_error("ASM").unwrap_or(f64::NAN)
+            });
+        });
+        if jobs_many == 1 {
+            break; // single-core machine: the two points coincide
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_parallel_sweep);
 criterion_main!(benches);

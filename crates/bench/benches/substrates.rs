@@ -112,6 +112,54 @@ fn bench_dram(c: &mut Criterion) {
     g.finish();
 }
 
+/// FR-FCFS scheduler picks at a steady queue depth. The controller keeps
+/// per-bank candidate lists incrementally and the interference accounting
+/// accrues per-bank charge counters instead of walking the queue, so the
+/// cost of retiring a fixed number of requests stays near-flat as the
+/// queue deepens — before those changes every pick and every accounting
+/// event rescanned the whole queue, making this bench linear in depth.
+fn bench_frfcfs_pick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frfcfs_pick");
+    g.measurement_time(Duration::from_secs(1));
+
+    for depth in [8usize, 32, 128] {
+        g.bench_function(format!("retire_1k_at_queue_depth_{depth}"), |b| {
+            b.iter(|| {
+                let cfg = DramConfig {
+                    read_queue_capacity: depth,
+                    ..DramConfig::default()
+                };
+                let mut mem = MemorySystem::new(cfg, SchedulerKind::FrFcfs, 4);
+                let mut rng = SimRng::seed_from(9);
+                let mut out = Vec::new();
+                let mut sent = 0u64;
+                let mut done = 0usize;
+                let mut now = 0u64;
+                while done < 1_000 && now < 5_000_000 {
+                    // Top the queue back up so every pick scans a full one.
+                    while mem
+                        .enqueue(MemRequest::read(
+                            sent,
+                            LineAddr::new(rng.gen_range(1 << 20)),
+                            AppId::new((sent % 4) as usize),
+                            now,
+                        ))
+                        .is_ok()
+                    {
+                        sent += 1;
+                    }
+                    out.clear();
+                    mem.tick(now, &mut out);
+                    done += out.len();
+                    now += 1;
+                }
+                black_box(done)
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_cpu(c: &mut Criterion) {
     let mut g = c.benchmark_group("cpu");
     g.measurement_time(Duration::from_secs(1));
@@ -140,5 +188,5 @@ fn bench_cpu(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_dram, bench_cpu);
+criterion_group!(benches, bench_cache, bench_dram, bench_frfcfs_pick, bench_cpu);
 criterion_main!(benches);

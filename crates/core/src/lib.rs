@@ -36,7 +36,7 @@
 //!     suite::by_name("mcf_like").unwrap(),
 //!     suite::by_name("h264ref_like").unwrap(),
 //! ];
-//! let mut runner = Runner::new(config);
+//! let runner = Runner::new(config);
 //! let result = runner.run(&apps, 200_000);
 //! assert_eq!(result.quanta.len(), 2);
 //! // Each quantum carries an ASM estimate and the measured slowdown.
@@ -55,5 +55,5 @@ pub use config::{
     CachePolicy, EpochAssignment, EstimatorSet, MemPolicy, PrefetchConfig, QosConfig, SystemConfig,
     ThrottlePolicy,
 };
-pub use runner::{RunResult, Runner};
+pub use runner::{AloneCache, QuantumResult, RunResult, Runner};
 pub use system::{AppSpec, AppSummary, QuantumRecord, System};

@@ -6,12 +6,18 @@
 //! the shared run retired in that quantum, read off the alone run's
 //! [`asm_cpu::ProgressLog`].
 //!
-//! Alone runs are cached per `(profile, slot)` within a [`Runner`], so
-//! sweeping many shared workloads that reuse applications does not repeat
-//! alone simulations.
+//! Alone runs are cached in an [`AloneCache`] keyed by
+//! `(profile, slot, alone config)`, so sweeping many shared workloads that
+//! reuse applications does not repeat alone simulations. The cache is
+//! thread-safe and can be shared across [`Runner`]s — the parallel
+//! experiment harness hands one cache to every worker so concurrent
+//! workloads never repeat an alone simulation either.
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
+// asm-lint: allow(R6): the alone-run cache is the one sanctioned lock in
+// simulation code; see `AloneCache` for why it cannot leak nondeterminism
+use std::sync::Mutex;
 
 use asm_cpu::{AppProfile, ProgressLog};
 use asm_metrics::SlowdownSample;
@@ -94,11 +100,88 @@ impl RunResult {
 #[derive(Clone)]
 struct AloneRecord {
     cycles: Cycle,
-    progress: Rc<ProgressLog>,
+    progress: Arc<ProgressLog>,
     latency_hist: Option<Histogram>,
 }
 
+/// Cache key: `(profile name, slot, alone-config fingerprint)`.
+type AloneKey = (String, usize, String);
+
+/// A thread-safe cache of alone runs, shareable across [`Runner`]s (and
+/// across the threads of the parallel experiment harness).
+///
+/// Determinism argument: every entry is a pure function of its key plus
+/// the requested cycle horizon — an alone run has no cross-application
+/// state — and a longer record agrees with a shorter one on their common
+/// prefix (a single-application simulation extended by more cycles never
+/// rewrites its past). So the cache's contents cannot depend on lock
+/// acquisition order: threads racing on the same key at worst duplicate
+/// one alone simulation; they can never observe different results.
+#[derive(Debug, Default)]
+pub struct AloneCache {
+    // asm-lint: allow(R6): guards a deterministic memo table (see the type
+    // docs); lock order can change timing but never simulated results
+    inner: Mutex<BTreeMap<AloneKey, AloneRecord>>,
+}
+
+impl AloneCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached alone runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned (a thread panicked while
+    /// holding it — impossible short of allocation failure, since no user
+    /// code runs under the lock).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // asm-lint: allow(R6): hands out the guard of the sanctioned cache
+    // lock above; all uses stay inside this impl
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<AloneKey, AloneRecord>> {
+        self.inner
+            .lock()
+            .expect("alone-cache lock is never poisoned: no user code runs under it")
+    }
+
+    /// Returns the cached record for `key` if it covers at least `cycles`.
+    fn get_at_least(&self, key: &AloneKey, cycles: Cycle) -> Option<AloneRecord> {
+        self.lock().get(key).filter(|r| r.cycles >= cycles).cloned()
+    }
+
+    /// Inserts `rec` unless an entry with at least as many cycles already
+    /// exists; returns the winning record either way.
+    fn insert_or_keep_longer(&self, key: AloneKey, rec: AloneRecord) -> AloneRecord {
+        let mut map = self.lock();
+        match map.get(&key) {
+            Some(existing) if existing.cycles >= rec.cycles => existing.clone(),
+            _ => {
+                map.insert(key, rec.clone());
+                rec
+            }
+        }
+    }
+}
+
 /// Runs workloads against a fixed [`SystemConfig`], caching alone runs.
+///
+/// [`run`](Self::run) takes `&self`, and `Runner` is `Send + Sync`: one
+/// runner can drive many workloads from many threads concurrently, with
+/// the shared [`AloneCache`] deduplicating alone simulations across all
+/// of them.
 ///
 /// # Examples
 ///
@@ -106,7 +189,10 @@ struct AloneRecord {
 #[derive(Debug)]
 pub struct Runner {
     config: SystemConfig,
-    alone_cache: BTreeMap<(String, usize), AloneRecord>,
+    alone_cache: Arc<AloneCache>,
+    /// Fingerprint of [`Self::alone_config`], precomputed because policy
+    /// switches ([`Self::set_policies`]) never change it.
+    alone_fingerprint: String,
 }
 
 impl std::fmt::Debug for AloneRecord {
@@ -116,24 +202,46 @@ impl std::fmt::Debug for AloneRecord {
 }
 
 impl Runner {
-    /// Creates a runner for the given configuration.
+    /// Creates a runner for the given configuration, with a fresh private
+    /// alone-run cache.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
     #[must_use]
     pub fn new(config: SystemConfig) -> Self {
+        Self::with_cache(config, Arc::new(AloneCache::new()))
+    }
+
+    /// Creates a runner that shares `cache` with other runners. Sharing is
+    /// always safe — entries are keyed by the full alone configuration, so
+    /// runners for different hardware never collide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn with_cache(config: SystemConfig, cache: Arc<AloneCache>) -> Self {
         config.validate();
-        Runner {
+        let mut runner = Runner {
             config,
-            alone_cache: BTreeMap::new(),
-        }
+            alone_cache: cache,
+            alone_fingerprint: String::new(),
+        };
+        runner.alone_fingerprint = format!("{:?}", runner.alone_config());
+        runner
     }
 
     /// The configuration in force.
     #[must_use]
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// The alone-run cache this runner reads and fills.
+    #[must_use]
+    pub fn alone_cache(&self) -> &Arc<AloneCache> {
+        &self.alone_cache
     }
 
     /// Switches the cache/memory mechanisms for subsequent runs while
@@ -157,32 +265,38 @@ impl Runner {
         c
     }
 
-    fn alone_record(&mut self, apps: &[AppProfile], slot: usize, cycles: Cycle) -> AloneRecord {
-        let key = (apps[slot].name().to_owned(), slot);
-        if let Some(rec) = self.alone_cache.get(&key) {
-            if rec.cycles >= cycles {
-                return rec.clone();
-            }
+    fn alone_record(&self, apps: &[AppProfile], slot: usize, cycles: Cycle) -> AloneRecord {
+        let key = (
+            apps[slot].name().to_owned(),
+            slot,
+            self.alone_fingerprint.clone(),
+        );
+        if let Some(rec) = self.alone_cache.get_at_least(&key, cycles) {
+            return rec;
         }
+        // Miss: simulate outside the lock (concurrent misses on the same
+        // key duplicate work but, being pure, agree on the result).
         let mut sys = System::new_alone(apps, self.alone_config(), AppId::new(slot));
         sys.enable_progress_logging();
         sys.run_for(cycles);
         let rec = AloneRecord {
             cycles,
-            progress: Rc::new(sys.progress_log(AppId::new(slot)).clone()),
+            progress: Arc::new(sys.progress_log(AppId::new(slot)).clone()),
             latency_hist: sys.measured_miss_latency_hist().cloned(),
         };
-        self.alone_cache.insert(key, rec.clone());
-        rec
+        self.alone_cache.insert_or_keep_longer(key, rec)
     }
 
     /// Runs `apps` together for `cycles` cycles (plus the necessary alone
     /// runs) and returns estimates and ground truth per quantum.
     ///
+    /// Takes `&self`: concurrent runs on one runner are safe and share the
+    /// alone cache.
+    ///
     /// # Panics
     ///
     /// Panics if `apps` is empty.
-    pub fn run(&mut self, apps: &[AppProfile], cycles: Cycle) -> RunResult {
+    pub fn run(&self, apps: &[AppProfile], cycles: Cycle) -> RunResult {
         assert!(!apps.is_empty(), "need at least one application");
         let n = apps.len();
 
@@ -289,7 +403,7 @@ mod tests {
 
     #[test]
     fn produces_one_result_per_quantum() {
-        let mut runner = Runner::new(config());
+        let runner = Runner::new(config());
         let r = runner.run(&apps(), 150_000);
         assert_eq!(r.quanta.len(), 3);
         assert_eq!(r.app_names.len(), 2);
@@ -297,7 +411,7 @@ mod tests {
 
     #[test]
     fn actual_slowdowns_are_sane() {
-        let mut runner = Runner::new(config());
+        let runner = Runner::new(config());
         let r = runner.run(&apps(), 150_000);
         for q in &r.quanta {
             for &a in &q.actual {
@@ -311,17 +425,54 @@ mod tests {
 
     #[test]
     fn alone_cache_reused_across_runs() {
-        let mut runner = Runner::new(config());
+        let runner = Runner::new(config());
         let _ = runner.run(&apps(), 100_000);
-        let cached = runner.alone_cache.len();
+        let cached = runner.alone_cache().len();
         assert_eq!(cached, 2);
         let _ = runner.run(&apps(), 100_000);
-        assert_eq!(runner.alone_cache.len(), cached);
+        assert_eq!(runner.alone_cache().len(), cached);
+    }
+
+    #[test]
+    fn shared_cache_dedupes_across_runners_but_not_across_configs() {
+        let cache = std::sync::Arc::new(AloneCache::new());
+        let a = Runner::with_cache(config(), cache.clone());
+        let _ = a.run(&apps(), 100_000);
+        assert_eq!(cache.len(), 2);
+
+        // A second runner on identical hardware hits the shared entries.
+        let b = Runner::with_cache(config(), cache.clone());
+        let _ = b.run(&apps(), 100_000);
+        assert_eq!(cache.len(), 2);
+
+        // Different hardware (another epoch length) must not collide.
+        let mut other = config();
+        other.epoch = 2_000;
+        let c = Runner::with_cache(other, cache.clone());
+        let _ = c.run(&apps(), 100_000);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn runner_and_results_are_send_and_sync() {
+        // Compile-time guards: the parallel harness shares one `Runner`
+        // across worker threads and moves `RunResult`s back. If a future
+        // change reintroduces an `Rc` (or other non-Send state) anywhere
+        // inside, these bounds fail to compile rather than silently
+        // blocking the harness.
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<RunResult>();
+        assert_send::<QuantumResult>();
+        assert_send::<Runner>();
+        assert_sync::<Runner>();
+        assert_send::<AloneCache>();
+        assert_sync::<AloneCache>();
     }
 
     #[test]
     fn samples_skip_invalid_ground_truth() {
-        let mut runner = Runner::new(config());
+        let runner = Runner::new(config());
         let r = runner.run(&apps(), 100_000);
         let samples = r.samples("ASM");
         assert!(!samples.is_empty());
@@ -333,7 +484,7 @@ mod tests {
 
     #[test]
     fn estimator_names_reported() {
-        let mut runner = Runner::new(config());
+        let runner = Runner::new(config());
         let r = runner.run(&apps(), 60_000);
         let names = r.estimator_names();
         assert_eq!(names, vec!["ASM", "FST", "PTCA", "MISE"]);
@@ -343,7 +494,7 @@ mod tests {
     fn latency_hists_present_when_configured() {
         let mut c = config();
         c.latency_hist = Some((50.0, 40));
-        let mut runner = Runner::new(c);
+        let runner = Runner::new(c);
         let r = runner.run(&apps(), 100_000);
         assert!(r.alone_latency_hist.is_some());
         assert!(!r.estimator_latency_hists.is_empty());

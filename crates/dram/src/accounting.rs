@@ -14,16 +14,48 @@
 //! completion, priority change), so the accounting is lazy: state is
 //! advanced over the interval since the previous event instead of every
 //! cycle, keeping the per-cycle simulation cost near zero.
+//!
+//! Per-request interference is lazier still: within an event interval a
+//! bank has one fixed owner, so every resident request of that bank with
+//! a different application accrues the *same* charge. [`advance`] therefore
+//! only bumps two cumulative counters per bank — total busy-owner cycles,
+//! and the per-application share of them — in `O(banks)` instead of
+//! walking the whole read queue. A request snapshots the counters at
+//! enqueue ([`interference_snapshot`]) and the controller materialises its
+//! interference at issue time ([`interference_since`]) as
+//! `(total now - total at enqueue) - (own-app share now - at enqueue)`,
+//! which equals the old per-request accrual cycle for cycle.
+//!
+//! [`advance`]: ChannelAccounting::advance
+//! [`interference_snapshot`]: ChannelAccounting::interference_snapshot
+//! [`interference_since`]: ChannelAccounting::interference_since
 
 use asm_simcore::{AppId, Cycle};
 
 use crate::bank::Bank;
-use crate::sched::QueuedRequest;
+
+/// A request's view of the interference counters at enqueue time; handed
+/// back to [`ChannelAccounting::interference_since`] at issue time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterferenceSnapshot {
+    /// `bank_charge[bank]` at snapshot time.
+    total: Cycle,
+    /// The requesting application's share of it at snapshot time.
+    own: Cycle,
+}
 
 /// Lazy per-channel accounting state.
 #[derive(Debug, Clone)]
 pub struct ChannelAccounting {
     last_event: Cycle,
+    app_count: usize,
+    /// Cumulative cycles each bank spent busy on an owned request,
+    /// indexed by bank. Sized lazily on the first [`advance`](Self::advance)
+    /// (the channel's bank count is not known at construction).
+    bank_charge: Vec<Cycle>,
+    /// The per-application share of `bank_charge`, flattened as
+    /// `bank * app_count + app`.
+    bank_charge_by_app: Vec<Cycle>,
     /// Outstanding (queued or in-flight) reads per application.
     outstanding_reads: Vec<u64>,
     /// Reads waiting in the request buffer (not yet issued to a bank) per
@@ -45,6 +77,9 @@ impl ChannelAccounting {
     pub fn new(app_count: usize) -> Self {
         ChannelAccounting {
             last_event: 0,
+            app_count,
+            bank_charge: Vec::new(),
+            bank_charge_by_app: Vec::new(),
             outstanding_reads: vec![0; app_count],
             waiting_reads: vec![0; app_count],
             queueing_cycles: vec![0.0; app_count],
@@ -53,27 +88,32 @@ impl ChannelAccounting {
         }
     }
 
-    /// Advances accounting to `now`, accruing per-request interference into
-    /// `queue` entries and queueing cycles for the priority application.
+    /// Advances accounting to `now`, accruing per-bank interference
+    /// charges and queueing cycles for the priority application.
     ///
     /// Must be called *before* any state mutation at an event so the
     /// interval is charged under the pre-event state.
-    pub fn advance(&mut self, now: Cycle, queue: &mut [QueuedRequest], banks: &[Bank]) {
+    pub fn advance(&mut self, now: Cycle, banks: &[Bank]) {
         if now <= self.last_event {
             return;
         }
         let span_start = self.last_event;
 
-        // Per-request interference: the bank's owner is fixed until its
+        // Per-bank interference charge: the bank's owner is fixed until its
         // ready_at, and issues (owner changes) are themselves events, so
-        // within this interval each bank has at most one owner.
-        for q in queue.iter_mut() {
-            let bank = &banks[q.loc.bank];
+        // within this interval each bank has at most one owner — every
+        // resident request of another application accrues the same charge,
+        // so it is recorded once per bank, not once per request.
+        if self.bank_charge.len() < banks.len() {
+            self.bank_charge.resize(banks.len(), 0);
+            self.bank_charge_by_app.resize(banks.len() * self.app_count, 0);
+        }
+        for (b, bank) in banks.iter().enumerate() {
             if let Some(owner) = bank.busy_owner(span_start) {
-                if owner != q.req.app {
-                    let busy_until = bank.ready_at().min(now);
-                    q.interference += busy_until.saturating_sub(span_start);
-                }
+                let busy_until = bank.ready_at().min(now);
+                let charge = busy_until.saturating_sub(span_start);
+                self.bank_charge[b] += charge;
+                self.bank_charge_by_app[b * self.app_count + owner.index()] += charge;
             }
         }
 
@@ -106,6 +146,38 @@ impl ChannelAccounting {
         }
 
         self.last_event = now;
+    }
+
+    /// Snapshots the interference counters for a request of `app` entering
+    /// `bank`. Call after [`advance`](Self::advance) so the counters are
+    /// current. The counters are sized lazily, so an unseen bank reads 0 —
+    /// correct, since nothing has been charged to it yet.
+    #[must_use]
+    pub fn interference_snapshot(&self, bank: usize, app: AppId) -> InterferenceSnapshot {
+        InterferenceSnapshot {
+            total: self.bank_charge.get(bank).copied().unwrap_or(0),
+            own: self
+                .bank_charge_by_app
+                .get(bank * self.app_count + app.index())
+                .copied()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Interference cycles a request of `app` in `bank` accrued since
+    /// `snap` was taken: the bank's busy-owner cycles over the request's
+    /// residency, minus the share during which the owner was the request's
+    /// own application. Call after [`advance`](Self::advance).
+    #[must_use]
+    pub fn interference_since(&self, snap: InterferenceSnapshot, bank: usize, app: AppId) -> Cycle {
+        let total = self.bank_charge.get(bank).copied().unwrap_or(0) - snap.total;
+        let own = self
+            .bank_charge_by_app
+            .get(bank * self.app_count + app.index())
+            .copied()
+            .unwrap_or(0)
+            - snap.own;
+        total - own
     }
 
     /// Records a read entering the request buffer.
@@ -173,24 +245,7 @@ impl ChannelAccounting {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mapping::Loc;
-    use crate::request::MemRequest;
     use crate::timing::DramTiming;
-    use asm_simcore::LineAddr;
-
-    fn queued_at_bank(app: usize, bank: usize) -> QueuedRequest {
-        QueuedRequest {
-            req: MemRequest::read(0, LineAddr::new(0), AppId::new(app), 0),
-            loc: Loc {
-                channel: 0,
-                bank,
-                row: 0,
-                col: 0,
-            },
-            marked: false,
-            interference: 0,
-        }
-    }
 
     #[test]
     fn interference_accrues_only_against_other_apps() {
@@ -199,15 +254,17 @@ mod tests {
         // Bank 0 busy with app1 from cycle 0.
         let (_, finish) = banks[0].schedule(&timing, 0, 5, AppId::new(1), false);
         let mut acct = ChannelAccounting::new(2);
-        let mut queue = vec![
-            queued_at_bank(0, 0), // app0 waiting behind app1: interferes
-            queued_at_bank(1, 0), // app1 waiting behind itself: no interference
-            queued_at_bank(0, 1), // idle bank: no interference
-        ];
-        acct.advance(10, &mut queue, &banks);
-        assert_eq!(queue[0].interference, 10.min(finish));
-        assert_eq!(queue[1].interference, 0);
-        assert_eq!(queue[2].interference, 0);
+        // Snapshots taken at cycle 0, before any charge.
+        let victim = acct.interference_snapshot(0, AppId::new(0));
+        let owner = acct.interference_snapshot(0, AppId::new(1));
+        let idle = acct.interference_snapshot(1, AppId::new(0));
+        acct.advance(10, &banks);
+        // app0 waiting behind app1: interferes.
+        assert_eq!(acct.interference_since(victim, 0, AppId::new(0)), 10.min(finish));
+        // app1 waiting behind itself: no interference.
+        assert_eq!(acct.interference_since(owner, 0, AppId::new(1)), 0);
+        // Idle bank: no interference.
+        assert_eq!(acct.interference_since(idle, 1, AppId::new(0)), 0);
     }
 
     #[test]
@@ -216,9 +273,25 @@ mod tests {
         let mut banks = vec![Bank::new()];
         let (_, finish) = banks[0].schedule(&timing, 0, 5, AppId::new(1), false);
         let mut acct = ChannelAccounting::new(2);
-        let mut queue = vec![queued_at_bank(0, 0)];
-        acct.advance(finish + 100, &mut queue, &banks);
-        assert_eq!(queue[0].interference, finish);
+        let snap = acct.interference_snapshot(0, AppId::new(0));
+        acct.advance(finish + 100, &banks);
+        assert_eq!(acct.interference_since(snap, 0, AppId::new(0)), finish);
+    }
+
+    #[test]
+    fn late_snapshot_excludes_earlier_charges() {
+        let timing = DramTiming::ddr3_1333(1);
+        let mut banks = vec![Bank::new()];
+        let (_, finish) = banks[0].schedule(&timing, 0, 5, AppId::new(1), false);
+        let mut acct = ChannelAccounting::new(2);
+        // A request arriving at cycle 10 must not be charged cycles 0-10.
+        acct.advance(10, &banks);
+        let snap = acct.interference_snapshot(0, AppId::new(0));
+        acct.advance(finish + 100, &banks);
+        assert_eq!(
+            acct.interference_since(snap, 0, AppId::new(0)),
+            finish - 10.min(finish)
+        );
     }
 
     #[test]
@@ -229,18 +302,18 @@ mod tests {
         acct.set_priority_app(Some(p));
 
         // No outstanding request: no queueing cycles.
-        acct.advance(10, &mut [], &banks);
+        acct.advance(10, &banks);
         assert_eq!(acct.queueing_cycles(p), 0);
 
         // Outstanding, last issue by another app: accrues.
         acct.on_read_enqueued(p);
         acct.on_issue(AppId::new(1), false);
-        acct.advance(30, &mut [], &banks);
+        acct.advance(30, &banks);
         assert_eq!(acct.queueing_cycles(p), 20);
 
         // Last issue by the priority app itself: stops accruing.
         acct.on_issue(p, true);
-        acct.advance(50, &mut [], &banks);
+        acct.advance(50, &banks);
         assert_eq!(acct.queueing_cycles(p), 20);
     }
 
@@ -253,7 +326,7 @@ mod tests {
         acct.on_read_enqueued(p);
         acct.on_issue(AppId::new(0), true);
         acct.set_priority_app(Some(p));
-        acct.advance(10, &mut [], &banks);
+        acct.advance(10, &banks);
         acct.reset_queueing_cycles();
         assert_eq!(acct.queueing_cycles(p), 0);
     }
@@ -265,9 +338,9 @@ mod tests {
         acct.set_priority_app(Some(AppId::new(0)));
         acct.on_read_enqueued(AppId::new(0));
         acct.on_issue(AppId::new(0), true);
-        acct.advance(10, &mut [], &banks);
+        acct.advance(10, &banks);
         let before = acct.queueing_cycles(AppId::new(0));
-        acct.advance(10, &mut [], &banks);
+        acct.advance(10, &banks);
         assert_eq!(acct.queueing_cycles(AppId::new(0)), before);
     }
 }

@@ -154,6 +154,21 @@ struct Channel {
     accounting: ChannelAccounting,
     next_try: Cycle,
     next_refresh_at: Cycle,
+    /// Read-queue indices per bank, in enqueue order. Invariant: the lists
+    /// partition `0..read_queue.len()`; nothing but
+    /// [`push_read`](Self::push_read)/[`remove_read`](Self::remove_read)
+    /// may change the queue's length or element positions (policies'
+    /// `maintain` mutates fields in place only).
+    bank_members: Vec<Vec<usize>>,
+    /// Per bank: how many member requests would hit the open row. Lets the
+    /// scheduler skip a blocked bank in O(1) while still computing its
+    /// exact wake-up cycle (row hits wait only for the bank, misses also
+    /// for tRRD/tFAW).
+    bank_row_hits: Vec<usize>,
+    /// Reused candidate buffers: scheduling is per-cycle hot, so the
+    /// controller never allocates on the tick path.
+    cand_scratch: Vec<Candidate>,
+    prio_scratch: Vec<Candidate>,
 }
 
 impl Channel {
@@ -171,7 +186,60 @@ impl Channel {
             accounting: ChannelAccounting::new(app_count),
             next_try: IDLE,
             next_refresh_at: config.refresh.map_or(IDLE, |r| r.trefi),
+            bank_members: vec![Vec::new(); config.banks],
+            bank_row_hits: vec![0; config.banks],
+            cand_scratch: Vec::with_capacity(config.read_queue_capacity),
+            prio_scratch: Vec::with_capacity(config.read_queue_capacity),
         }
+    }
+
+    /// Appends a read to the queue, maintaining the per-bank index lists
+    /// and row-hit counts.
+    fn push_read(&mut self, entry: QueuedRequest) {
+        let b = entry.loc.bank;
+        let hit = self.banks[b].open_row() == Some(entry.loc.row);
+        self.read_queue.push(entry);
+        self.bank_members[b].push(self.read_queue.len() - 1);
+        self.bank_row_hits[b] += usize::from(hit);
+    }
+
+    /// Removes and returns `read_queue[idx]`, maintaining the per-bank
+    /// index lists across the `swap_remove` (the displaced last element's
+    /// index is rewritten in its bank's list).
+    ///
+    /// Callers must re-derive the affected bank's row-hit count afterwards
+    /// (every call site issues on that bank, which can change its open row,
+    /// so they call [`recompute_row_hits`](Self::recompute_row_hits)).
+    fn remove_read(&mut self, idx: usize) -> QueuedRequest {
+        let removed = self.read_queue.swap_remove(idx);
+        let members = &mut self.bank_members[removed.loc.bank];
+        let pos = members
+            .iter()
+            .position(|&i| i == idx)
+            .expect("per-bank lists index every queued read exactly once");
+        members.remove(pos);
+        let moved_from = self.read_queue.len();
+        if idx < moved_from {
+            let members = &mut self.bank_members[self.read_queue[idx].loc.bank];
+            let pos = members
+                .iter()
+                .position(|&i| i == moved_from)
+                .expect("per-bank lists index every queued read exactly once");
+            members[pos] = idx;
+        }
+        removed
+    }
+
+    /// Recounts how many of bank `b`'s queued reads hit its open row.
+    /// Called after any command that may change the bank's open row.
+    fn recompute_row_hits(&mut self, b: usize) {
+        self.bank_row_hits[b] = match self.banks[b].open_row() {
+            Some(row) => self.bank_members[b]
+                .iter()
+                .filter(|&&i| self.read_queue[i].loc.row == row)
+                .count(),
+            None => 0,
+        };
     }
 
     /// Earliest cycle at which an *activating* command may issue, honouring
@@ -188,6 +256,10 @@ impl Channel {
     }
 
     /// Earliest cycle at which queued request `q` could be scheduled.
+    ///
+    /// Reference implementation: the scheduling loops compute the same
+    /// value per bank (see `attempt_issue`); tests cross-check the two.
+    #[cfg(test)]
     fn earliest_for(&self, timing: &DramTiming, q: &QueuedRequest) -> Cycle {
         let bank = &self.banks[q.loc.bank];
         let mut earliest = bank.ready_at();
@@ -206,8 +278,7 @@ impl Channel {
     }
 
     fn advance_accounting(&mut self, now: Cycle) {
-        self.accounting
-            .advance(now, &mut self.read_queue, &self.banks);
+        self.accounting.advance(now, &self.banks);
     }
 }
 
@@ -323,16 +394,18 @@ impl MemorySystem {
         if let Some(p) = &self.config.bank_partition {
             loc = p.remap(req.app, loc);
         }
+        let cap_r = self.config.read_queue_capacity;
+        let cap_w = self.config.write_queue_capacity;
+        let ch = &mut self.channels[loc.channel];
+        // Advance before snapshotting so the request is not charged for
+        // any interval preceding its arrival.
+        ch.advance_accounting(req.arrival);
         let entry = QueuedRequest {
             req,
             loc,
             marked: false,
-            interference: 0,
+            interference_snap: ch.accounting.interference_snapshot(loc.bank, req.app),
         };
-        let cap_r = self.config.read_queue_capacity;
-        let cap_w = self.config.write_queue_capacity;
-        let ch = &mut self.channels[loc.channel];
-        ch.advance_accounting(req.arrival);
         if req.is_write {
             if ch.write_queue.len() >= cap_w {
                 return Err(QueueFullError {
@@ -348,7 +421,7 @@ impl MemorySystem {
                     is_write: false,
                 });
             }
-            ch.read_queue.push(entry);
+            ch.push_read(entry);
             if req.is_demand_read() {
                 ch.accounting.on_read_enqueued(req.app);
             }
@@ -460,6 +533,8 @@ impl MemorySystem {
         for bank in &mut ch.banks {
             bank.refresh_until(until);
         }
+        // Refresh closes every row, so no queued read can be a hit.
+        ch.bank_row_hits.fill(0);
         ch.bus_free_at = ch.bus_free_at.max(until);
         ch.next_refresh_at = now + refresh.trefi;
     }
@@ -524,24 +599,47 @@ impl MemorySystem {
             return;
         }
 
-        // Collect bank-ready read candidates.
+        // Collect bank-ready read candidates, bank by bank. A blocked bank
+        // is skipped in O(1): `bank_row_hits` tells us — without touching
+        // its requests — whether its earliest schedulable cycle is bounded
+        // by the bank alone (some member row-hits) or also by tRRD/tFAW
+        // (all members need an activate). The scratch buffers are reused
+        // across ticks so this path never allocates.
         ch.policy.maintain(now, &mut ch.read_queue);
-        let mut candidates: Vec<Candidate> = Vec::new();
-        let mut priority_candidates: Vec<Candidate> = Vec::new();
+        let mut candidates = std::mem::take(&mut ch.cand_scratch);
+        let mut priority_candidates = std::mem::take(&mut ch.prio_scratch);
+        candidates.clear();
+        priority_candidates.clear();
+        let act_ch = ch.activation_earliest(&timing);
         let mut earliest_any = IDLE;
-        for (i, q) in ch.read_queue.iter().enumerate() {
-            let earliest = ch.earliest_for(&timing, q);
-            if earliest <= now {
-                let cand = Candidate {
-                    queue_idx: i,
-                    row_hit: ch.banks[q.loc.bank].open_row() == Some(q.loc.row),
-                };
-                if self.priority_app == Some(q.req.app) {
-                    priority_candidates.push(cand);
+        for b in 0..ch.banks.len() {
+            if ch.bank_members[b].is_empty() {
+                continue;
+            }
+            let bank = &ch.banks[b];
+            let ready = bank.ready_at();
+            let act = ready.max(act_ch);
+            if ready > now || (act > now && ch.bank_row_hits[b] == 0) {
+                // Nothing in this bank can issue now. Its exact wake-up:
+                // a row-hit member waits only for the bank; with no hits,
+                // every member also waits for the activation window.
+                earliest_any = earliest_any.min(if ch.bank_row_hits[b] > 0 { ready } else { act });
+                continue;
+            }
+            let open = bank.open_row();
+            for &i in &ch.bank_members[b] {
+                let q = &ch.read_queue[i];
+                let row_hit = open == Some(q.loc.row);
+                let earliest = if row_hit { ready } else { act };
+                if earliest <= now {
+                    let cand = Candidate { queue_idx: i, row_hit };
+                    if self.priority_app == Some(q.req.app) {
+                        priority_candidates.push(cand);
+                    }
+                    candidates.push(cand);
+                } else {
+                    earliest_any = earliest_any.min(earliest);
                 }
-                candidates.push(cand);
-            } else {
-                earliest_any = earliest_any.min(earliest);
             }
         }
 
@@ -553,18 +651,26 @@ impl MemorySystem {
             &priority_candidates
         };
 
-        if pool.is_empty() {
-            ch.next_try = earliest_any;
-            return;
-        }
+        let picked = if pool.is_empty() {
+            None
+        } else {
+            ch.policy.pick(now, &ch.read_queue, pool)
+        };
+        let queue_idx = picked.map(|p| pool[p].queue_idx);
+        let pool_was_empty = pool.is_empty();
+        ch.cand_scratch = candidates;
+        ch.prio_scratch = priority_candidates;
 
-        let picked = ch.policy.pick(now, &ch.read_queue, pool);
-        let Some(picked) = picked else {
-            ch.next_try = earliest_any.max(now + 1);
+        let Some(queue_idx) = queue_idx else {
+            ch.next_try = if pool_was_empty {
+                earliest_any
+            } else {
+                earliest_any.max(now + 1)
+            };
             return;
         };
-        let queue_idx = pool[picked].queue_idx;
-        let q = ch.read_queue.swap_remove(queue_idx);
+        let q = ch.remove_read(queue_idx);
+        let bank = q.loc.bank;
         Self::issue_request(
             ch,
             ch_idx,
@@ -576,6 +682,7 @@ impl MemorySystem {
             false,
             &mut self.seq,
         );
+        ch.recompute_row_hits(bank);
         ch.next_try = now + 1;
     }
 
@@ -587,13 +694,18 @@ impl MemorySystem {
         row_policy: crate::bank::RowPolicy,
         now: Cycle,
     ) {
-        // FR-FCFS among ready writes.
+        // FR-FCFS among ready writes. The write queue is at most 64 deep,
+        // so a linear scan (with the channel-wide activation bound hoisted
+        // out of the loop) stays cheap.
+        let act_ch = ch.activation_earliest(timing);
         let mut best: Option<(usize, bool, Cycle)> = None; // (idx, row_hit, arrival)
         let mut earliest_any = IDLE;
         for (i, q) in ch.write_queue.iter().enumerate() {
-            let earliest = ch.earliest_for(timing, q);
+            let bank = &ch.banks[q.loc.bank];
+            let ready = bank.ready_at();
+            let row_hit = bank.open_row() == Some(q.loc.row);
+            let earliest = if row_hit { ready } else { ready.max(act_ch) };
             if earliest <= now {
-                let row_hit = ch.banks[q.loc.bank].open_row() == Some(q.loc.row);
                 let better = match best {
                     None => true,
                     Some((_, bh, ba)) => (!row_hit, q.req.arrival) < (!bh, ba),
@@ -608,8 +720,12 @@ impl MemorySystem {
         match best {
             Some((idx, _, _)) => {
                 let q = ch.write_queue.remove(idx).expect("index valid");
+                let bank = q.loc.bank;
                 let mut seq = 0;
                 Self::issue_request(ch, ch_idx, audit, timing, row_policy, now, q, true, &mut seq);
+                // The write may have opened/closed the row under queued
+                // reads of the same bank.
+                ch.recompute_row_hits(bank);
                 ch.next_try = now + 1;
             }
             None => {
@@ -630,6 +746,14 @@ impl MemorySystem {
         is_write: bool,
         seq: &mut u64,
     ) {
+        // Materialise the request's interference before the bank mutates:
+        // writes never accrue any (only the read queue is accounted).
+        let interference_cycles = if is_write {
+            0
+        } else {
+            ch.accounting
+                .interference_since(q.interference_snap, q.loc.bank, q.req.app)
+        };
         let bank = &mut ch.banks[q.loc.bank];
         let needs_activate = bank.needs_activate(q.loc.row);
         let (outcome, bank_finish) =
@@ -665,11 +789,55 @@ impl MemorySystem {
                 arrival: q.req.arrival,
                 service_start: now,
                 finish,
-                interference_cycles: q.interference,
+                interference_cycles,
                 row_hit: matches!(outcome, crate::bank::RowOutcome::Hit),
             },
             is_write,
         });
+    }
+}
+
+#[cfg(test)]
+impl MemorySystem {
+    /// Asserts the incremental scheduling state (per-bank member lists,
+    /// row-hit counts) against a from-scratch recomputation, and the
+    /// per-bank earliest-cycle formula against [`Channel::earliest_for`].
+    fn assert_tracking_invariants(&self) {
+        let timing = self.config.timing;
+        for ch in &self.channels {
+            let mut seen = vec![false; ch.read_queue.len()];
+            for (b, members) in ch.bank_members.iter().enumerate() {
+                for &i in members {
+                    assert!(i < ch.read_queue.len(), "stale index {i} in bank {b}");
+                    assert!(!seen[i], "index {i} listed twice");
+                    seen[i] = true;
+                    assert_eq!(ch.read_queue[i].loc.bank, b, "index {i} in wrong bank list");
+                }
+                let expected = match ch.banks[b].open_row() {
+                    Some(row) => members
+                        .iter()
+                        .filter(|&&i| ch.read_queue[i].loc.row == row)
+                        .count(),
+                    None => 0,
+                };
+                assert_eq!(ch.bank_row_hits[b], expected, "bank {b} row-hit count drifted");
+            }
+            assert!(
+                seen.iter().all(|&s| s),
+                "some queued read is in no bank list"
+            );
+            let act_ch = ch.activation_earliest(&timing);
+            for q in &ch.read_queue {
+                let bank = &ch.banks[q.loc.bank];
+                let ready = bank.ready_at();
+                let fast = if bank.open_row() == Some(q.loc.row) {
+                    ready
+                } else {
+                    ready.max(act_ch)
+                };
+                assert_eq!(fast, ch.earliest_for(&timing, q), "earliest-cycle mismatch");
+            }
+        }
     }
 }
 
@@ -930,6 +1098,54 @@ mod tests {
         assert_eq!(stats.reads, 2);
         assert_eq!(stats.row_hits, 1);
         assert!(stats.total_read_latency > 0);
+    }
+
+    #[test]
+    fn incremental_tracking_matches_recomputation_under_stress() {
+        // Drive a mixed read/write stream (plus refresh and priority
+        // switches) through the controller and continuously cross-check
+        // the incremental per-bank state against a from-scratch rebuild.
+        let mut config = DramConfig {
+            read_queue_capacity: 32,
+            write_queue_capacity: 16,
+            write_drain_high: 12,
+            write_drain_low: 2,
+            ..DramConfig::default()
+        };
+        config.refresh = Some(crate::timing::RefreshConfig {
+            trefi: 700,
+            trfc: 120,
+        });
+        let mut mem = MemorySystem::new(config, SchedulerKind::FrFcfs, 3);
+        let mut out = Vec::new();
+        let mut state: u64 = 0xDECAF_BAD;
+        let mut issued = 0u64;
+        for now in 0..30_000u64 {
+            // xorshift64: a deterministic request stream with bank/row reuse.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state % 16 < 2 {
+                let line = LineAddr::new((state >> 8) % 4_096);
+                let app = AppId::new((state % 3) as usize);
+                let req = if (state >> 33) % 8 == 0 {
+                    MemRequest::write(issued, line, app, now)
+                } else {
+                    MemRequest::read(issued, line, app, now)
+                };
+                if mem.enqueue(req).is_ok() {
+                    issued += 1;
+                }
+            }
+            if now % 2_500 == 0 {
+                let app = (now / 2_500) % 4;
+                mem.set_priority_app(now, (app < 3).then(|| AppId::new(app as usize)));
+            }
+            mem.tick(now, &mut out);
+            mem.assert_tracking_invariants();
+        }
+        assert!(out.len() > 100, "stress stream should complete many reads");
+        assert!(issued > 500, "stress stream should accept many requests");
     }
 
     #[test]

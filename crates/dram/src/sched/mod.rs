@@ -30,6 +30,7 @@ pub use tcm::{Tcm, TcmConfig};
 
 use asm_simcore::{AppId, Cycle};
 
+use crate::accounting::InterferenceSnapshot;
 use crate::mapping::Loc;
 use crate::request::MemRequest;
 
@@ -42,9 +43,11 @@ pub struct QueuedRequest {
     pub loc: Loc,
     /// PARBS batch flag: whether this request belongs to the current batch.
     pub marked: bool,
-    /// Interference cycles accrued while waiting (bank busy with another
-    /// application's request).
-    pub interference: Cycle,
+    /// Interference-counter snapshot taken at enqueue; the controller
+    /// materialises the cycles this request spent waiting behind other
+    /// applications at issue time (see
+    /// [`ChannelAccounting`](crate::accounting::ChannelAccounting)).
+    pub interference_snap: InterferenceSnapshot,
 }
 
 /// A schedulable request this cycle: its queue position plus precomputed
@@ -147,7 +150,7 @@ pub(crate) mod testutil {
                 col: 0,
             },
             marked: false,
-            interference: 0,
+            interference_snap: InterferenceSnapshot::default(),
         }
     }
 

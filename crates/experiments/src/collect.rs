@@ -3,10 +3,52 @@
 
 use std::collections::BTreeMap;
 
-use asm_core::{Runner, SystemConfig};
+use asm_core::{RunResult, Runner, SystemConfig};
 use asm_cpu::AppProfile;
 use asm_metrics::{ErrorAggregate, ErrorDistribution};
 use asm_simcore::Cycle;
+
+use crate::pool;
+
+/// Simulates every workload under `config`, fanning runs across `jobs`
+/// worker threads, and returns the results **in workload order**.
+///
+/// This is the deterministic parallel driver every sweep goes through:
+/// workloads are independent, the shared [`asm_core::AloneCache`] dedupes
+/// alone runs across threads, and because the returned `Vec` preserves
+/// submission order, any sequential fold over it is byte-identical for
+/// every `jobs` value (including `jobs = 1`, which runs inline).
+///
+/// Prints one progress dot per completed workload to stderr.
+#[must_use]
+pub fn run_parallel(
+    config: &SystemConfig,
+    workloads: &[Vec<AppProfile>],
+    cycles: Cycle,
+    jobs: usize,
+) -> Vec<RunResult> {
+    let runner = Runner::new(config.clone());
+    run_parallel_with(&runner, workloads, cycles, jobs)
+}
+
+/// Like [`run_parallel`], reusing an existing runner — and therefore its
+/// alone-run cache. Use with [`Runner::set_policies`] when sweeping
+/// mechanisms on identical hardware.
+#[must_use]
+pub fn run_parallel_with(
+    runner: &Runner,
+    workloads: &[Vec<AppProfile>],
+    cycles: Cycle,
+    jobs: usize,
+) -> Vec<RunResult> {
+    let results = pool::run_ordered(jobs, workloads, |_, w| {
+        let r = runner.run(w, cycles);
+        eprint!(".");
+        r
+    });
+    eprintln!();
+    results
+}
 
 /// Accumulated accuracy statistics across a set of workloads.
 #[derive(Debug, Default)]
@@ -49,21 +91,24 @@ impl AccuracyStats {
     }
 }
 
-/// Runs `workloads` under `config` and accumulates estimation-error
-/// statistics, skipping `warmup_quanta` leading quanta of every run.
+/// Runs `workloads` under `config` on `jobs` worker threads and
+/// accumulates estimation-error statistics, skipping `warmup_quanta`
+/// leading quanta of every run.
 ///
-/// Prints one progress dot per workload to stderr.
+/// Simulations run via [`run_parallel`]; the statistics fold happens
+/// sequentially on the caller's thread in workload order, so the result
+/// is bitwise identical for every `jobs` value.
 #[must_use]
 pub fn collect_accuracy(
     config: &SystemConfig,
     workloads: &[Vec<AppProfile>],
     cycles: Cycle,
     warmup_quanta: usize,
+    jobs: usize,
 ) -> AccuracyStats {
-    let mut runner = Runner::new(config.clone());
+    let results = run_parallel(config, workloads, cycles, jobs);
     let mut stats = AccuracyStats::default();
-    for w in workloads {
-        let result = runner.run(w, cycles);
+    for result in &results {
         let mut workload_err: BTreeMap<String, ErrorAggregate> = BTreeMap::new();
         for q in result.quanta.iter().skip(warmup_quanta) {
             for (name, est) in &q.estimates {
@@ -111,9 +156,7 @@ pub fn collect_accuracy(
                 }
             }
         }
-        eprint!(".");
     }
-    eprintln!();
     stats
 }
 
@@ -138,16 +181,17 @@ pub struct MechOutcome {
     pub harmonic_speedup: f64,
 }
 
-/// Runs `workloads` under `config` and averages whole-run unfairness and
-/// harmonic speedup.
+/// Runs `workloads` under `config` on `jobs` worker threads and averages
+/// whole-run unfairness and harmonic speedup.
 #[must_use]
 pub fn eval_mechanism(
     config: &SystemConfig,
     workloads: &[Vec<AppProfile>],
     cycles: Cycle,
+    jobs: usize,
 ) -> MechOutcome {
-    let mut runner = Runner::new(config.clone());
-    eval_mechanism_with(&mut runner, workloads, cycles)
+    let runner = Runner::new(config.clone());
+    eval_mechanism_with(&runner, workloads, cycles, jobs)
 }
 
 /// Like [`eval_mechanism`], reusing an existing runner (and its cached
@@ -155,14 +199,14 @@ pub fn eval_mechanism(
 /// mechanisms on identical hardware).
 #[must_use]
 pub fn eval_mechanism_with(
-    runner: &mut Runner,
+    runner: &Runner,
     workloads: &[Vec<AppProfile>],
     cycles: Cycle,
+    jobs: usize,
 ) -> MechOutcome {
     let mut maxes = Vec::new();
     let mut hspeeds = Vec::new();
-    for w in workloads {
-        let r = runner.run(w, cycles);
+    for r in run_parallel_with(runner, workloads, cycles, jobs) {
         let slowdowns: Vec<f64> = r
             .whole_run_slowdowns
             .iter()
@@ -175,9 +219,7 @@ pub fn eval_mechanism_with(
         if let Some(h) = asm_metrics::harmonic_speedup(&slowdowns) {
             hspeeds.push(h);
         }
-        eprint!(".");
     }
-    eprintln!();
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let m = mean(&maxes);
     let std =
@@ -202,11 +244,24 @@ mod tests {
         let mut config = scale.base_config();
         config.estimators = EstimatorSet::all();
         let workloads = mix::random_mixes(1, 2, 7);
-        let stats = collect_accuracy(&config, &workloads, scale.cycles, scale.warmup_quanta);
+        let stats = collect_accuracy(&config, &workloads, scale.cycles, scale.warmup_quanta, 1);
         for name in ["ASM", "FST", "PTCA", "MISE"] {
             assert!(stats.mean_error(name).is_some(), "missing stats for {name}");
         }
         assert!(stats.workload_std_dev("ASM").is_some());
+    }
+
+    #[test]
+    fn run_parallel_preserves_workload_order() {
+        let scale = Scale::tiny();
+        let config = scale.base_config();
+        let workloads = mix::random_mixes(3, 2, 11);
+        let results = run_parallel(&config, &workloads, scale.cycles, 3);
+        assert_eq!(results.len(), workloads.len());
+        for (r, w) in results.iter().zip(&workloads) {
+            let expected: Vec<String> = w.iter().map(|a| a.name().to_owned()).collect();
+            assert_eq!(r.app_names, expected);
+        }
     }
 
     #[test]

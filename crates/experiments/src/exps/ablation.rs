@@ -14,7 +14,7 @@ use crate::scale::Scale;
 
 fn asm_error(config: &SystemConfig, scale: Scale, cycles: Cycle) -> Option<f64> {
     let workloads = mix::random_mixes((scale.workloads / 2).max(3), 4, scale.seed ^ 0xAB);
-    collect_accuracy(config, &workloads, cycles, scale.warmup_quanta).mean_error("ASM")
+    collect_accuracy(config, &workloads, cycles, scale.warmup_quanta, scale.jobs).mean_error("ASM")
 }
 
 /// Runs the ablation table.

@@ -37,17 +37,17 @@ pub fn run(scale: Scale) {
     for &channels in CHANNELS {
         let mut accuracy_cfg = config_with_channels(scale, channels);
         accuracy_cfg.estimators = EstimatorSet::asm_only();
-        let stats = collect_accuracy(&accuracy_cfg, &workloads, scale.cycles, scale.warmup_quanta);
+        let stats = collect_accuracy(&accuracy_cfg, &workloads, scale.cycles, scale.warmup_quanta, scale.jobs);
 
         let mut frfcfs_cfg = config_with_channels(scale, channels);
         frfcfs_cfg.estimators = EstimatorSet::none();
         frfcfs_cfg.epochs_enabled = false;
-        let frfcfs = eval_mechanism(&frfcfs_cfg, &workloads, scale.cycles);
+        let frfcfs = eval_mechanism(&frfcfs_cfg, &workloads, scale.cycles, scale.jobs);
 
         let mut asm_mem_cfg = config_with_channels(scale, channels);
         asm_mem_cfg.estimators = EstimatorSet::asm_only();
         asm_mem_cfg.mem_policy = MemPolicy::SlowdownWeighted;
-        let asm_mem = eval_mechanism(&asm_mem_cfg, &workloads, scale.cycles);
+        let asm_mem = eval_mechanism(&asm_mem_cfg, &workloads, scale.cycles, scale.jobs);
 
         table.row(vec![
             channels.to_string(),

@@ -54,7 +54,7 @@ pub fn run(scale: Scale) {
             ("PARBS+UCP", parbs_ucp(scale)),
             ("ASM-Cache-Mem", asm_cache_mem(scale)),
         ] {
-            let out = eval_mechanism(&config, &workloads, scale.cycles);
+            let out = eval_mechanism(&config, &workloads, scale.cycles, scale.jobs);
             table.row(vec![
                 cores.to_string(),
                 name.into(),

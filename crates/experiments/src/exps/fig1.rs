@@ -67,9 +67,10 @@ pub fn run(scale: Scale) {
         "norm CAR".into(),
         "norm perf".into(),
     ]);
-    let mut correlations = Vec::new();
-
-    for name in apps {
+    // Each (app, hog level) co-run and each alone baseline is independent:
+    // fan the per-app sweeps across the pool and assemble the table
+    // sequentially from the ordered results.
+    let per_app = crate::pool::run_ordered(scale.jobs, &apps, |_, &name| {
         let app = suite::by_name(name).expect("known profile");
         let workload = vec![app, hog_profile(0, HOG_LEVELS)];
 
@@ -88,21 +89,26 @@ pub fn run(scale: Scale) {
             let mut sys = System::new(&workload, config.clone());
             sys.run_for(scale.cycles);
             let (ipc, car) = measure(&sys, scale);
-            let norm_car = car / car_alone;
-            let norm_perf = ipc / ipc_alone;
-            cars.push(norm_car);
-            perfs.push(norm_perf);
-            table.row(vec![
-                name.into(),
-                level.to_string(),
-                format!("{norm_car:.3}"),
-                format!("{norm_perf:.3}"),
-            ]);
+            cars.push(car / car_alone);
+            perfs.push(ipc / ipc_alone);
             eprint!(".");
         }
-        correlations.push((name, pearson(&cars, &perfs)));
-    }
+        (cars, perfs)
+    });
     eprintln!();
+
+    let mut correlations = Vec::new();
+    for (name, (cars, perfs)) in apps.iter().zip(&per_app) {
+        for level in 0..HOG_LEVELS {
+            table.row(vec![
+                (*name).into(),
+                level.to_string(),
+                format!("{:.3}", cars[level]),
+                format!("{:.3}", perfs[level]),
+            ]);
+        }
+        correlations.push((*name, pearson(cars, perfs)));
+    }
     crate::output::emit("fig1", &table);
     println!("Pearson correlation (norm CAR vs norm perf), paper expectation ~1:");
     for (name, r) in correlations {

@@ -116,7 +116,7 @@ pub fn run(scale: Scale) {
         );
         for &scheme in SCHEMES {
             let config = scheme_config(scale, scheme);
-            let out = eval_mechanism(&config, &workloads, scale.cycles);
+            let out = eval_mechanism(&config, &workloads, scale.cycles, scale.jobs);
             table.row(vec![
                 cores.to_string(),
                 scheme.name.into(),

@@ -32,7 +32,7 @@ pub fn run(scale: Scale, sampled: bool) {
     }
 
     let workloads = mix::random_mixes(scale.workloads, 4, scale.seed);
-    let stats = collect_accuracy(&config, &workloads, scale.cycles, scale.warmup_quanta);
+    let stats = collect_accuracy(&config, &workloads, scale.cycles, scale.warmup_quanta, scale.jobs);
 
     let mut table = Table::new(vec![
         "benchmark".into(),

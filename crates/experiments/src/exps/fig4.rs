@@ -18,14 +18,14 @@ pub fn run(scale: Scale) {
     unsampled.estimators = EstimatorSet::all();
     unsampled.ats_sampled_sets = None;
     unsampled.pollution_filter_bits = 1 << 20;
-    let stats_u = collect_accuracy(&unsampled, &workloads, scale.cycles, scale.warmup_quanta);
+    let stats_u = collect_accuracy(&unsampled, &workloads, scale.cycles, scale.warmup_quanta, scale.jobs);
 
     // Run 2: sampled (for ASM).
     let mut sampled = scale.base_config();
     sampled.estimators = EstimatorSet::all();
     sampled.ats_sampled_sets = Some(64);
     sampled.pollution_filter_bits = 1 << 15;
-    let stats_s = collect_accuracy(&sampled, &workloads, scale.cycles, scale.warmup_quanta);
+    let stats_s = collect_accuracy(&sampled, &workloads, scale.cycles, scale.warmup_quanta, scale.jobs);
 
     let fst = stats_u.dist.get("FST");
     let ptca = stats_u.dist.get("PTCA");

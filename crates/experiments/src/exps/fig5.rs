@@ -21,8 +21,8 @@ pub fn run(scale: Scale) {
     let mut with_pf = base.clone();
     with_pf.prefetcher = Some(PrefetchConfig::default());
 
-    let stats_off = collect_accuracy(&base, &workloads, scale.cycles, scale.warmup_quanta);
-    let stats_on = collect_accuracy(&with_pf, &workloads, scale.cycles, scale.warmup_quanta);
+    let stats_off = collect_accuracy(&base, &workloads, scale.cycles, scale.warmup_quanta, scale.jobs);
+    let stats_on = collect_accuracy(&with_pf, &workloads, scale.cycles, scale.warmup_quanta, scale.jobs);
 
     let mut table = Table::new(vec![
         "estimator".into(),

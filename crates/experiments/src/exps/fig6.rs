@@ -51,11 +51,11 @@ fn run_one(scale: Scale, sampled: bool) {
     let pool = intensive_pool();
     let workloads = mix::mixes_from_pool(&pool, scale.workloads.min(10), 4, scale.seed ^ 0x66);
 
-    let mut runner = Runner::new(config);
+    let runner = Runner::new(config);
     let mut actual = Vec::new();
     let mut per_estimator: Vec<(String, Vec<Histogram>)> = Vec::new();
-    for w in &workloads {
-        let r = runner.run(w, scale.cycles);
+    // Simulate in parallel, merge histograms sequentially in workload order.
+    for r in crate::collect::run_parallel_with(&runner, &workloads, scale.cycles, scale.jobs) {
         if let Some(h) = r.alone_latency_hist {
             actual.push(h);
         }
@@ -65,9 +65,7 @@ fn run_one(scale: Scale, sampled: bool) {
                 None => per_estimator.push((name, vec![h])),
             }
         }
-        eprint!(".");
     }
-    eprintln!();
 
     let actual = merged(actual);
     let estimated: Vec<(String, Option<Histogram>)> = per_estimator

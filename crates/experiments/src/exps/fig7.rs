@@ -27,12 +27,12 @@ fn run_count(scale: Scale, cores: usize) -> (AccuracyStats, AccuracyStats) {
     unsampled.estimators = EstimatorSet::all();
     unsampled.ats_sampled_sets = None;
     unsampled.pollution_filter_bits = 1 << 20;
-    let stats_u = collect_accuracy(&unsampled, &workloads, scale.cycles, scale.warmup_quanta);
+    let stats_u = collect_accuracy(&unsampled, &workloads, scale.cycles, scale.warmup_quanta, scale.jobs);
 
     let mut sampled = scale.base_config();
     sampled.estimators = EstimatorSet::all();
     sampled.ats_sampled_sets = Some(64);
-    let stats_s = collect_accuracy(&sampled, &workloads, scale.cycles, scale.warmup_quanta);
+    let stats_s = collect_accuracy(&sampled, &workloads, scale.cycles, scale.warmup_quanta, scale.jobs);
     (stats_u, stats_s)
 }
 

@@ -59,7 +59,7 @@ pub fn run(scale: Scale) {
         let mut runner = asm_core::Runner::new(policy_config(scale, CachePolicy::None));
         for (name, policy) in policies {
             runner.set_policies(policy, asm_core::MemPolicy::Uniform);
-            let out = eval_mechanism_with(&mut runner, &workloads, scale.cycles);
+            let out = eval_mechanism_with(&runner, &workloads, scale.cycles, scale.jobs);
             table.row(vec![
                 cores.to_string(),
                 name.into(),

@@ -30,27 +30,37 @@ pub fn run(scale: Scale) {
     config.estimators = EstimatorSet::none();
     config.epochs_enabled = false;
     let cycles = scale.cycles / 2;
-    let mut runner = Runner::new(config);
+    let runner = Runner::new(config);
+
+    // All ordered pairs are independent runs: flatten them into one list
+    // and fan it across the pool; the row-major order of `pairs` makes
+    // the sequential table assembly below identical for any job count.
+    let pairs: Vec<Vec<asm_cpu::AppProfile>> = APPS
+        .iter()
+        .flat_map(|victim| {
+            APPS.iter().map(|aggressor| {
+                vec![
+                    suite::by_name(victim).expect("profile"),
+                    suite::by_name(aggressor).expect("profile"),
+                ]
+            })
+        })
+        .collect();
+    let results = crate::collect::run_parallel_with(&runner, &pairs, cycles, scale.jobs);
 
     let mut table = Table::new(
         std::iter::once("victim \\ aggressor".to_owned())
             .chain(APPS.iter().map(|a| a.trim_end_matches("_like").to_owned()))
             .collect(),
     );
-    for victim in APPS {
+    for (vi, victim) in APPS.iter().enumerate() {
         let mut row = vec![victim.trim_end_matches("_like").to_owned()];
-        for aggressor in APPS {
-            let apps = vec![
-                suite::by_name(victim).expect("profile"),
-                suite::by_name(aggressor).expect("profile"),
-            ];
-            let r = runner.run(&apps, cycles);
+        for ai in 0..APPS.len() {
+            let r = &results[vi * APPS.len() + ai];
             row.push(format!("{:.2}", r.whole_run_slowdowns[0]));
-            eprint!(".");
         }
         table.row(row);
     }
-    eprintln!();
     crate::output::emit("matrix", &table);
     println!("Expected shape: streaming/irregular aggressors (libquantum, mcf, cg) hurt");
     println!("everyone; cache-sensitive victims (bzip2, ft) suffer most; compute-bound");

@@ -21,7 +21,7 @@ pub fn run(scale: Scale) {
     config.ats_sampled_sets = Some(64);
 
     let workloads = mix::random_mixes(scale.workloads, 4, scale.seed);
-    let stats = collect_accuracy(&config, &workloads, scale.cycles, scale.warmup_quanta);
+    let stats = collect_accuracy(&config, &workloads, scale.cycles, scale.warmup_quanta, scale.jobs);
 
     let mut table = Table::new(vec!["model".into(), "mean error".into()]);
     table.row(vec![

@@ -44,7 +44,7 @@ pub fn run(scale: Scale) {
             config.ats_sampled_sets = Some(64);
             // Cover warmup + 4 measured quanta for every Q.
             let cycles = q * (scale.warmup_quanta as Cycle + 4);
-            let stats = collect_accuracy(&config, &workloads, cycles, scale.warmup_quanta);
+            let stats = collect_accuracy(&config, &workloads, cycles, scale.warmup_quanta, scale.jobs);
             row.push(pct(stats.mean_error("ASM")));
         }
         table.row(row);

@@ -6,15 +6,20 @@
 //!
 //! ```text
 //! asm-experiments <experiment> [--full|--tiny] [--workloads N]
-//!                 [--cycles N] [--seed N]
+//!                 [--cycles N] [--seed N] [--jobs N]
 //! ```
 //!
 //! where `<experiment>` is one of `fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //! table3 mise db fig9 fig10 fig11 combined all`.
+//!
+//! Sweeps fan out across `--jobs` worker threads (default: one per core)
+//! via [`pool::run_ordered`]; results merge in submission order, so every
+//! table and CSV is byte-identical for any `--jobs` value.
 
 pub mod collect;
 pub mod exps;
 pub mod output;
+pub mod pool;
 pub mod scale;
 
 pub use scale::Scale;

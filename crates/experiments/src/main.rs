@@ -32,6 +32,9 @@ OPTIONS:
     --workloads N    override workload count
     --cycles N       override cycles per run
     --seed N         override master seed
+    --jobs N         worker threads for sweeps (default: one per core;
+                     affects scheduling only — output is byte-identical
+                     for any value)
     --csv DIR        additionally write every table to DIR/<name>.csv
 ";
 
@@ -56,7 +59,7 @@ fn main() {
                 asm_experiments::output::set_csv_dir(dir.into());
                 i += 1;
             }
-            "--workloads" | "--cycles" | "--seed" => {
+            "--workloads" | "--cycles" | "--seed" | "--jobs" => {
                 let Some(value) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
                     eprintln!("error: {} needs a numeric value", args[i]);
                     std::process::exit(2);
@@ -64,6 +67,7 @@ fn main() {
                 match args[i].as_str() {
                     "--workloads" => scale.workloads = value as usize,
                     "--cycles" => scale.cycles = value,
+                    "--jobs" => scale.jobs = (value as usize).max(1),
                     _ => scale.seed = value,
                 }
                 i += 1;
@@ -80,6 +84,9 @@ fn main() {
         "scale: {} workloads x {} cycles (Q={}, E={}, warmup {} quanta, seed {})",
         scale.workloads, scale.cycles, scale.quantum, scale.epoch, scale.warmup_quanta, scale.seed
     );
+    // Schedule-only state goes to stderr: stdout (tables) must stay
+    // byte-identical across --jobs values.
+    eprintln!("jobs: {}", scale.jobs);
     if !exps::run(experiment, scale) {
         eprintln!("error: unknown experiment '{experiment}'\n{USAGE}");
         std::process::exit(2);

@@ -20,6 +20,10 @@ pub struct Scale {
     pub warmup_quanta: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for the sweep (`--jobs`). Schedule-only state: it
+    /// decides how runs are spread across cores, never what they compute
+    /// (see DESIGN.md §8).
+    pub jobs: usize,
 }
 
 impl Scale {
@@ -33,6 +37,7 @@ impl Scale {
             epoch: 10_000,
             warmup_quanta: 2,
             seed: 42,
+            jobs: crate::pool::default_jobs(),
         }
     }
 
@@ -47,10 +52,12 @@ impl Scale {
             epoch: 10_000,
             warmup_quanta: 2,
             seed: 42,
+            jobs: crate::pool::default_jobs(),
         }
     }
 
-    /// A tiny scale for smoke tests and benches.
+    /// A tiny scale for smoke tests and benches. Single-threaded: at this
+    /// size spawn overhead would dominate the runs themselves.
     #[must_use]
     pub fn tiny() -> Self {
         Scale {
@@ -60,6 +67,7 @@ impl Scale {
             epoch: 5_000,
             warmup_quanta: 1,
             seed: 42,
+            jobs: 1,
         }
     }
 

@@ -14,6 +14,7 @@ fn micro() -> Scale {
         epoch: 5_000,
         warmup_quanta: 1,
         seed: 7,
+        jobs: 2,
     }
 }
 

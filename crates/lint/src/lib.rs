@@ -2,7 +2,7 @@
 //!
 //! A repo-specific static-analysis pass over the seven simulation crates
 //! (`simcore`, `cache`, `dram`, `cpu`, `core`, `workloads`, `metrics`).
-//! It enforces five rules that `rustc`/`clippy` cannot express for us:
+//! It enforces six rules that `rustc`/`clippy` cannot express for us:
 //!
 //! - **R1** — no `HashMap`/`HashSet` in simulation code: hash iteration
 //!   order is randomized per process and feeds simulated event order.
@@ -15,6 +15,11 @@
 //!   external `rand`, `RandomState`): `SimRng` is the only randomness.
 //! - **R5** — numeric `as` casts in billing/accounting arithmetic
 //!   (`mech/billing.rs`, `dram/accounting.rs`) must be justified.
+//! - **R6** — no `std::thread` and no `std::sync` primitives beyond
+//!   `Arc` (no `Mutex`/`RwLock`/channels/atomics): the simulator is a
+//!   pure single-threaded function of its inputs. Parallelism lives in
+//!   the harness crates (`experiments`/`bench`), which fan out whole
+//!   simulations and merge results in submission order.
 //!
 //! Every diagnostic carries `path:line`. Intentional violations are
 //! suppressed with an allow directive stating a reason:

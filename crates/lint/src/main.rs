@@ -33,7 +33,7 @@ fn main() -> ExitCode {
 
     if diagnostics.is_empty() {
         println!(
-            "asm-lint: clean — {} simulation crates satisfy R1-R5",
+            "asm-lint: clean — {} simulation crates satisfy R1-R6",
             asm_lint::SIM_CRATES.len()
         );
         return ExitCode::SUCCESS;

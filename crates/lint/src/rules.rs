@@ -1,4 +1,4 @@
-//! The five determinism & simulation-safety rules (R1–R5).
+//! The six determinism & simulation-safety rules (R1–R6).
 //!
 //! Each rule scans a [`SourceModel`] line by line over the cleaned text
 //! (comments and literal bodies blanked), skips `#[cfg(test)]` regions
@@ -42,6 +42,7 @@ pub fn check(model: &SourceModel) -> Vec<Diagnostic> {
     rule_r3_float_eq(model, &mut out);
     rule_r4_entropy(model, &mut out);
     rule_r5_lossy_casts(model, &mut out);
+    rule_r6_thread_sync(model, &mut out);
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
@@ -370,6 +371,106 @@ fn rule_r5_lossy_casts(model: &SourceModel, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Synchronisation primitives R6 bans in simulation code. `Arc` is
+/// deliberately absent: shared *ownership* is deterministic; shared
+/// *mutable state behind a lock* is not.
+const SYNC_PRIMITIVES: &[&str] = &[
+    "Mutex", "RwLock", "Condvar", "Barrier", "OnceLock", "LazyLock", "mpsc", "JoinHandle",
+];
+
+/// R6: no threads or synchronisation primitives in simulation crates.
+///
+/// The simulator must be a pure single-threaded function of its inputs:
+/// lock acquisition order and atomic read-modify-write interleavings
+/// depend on the OS scheduler, so any `std::thread` / `std::sync` use
+/// (beyond `Arc`, which is mere shared ownership) could make simulated
+/// event order vary run to run. Parallelism lives exclusively in the
+/// harness crates (`experiments`/`bench`), which fan out *whole*
+/// simulations and merge results in submission order.
+///
+/// Emits at most one diagnostic per line (first trigger wins).
+fn rule_r6_thread_sync(model: &SourceModel, out: &mut Vec<Diagnostic>) {
+    for (i, line) in model.cleaned.iter().enumerate() {
+        if model.is_test_line(i) {
+            continue;
+        }
+        if let Some(msg) = r6_violation(line) {
+            push(model, out, i, RuleId::R6, msg);
+        }
+    }
+}
+
+/// First R6 trigger on a cleaned line, if any.
+fn r6_violation(line: &str) -> Option<String> {
+    // `std::thread` / `thread::spawn` / `use std::thread;` — the word
+    // `thread` in path position (next to `::`). Plain identifiers named
+    // `thread` and words like `thread_rng` (R4's business) stay out.
+    let mut from = 0;
+    while let Some(pos) = find_word(line, "thread", from) {
+        from = pos + 6;
+        let is_path = line[..pos].trim_end().ends_with("::")
+            || line[pos + 6..].trim_start().starts_with("::");
+        if is_path {
+            return Some(
+                "`std::thread` in simulation code — the simulator must stay \
+                 single-threaded; parallelism lives in the harness crates \
+                 (`experiments`/`bench`)"
+                    .to_owned(),
+            );
+        }
+    }
+    // `std::sync::*` paths other than `std::sync::Arc`.
+    let mut from = 0;
+    while let Some(pos) = find_word(line, "std", from) {
+        from = pos + 3;
+        let after = &line[pos + 3..];
+        let Some(rest) = after.strip_prefix("::sync") else {
+            continue;
+        };
+        if rest.as_bytes().first().copied().is_some_and(is_ident_byte) {
+            continue; // `std::sync` must end the path segment
+        }
+        let arc_only = rest
+            .strip_prefix("::Arc")
+            .is_some_and(|tail| !tail.as_bytes().first().copied().is_some_and(is_ident_byte));
+        if !arc_only {
+            return Some(
+                "`std::sync` (beyond `Arc`) in simulation code — locks and \
+                 channels make event order depend on thread scheduling; keep \
+                 synchronisation in the harness crates (`experiments`/`bench`)"
+                    .to_owned(),
+            );
+        }
+    }
+    // Primitive type names, wherever imported from.
+    for &word in SYNC_PRIMITIVES {
+        if contains_word(line, word) {
+            return Some(format!(
+                "`{word}` in simulation code — lock/channel timing depends on \
+                 thread scheduling and can reorder simulated events; keep \
+                 synchronisation in the harness crates (`experiments`/`bench`)"
+            ));
+        }
+    }
+    // `Atomic*` types (AtomicUsize, AtomicBool, AtomicU64, ...): an
+    // identifier starting with `Atomic` at a word boundary.
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(rel) = line.get(start..).and_then(|s| s.find("Atomic")) {
+        let abs = start + rel;
+        start = abs + 1;
+        if abs == 0 || !is_ident_byte(bytes[abs - 1]) {
+            return Some(
+                "atomic type in simulation code — read-modify-write \
+                 interleavings depend on thread scheduling; keep atomics in \
+                 the harness crates (`experiments`/`bench`)"
+                    .to_owned(),
+            );
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,6 +541,42 @@ fn ok() { let d = std::time::Duration::from_secs(1); }
         let src = "fn f(x: u64) -> f64 { x as f64 }\n";
         assert_eq!(diag("crates/dram/src/accounting.rs", src).len(), 1);
         assert!(diag("crates/dram/src/bank.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r6_bans_threads_and_sync_primitives() {
+        let src = "\
+use std::thread;
+use std::sync::Mutex;
+fn f() { let h = std::thread::spawn(|| 1); h.join(); }
+fn g(m: &Mutex<u64>) { *m.lock().expect(\"lock is never poisoned here\") += 1; }
+fn a() { let c = std::sync::atomic::AtomicUsize::new(0); }
+";
+        let d = diag("crates/dram/src/x.rs", src);
+        let r6: Vec<_> = d.iter().filter(|d| d.rule == RuleId::R6).map(|d| d.line).collect();
+        assert_eq!(r6, vec![1, 2, 3, 4, 5], "{d:#?}");
+    }
+
+    #[test]
+    fn r6_allows_arc_and_test_code() {
+        // Arc is deterministic shared ownership; `thread` as a plain
+        // identifier is not a path; tests may synchronise freely.
+        let src = "\
+use std::sync::Arc;
+fn f(x: Arc<u64>) -> u64 { let thread = *x; thread }
+#[cfg(test)]
+mod tests { use std::thread; fn t() { thread::yield_now(); } }
+";
+        assert!(diag("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r6_allow_directive_suppresses() {
+        let src = "\
+// asm-lint: allow(R6): single-threaded lock, documented invariant
+use std::sync::Mutex;
+";
+        assert!(diag("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use std::collections::BTreeSet;
 
-/// One rule's identifier (`R1`..`R5`), as used in allow directives.
+/// One rule's identifier (`R1`..`R6`), as used in allow directives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RuleId {
     /// Hash-ordered collections in simulation state.
@@ -26,11 +26,20 @@ pub enum RuleId {
     R4,
     /// Lossy `as` casts in billing/accounting arithmetic.
     R5,
+    /// Threads or synchronisation primitives in simulation crates.
+    R6,
 }
 
 impl RuleId {
     /// All rules, in order.
-    pub const ALL: [RuleId; 5] = [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4, RuleId::R5];
+    pub const ALL: [RuleId; 6] = [
+        RuleId::R1,
+        RuleId::R2,
+        RuleId::R3,
+        RuleId::R4,
+        RuleId::R5,
+        RuleId::R6,
+    ];
 
     /// Canonical name (`"R1"`).
     #[must_use]
@@ -41,6 +50,7 @@ impl RuleId {
             RuleId::R3 => "R3",
             RuleId::R4 => "R4",
             RuleId::R5 => "R5",
+            RuleId::R6 => "R6",
         }
     }
 
@@ -51,6 +61,7 @@ impl RuleId {
             "R3" => Some(RuleId::R3),
             "R4" => Some(RuleId::R4),
             "R5" => Some(RuleId::R5),
+            "R6" => Some(RuleId::R6),
             _ => None,
         }
     }

@@ -81,6 +81,35 @@ fn r5_lossy_cast_fixture_is_path_scoped() {
 }
 
 #[test]
+fn r6_thread_sync_fixture() {
+    let src = include_str!("fixtures/r6_thread_sync.rs");
+    let diags = lint_source("crates/simcore/src/fixture.rs", src);
+    // use Mutex (5), use std::thread (6), thread::spawn (9), Mutex in a
+    // signature (13), AtomicUsize via std::sync::atomic (18), Ordering via
+    // std::sync::atomic (19). `Arc` stays legal and the test module is
+    // exempt.
+    assert_eq!(
+        diags.iter().map(|d| (d.line, d.rule)).collect::<Vec<_>>(),
+        vec![
+            (5, RuleId::R6),
+            (6, RuleId::R6),
+            (9, RuleId::R6),
+            (13, RuleId::R6),
+            (18, RuleId::R6),
+            (19, RuleId::R6),
+        ],
+        "{diags:#?}"
+    );
+    // Exact rendering of the thread diagnostic, as the CLI prints it.
+    assert_eq!(
+        diags[1].to_string(),
+        "crates/simcore/src/fixture.rs:6: [R6] `std::thread` in simulation \
+         code — the simulator must stay single-threaded; parallelism lives \
+         in the harness crates (`experiments`/`bench`)"
+    );
+}
+
+#[test]
 fn allow_directives_suppress_every_rule_form() {
     let src = include_str!("fixtures/allow_suppression.rs");
     let diags = lint_source("crates/core/src/fixture.rs", src);
@@ -113,7 +142,7 @@ fn stripping_the_directive_resurfaces_the_violation() {
 #[test]
 fn workspace_is_clean() {
     // The sweep half of the tentpole, pinned as a test: the real
-    // simulation crates must satisfy R1-R5. CARGO_MANIFEST_DIR is
+    // simulation crates must satisfy R1-R6. CARGO_MANIFEST_DIR is
     // crates/lint; the workspace root is two levels up.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()

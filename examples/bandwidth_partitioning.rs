@@ -50,7 +50,7 @@ fn main() {
         } else {
             EstimatorSet::none()
         };
-        let mut runner = Runner::new(c);
+        let runner = Runner::new(c);
         println!("running {name}...");
         let r = runner.run(&apps, cycles);
         let s = &r.whole_run_slowdowns;

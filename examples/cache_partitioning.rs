@@ -46,7 +46,7 @@ fn main() {
         ("UCP", CachePolicy::Ucp),
         ("ASM-Cache", CachePolicy::AsmCache),
     ] {
-        let mut runner = Runner::new(config_for(policy));
+        let runner = Runner::new(config_for(policy));
         println!("running {name}...");
         let r = runner.run(&apps, cycles);
         let s = &r.whole_run_slowdowns;

@@ -26,7 +26,7 @@ fn main() {
     config.epoch = 10_000;
     config.estimators = EstimatorSet::asm_only();
 
-    let mut runner = Runner::new(config);
+    let runner = Runner::new(config);
     println!("simulating the consolidated node...");
     let r = runner.run(&apps, cycles);
 

@@ -48,7 +48,7 @@ fn main() {
     }
 
     for (name, policy) in schemes {
-        let mut runner = Runner::new(config_for(policy));
+        let runner = Runner::new(config_for(policy));
         println!("running {name}...");
         let r = runner.run(&apps, cycles);
         let s = &r.whole_run_slowdowns;

@@ -28,7 +28,7 @@ fn main() {
     config.epoch = 10_000;
     config.estimators = EstimatorSet::asm_only();
 
-    let mut runner = Runner::new(config);
+    let runner = Runner::new(config);
     println!("simulating 6M cycles (plus alone runs for ground truth)...");
     let result = runner.run(&apps, 6_000_000);
 

@@ -17,7 +17,7 @@ fn accuracy_config(sampled: bool) -> SystemConfig {
 /// Mean error per estimator across a few workloads, skipping one warmup
 /// quantum per run.
 fn mean_errors(sampled: bool, workload_count: usize, cycles: u64) -> Vec<(String, f64)> {
-    let mut runner = Runner::new(accuracy_config(sampled));
+    let runner = Runner::new(accuracy_config(sampled));
     let workloads = mix::random_mixes(workload_count, 4, 1234);
     let mut aggs: Vec<(String, ErrorAggregate)> = Vec::new();
     for w in &workloads {
@@ -81,8 +81,8 @@ fn sampling_hurts_ptca_much_more_than_asm() {
 
 #[test]
 fn runner_results_are_reproducible() {
-    let mut a = Runner::new(accuracy_config(true));
-    let mut b = Runner::new(accuracy_config(true));
+    let a = Runner::new(accuracy_config(true));
+    let b = Runner::new(accuracy_config(true));
     let w = mix::random_mixes(1, 4, 99).remove(0);
     let ra = a.run(&w, 1_500_000);
     let rb = b.run(&w, 1_500_000);

@@ -100,7 +100,7 @@ fn asm_mem_shifts_epochs_toward_slow_apps() {
     let run = |policy: MemPolicy| {
         let mut c = mech_config(CachePolicy::None);
         c.mem_policy = policy;
-        let mut runner = Runner::new(c);
+        let runner = Runner::new(c);
         let r = runner.run(&apps, 2_000_000);
         r.whole_run_slowdowns
             .iter()
@@ -145,7 +145,7 @@ fn fst_source_throttling_tames_the_interferer() {
         let mut c = mech_config(CachePolicy::None);
         c.estimators = asm_repro::core::EstimatorSet::all();
         c.throttle_policy = policy;
-        let mut runner = Runner::new(c);
+        let runner = Runner::new(c);
         runner.run(&apps, 1_500_000).whole_run_slowdowns
     };
     let base = run(ThrottlePolicy::None);

@@ -63,6 +63,13 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Warm-up budget before sampling. The shim always runs exactly one
+    /// warm-up pass (see [`Bencher::iter`]), so this exists for API
+    /// compatibility with upstream criterion and is otherwise ignored.
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
     /// Run one benchmark and print its per-iteration timing summary.
     pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
     where
