@@ -1,0 +1,85 @@
+//! End-to-end simulation throughput: simulated cycles per second of wall
+//! time, with the deterministic fast-forward (`skip_mode`) on and off.
+//!
+//! The memory-intensive mix is where skipping pays: most cycles are dead
+//! time with every core blocked on DRAM, so the skip loop executes only a
+//! small fraction of the simulated cycles (the exact outputs are bitwise
+//! identical either way — pinned by `crates/core/tests/skip_equivalence.rs`
+//! and the `exps/` differential matrix). The compute-bound mix is the
+//! worst case: nearly every cycle has real work, so skip mode's next-event
+//! fold is pure overhead and this group measures how small it is.
+//!
+//! `scripts/bench_snapshot.sh` parses this output into `BENCH_pr3.json`;
+//! keep the benchmark ids stable.
+
+use std::time::Duration;
+
+use asm_core::{EstimatorSet, System, SystemConfig};
+use asm_cpu::AppProfile;
+use asm_workloads::suite;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Simulated cycles per benchmark iteration. Long enough that steady
+/// state dominates the cold-start transient (a cold LLC misses more, so
+/// the first million cycles are unrepresentatively event-dense). The
+/// snapshot script divides this by the measured per-iteration time to
+/// get cycles/sec.
+pub const SIM_CYCLES: u64 = 10_000_000;
+
+fn config(skip: bool) -> SystemConfig {
+    let mut c = SystemConfig::default();
+    c.quantum = 1_000_000;
+    c.epoch = 10_000;
+    c.estimators = EstimatorSet::asm_only();
+    c.skip_mode = skip;
+    c
+}
+
+fn mcf_mix() -> Vec<AppProfile> {
+    // An mcf_like-class mix: all four slots memory-intensive, the regime
+    // the paper's workloads live in (§5: memory-intensive SPEC mixes).
+    ["mcf_like", "mcf_like", "mcf_like", "mcf_like"]
+        .iter()
+        .map(|n| suite::by_name(n).expect("suite profile exists"))
+        .collect()
+}
+
+fn compute_mix() -> Vec<AppProfile> {
+    ["h264ref_like", "povray_like", "h264ref_like", "povray_like"]
+        .iter()
+        .map(|n| suite::by_name(n).expect("suite profile exists"))
+        .collect()
+}
+
+fn run(profiles: &[AppProfile], skip: bool) -> u64 {
+    let mut sys = System::new(profiles, config(skip));
+    sys.run_for(SIM_CYCLES);
+    sys.executed_cycles()
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+
+    let mem = mcf_mix();
+    g.bench_function("mcf_mix_10m_skip", |b| {
+        b.iter(|| black_box(run(&mem, true)));
+    });
+    g.bench_function("mcf_mix_10m_no_skip", |b| {
+        b.iter(|| black_box(run(&mem, false)));
+    });
+
+    let cpu = compute_mix();
+    g.bench_function("compute_mix_10m_skip", |b| {
+        b.iter(|| black_box(run(&cpu, true)));
+    });
+    g.bench_function("compute_mix_10m_no_skip", |b| {
+        b.iter(|| black_box(run(&cpu, false)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -85,6 +85,12 @@ impl PollutionFilter {
     /// (more likely for small filters); false negatives are not.
     #[must_use]
     pub fn probably_contains(&self, line: LineAddr) -> bool {
+        // Empty filter: every bit is zero, so skip the hashing. This is the
+        // common case for non-thrashing applications, and the query sits on
+        // the per-miss hot path.
+        if self.inserted == 0 {
+            return false;
+        }
         (0..u64::from(HASHES)).all(|salt| {
             let bit = Self::hash(line, salt + 1) & self.mask;
             self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0

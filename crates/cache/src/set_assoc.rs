@@ -73,6 +73,11 @@ pub struct SetAssocCache {
     sets: Vec<Vec<Way>>,
     partition: Option<WayPartition>,
     app_count: usize,
+    /// Lines currently owned per application, maintained incrementally at
+    /// every insertion, eviction, ownerless replacement, and invalidation
+    /// so [`occupancy`](Self::occupancy) is O(1) instead of a full-cache
+    /// scan (it is consulted on mechanism hot paths every quantum).
+    occupancy: Vec<usize>,
 }
 
 impl SetAssocCache {
@@ -84,6 +89,7 @@ impl SetAssocCache {
             sets: vec![Vec::new(); geometry.sets()],
             partition: None,
             app_count,
+            occupancy: vec![0; app_count],
         }
     }
 
@@ -133,48 +139,83 @@ impl SetAssocCache {
     /// the line on a miss. Returns hit/miss, the hit's recency position, and
     /// any eviction the insertion caused.
     pub fn access(&mut self, line: LineAddr, app: AppId, is_write: bool) -> AccessOutcome {
-        let set_idx = self.geometry.set_index(line);
-        let tag = self.geometry.tag(line);
-        let ways = self.geometry.ways();
-        let set = &mut self.sets[set_idx];
-
-        if let Some(pos) = set.iter().position(|w| w.tag == tag) {
-            let mut way = set.remove(pos);
-            way.dirty |= is_write;
-            set.insert(0, way);
+        if let Some(pos) = self.touch(line, is_write) {
             return AccessOutcome {
                 hit: true,
                 hit_recency: Some(pos),
                 eviction: None,
             };
         }
-
-        let eviction = if set.len() >= ways {
-            let victim_pos = Self::pick_victim(set, app, self.partition.as_ref());
-            let victim = set.remove(victim_pos);
-            Some(EvictedLine {
-                line: Self::reconstruct(self.geometry, victim.tag, set_idx),
-                owner: victim.owner,
-                dirty: victim.dirty,
-            })
-        } else {
-            None
-        };
-
-        set.insert(
-            0,
-            Way {
-                tag,
-                owner: app,
-                dirty: is_write,
-            },
-        );
-
         AccessOutcome {
             hit: false,
             hit_recency: None,
-            eviction,
+            eviction: self.insert_absent(line, app, is_write),
         }
+    }
+
+    /// The hit half of [`access`](Self::access): if `line` is resident,
+    /// promotes it to MRU (marking it dirty on a write) and returns its
+    /// previous LRU-stack position; if absent, mutates nothing and returns
+    /// `None`. One set scan — callers that would otherwise
+    /// [`probe`](Self::probe) and then `access` on a hit (the L1 fast path)
+    /// do half the work.
+    pub fn touch(&mut self, line: LineAddr, is_write: bool) -> Option<usize> {
+        let set = &mut self.sets[self.geometry.set_index(line)];
+        let tag = self.geometry.tag(line);
+        let pos = set.iter().position(|w| w.tag == tag)?;
+        // Promote to MRU with a single rotate instead of remove + insert
+        // (which would shift the tail of the set twice).
+        set[..=pos].rotate_right(1);
+        set[0].dirty |= is_write;
+        Some(pos)
+    }
+
+    /// The miss half of [`access`](Self::access): inserts `line` — which
+    /// must not be resident — at MRU for `app`, returning the displaced
+    /// line if the set was full. Skips the residency scan, so callers that
+    /// already established absence (via [`probe`](Self::probe) or
+    /// [`touch`](Self::touch)) do not pay for it again.
+    pub fn insert_absent(
+        &mut self,
+        line: LineAddr,
+        app: AppId,
+        is_write: bool,
+    ) -> Option<EvictedLine> {
+        let set_idx = self.geometry.set_index(line);
+        let tag = self.geometry.tag(line);
+        let ways = self.geometry.ways();
+        let set = &mut self.sets[set_idx];
+        debug_assert!(
+            set.iter().all(|w| w.tag != tag),
+            "insert_absent on a resident line"
+        );
+
+        let new_way = Way {
+            tag,
+            owner: app,
+            dirty: is_write,
+        };
+        if let Some(c) = self.occupancy.get_mut(app.index()) {
+            *c += 1;
+        }
+        if set.len() < ways {
+            set.push(new_way);
+            set.rotate_right(1);
+            return None;
+        }
+
+        let victim_pos = Self::pick_victim(set, app, self.partition.as_ref());
+        let victim = set[victim_pos];
+        set[..=victim_pos].rotate_right(1);
+        set[0] = new_way;
+        if let Some(c) = self.occupancy.get_mut(victim.owner.index()) {
+            *c -= 1;
+        }
+        Some(EvictedLine {
+            line: Self::reconstruct(self.geometry, victim.tag, set_idx),
+            owner: victim.owner,
+            dirty: victim.dirty,
+        })
     }
 
     /// Checks residency without updating any state.
@@ -190,15 +231,28 @@ impl SetAssocCache {
         let set_idx = self.geometry.set_index(line);
         let tag = self.geometry.tag(line);
         let set = &mut self.sets[set_idx];
-        set.iter()
-            .position(|w| w.tag == tag)
-            .map(|pos| set.remove(pos).dirty)
+        let pos = set.iter().position(|w| w.tag == tag)?;
+        let way = set.remove(pos);
+        if let Some(c) = self.occupancy.get_mut(way.owner.index()) {
+            *c -= 1;
+        }
+        Some(way.dirty)
     }
 
     /// Returns how many lines `app` currently holds across the whole cache.
-    /// (Linear in cache size; intended for tests and coarse statistics.)
+    /// O(1): read from the incrementally maintained per-application
+    /// counters (cross-checked against [`occupancy_scan`]
+    /// (Self::occupancy_scan) by randomized tests).
     #[must_use]
     pub fn occupancy(&self, app: AppId) -> usize {
+        self.occupancy.get(app.index()).copied().unwrap_or(0)
+    }
+
+    /// Recomputes `app`'s occupancy by scanning every set. Linear in cache
+    /// size — the reference implementation the O(1) counters are validated
+    /// against.
+    #[must_use]
+    pub fn occupancy_scan(&self, app: AppId) -> usize {
         self.sets
             .iter()
             .map(|s| s.iter().filter(|w| w.owner == app).count())
@@ -408,6 +462,92 @@ mod tests {
     fn partition_way_count_validated() {
         let mut c = cache(4, 4, 2);
         c.set_partition(Some(WayPartition::new(vec![1, 2])));
+    }
+
+    #[test]
+    fn occupancy_counters_match_scan_under_random_traffic() {
+        use asm_simcore::SimRng;
+        let mut rng = SimRng::seed_from(0xC0FFEE);
+        let apps = 4;
+        let mut c = cache(64, 8, apps);
+        let check = |c: &SetAssocCache| {
+            for a in 0..apps {
+                let app = AppId::new(a);
+                assert_eq!(
+                    c.occupancy(app),
+                    c.occupancy_scan(app),
+                    "counter drifted from scan for app {a}"
+                );
+            }
+        };
+        for i in 0..50_000u64 {
+            let app = AppId::new((rng.next_u64() % apps as u64) as usize);
+            let line = LineAddr::new(rng.next_u64() % 4_096);
+            match rng.next_u64() % 16 {
+                0 => {
+                    let _ = c.invalidate(line);
+                }
+                1 => {
+                    let _ = c.touch(line, rng.next_u64() % 2 == 0);
+                }
+                2 => {
+                    if !c.probe(line) {
+                        let _ = c.insert_absent(line, app, rng.next_u64() % 2 == 0);
+                    }
+                }
+                3 => {
+                    // Partition churn: quotas must not desync the counters.
+                    let quotas = match rng.next_u64() % 3 {
+                        0 => vec![2, 2, 2, 2],
+                        1 => vec![5, 1, 1, 1],
+                        _ => vec![8, 0, 0, 0],
+                    };
+                    let p = (rng.next_u64() % 2 == 0).then(|| WayPartition::new(quotas));
+                    c.set_partition(p);
+                }
+                _ => {
+                    let _ = c.access(line, app, rng.next_u64() % 2 == 0);
+                }
+            }
+            if i % 1_000 == 0 {
+                check(&c);
+            }
+        }
+        check(&c);
+    }
+
+    #[test]
+    fn touch_plus_insert_absent_equals_access() {
+        use asm_simcore::SimRng;
+        // The split fast path (probe/touch + insert_absent) must evolve the
+        // cache exactly like the fused `access` — same hits, recencies,
+        // evictions, and final contents.
+        let mut rng = SimRng::seed_from(0x5117);
+        let mut fused = cache(16, 4, 2);
+        let mut split = cache(16, 4, 2);
+        for _ in 0..20_000u64 {
+            let app = AppId::new((rng.next_u64() % 2) as usize);
+            let line = LineAddr::new(rng.next_u64() % 512);
+            let is_write = rng.next_u64() % 2 == 0;
+            let a = fused.access(line, app, is_write);
+            let b = match split.touch(line, is_write) {
+                Some(pos) => AccessOutcome {
+                    hit: true,
+                    hit_recency: Some(pos),
+                    eviction: None,
+                },
+                None => AccessOutcome {
+                    hit: false,
+                    hit_recency: None,
+                    eviction: split.insert_absent(line, app, is_write),
+                },
+            };
+            assert_eq!(a, b);
+        }
+        for l in 0..512 {
+            let line = LineAddr::new(l);
+            assert_eq!(fused.probe(line), split.probe(line));
+        }
     }
 
     #[test]

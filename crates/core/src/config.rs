@@ -184,6 +184,14 @@ pub struct SystemConfig {
     /// Whether ASM applies the §4.3 memory-queueing-delay correction
     /// (ablation switch; the paper's model has it on).
     pub asm_queueing_correction: bool,
+    /// Deterministic fast-forward: when no component can change state
+    /// before cycle `now + k`, advance the clock by `k` in one jump
+    /// instead of ticking `k` times. Bitwise-exact — the same
+    /// [`crate::QuantumRecord`]s, estimator outputs and CSV bytes as the
+    /// cycle-by-cycle loop (pinned by the skip-equivalence tests; see
+    /// DESIGN.md §8). Default on; `--no-skip` in `asm-experiments` turns
+    /// it off.
+    pub skip_mode: bool,
     /// Master seed: the whole simulation is a pure function of this (plus
     /// the workload).
     pub seed: u64,
@@ -215,6 +223,7 @@ impl Default for SystemConfig {
             epoch_assignment: EpochAssignment::Probabilistic,
             throttle_policy: ThrottlePolicy::None,
             asm_queueing_correction: true,
+            skip_mode: true,
             seed: 1,
             progress_interval: 1_000,
             latency_hist: None,

@@ -21,6 +21,7 @@ use std::sync::Mutex;
 
 use asm_cpu::{AppProfile, ProgressLog};
 use asm_metrics::SlowdownSample;
+use asm_simcore::hash::DetHasher;
 use asm_simcore::{AppId, Cycle, Histogram};
 
 use crate::config::{CachePolicy, EstimatorSet, MemPolicy, SystemConfig};
@@ -104,8 +105,23 @@ struct AloneRecord {
     latency_hist: Option<Histogram>,
 }
 
-/// Cache key: `(profile name, slot, alone-config fingerprint)`.
-type AloneKey = (String, usize, String);
+/// Cache key: `(profile name, slot, alone-config hash)`. The hash is
+/// [`config_hash`] of the full alone [`SystemConfig`], so entries for
+/// different hardware (or different seeds) never collide, and a persisted
+/// cache from a different configuration is silently — and correctly —
+/// never hit.
+type AloneKey = (String, usize, u64);
+
+/// Deterministic 64-bit fingerprint of a [`SystemConfig`], derived from
+/// its complete `Debug` rendering: any field change (including added
+/// fields) changes the hash.
+#[must_use]
+pub fn config_hash(config: &SystemConfig) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = DetHasher::default();
+    h.write(format!("{config:?}").as_bytes());
+    h.finish()
+}
 
 /// A thread-safe cache of alone runs, shareable across [`Runner`]s (and
 /// across the threads of the parallel experiment harness).
@@ -174,6 +190,167 @@ impl AloneCache {
             }
         }
     }
+
+    /// Writes the cache to `path` in the versioned text format of
+    /// [`Self::load_from`]. Overwrites any existing file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Reads a cache previously written by [`Self::save_to`].
+    ///
+    /// Entries are keyed by [`config_hash`] of the alone configuration
+    /// they were simulated under, so a file recorded with different
+    /// hardware parameters loads fine but never satisfies a lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for filesystem failures, for a version header
+    /// other than the current one (a stale file from an older or newer
+    /// binary), and for any malformed content. Callers are expected to
+    /// warn and fall back to an empty cache.
+    pub fn load_from(path: &std::path::Path) -> std::io::Result<AloneCache> {
+        let text = std::fs::read_to_string(path)?;
+        Self::parse(&text).map_err(|why| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, why)
+        })
+    }
+
+    /// Serializes to the on-disk text format. One `entry` line per record
+    /// followed by its progress log and optional latency histogram; floats
+    /// travel as IEEE-754 bit patterns so the roundtrip is bitwise exact.
+    fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let map = self.lock();
+        let mut out = String::new();
+        out.push_str(ALONE_CACHE_FORMAT);
+        out.push('\n');
+        for ((name, slot, cfg), rec) in map.iter() {
+            // asm-lint: allow(R2): writing to a String cannot fail
+            writeln!(out, "entry {name} {slot} {cfg:016x} {}", rec.cycles).expect("string write");
+            write!(out, "progress {}", rec.progress.interval()).expect("string write");
+            for c in rec.progress.milestone_cycles() {
+                write!(out, " {c}").expect("string write");
+            }
+            out.push('\n');
+            match &rec.latency_hist {
+                Some(h) => {
+                    write!(
+                        out,
+                        "hist {:016x} {}",
+                        h.bucket_width().to_bits(),
+                        h.overflow()
+                    )
+                    .expect("string write");
+                    for i in 0..h.buckets() {
+                        write!(out, " {}", h.bucket_count(i)).expect("string write");
+                    }
+                    out.push('\n');
+                }
+                None => out.push_str("hist none\n"),
+            }
+        }
+        out
+    }
+
+    /// Strict parser for [`Self::to_text`]: any deviation is an error so
+    /// a truncated or hand-edited file cannot half-load.
+    fn parse(text: &str) -> Result<AloneCache, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(ALONE_CACHE_FORMAT) => {}
+            Some(other) => return Err(format!("unsupported format header {other:?}")),
+            None => return Err("empty file".to_owned()),
+        }
+        let cache = AloneCache::new();
+        let mut map = cache.lock();
+        while let Some(line) = lines.next() {
+            let mut f = line.split_ascii_whitespace();
+            if f.next() != Some("entry") {
+                return Err(format!("expected entry line, got {line:?}"));
+            }
+            let name = f.next().ok_or("entry missing profile name")?.to_owned();
+            let slot: usize = parse_field(f.next(), "slot")?;
+            let cfg = u64::from_str_radix(f.next().ok_or("entry missing config hash")?, 16)
+                .map_err(|e| format!("bad config hash: {e}"))?;
+            let cycles: Cycle = parse_field(f.next(), "cycles")?;
+
+            let progress_line = lines.next().ok_or("truncated entry: no progress line")?;
+            let mut p = progress_line.split_ascii_whitespace();
+            if p.next() != Some("progress") {
+                return Err(format!("expected progress line, got {progress_line:?}"));
+            }
+            let interval: u64 = parse_field(p.next(), "progress interval")?;
+            if interval == 0 {
+                return Err("zero progress interval".to_owned());
+            }
+            let milestones = p
+                .map(|w| w.parse::<Cycle>().map_err(|e| format!("bad milestone: {e}")))
+                .collect::<Result<Vec<Cycle>, String>>()?;
+            if milestones.windows(2).any(|w| w[0] > w[1]) {
+                return Err("milestone cycles not monotonic".to_owned());
+            }
+
+            let hist_line = lines.next().ok_or("truncated entry: no hist line")?;
+            let mut h = hist_line.split_ascii_whitespace();
+            if h.next() != Some("hist") {
+                return Err(format!("expected hist line, got {hist_line:?}"));
+            }
+            let latency_hist = match h.next() {
+                Some("none") => None,
+                Some(bits) => {
+                    let width = f64::from_bits(
+                        u64::from_str_radix(bits, 16)
+                            .map_err(|e| format!("bad bucket width: {e}"))?,
+                    );
+                    if !(width.is_finite() && width > 0.0) {
+                        return Err("non-positive histogram bucket width".to_owned());
+                    }
+                    let overflow: u64 = parse_field(h.next(), "hist overflow")?;
+                    let counts = h
+                        .map(|w| w.parse::<u64>().map_err(|e| format!("bad count: {e}")))
+                        .collect::<Result<Vec<u64>, String>>()?;
+                    if counts.is_empty() {
+                        return Err("histogram with no buckets".to_owned());
+                    }
+                    Some(Histogram::from_parts(width, counts, overflow))
+                }
+                None => return Err("truncated hist line".to_owned()),
+            };
+
+            map.insert(
+                (name, slot, cfg),
+                AloneRecord {
+                    cycles,
+                    progress: Arc::new(ProgressLog::from_parts(interval, milestones)),
+                    latency_hist,
+                },
+            );
+        }
+        drop(map);
+        Ok(cache)
+    }
+}
+
+/// On-disk format tag for the persisted alone-run cache. Bump the version
+/// whenever the record layout changes *or* a simulator change alters what
+/// alone runs compute without touching `SystemConfig` — an old file must
+/// never be read as if it were current.
+const ALONE_CACHE_FORMAT: &str = "asm-alone-cache v1";
+
+/// Parses one whitespace-separated field, naming it in the error.
+fn parse_field<T: std::str::FromStr>(field: Option<&str>, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    field
+        .ok_or_else(|| format!("missing {what}"))?
+        .parse::<T>()
+        .map_err(|e| format!("bad {what}: {e}"))
 }
 
 /// Runs workloads against a fixed [`SystemConfig`], caching alone runs.
@@ -190,9 +367,9 @@ impl AloneCache {
 pub struct Runner {
     config: SystemConfig,
     alone_cache: Arc<AloneCache>,
-    /// Fingerprint of [`Self::alone_config`], precomputed because policy
-    /// switches ([`Self::set_policies`]) never change it.
-    alone_fingerprint: String,
+    /// [`config_hash`] of [`Self::alone_config`], precomputed because
+    /// policy switches ([`Self::set_policies`]) never change it.
+    alone_fingerprint: u64,
 }
 
 impl std::fmt::Debug for AloneRecord {
@@ -226,9 +403,9 @@ impl Runner {
         let mut runner = Runner {
             config,
             alone_cache: cache,
-            alone_fingerprint: String::new(),
+            alone_fingerprint: 0,
         };
-        runner.alone_fingerprint = format!("{:?}", runner.alone_config());
+        runner.alone_fingerprint = config_hash(&runner.alone_config());
         runner
     }
 
@@ -266,11 +443,7 @@ impl Runner {
     }
 
     fn alone_record(&self, apps: &[AppProfile], slot: usize, cycles: Cycle) -> AloneRecord {
-        let key = (
-            apps[slot].name().to_owned(),
-            slot,
-            self.alone_fingerprint.clone(),
-        );
+        let key = (apps[slot].name().to_owned(), slot, self.alone_fingerprint);
         if let Some(rec) = self.alone_cache.get_at_least(&key, cycles) {
             return rec;
         }
@@ -468,6 +641,81 @@ mod tests {
         assert_sync::<Runner>();
         assert_send::<AloneCache>();
         assert_sync::<AloneCache>();
+    }
+
+    #[test]
+    fn persisted_cache_roundtrips_bitwise() {
+        let mut c = config();
+        c.latency_hist = Some((50.0, 40));
+        let runner = Runner::new(c);
+        let _ = runner.run(&apps(), 100_000);
+        let cache = runner.alone_cache();
+        assert_eq!(cache.len(), 2);
+
+        let text = cache.to_text();
+        let reloaded = AloneCache::parse(&text).expect("roundtrip parse");
+        assert_eq!(reloaded.len(), cache.len());
+        let (a, b) = (cache.lock(), reloaded.lock());
+        for ((ka, ra), (kb, rb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ka, kb);
+            assert_eq!(ra.cycles, rb.cycles);
+            assert_eq!(*ra.progress, *rb.progress);
+            assert_eq!(ra.latency_hist, rb.latency_hist);
+        }
+    }
+
+    #[test]
+    fn reloaded_cache_produces_identical_results() {
+        let runner = Runner::new(config());
+        let fresh = runner.run(&apps(), 100_000);
+
+        let text = runner.alone_cache().to_text();
+        let reloaded = Arc::new(AloneCache::parse(&text).expect("parse"));
+        let warm = Runner::with_cache(config(), reloaded.clone());
+        let before = reloaded.len();
+        let from_cache = warm.run(&apps(), 100_000);
+        assert_eq!(reloaded.len(), before, "warm run must not re-simulate");
+
+        // Ground truth from persisted alone runs is bitwise identical.
+        for (q1, q2) in fresh.quanta.iter().zip(&from_cache.quanta) {
+            for (a1, a2) in q1.actual.iter().zip(&q2.actual) {
+                assert_eq!(a1.to_bits(), a2.to_bits());
+            }
+        }
+        for (s1, s2) in fresh
+            .whole_run_slowdowns
+            .iter()
+            .zip(&from_cache.whole_run_slowdowns)
+        {
+            assert_eq!(s1.to_bits(), s2.to_bits());
+        }
+    }
+
+    #[test]
+    fn corrupt_or_stale_cache_text_is_rejected() {
+        // Wrong version header (a stale file from another binary).
+        assert!(AloneCache::parse("asm-alone-cache v0\n").is_err());
+        // Truncated entry.
+        assert!(AloneCache::parse("asm-alone-cache v1\nentry mcf_like 0 0123 500\n").is_err());
+        // Garbage numerics.
+        let bad = "asm-alone-cache v1\nentry mcf_like zero 0123 500\nprogress 100 5\nhist none\n";
+        assert!(AloneCache::parse(bad).is_err());
+        // Non-monotonic milestones.
+        let nonmono =
+            "asm-alone-cache v1\nentry mcf_like 0 0123 500\nprogress 100 90 50\nhist none\n";
+        assert!(AloneCache::parse(nonmono).is_err());
+        // The empty cache is fine.
+        let empty = AloneCache::parse("asm-alone-cache v1\n").expect("header-only file");
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn config_hash_separates_configs() {
+        let a = config_hash(&config());
+        let mut other = config();
+        other.epoch = 2_000;
+        assert_ne!(a, config_hash(&other));
+        assert_eq!(a, config_hash(&config()));
     }
 
     #[test]

@@ -16,12 +16,11 @@
 //!    updating the ATS/pollution filters and emitting
 //!    [`AccessEvent`]s along the way.
 
-use std::collections::BTreeMap;
 
 use asm_cache::{AuxiliaryTagStore, PollutionFilter, SetAssocCache, WayPartition};
 use asm_cpu::{AppProfile, Core, MemIssueResult, ProgressLog, StridePrefetcher};
 use asm_dram::{Completion, MemRequest, MemorySystem};
-use asm_simcore::{AppId, Cycle, Histogram, LineAddr, SimRng};
+use asm_simcore::{AppId, Cycle, DetHashMap, Histogram, LineAddr, SimRng};
 
 use crate::config::SystemConfig;
 use crate::estimator::{
@@ -29,6 +28,10 @@ use crate::estimator::{
     SlowdownEstimator, StfmEstimator, UnionTime,
 };
 use crate::mech;
+
+/// Sentinel for [`System::core_wake`]: the core is blocked on an external
+/// completion and has no self-scheduled wake-up.
+const NEVER: Cycle = Cycle::MAX;
 
 /// Per-application statistics accumulated over the current quantum; used
 /// by the ASM-Cache/UCP/MCFQ mechanisms and exposed in [`QuantumRecord`]s.
@@ -124,10 +127,44 @@ impl QuantumRecord {
     }
 }
 
+/// The completion tokens waiting on one in-flight miss. Nearly every miss
+/// has exactly one waiter (merges are rare), so the first two tokens live
+/// inline and only deeper merge chains pay for a heap allocation — the MSHR
+/// is populated on every demand miss, making this a per-miss cost.
+#[derive(Debug, Default)]
+struct TokenList {
+    inline: [u64; 2],
+    len: u8,
+    spill: Vec<u64>,
+}
+
+impl TokenList {
+    fn one(token: u64) -> Self {
+        TokenList {
+            inline: [token, 0],
+            len: 1,
+            spill: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, token: u64) {
+        if usize::from(self.len) < self.inline.len() {
+            self.inline[usize::from(self.len)] = token;
+            self.len += 1;
+        } else {
+            self.spill.push(token);
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &u64> {
+        self.inline[..usize::from(self.len)].iter().chain(&self.spill)
+    }
+}
+
 #[derive(Debug)]
 struct MissEntry {
     app: AppId,
-    tokens: Vec<u64>,
+    tokens: TokenList,
     prefetch: bool,
     epoch_owned: bool,
     ats_hit: Option<bool>,
@@ -208,7 +245,7 @@ pub struct System {
     pollution: Vec<PollutionFilter>,
     prefetchers: Vec<StridePrefetcher>,
     mem: MemorySystem,
-    mshr: BTreeMap<u64, MissEntry>,
+    mshr: DetHashMap<u64, MissEntry>,
     estimators: Vec<Box<dyn SlowdownEstimator>>,
     qstats: Vec<AppQuantumStats>,
     records: Vec<QuantumRecord>,
@@ -226,6 +263,25 @@ pub struct System {
     now: Cycle,
     next_req: u64,
     active_only: Option<AppId>,
+    /// Cycles actually executed (ticked); with skip mode the rest of
+    /// `now` was jumped over. Diagnostic for the throughput bench.
+    executed_cycles: u64,
+    /// Count of hierarchy mutations outside the memory system (LLC/MSHR
+    /// changes); `hier_version + mem.mutation_count()` is the version the
+    /// stall memo compares against (DESIGN.md §8).
+    hier_version: u64,
+    /// Per core: the hierarchy version at which its last issue attempt
+    /// stalled. While the version is unchanged a re-attempt would stall
+    /// identically with zero side effects, so the tick is elided.
+    stall_memo: Vec<Option<u64>>,
+    /// Per core: cached `Core::next_event` from its last tick — a lower
+    /// bound on the next cycle its tick can do real (non-stall-retry)
+    /// work. `NEVER` means blocked on an external completion. Refreshed
+    /// after every tick, reset to "check now" on completion delivery and
+    /// at quantum boundaries (throttling can change the MLP cap). Skip
+    /// mode only: saves two cross-crate calls per core per executed cycle
+    /// in both the tick guard and the fast-forward fold.
+    core_wake: Vec<Cycle>,
     last_quantum_end: Cycle,
     retired_at_quantum_start: Vec<u64>,
     dropped_writebacks: u64,
@@ -379,7 +435,7 @@ impl System {
             pollution,
             prefetchers,
             mem,
-            mshr: BTreeMap::new(),
+            mshr: DetHashMap::default(),
             estimators,
             qstats: vec![AppQuantumStats::default(); n],
             records: Vec::new(),
@@ -395,6 +451,10 @@ impl System {
             now: 0,
             next_req: 0,
             active_only,
+            executed_cycles: 0,
+            hier_version: 0,
+            stall_memo: vec![None; n],
+            core_wake: vec![0; n],
             last_quantum_end: 0,
             retired_at_quantum_start: vec![0; n],
             dropped_writebacks: 0,
@@ -526,10 +586,23 @@ impl System {
 
     /// Runs the simulation for `cycles` cycles. A quantum that completes
     /// exactly at the end of the run is finalised before returning.
+    ///
+    /// With [`SystemConfig::skip_mode`] on (the default), cycles on which
+    /// no component can change state are jumped over in one clock
+    /// adjustment; the result is bitwise-identical to stepping every
+    /// cycle (DESIGN.md §8 "Fast-forward without nondeterminism").
     pub fn run_for(&mut self, cycles: Cycle) {
         let end = self.now + cycles;
         while self.now < end {
             self.step();
+            if self.config.skip_mode {
+                // `step` executed cycle `now - 1` and every component is
+                // now quiescent until its next event; jump straight there.
+                let next = self.next_event_cycle(self.now - 1);
+                if next > self.now {
+                    self.now = next.min(end);
+                }
+            }
         }
         let now = self.now;
         if now > self.last_quantum_end && now.is_multiple_of(self.config.quantum) {
@@ -537,9 +610,49 @@ impl System {
         }
     }
 
+    /// The earliest cycle after `executed` at which *anything* in the
+    /// system can change state: a core fetch/retire/unstall, a memory
+    /// completion / scheduler retry / refresh, or a quantum/epoch
+    /// boundary (boundaries run estimator, mechanism and RNG work and
+    /// must fire on their exact cycle). Progress logging needs no entry
+    /// of its own: retired counts only move on executed core ticks, and
+    /// every executed tick records milestones.
+    fn next_event_cycle(&self, executed: Cycle) -> Cycle {
+        let q = self.config.quantum;
+        let mut next = (executed / q + 1) * q;
+        if self.config.epochs_enabled {
+            let e = self.config.epoch;
+            next = next.min((executed / e + 1) * e);
+        }
+        if let Some(m) = self.mem.next_event(executed) {
+            next = next.min(m);
+        }
+        // `core_wake` mirrors each core's `next_event` as of its last tick
+        // (cores skipped since then are unchanged by construction, so the
+        // cached value still holds). `NEVER` = blocked on a completion,
+        // which is itself a memory event already folded above.
+        for (i, &w) in self.core_wake.iter().enumerate() {
+            if w != NEVER && self.is_active(i) {
+                next = next.min(w);
+            }
+        }
+        // Prefetchers and the MSHR are purely reactive (demand-path and
+        // completion-path respectively): no autonomous wake-ups to fold.
+        next.max(executed + 1)
+    }
+
+    /// Cycles on which the hierarchy was actually ticked; in skip mode
+    /// the difference to [`now`](Self::now) is the fast-forwarded dead
+    /// time.
+    #[must_use]
+    pub fn executed_cycles(&self) -> u64 {
+        self.executed_cycles
+    }
+
     /// Advances the simulation by one cycle.
     pub fn step(&mut self) {
         let now = self.now;
+        self.executed_cycles += 1;
         if now > self.last_quantum_end && now.is_multiple_of(self.config.quantum) {
             self.end_quantum(now);
         }
@@ -696,6 +809,9 @@ impl System {
             p.clear();
         }
         self.mem.reset_queueing_cycles();
+        // Throttling may have changed MLP caps (and the partition the
+        // stall answers): cached wake-ups are stale, re-examine everyone.
+        self.core_wake.fill(0);
     }
 
     /// One cycle of memory + cores.
@@ -718,6 +834,9 @@ impl System {
             alone_miss_hist,
             completion_buf,
             active_only,
+            hier_version,
+            stall_memo,
+            core_wake,
             ..
         } = self;
 
@@ -736,13 +855,14 @@ impl System {
             next_req,
             dropped_writebacks,
             alone_miss_hist,
+            version: hier_version,
         };
 
         // Memory tick + completions.
         completion_buf.clear();
         hier.mem.tick(now, completion_buf);
         for c in completion_buf.drain(..) {
-            hier.handle_completion(now, &c, cores);
+            hier.handle_completion(now, &c, cores, core_wake);
         }
 
         // Core ticks. (Indexed loop: `hier` and `cores` must borrow
@@ -756,9 +876,34 @@ impl System {
             }
             let app = AppId::new(idx);
             let core = &mut cores[idx];
+            if hier.config.skip_mode && core_wake[idx] > now {
+                // `core_wake` says no real (non-stall-retry) work is
+                // possible before that cycle, and no completion has been
+                // delivered since it was cached — so the tick is either a
+                // provable no-op (elided outright) or could only
+                // re-attempt a stalled issue, which is elided while the
+                // hierarchy version is unchanged (the re-attempt would
+                // return the same Stall with zero side effects). Both are
+                // exact no-ops, so the cycle-mode trajectory is preserved
+                // bit for bit.
+                match stall_memo[idx] {
+                    None => continue,
+                    Some(v) if v == *hier.version + hier.mem.mutation_count() => continue,
+                    Some(_) => {}
+                }
+            }
+            let mut stalled_at = None;
             core.tick(now, &mut |line, is_write| {
-                hier.issue(now, app, line, is_write)
+                let r = hier.issue(now, app, line, is_write);
+                if matches!(r, MemIssueResult::Stall) {
+                    stalled_at = Some(*hier.version + hier.mem.mutation_count());
+                }
+                r
             });
+            stall_memo[idx] = stalled_at;
+            if hier.config.skip_mode {
+                core_wake[idx] = core.next_event(now).unwrap_or(NEVER);
+            }
         }
     }
 }
@@ -774,13 +919,16 @@ struct Hier<'a> {
     pollution: &'a mut Vec<PollutionFilter>,
     prefetchers: &'a mut Vec<StridePrefetcher>,
     mem: &'a mut MemorySystem,
-    mshr: &'a mut BTreeMap<u64, MissEntry>,
+    mshr: &'a mut DetHashMap<u64, MissEntry>,
     estimators: &'a mut Vec<Box<dyn SlowdownEstimator>>,
     qstats: &'a mut Vec<AppQuantumStats>,
     epoch_owner: Option<AppId>,
     next_req: &'a mut u64,
     dropped_writebacks: &'a mut u64,
     alone_miss_hist: &'a mut Option<Histogram>,
+    /// Bumped on every mutation of the LLC/MSHR state that a stalled
+    /// core's retry decision can observe; see `System::stall_memo`.
+    version: &'a mut u64,
 }
 
 impl Hier<'_> {
@@ -791,13 +939,23 @@ impl Hier<'_> {
 
     /// Handles a finished DRAM read: fill waiters, emit the miss event,
     /// insert prefetched lines.
-    fn handle_completion(&mut self, now: Cycle, c: &Completion, cores: &mut [Core]) {
+    fn handle_completion(
+        &mut self,
+        now: Cycle,
+        c: &Completion,
+        cores: &mut [Core],
+        core_wake: &mut [Cycle],
+    ) {
         let Some(entry) = self.mshr.remove(&c.line.raw()) else {
             return; // e.g. a dropped-writeback artefact; cannot happen for reads
         };
-        for token in &entry.tokens {
+        *self.version += 1;
+        for token in entry.tokens.iter() {
             cores[entry.app.index()].complete(*token, c.finish);
         }
+        // The delivery may retire the head or free MLP: re-examine the
+        // core this cycle instead of trusting its cached wake-up.
+        core_wake[entry.app.index()] = now;
         if entry.prefetch {
             // Fill the prefetched line into the shared cache now, and
             // mirror the fill into the ATS (the alone run prefetches the
@@ -898,9 +1056,8 @@ impl Hier<'_> {
     fn issue(&mut self, now: Cycle, app: AppId, line: LineAddr, is_write: bool) -> MemIssueResult {
         let a = app.index();
 
-        // Private L1.
-        if self.l1s[a].probe(line) {
-            self.l1s[a].access(line, app, is_write);
+        // Private L1 (single-scan hit path).
+        if self.l1s[a].touch(line, is_write).is_some() {
             return MemIssueResult::Completed(now + self.config.l1_latency);
         }
 
@@ -911,14 +1068,16 @@ impl Hier<'_> {
         if !llc_resident && !merged && !self.mem.can_accept_read(line) {
             return MemIssueResult::Stall;
         }
+        *self.version += 1;
 
         // Commit the L1 fill (allocate-on-miss) and push any dirty victim
-        // down to the LLC (or memory if not resident there).
-        let l1_out = self.l1s[a].access(line, app, is_write);
-        if let Some(victim) = l1_out.eviction {
+        // down to the LLC (or memory if not resident there). The `touch`
+        // above established absence, so the fill skips the residency scan.
+        let l1_victim = self.l1s[a].insert_absent(line, app, is_write);
+        if let Some(victim) = l1_victim {
             if victim.dirty {
-                if self.llc.probe(victim.line) {
-                    self.llc.access(victim.line, victim.owner, true);
+                if self.llc.touch(victim.line, true).is_some() {
+                    // Resident in the LLC: absorbed as a write hit.
                 } else {
                     let id = self.fresh_id();
                     let req = MemRequest::write(id, victim.line, victim.owner, now);
@@ -930,9 +1089,27 @@ impl Hier<'_> {
         }
 
         // Demand access to the shared cache (this is the access CAR
-        // counts).
+        // counts). Residency was already established by the stall check
+        // (still valid: the victim writeback above can only reorder its
+        // own set's LRU stack), so hit and miss take single-scan paths.
         let ats_out = self.ats[a].access(line);
-        let llc_out = self.llc.access(line, app, is_write);
+        let llc_out = if llc_resident {
+            let pos = self
+                .llc
+                .touch(line, is_write)
+                .expect("stall check probed the line resident");
+            asm_cache::AccessOutcome {
+                hit: true,
+                hit_recency: Some(pos),
+                eviction: None,
+            }
+        } else {
+            asm_cache::AccessOutcome {
+                hit: false,
+                hit_recency: None,
+                eviction: self.llc.insert_absent(line, app, is_write),
+            }
+        };
         let pollution_hit = !llc_out.hit && self.pollution[a].probably_contains(line);
         self.handle_llc_eviction(app, llc_out.eviction, now);
 
@@ -998,7 +1175,11 @@ impl Hier<'_> {
             }
         } else {
             let id = self.fresh_id();
-            let tokens = if is_write { Vec::new() } else { vec![id] };
+            let tokens = if is_write {
+                TokenList::default()
+            } else {
+                TokenList::one(id)
+            };
             self.mshr.insert(
                 line.raw(),
                 MissEntry {
@@ -1038,12 +1219,13 @@ impl Hier<'_> {
         {
             return;
         }
+        *self.version += 1;
         let id = self.fresh_id();
         self.mshr.insert(
             line.raw(),
             MissEntry {
                 app,
-                tokens: Vec::new(),
+                tokens: TokenList::default(),
                 prefetch: true,
                 epoch_owned: false,
                 ats_hit: None,

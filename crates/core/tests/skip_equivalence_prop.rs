@@ -1,0 +1,123 @@
+//! Property test backing the fast-forward guarantee: for *randomized*
+//! valid `SystemConfig`s and workload mixes, the skip-mode run must
+//! produce a `QuantumRecord` stream bitwise identical to the
+//! cycle-by-cycle run. The hand-picked configurations in
+//! `skip_equivalence.rs` cover the interesting corners deliberately;
+//! this sweep covers the combinations nobody thought of.
+
+use asm_core::{
+    CachePolicy, EpochAssignment, EstimatorSet, MemPolicy, System, SystemConfig, ThrottlePolicy,
+};
+use asm_dram::SchedulerKind;
+use asm_simcore::AppId;
+use asm_workloads::suite;
+use proptest::prelude::*;
+
+/// A pool spanning the suite's intensity range: two memory hogs, two
+/// mid-intensity applications, two compute-bound ones.
+const POOL: &[&str] = &[
+    "mcf_like",
+    "libquantum_like",
+    "soplex_like",
+    "gcc_like",
+    "h264ref_like",
+    "povray_like",
+];
+
+/// Quantum lengths crossed with epoch lengths; every epoch below divides
+/// every quantum, so all combinations pass `SystemConfig::validate`.
+const QUANTA: &[u64] = &[20_000, 60_000, 100_000];
+const EPOCHS: &[u64] = &[500, 1_000, 2_500, 5_000];
+
+/// Compact run digest: the full `QuantumRecord` stream with floats as
+/// bit patterns, plus final retired counts. (The richer per-app summary
+/// digests are exercised by `skip_equivalence.rs`.)
+fn run_digest(config: &SystemConfig, apps: &[usize], cycles: u64, skip: bool) -> String {
+    let profiles: Vec<_> = apps
+        .iter()
+        .map(|&i| suite::by_name(POOL[i]).expect("pool name exists in suite"))
+        .collect();
+    let mut c = config.clone();
+    c.skip_mode = skip;
+    let mut sys = System::new(&profiles, c);
+    // Two uneven slices so fast-forward also has to survive a run_for
+    // boundary that is neither an event nor a quantum boundary.
+    sys.run_for(cycles / 3);
+    sys.run_for(cycles - cycles / 3);
+
+    let mut out = String::new();
+    out.push_str(&format!("now={} ", sys.now()));
+    for i in 0..profiles.len() {
+        out.push_str(&format!("ret{i}={} ", sys.retired(AppId::new(i))));
+    }
+    for r in sys.records() {
+        out.push_str(&format!("[{}..{}", r.start_cycle, r.end_cycle));
+        out.push_str(&format!(" rs={:?} re={:?}", r.retired_start, r.retired_end));
+        let car: Vec<u64> = r.car_shared.iter().map(|v| v.to_bits()).collect();
+        out.push_str(&format!(" car={car:?}"));
+        for (name, est) in &r.estimates {
+            let bits: Vec<u64> = est.iter().map(|v| v.to_bits()).collect();
+            out.push_str(&format!(" {name}={bits:?}"));
+        }
+        out.push_str(&format!(" part={:?}]", r.partition));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn randomized_configs_have_identical_quantum_records(
+        app_ix in prop::collection::vec(0usize..6, 2..4),
+        q_ix in 0usize..3,
+        e_ix in 0usize..4,
+        epochs_enabled in 0u8..2,
+        est_ix in 0usize..3,
+        cache_ix in 0usize..3,
+        mem_ix in 0usize..2,
+        sched_ix in 0usize..3,
+        assign_ix in 0usize..2,
+        throttle in 0u8..2,
+        prefetch in 0u8..2,
+        hist in 0u8..2,
+        sampled in 0u8..2,
+        seed in 0u64..1_000_000,
+        quanta_count in 2u64..4,
+    ) {
+        let mut config = SystemConfig::default();
+        config.quantum = QUANTA[q_ix];
+        config.epoch = EPOCHS[e_ix];
+        config.epochs_enabled = epochs_enabled == 1;
+        config.estimators = [EstimatorSet::asm_only(), EstimatorSet::all(), EstimatorSet::none()][est_ix].clone();
+        config.cache_policy = [CachePolicy::None, CachePolicy::AsmCache, CachePolicy::Ucp][cache_ix];
+        config.mem_policy = [MemPolicy::Uniform, MemPolicy::SlowdownWeighted][mem_ix];
+        config.scheduler =
+            [SchedulerKind::FrFcfs, SchedulerKind::Tcm, SchedulerKind::Bliss][sched_ix];
+        config.epoch_assignment =
+            [EpochAssignment::Probabilistic, EpochAssignment::RoundRobin][assign_ix];
+        if throttle == 1 {
+            config.throttle_policy = ThrottlePolicy::Fst { unfairness_threshold: 1.4 };
+        }
+        if prefetch == 1 {
+            config.prefetcher = Some(asm_core::PrefetchConfig::default());
+        }
+        if hist == 1 {
+            config.latency_hist = Some((50.0, 40));
+        }
+        if sampled == 1 {
+            config.ats_sampled_sets = Some(64);
+        }
+        config.seed = seed;
+        config.validate();
+
+        let cycles = config.quantum * quanta_count + config.quantum / 3;
+        let skip = run_digest(&config, &app_ix, cycles, true);
+        let cycle = run_digest(&config, &app_ix, cycles, false);
+        prop_assert_eq!(
+            skip, cycle,
+            "QuantumRecord streams diverged (apps {:?}, Q={}, E={}, seed {})",
+            app_ix, config.quantum, config.epoch, seed
+        );
+    }
+}

@@ -12,7 +12,6 @@
 //! they generate cache/memory traffic but never stall retirement, matching
 //! the common simplification that load latency dominates stalls.
 
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use asm_simcore::{AppId, Cycle, LineAddr};
@@ -70,6 +69,10 @@ pub struct Core {
     source: Box<dyn AccessSource>,
     typ_rng: asm_simcore::SimRng,
     mem_prob: f64,
+    /// Precomputed `ln(1 - mem_prob)` — the geometric-sampling
+    /// denominator is constant per core, and `ln` shows up in profiles
+    /// when recomputed on every fetch.
+    gap_log1mp: f64,
     window: usize,
     width: usize,
     mlp_cap: u32,
@@ -79,7 +82,9 @@ pub struct Core {
     first_id: u64,
     next_id: u64,
     waiting: VecDeque<u64>,
-    tokens: BTreeMap<u64, u64>,
+    /// Outstanding (token, instruction id) pairs. At most `mlp` entries
+    /// (single digits), so a linear vector beats any map.
+    tokens: Vec<(u64, u64)>,
     outstanding: u32,
     gap_left: u64,
 
@@ -158,12 +163,14 @@ impl Core {
             seed ^ 0xC0DE ^ (app.index() as u64).wrapping_mul(0x1234_5678_9ABC_DEF1),
         );
         let mem_prob = mem_probability;
-        let gap_left = Self::sample_gap(&mut typ_rng, mem_prob);
+        let gap_log1mp = (1.0 - mem_prob).ln();
+        let gap_left = Self::sample_gap(&mut typ_rng, mem_prob, gap_log1mp);
         Core {
             app,
             source,
             typ_rng,
             mem_prob,
+            gap_log1mp,
             window,
             width,
             mlp_cap: mlp,
@@ -172,7 +179,7 @@ impl Core {
             first_id: 0,
             next_id: 0,
             waiting: VecDeque::new(),
-            tokens: BTreeMap::new(),
+            tokens: Vec::new(),
             outstanding: 0,
             gap_left,
             retired: 0,
@@ -224,7 +231,7 @@ impl Core {
 
     /// Geometric inter-memory-op gap (number of non-memory instructions
     /// before the next memory op).
-    fn sample_gap(rng: &mut asm_simcore::SimRng, p: f64) -> u64 {
+    fn sample_gap(rng: &mut asm_simcore::SimRng, p: f64, log1mp: f64) -> u64 {
         if p <= 0.0 {
             return u64::MAX;
         }
@@ -232,7 +239,7 @@ impl Core {
             return 0;
         }
         let u = rng.gen_f64().max(1e-18);
-        (u.ln() / (1.0 - p).ln()) as u64
+        (u.ln() / log1mp) as u64
     }
 
     /// Advances the core one cycle. `issue` is called for each memory
@@ -259,7 +266,7 @@ impl Core {
                 let op = self.source.next_op();
                 self.rob.push_back(SlotState::WaitIssue(op));
                 self.waiting.push_back(self.next_id);
-                self.gap_left = Self::sample_gap(&mut self.typ_rng, self.mem_prob);
+                self.gap_left = Self::sample_gap(&mut self.typ_rng, self.mem_prob, self.gap_log1mp);
             } else {
                 self.gap_left -= 1;
                 self.rob.push_back(SlotState::Done(now + 1));
@@ -286,7 +293,7 @@ impl Core {
                 }
                 MemIssueResult::Pending(token) => {
                     self.rob[idx] = SlotState::Outstanding;
-                    self.tokens.insert(token, id);
+                    self.tokens.push((token, id));
                     self.waiting.pop_front();
                     self.outstanding += 1;
                     self.mem_ops_issued += 1;
@@ -296,11 +303,69 @@ impl Core {
         }
     }
 
+    /// The next cycle at which [`tick`](Self::tick) could change this
+    /// core's state, assuming the memory hierarchy's answers stay frozen
+    /// until then. `None` means the core is blocked on an external event
+    /// (a [`complete`](Self::complete) call, or a stall clearing) — both
+    /// of which only happen on cycles the memory system itself reports as
+    /// events, so a driver folding this with the memory system's
+    /// `next_event` never misses a wake-up (see DESIGN.md §8).
+    ///
+    /// Must be called *after* `tick(now, ..)`; the answer relies on the
+    /// post-tick invariant that a non-empty issue queue under the MLP cap
+    /// means the last issue attempt stalled.
+    #[must_use]
+    #[inline]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // The window has room: fetch makes progress every cycle.
+        if self.rob.len() < self.window {
+            return Some(now + 1);
+        }
+        // Window full. Retirement frees slots once the head completes;
+        // issue attempts are either exhausted (issue queue empty), capped
+        // (needs a completion), or stalled (needs the memory system to
+        // drain a queue) — all external events.
+        match self.rob.front() {
+            Some(SlotState::Done(c)) => Some((*c).max(now + 1)),
+            _ => None,
+        }
+    }
+
+    /// Whether `tick(now, ..)` would provably change nothing: the window
+    /// is full, the head has not completed, and no issue attempt can run
+    /// (issue queue empty, or the MLP cap is reached). A driver may skip
+    /// the call entirely — the tick would not touch any state, draw any
+    /// randomness, or invoke the issue callback.
+    #[must_use]
+    #[inline]
+    pub fn tick_is_noop(&self, now: Cycle) -> bool {
+        self.rob.len() == self.window
+            && !matches!(self.rob.front(), Some(SlotState::Done(c)) if *c <= now)
+            && (self.waiting.is_empty() || self.outstanding >= self.effective_mlp())
+    }
+
+    /// Whether the *only* thing `tick(now, ..)` could do is re-attempt a
+    /// previously stalled head issue: no retirement, no fetch, but the
+    /// issue queue is non-empty under the MLP cap. If the memory
+    /// hierarchy's stall answer is known to be unchanged since the last
+    /// attempt, a driver may skip the call — the re-attempt would stall
+    /// again without side effects (the stall path mutates nothing).
+    #[must_use]
+    #[inline]
+    pub fn only_stall_retry(&self, now: Cycle) -> bool {
+        self.rob.len() == self.window
+            && !matches!(self.rob.front(), Some(SlotState::Done(c)) if *c <= now)
+            && !self.waiting.is_empty()
+            && self.outstanding < self.effective_mlp()
+    }
+
     /// Delivers data for a pending access issued earlier; `finish` is the
     /// cycle the data arrived. Unknown tokens are ignored (e.g. prefetch
     /// fills the core never waited on).
+    #[inline]
     pub fn complete(&mut self, token: u64, finish: Cycle) {
-        if let Some(id) = self.tokens.remove(&token) {
+        if let Some(pos) = self.tokens.iter().position(|&(t, _)| t == token) {
+            let (_, id) = self.tokens.swap_remove(pos);
             let idx = (id - self.first_id) as usize;
             self.rob[idx] = SlotState::Done(finish);
             self.outstanding -= 1;

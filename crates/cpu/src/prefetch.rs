@@ -80,6 +80,16 @@ impl StridePrefetcher {
         out
     }
 
+    /// The next cycle this prefetcher could act on its own: always `None`.
+    /// A stride prefetcher is purely reactive — it only emits work from
+    /// inside [`observe`](Self::observe), which runs on the demand path of
+    /// a core tick, so it never needs an autonomous wake-up. Part of the
+    /// fast-forward next-event contract (DESIGN.md §8).
+    #[must_use]
+    pub fn next_event(&self, _now: asm_simcore::Cycle) -> Option<asm_simcore::Cycle> {
+        None
+    }
+
     /// Forgets the current stream (e.g. at a context boundary).
     pub fn reset(&mut self) {
         self.last_line = None;

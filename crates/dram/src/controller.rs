@@ -316,6 +316,11 @@ pub struct MemorySystem {
     seq: u64,
     last_tick: Option<Cycle>,
     audit: Option<crate::audit::TimingAudit>,
+    /// Monotonic count of state mutations (enqueues, command issues,
+    /// completion pops). Drivers compare snapshots to prove "nothing that
+    /// could clear a core's stall has changed" (see
+    /// [`mutation_count`](Self::mutation_count)).
+    mutations: u64,
 }
 
 impl MemorySystem {
@@ -354,7 +359,20 @@ impl MemorySystem {
             seq: 0,
             last_tick: None,
             audit: None,
+            mutations: 0,
         }
+    }
+
+    /// A counter that increases whenever the memory system's externally
+    /// observable state changes: a request enqueued, a command issued (a
+    /// queue slot freed), or a completion popped. While two snapshots of
+    /// this counter are equal, answers from [`can_accept_read`]
+    /// (Self::can_accept_read) and friends are guaranteed unchanged — the
+    /// skip loop uses this to elide provably identical stall retries
+    /// (DESIGN.md §8).
+    #[must_use]
+    pub fn mutation_count(&self) -> u64 {
+        self.mutations
     }
 
     /// The configuration in force.
@@ -427,6 +445,7 @@ impl MemorySystem {
             }
         }
         ch.next_try = ch.next_try.min(req.arrival);
+        self.mutations += 1;
         Ok(())
     }
 
@@ -489,6 +508,33 @@ impl MemorySystem {
             .iter()
             .map(|ch| ch.accounting.outstanding_reads(app))
             .sum()
+    }
+
+    /// The next cycle at which [`tick`](Self::tick) could change any
+    /// state: the earliest in-flight completion, pending scheduler retry
+    /// (`next_try`, meaningful only while a queue is non-empty), or
+    /// refresh deadline across all channels. `None` means the memory
+    /// system is inert until the next [`enqueue`](Self::enqueue).
+    ///
+    /// Ticking at any cycle strictly between `now` and the returned cycle
+    /// is a no-op: completions pop at exactly `finish`, refresh fires at
+    /// exactly `next_refresh_at`, and `attempt_issue` only runs once `now`
+    /// reaches `next_try` — so a driver that jumps the clock straight to
+    /// this cycle reproduces the per-cycle run bit for bit (DESIGN.md §8).
+    #[must_use]
+    #[inline]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next = IDLE;
+        for ch in &self.channels {
+            if let Some(entry) = ch.in_flight.peek() {
+                next = next.min(entry.finish);
+            }
+            if !ch.read_queue.is_empty() || !ch.write_queue.is_empty() {
+                next = next.min(ch.next_try);
+            }
+            next = next.min(ch.next_refresh_at);
+        }
+        (next != IDLE).then(|| next.max(now + 1))
     }
 
     /// Advances the memory system to cycle `now`, appending read
@@ -565,6 +611,7 @@ impl MemorySystem {
             }
             // A bank just freed: scheduling may now be possible.
             ch.next_try = now;
+            self.mutations += 1;
         }
     }
 
@@ -588,14 +635,17 @@ impl MemorySystem {
             ch.draining_writes || (ch.read_queue.is_empty() && !ch.write_queue.is_empty());
 
         if write_mode {
-            Self::issue_write(
+            if Self::issue_write(
                 ch,
                 ch_idx,
                 self.audit.as_mut(),
                 &timing,
                 self.config.row_policy,
                 now,
-            );
+                low,
+            ) {
+                self.mutations += 1;
+            }
             return;
         }
 
@@ -669,6 +719,23 @@ impl MemorySystem {
             };
             return;
         };
+        // Classify the ready candidates we are *not* issuing, before
+        // `remove_read` invalidates queue indices: they bound how soon the
+        // next attempt can possibly issue, which lets the retry wake-up
+        // below be exact instead of a blanket `now + 1`.
+        let picked_bank = ch.read_queue[queue_idx].loc.bank;
+        let mut other_bank_ready = false;
+        let mut same_bank_ready = false;
+        for c in &ch.cand_scratch {
+            if c.queue_idx == queue_idx {
+                continue;
+            }
+            if ch.read_queue[c.queue_idx].loc.bank == picked_bank {
+                same_bank_ready = true;
+            } else {
+                other_bank_ready = true;
+            }
+        }
         let q = ch.remove_read(queue_idx);
         let bank = q.loc.bank;
         Self::issue_request(
@@ -683,9 +750,37 @@ impl MemorySystem {
             &mut self.seq,
         );
         ch.recompute_row_hits(bank);
-        ch.next_try = now + 1;
+        // Precise retry wake-up. A candidate in another bank may issue on
+        // the very next cycle; with none, the earliest possible issue is
+        // bounded below by `earliest_any` (issuing only *adds* bank/tFAW
+        // constraints, so the pre-issue bound stays valid) and by the
+        // picked bank's own post-issue readiness for its remaining ready
+        // members. Waking exactly there skips the attempts in between,
+        // which provably cannot issue — unless a write drain could begin,
+        // where the next attempt re-evaluates the hysteresis.
+        let drain_pending = !ch.write_queue.is_empty()
+            && (ch.write_queue.len() >= high || ch.read_queue.is_empty());
+        ch.next_try = if other_bank_ready || drain_pending {
+            now + 1
+        } else {
+            let mut wake = earliest_any;
+            if same_bank_ready {
+                let ready = ch.banks[bank].ready_at();
+                wake = wake.min(if ch.bank_row_hits[bank] > 0 {
+                    ready
+                } else {
+                    ready.max(ch.activation_earliest(&timing))
+                });
+            }
+            wake.max(now + 1)
+        };
+        self.mutations += 1;
     }
 
+    /// Returns whether a write was issued. `low` is the write-drain
+    /// low-water mark, used to predict whether the drain survives the
+    /// next attempt.
+    #[allow(clippy::too_many_arguments)]
     fn issue_write(
         ch: &mut Channel,
         ch_idx: usize,
@@ -693,7 +788,8 @@ impl MemorySystem {
         timing: &DramTiming,
         row_policy: crate::bank::RowPolicy,
         now: Cycle,
-    ) {
+        low: usize,
+    ) -> bool {
         // FR-FCFS among ready writes. The write queue is at most 64 deep,
         // so a linear scan (with the channel-wide activation bound hoisted
         // out of the loop) stays cheap.
@@ -726,10 +822,38 @@ impl MemorySystem {
                 // The write may have opened/closed the row under queued
                 // reads of the same bank.
                 ch.recompute_row_hits(bank);
-                ch.next_try = now + 1;
+                // Precise retry wake-up, mirroring the read path: while
+                // the drain continues, the next attempt can only issue at
+                // the earliest post-issue write readiness. If the drain
+                // will exit at the next attempt (queue at/under the low
+                // mark with reads waiting), reads become eligible and the
+                // blanket `now + 1` stands.
+                let drain_continues = if ch.draining_writes {
+                    ch.write_queue.len() > low
+                } else {
+                    ch.read_queue.is_empty() && !ch.write_queue.is_empty()
+                };
+                ch.next_try = if drain_continues {
+                    let act_ch = ch.activation_earliest(timing);
+                    let mut wake = IDLE;
+                    for w in &ch.write_queue {
+                        let b = &ch.banks[w.loc.bank];
+                        let ready = b.ready_at();
+                        wake = wake.min(if b.open_row() == Some(w.loc.row) {
+                            ready
+                        } else {
+                            ready.max(act_ch)
+                        });
+                    }
+                    wake.max(now + 1)
+                } else {
+                    now + 1
+                };
+                true
             }
             None => {
                 ch.next_try = earliest_any;
+                false
             }
         }
     }

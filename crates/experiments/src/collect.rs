@@ -2,13 +2,69 @@
 //! experiments (Figures 2-8, Table 3, §6.4 and the database study).
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
 
-use asm_core::{RunResult, Runner, SystemConfig};
+use asm_core::{AloneCache, RunResult, Runner, SystemConfig};
 use asm_cpu::AppProfile;
 use asm_metrics::{ErrorAggregate, ErrorDistribution};
 use asm_simcore::Cycle;
 
 use crate::pool;
+
+/// The persistent alone-run cache (`--alone-cache <path>`), shared by
+/// every runner the experiments construct once set.
+static ALONE_CACHE: OnceLock<(PathBuf, Arc<AloneCache>)> = OnceLock::new();
+
+/// Loads (or initializes) the persistent alone-run cache at `path` and
+/// routes all subsequent [`make_runner`] calls through it. A missing file
+/// starts empty; a corrupt or stale file is ignored with a warning (the
+/// run then recomputes and overwrites it on [`save_alone_cache`]).
+/// Progress chatter goes to stderr: stdout must stay byte-identical with
+/// and without a cache.
+pub fn set_alone_cache_path(path: PathBuf) {
+    let cache = match AloneCache::load_from(&path) {
+        Ok(c) => {
+            eprintln!("alone-cache: loaded {} run(s) from {}", c.len(), path.display());
+            c
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => AloneCache::new(),
+        Err(e) => {
+            eprintln!(
+                "warning: alone-cache: ignoring {} ({e}); starting empty",
+                path.display()
+            );
+            AloneCache::new()
+        }
+    };
+    let _ = ALONE_CACHE.set((path, Arc::new(cache)));
+}
+
+/// A runner for `config` backed by the persistent alone-run cache when
+/// one is configured, else by a fresh private cache. All experiment code
+/// constructs runners through here.
+#[must_use]
+pub fn make_runner(config: SystemConfig) -> Runner {
+    match ALONE_CACHE.get() {
+        Some((_, cache)) => Runner::with_cache(config, Arc::clone(cache)),
+        None => Runner::new(config),
+    }
+}
+
+/// Writes the persistent alone-run cache back to its file, if one was
+/// configured. Called once at the end of the CLI run.
+pub fn save_alone_cache() {
+    if let Some((path, cache)) = ALONE_CACHE.get() {
+        match cache.save_to(path) {
+            Ok(()) => eprintln!(
+                "alone-cache: saved {} run(s) to {}",
+                cache.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("warning: alone-cache: could not save {}: {e}", path.display()),
+        }
+    }
+}
 
 /// Simulates every workload under `config`, fanning runs across `jobs`
 /// worker threads, and returns the results **in workload order**.
@@ -27,7 +83,7 @@ pub fn run_parallel(
     cycles: Cycle,
     jobs: usize,
 ) -> Vec<RunResult> {
-    let runner = Runner::new(config.clone());
+    let runner = make_runner(config.clone());
     run_parallel_with(&runner, workloads, cycles, jobs)
 }
 
@@ -190,7 +246,7 @@ pub fn eval_mechanism(
     cycles: Cycle,
     jobs: usize,
 ) -> MechOutcome {
-    let runner = Runner::new(config.clone());
+    let runner = make_runner(config.clone());
     eval_mechanism_with(&runner, workloads, cycles, jobs)
 }
 

@@ -2,7 +2,7 @@
 //! application of interest (`h264ref_like`), reporting every
 //! application's slowdown and overall performance per scheme.
 
-use asm_core::{CachePolicy, QosConfig, Runner};
+use asm_core::{CachePolicy, QosConfig};
 use asm_metrics::{harmonic_speedup, Table};
 use asm_simcore::AppId;
 use asm_workloads::suite;
@@ -43,7 +43,7 @@ pub fn run(scale: Scale) {
         "sphinx3".into(),
         "harmonic speedup".into(),
     ]);
-    let mut runner = Runner::new(policy_config(scale, CachePolicy::None));
+    let mut runner = crate::collect::make_runner(policy_config(scale, CachePolicy::None));
     for (name, policy) in schemes {
         runner.set_policies(policy, asm_core::MemPolicy::Uniform);
         let r = runner.run(&apps, scale.cycles);

@@ -6,7 +6,7 @@
 //! estimated distribution tracks the measured one, while per-request
 //! subtraction (FST/PTCA) distorts it, especially under sampling.
 
-use asm_core::{EstimatorSet, Runner, SystemConfig};
+use asm_core::{EstimatorSet, SystemConfig};
 use asm_cpu::AppProfile;
 use asm_metrics::Table;
 use asm_simcore::Histogram;
@@ -51,7 +51,7 @@ fn run_one(scale: Scale, sampled: bool) {
     let pool = intensive_pool();
     let workloads = mix::mixes_from_pool(&pool, scale.workloads.min(10), 4, scale.seed ^ 0x66);
 
-    let runner = Runner::new(config);
+    let runner = crate::collect::make_runner(config);
     let mut actual = Vec::new();
     let mut per_estimator: Vec<(String, Vec<Histogram>)> = Vec::new();
     // Simulate in parallel, merge histograms sequentially in workload order.

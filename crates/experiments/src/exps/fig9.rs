@@ -56,7 +56,7 @@ pub fn run(scale: Scale) {
             cores,
             scale.seed ^ (0x9 << 8) ^ cores as u64,
         );
-        let mut runner = asm_core::Runner::new(policy_config(scale, CachePolicy::None));
+        let mut runner = crate::collect::make_runner(policy_config(scale, CachePolicy::None));
         for (name, policy) in policies {
             runner.set_policies(policy, asm_core::MemPolicy::Uniform);
             let out = eval_mechanism_with(&runner, &workloads, scale.cycles, scale.jobs);

@@ -7,7 +7,7 @@
 //! application set, co-runs the two and reports the victim's measured
 //! whole-run slowdown. Rows are victims, columns aggressors.
 
-use asm_core::{EstimatorSet, Runner};
+use asm_core::EstimatorSet;
 use asm_metrics::Table;
 use asm_workloads::suite;
 
@@ -30,7 +30,7 @@ pub fn run(scale: Scale) {
     config.estimators = EstimatorSet::none();
     config.epochs_enabled = false;
     let cycles = scale.cycles / 2;
-    let runner = Runner::new(config);
+    let runner = crate::collect::make_runner(config);
 
     // All ordered pairs are independent runs: flatten them into one list
     // and fan it across the pool; the row-major order of `pairs` makes

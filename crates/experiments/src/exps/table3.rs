@@ -20,8 +20,13 @@ pub const EPOCHS: &[Cycle] = &[1_000, 10_000, 50_000, 100_000];
 pub fn quanta_for(scale: Scale) -> Vec<Cycle> {
     if scale.quantum >= 5_000_000 {
         vec![1_000_000, 5_000_000, 10_000_000]
-    } else {
+    } else if scale.quantum >= 1_000_000 {
         vec![500_000, 1_000_000, 2_000_000]
+    } else {
+        // Smoke scales (`--tiny` and below): sweep around the configured
+        // quantum so the cell runs stay as small as the rest of the suite.
+        // Every paper epoch divides 100k, so these remain valid configs.
+        vec![scale.quantum, scale.quantum * 2]
     }
 }
 
@@ -67,6 +72,18 @@ mod tests {
     #[test]
     fn reduced_scale_quanta_divide_by_all_epochs() {
         for q in quanta_for(Scale::reduced()) {
+            for &e in EPOCHS {
+                assert_eq!(q % e, 0, "epoch {e} must divide quantum {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_scale_sweeps_near_its_own_quantum() {
+        let scale = Scale::tiny();
+        let q = quanta_for(scale);
+        assert_eq!(q, vec![scale.quantum, scale.quantum * 2]);
+        for q in q {
             for &e in EPOCHS {
                 assert_eq!(q % e, 0, "epoch {e} must divide quantum {q}");
             }

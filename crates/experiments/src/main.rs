@@ -35,6 +35,13 @@ OPTIONS:
     --jobs N         worker threads for sweeps (default: one per core;
                      affects scheduling only — output is byte-identical
                      for any value)
+    --no-skip        disable the deterministic fast-forward and simulate
+                     every cycle (slower; output is byte-identical —
+                     this flag exists for benchmarking and differential
+                     testing, see DESIGN.md §8)
+    --alone-cache F  persist alone-run profiles in F and reuse them on
+                     later invocations with the same scale (stale or
+                     corrupt entries are ignored with a warning)
     --csv DIR        additionally write every table to DIR/<name>.csv
 ";
 
@@ -46,11 +53,21 @@ fn main() {
     };
 
     let mut scale = Scale::reduced();
+    let mut no_skip = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--full" => scale = Scale::full(),
             "--tiny" => scale = Scale::tiny(),
+            "--no-skip" => no_skip = true,
+            "--alone-cache" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("error: --alone-cache needs a file path");
+                    std::process::exit(2);
+                };
+                asm_experiments::collect::set_alone_cache_path(path.into());
+                i += 1;
+            }
             "--csv" => {
                 let Some(dir) = args.get(i + 1) else {
                     eprintln!("error: --csv needs a directory");
@@ -79,16 +96,24 @@ fn main() {
         }
         i += 1;
     }
+    if no_skip {
+        scale.skip = false;
+    }
 
     println!(
         "scale: {} workloads x {} cycles (Q={}, E={}, warmup {} quanta, seed {})",
         scale.workloads, scale.cycles, scale.quantum, scale.epoch, scale.warmup_quanta, scale.seed
     );
     // Schedule-only state goes to stderr: stdout (tables) must stay
-    // byte-identical across --jobs values.
-    eprintln!("jobs: {}", scale.jobs);
+    // byte-identical across --jobs values and across --no-skip.
+    eprintln!(
+        "jobs: {}{}",
+        scale.jobs,
+        if scale.skip { "" } else { ", fast-forward off" }
+    );
     if !exps::run(experiment, scale) {
         eprintln!("error: unknown experiment '{experiment}'\n{USAGE}");
         std::process::exit(2);
     }
+    asm_experiments::collect::save_alone_cache();
 }

@@ -24,6 +24,10 @@ pub struct Scale {
     /// decides how runs are spread across cores, never what they compute
     /// (see DESIGN.md §8).
     pub jobs: usize,
+    /// Deterministic fast-forward (`--no-skip` clears it). Like `jobs`,
+    /// this may never change what a run computes — outputs are
+    /// byte-identical either way (see DESIGN.md §8).
+    pub skip: bool,
 }
 
 impl Scale {
@@ -38,6 +42,7 @@ impl Scale {
             warmup_quanta: 2,
             seed: 42,
             jobs: crate::pool::default_jobs(),
+            skip: true,
         }
     }
 
@@ -53,6 +58,7 @@ impl Scale {
             warmup_quanta: 2,
             seed: 42,
             jobs: crate::pool::default_jobs(),
+            skip: true,
         }
     }
 
@@ -68,6 +74,7 @@ impl Scale {
             warmup_quanta: 1,
             seed: 42,
             jobs: 1,
+            skip: true,
         }
     }
 
@@ -78,6 +85,7 @@ impl Scale {
         c.quantum = self.quantum;
         c.epoch = self.epoch;
         c.seed = self.seed;
+        c.skip_mode = self.skip;
         c
     }
 

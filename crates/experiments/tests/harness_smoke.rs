@@ -15,6 +15,7 @@ fn micro() -> Scale {
         warmup_quanta: 1,
         seed: 7,
         jobs: 2,
+        skip: true,
     }
 }
 

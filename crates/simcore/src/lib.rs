@@ -20,11 +20,13 @@
 //! ```
 
 pub mod addr;
+pub mod hash;
 pub mod ids;
 pub mod rng;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr, LINE_BYTES, LINE_SHIFT};
+pub use hash::{DetHashMap, DetHashSet};
 pub use ids::AppId;
 pub use rng::SimRng;
 pub use stats::{Histogram, MeanAccumulator, RunningStats};

@@ -187,6 +187,27 @@ impl Histogram {
         }
     }
 
+    /// Reassembles a histogram from its parts (the persistence path of
+    /// the alone-run cache). The total is recomputed as the sum of
+    /// `counts` and `overflow`, which is exactly what a sequence of
+    /// [`add`](Self::add) calls would have left behind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not positive or `counts` is empty.
+    #[must_use]
+    pub fn from_parts(bucket_width: f64, counts: Vec<u64>, overflow: u64) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        assert!(!counts.is_empty(), "need at least one bucket");
+        let total = counts.iter().sum::<u64>() + overflow;
+        Histogram {
+            bucket_width,
+            counts,
+            overflow,
+            total,
+        }
+    }
+
     /// Adds one sample. Negative samples land in bucket 0.
     pub fn add(&mut self, sample: f64) {
         self.total += 1;

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Snapshot the simulator's end-to-end throughput into BENCH_<tag>.json.
+#
+# Runs the `sim_throughput` (end-to-end cycles/sec, skip vs --no-skip)
+# and `frfcfs_pick` (scheduler hot path) bench groups and parses the
+# criterion-shim output lines
+#
+#   group/id: mean 12.345ms min 11ms max 14ms (10 samples)
+#
+# into a committed JSON snapshot with machine info, simulated cycles per
+# wall-clock second, and the skip-vs-no-skip speedup ratio. Usage:
+#
+#   scripts/bench_snapshot.sh [tag]     # default tag: pr3
+#
+# The snapshot is a measurement record, not a gate: the enforced bound
+# (>=3x on the memory-intensive mix) lives in the PR acceptance notes
+# and can be re-checked from the JSON.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+TAG="${1:-pr3}"
+OUT="BENCH_${TAG}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "bench_snapshot: running throughput + substrates benches (release)..." >&2
+cargo bench -p asm-bench --bench throughput 2>/dev/null | tee -a "$RAW"
+cargo bench -p asm-bench --bench substrates 2>/dev/null | tee -a "$RAW"
+
+python3 - "$RAW" "$OUT" <<'PY'
+import json, platform, re, subprocess, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+
+# `  group/id: mean 12.345ms min 11.000ms max 14.000ms (10 samples)`
+LINE = re.compile(
+    r"^\s+(?P<group>[\w-]+)/(?P<id>[\w-]+): mean (?P<mean>[\d.]+)(?P<unit>ns|us|ms|s) "
+    r"min (?P<min>[\d.]+)(?:ns|us|ms|s) max (?P<max>[\d.]+)(?:ns|us|ms|s) "
+    r"\((?P<n>\d+) samples\)"
+)
+UNIT_NS = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# Keep in sync with SIM_CYCLES in crates/bench/benches/throughput.rs.
+SIM_CYCLES = 10_000_000
+
+results = {}
+with open(raw_path, encoding="utf-8") as f:
+    for line in f:
+        m = LINE.match(line)
+        if not m:
+            continue
+        scale = UNIT_NS[m.group("unit")]
+        results[f"{m.group('group')}/{m.group('id')}"] = {
+            "mean_ns": float(m.group("mean")) * scale,
+            "min_ns": float(m.group("min")) * scale,
+            "max_ns": float(m.group("max")) * scale,
+            "samples": int(m.group("n")),
+        }
+
+# Shared-container noise only ever *adds* time, so the per-iteration
+# minimum is the robust estimator; the mean is kept for reference.
+def cycles_per_sec(key, stat):
+    r = results.get(key)
+    if not r:
+        return None
+    return SIM_CYCLES / (r[stat] / 1e9)
+
+throughput = {}
+for mix in ("mcf_mix", "compute_mix"):
+    skip = cycles_per_sec(f"sim_throughput/{mix}_10m_skip", "min_ns")
+    no_skip = cycles_per_sec(f"sim_throughput/{mix}_10m_no_skip", "min_ns")
+    throughput[mix] = {
+        "sim_cycles_per_iteration": SIM_CYCLES,
+        "skip_cycles_per_sec": skip,
+        "no_skip_cycles_per_sec": no_skip,
+        "skip_speedup": (skip / no_skip) if skip and no_skip else None,
+        "skip_cycles_per_sec_mean": cycles_per_sec(
+            f"sim_throughput/{mix}_10m_skip", "mean_ns"
+        ),
+        "no_skip_cycles_per_sec_mean": cycles_per_sec(
+            f"sim_throughput/{mix}_10m_no_skip", "mean_ns"
+        ),
+    }
+
+def cpu_model():
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or "unknown"
+
+def rustc_version():
+    try:
+        return subprocess.run(
+            ["rustc", "--version"], capture_output=True, text=True, check=True
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+snapshot = {
+    "schema": "asm-bench-snapshot v1",
+    "machine": {
+        "cpu": cpu_model(),
+        "arch": platform.machine(),
+        "kernel": platform.release(),
+        "rustc": rustc_version(),
+    },
+    "sim_throughput": throughput,
+    "frfcfs_pick": {
+        k.split("/", 1)[1]: v for k, v in results.items() if k.startswith("frfcfs_pick/")
+    },
+    "raw": results,
+}
+
+with open(out_path, "w", encoding="utf-8") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"bench_snapshot: wrote {out_path}", file=sys.stderr)
+mcf = throughput.get("mcf_mix", {}).get("skip_speedup")
+if mcf is not None:
+    print(f"bench_snapshot: mcf_mix skip speedup = {mcf:.2f}x", file=sys.stderr)
+PY
