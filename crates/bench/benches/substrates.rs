@@ -3,7 +3,8 @@
 use std::time::Duration;
 
 use asm_cache::{
-    lookahead_partition, AuxiliaryTagStore, CacheGeometry, PollutionFilter, SetAssocCache,
+    lookahead_partition, AuxiliaryTagStore, BenefitCurves, CacheGeometry, PollutionFilter,
+    SetAssocCache,
 };
 use asm_cpu::{AppProfile, Core, MemIssueResult, StridePrefetcher};
 use asm_dram::{DramConfig, MemRequest, MemorySystem, SchedulerKind};
@@ -60,9 +61,7 @@ fn bench_cache(c: &mut Criterion) {
     });
 
     g.bench_function("ucp_lookahead_16way_8apps", |b| {
-        let curves: Vec<Vec<f64>> = (0..8)
-            .map(|a| (0..=16).map(|n| ((a + 1) * n) as f64).collect())
-            .collect();
+        let curves = BenefitCurves::from_fn(8, 17, |a, n| ((a + 1) * n) as f64);
         b.iter(|| black_box(lookahead_partition(&curves, 16, 1)));
     });
     g.finish();

@@ -9,13 +9,15 @@
 //! worst case: nearly every cycle has real work, so skip mode's next-event
 //! fold is pure overhead and this group measures how small it is.
 //!
-//! `scripts/bench_snapshot.sh` parses this output into `BENCH_pr3.json`;
-//! keep the benchmark ids stable.
+//! `scripts/bench_snapshot.sh` parses this output into `BENCH_<tag>.json`
+//! (currently `BENCH_pr4.json`); keep the benchmark ids stable.
 
 use std::time::Duration;
 
+use asm_cache::{CacheGeometry, SetAssocCache, WayPartition};
 use asm_core::{EstimatorSet, System, SystemConfig};
 use asm_cpu::AppProfile;
+use asm_simcore::{AppId, LineAddr, SimRng};
 use asm_workloads::suite;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -81,5 +83,39 @@ fn bench_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_throughput);
+/// Shared-LLC access cost as the app count scales, with and without way
+/// partitioning. Partitioned misses take the UCP victim-pick path (per-app
+/// quota enforcement), the slowest replacement decision in the tag store;
+/// the unpartitioned rows isolate the plain LRU path. App count matters
+/// because the per-set per-app occupancy scratch scales with it.
+fn bench_llc_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("llc_scaling");
+    g.measurement_time(Duration::from_secs(1));
+
+    for apps in [4usize, 8, 16] {
+        for partitioned in [false, true] {
+            let label = if partitioned { "part" } else { "unpart" };
+            g.bench_function(format!("llc_access_100k_{apps}apps_{label}"), |b| {
+                let geom = CacheGeometry::from_capacity(2 << 20, 16);
+                b.iter(|| {
+                    let mut cache = SetAssocCache::new(geom, apps);
+                    if partitioned {
+                        cache.set_partition(Some(WayPartition::even(16, apps)));
+                    }
+                    let mut rng = SimRng::seed_from(7);
+                    let mut hits = 0u64;
+                    for i in 0..100_000u64 {
+                        let app = AppId::new((i % apps as u64) as usize);
+                        let line = LineAddr::new(rng.gen_range(1 << 16));
+                        hits += u64::from(cache.access(line, app, i % 5 == 0).hit);
+                    }
+                    black_box(hits)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput, bench_llc_scaling);
 criterion_main!(benches);

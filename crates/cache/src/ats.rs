@@ -10,10 +10,22 @@
 //! To bound hardware cost the ATS can be *set-sampled* (§4.4): only every
 //! `sets / sampled_sets`-th set keeps tags, and observed hit/miss fractions
 //! are scaled to the full access count by the estimator.
+//!
+//! # Memory layout
+//!
+//! Like [`crate::SetAssocCache`], the tag state is a flat
+//! structure-of-arrays arena (DESIGN.md §8 "Tag-store memory layout"): one
+//! contiguous `Box<[u64]>` of tags and one recency-rank byte per line
+//! (0 = MRU; `0xFF` marks an empty way), way `w` of sampled set `s` at
+//! flat index `s * ways + w`. The ATS carries no owner or dirty state —
+//! it mirrors a single application's alone-run cache — so ranks alone
+//! replace the per-set `Vec<u64>` stacks, and a hit renumbers a few rank
+//! bytes instead of memmoving the stack.
 
 use asm_simcore::LineAddr;
 
 use crate::geometry::CacheGeometry;
+use crate::scan::{by_ways, bump_ranks_below, find_way, first_byte_match, ways_of, NO_RANK};
 
 /// Result of an ATS lookup for a sampled set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,10 +56,24 @@ pub struct AtsOutcome {
 #[derive(Debug, Clone)]
 pub struct AuxiliaryTagStore {
     geometry: CacheGeometry,
-    /// Distance between sampled sets (1 = full ATS).
+    /// Distance between sampled sets (1 = full ATS). Always a power of
+    /// two: the set count is one (geometry invariant) and the sampled
+    /// count divides it.
     stride: usize,
-    /// Tag stacks for sampled sets only, MRU first.
-    sets: Vec<Vec<u64>>,
+    /// `log2(stride)`, so the sampled-set index is a shift, not a divide.
+    stride_shift: u32,
+    /// `stride - 1`, so the "is this set sampled?" test is a mask, not a
+    /// remainder. Both run on every shared-cache access for every
+    /// application's ATS.
+    stride_mask: usize,
+    /// Tags for sampled sets, way `w` of sampled set `s` at `s * ways + w`.
+    tags: Box<[u64]>,
+    /// Recency rank per line (0 = MRU, [`NO_RANK`] = empty way).
+    rank: Box<[u8]>,
+    /// Valid lines per sampled set.
+    fill: Box<[u8]>,
+    /// Number of sampled sets.
+    sampled: usize,
     /// Hits observed at each recency position since the last reset.
     position_hits: Vec<u64>,
     misses: u64,
@@ -64,7 +90,8 @@ impl AuxiliaryTagStore {
     /// # Panics
     ///
     /// Panics if `sampled_sets` is zero, exceeds the set count, or does not
-    /// divide it evenly.
+    /// divide it evenly, or if the associativity exceeds 255 (ranks are
+    /// single bytes).
     #[must_use]
     pub fn new(geometry: CacheGeometry, sampled_sets: Option<usize>) -> Self {
         let sampled = sampled_sets.unwrap_or(geometry.sets());
@@ -74,11 +101,22 @@ impl AuxiliaryTagStore {
             "sampled set count {sampled} must evenly divide total sets {}",
             geometry.sets()
         );
+        assert!(
+            geometry.ways() <= usize::from(u8::MAX),
+            "associativity above 255 does not fit the rank-byte encoding"
+        );
         let stride = geometry.sets() / sampled;
+        debug_assert!(stride.is_power_of_two(), "power-of-two sets imply this");
+        let lines = sampled * geometry.ways();
         AuxiliaryTagStore {
             geometry,
             stride,
-            sets: vec![Vec::new(); sampled],
+            stride_shift: stride.trailing_zeros(),
+            stride_mask: stride - 1,
+            tags: vec![0; lines].into_boxed_slice(),
+            rank: vec![NO_RANK; lines].into_boxed_slice(),
+            fill: vec![0; sampled].into_boxed_slice(),
+            sampled,
             position_hits: vec![0; geometry.ways()],
             misses: 0,
             sampled_accesses: 0,
@@ -94,7 +132,7 @@ impl AuxiliaryTagStore {
     /// Returns the number of sampled sets.
     #[must_use]
     pub fn sampled_sets(&self) -> usize {
-        self.sets.len()
+        self.sampled
     }
 
     /// Returns `total sets / sampled sets` — the factor by which sampled
@@ -108,13 +146,14 @@ impl AuxiliaryTagStore {
     #[inline]
     #[must_use]
     pub fn samples_line(&self, line: LineAddr) -> bool {
-        self.geometry.set_index(line).is_multiple_of(self.stride)
+        self.geometry.set_index(line) & self.stride_mask == 0
     }
 
     /// Simulates the alone-run cache access for `line`.
     ///
     /// Returns `None` if the line's set is not sampled; otherwise the
     /// would-have-been outcome, updating the ATS LRU state and counters.
+    #[inline]
     pub fn access(&mut self, line: LineAddr) -> Option<AtsOutcome> {
         self.update(line, true)
     }
@@ -122,41 +161,72 @@ impl AuxiliaryTagStore {
     /// Updates the ATS tag state for `line` *without* touching the
     /// hit/miss counters — used for prefetch fills, which the alone run
     /// would also perform but which are not demand accesses.
+    #[inline]
     pub fn touch(&mut self, line: LineAddr) -> Option<AtsOutcome> {
         self.update(line, false)
     }
 
+    #[inline]
     fn update(&mut self, line: LineAddr, count: bool) -> Option<AtsOutcome> {
+        by_ways!(self, update_w(line, count))
+    }
+
+    #[inline]
+    fn update_w<const W: usize>(&mut self, line: LineAddr, count: bool) -> Option<AtsOutcome> {
         let set_idx = self.geometry.set_index(line);
-        if !set_idx.is_multiple_of(self.stride) {
+        if set_idx & self.stride_mask != 0 {
             return None;
         }
         let tag = self.geometry.tag(line);
-        let ways = self.geometry.ways();
-        let set = &mut self.sets[set_idx / self.stride];
-        if count {
-            self.sampled_accesses += 1;
-        }
+        let ways = ways_of::<W>(self.geometry);
+        let sampled_idx = set_idx >> self.stride_shift;
+        let base = sampled_idx * ways;
+        self.sampled_accesses += u64::from(count);
 
-        if let Some(pos) = set.iter().position(|&t| t == tag) {
-            set.remove(pos);
-            set.insert(0, tag);
+        let found = find_way::<W>(
+            &self.tags[base..base + ways],
+            &self.rank[base..base + ways],
+            tag,
+        );
+        if let Some(w) = found {
+            // Hit: promote to MRU by renumbering ranks. Re-touching the
+            // MRU line skips the renumbering (bumping below rank 0 is a
+            // no-op).
+            let i = base + w;
+            let pos = self.rank[i];
+            if pos != 0 {
+                bump_ranks_below(&mut self.rank[base..base + ways], pos);
+                self.rank[i] = 0;
+            }
             if count {
-                self.position_hits[pos] += 1;
+                self.position_hits[usize::from(pos)] += 1;
             }
             return Some(AtsOutcome {
                 hit: true,
-                recency: Some(pos),
+                recency: Some(usize::from(pos)),
             });
         }
 
-        if set.len() >= ways {
-            set.pop();
-        }
-        set.insert(0, tag);
-        if count {
-            self.misses += 1;
-        }
+        // Miss: fill at MRU, evicting the LRU line if the set is full. A
+        // full set's ranks are a permutation of 0..ways, so the LRU line
+        // is exactly the one at rank `ways - 1` — a single byte search.
+        let (slot, evicted_rank) = if usize::from(self.fill[sampled_idx]) >= ways {
+            let lru = (ways - 1) as u8;
+            (
+                base + first_byte_match::<W>(&self.rank[base..base + ways], lru),
+                lru,
+            )
+        } else {
+            self.fill[sampled_idx] += 1;
+            (
+                base + first_byte_match::<W>(&self.rank[base..base + ways], NO_RANK),
+                NO_RANK,
+            )
+        };
+        bump_ranks_below(&mut self.rank[base..base + ways], evicted_rank);
+        self.tags[slot] = tag;
+        self.rank[slot] = 0;
+        self.misses += u64::from(count);
         Some(AtsOutcome {
             hit: false,
             recency: None,
@@ -236,6 +306,22 @@ mod tests {
     }
 
     #[test]
+    fn sampled_sets_are_evenly_strided() {
+        // The sampled sets are exactly the multiples of the stride — the
+        // selection rule must survive any layout change, because the
+        // estimators scale sampled counts assuming even coverage.
+        let ats = AuxiliaryTagStore::new(CacheGeometry::new(128, 4), Some(32));
+        assert_eq!(ats.sampled_sets(), 32);
+        for s in 0..128u64 {
+            assert_eq!(
+                ats.samples_line(LineAddr::new(s)),
+                s.is_multiple_of(4),
+                "set {s}"
+            );
+        }
+    }
+
+    #[test]
     fn unsampled_set_returns_none() {
         let mut ats = AuxiliaryTagStore::new(CacheGeometry::new(64, 4), Some(16));
         assert!(ats.access(LineAddr::new(1)).is_none());
@@ -250,6 +336,28 @@ mod tests {
         ats.access(l(0));
         ats.access(l(1));
         ats.access(l(2)); // evicts l(0)
+        assert!(!ats.access(l(0)).unwrap().hit);
+    }
+
+    #[test]
+    fn eviction_order_is_exact_lru() {
+        // Fill a 4-way set, reorder it with a touch, then overflow: the
+        // eviction must take exactly the LRU line, and every survivor must
+        // report the exact stack position the reordering implies.
+        let mut ats = AuxiliaryTagStore::new(CacheGeometry::new(4, 4), None);
+        let l = |k: u64| LineAddr::new(k * 4);
+        for k in 0..4 {
+            ats.access(l(k));
+        }
+        // Stack (MRU..LRU): 3 2 1 0. Touch 1 → 1 3 2 0.
+        assert_eq!(ats.access(l(1)).unwrap().recency, Some(2));
+        // Overflow evicts the LRU (0) → 4 1 3 2.
+        assert!(!ats.access(l(4)).unwrap().hit);
+        // Survivors sit exactly where the stack says they do.
+        assert_eq!(ats.access(l(1)).unwrap().recency, Some(1)); // 1 4 3 2
+        assert_eq!(ats.access(l(3)).unwrap().recency, Some(2)); // 3 1 4 2
+        assert_eq!(ats.access(l(2)).unwrap().recency, Some(3)); // 2 3 1 4
+        // And the victim really was 0, not any of the survivors.
         assert!(!ats.access(l(0)).unwrap().hit);
     }
 

@@ -37,10 +37,13 @@ pub mod ats;
 pub mod geometry;
 pub mod partition;
 pub mod pollution;
+pub mod reference;
+pub(crate) mod scan;
 pub mod set_assoc;
 
 pub use ats::{AtsOutcome, AuxiliaryTagStore};
 pub use geometry::CacheGeometry;
-pub use partition::{lookahead_partition, WayPartition};
+pub use partition::{lookahead_partition, BenefitCurves, WayPartition};
 pub use pollution::PollutionFilter;
-pub use set_assoc::{AccessOutcome, EvictedLine, SetAssocCache};
+pub use reference::{RefAts, RefLruCache};
+pub use set_assoc::{AccessOutcome, EvictedLine, LineRef, ResidentLine, SetAssocCache};

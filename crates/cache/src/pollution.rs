@@ -25,7 +25,7 @@ use asm_simcore::LineAddr;
 /// ```
 #[derive(Debug, Clone)]
 pub struct PollutionFilter {
-    bits: Vec<u64>,
+    bits: Box<[u64]>,
     mask: u64,
     inserted: u64,
 }
@@ -46,7 +46,7 @@ impl PollutionFilter {
             "bits must be a power of two"
         );
         PollutionFilter {
-            bits: vec![0; bits.div_ceil(64)],
+            bits: vec![0; bits.div_ceil(64)].into_boxed_slice(),
             mask: bits as u64 - 1,
             inserted: 0,
         }

@@ -8,11 +8,28 @@
 //!   way quota in a set replaces its own LRU line),
 //! - pollution detection (an eviction caused by a *different* application
 //!   feeds FST's pollution filter).
+//!
+//! # Memory layout
+//!
+//! The tag store is a flat structure-of-arrays arena (DESIGN.md §8
+//! "Tag-store memory layout"): one contiguous `Box<[u64]>` of tags, one
+//! packed per-line metadata word (`valid | dirty | owner`), and one
+//! recency-rank byte per line. Way `w` of set `s` lives at flat index
+//! `s * ways + w`, so a set's tags occupy a couple of cache lines and a
+//! lookup is a short linear scan with no pointer chasing. Recency is
+//! encoded as per-line *ranks* (0 = MRU … fill-1 = LRU) instead of a
+//! physically ordered stack: promoting a line renumbers a few rank bytes
+//! and never moves tag or metadata payloads. Rank order is exactly the
+//! LRU-stack order of the previous `Vec<Vec<Way>>` representation, so
+//! every hit/miss outcome, recency position and victim choice is
+//! bit-identical (pinned against [`crate::reference::RefLruCache`] by the
+//! model-based differential tests).
 
 use asm_simcore::{AppId, LineAddr};
 
 use crate::geometry::CacheGeometry;
 use crate::partition::WayPartition;
+use crate::scan::{by_ways, find_way, first_byte_match, ways_of, NO_RANK};
 
 /// A line evicted by an insertion, reported so the owner can be credited
 /// with a writeback and/or a pollution-filter update.
@@ -38,12 +55,41 @@ pub struct AccessOutcome {
     pub eviction: Option<EvictedLine>,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    tag: u64,
-    owner: AppId,
-    dirty: bool,
+/// A resident line reported by [`SetAssocCache::lines`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidentLine {
+    /// The line's address.
+    pub line: LineAddr,
+    /// The application that inserted it.
+    pub owner: AppId,
+    /// Whether the line is dirty.
+    pub dirty: bool,
+    /// The set the line resides in.
+    pub set: usize,
+    /// The line's LRU-stack position within its set (0 = MRU).
+    pub recency: usize,
 }
+
+/// An opaque handle to a resident line, returned by
+/// [`SetAssocCache::find`] and consumed by [`SetAssocCache::promote`].
+///
+/// The handle stays valid across *promotions* of other lines (hits and
+/// write-hit absorptions reorder ranks but never move payloads in the
+/// flat arena); it is invalidated by any insertion or invalidation in the
+/// same set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineRef {
+    /// Flat index of the set's first way (pre-computed so `promote` does
+    /// no division).
+    base: usize,
+    /// Flat index of the line itself.
+    slot: usize,
+}
+
+/// Packed metadata word: `valid | dirty | owner` (owner in the high bits).
+const VALID: u32 = 1;
+const DIRTY: u32 = 1 << 1;
+const OWNER_SHIFT: u32 = 2;
 
 /// A set-associative cache with true-LRU replacement.
 ///
@@ -69,8 +115,16 @@ struct Way {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     geometry: CacheGeometry,
-    /// Each set is an LRU stack: index 0 is the most recently used way.
-    sets: Vec<Vec<Way>>,
+    /// Tags, way `w` of set `s` at flat index `s * ways + w`.
+    tags: Box<[u64]>,
+    /// Packed `valid | dirty | owner` word per line, same indexing.
+    meta: Box<[u32]>,
+    /// Recency rank per line: 0 = MRU, `fill - 1` = LRU, [`NO_RANK`] when
+    /// the way is empty. Within a set the valid ranks are always a
+    /// permutation of `0..fill`.
+    rank: Box<[u8]>,
+    /// Valid lines per set.
+    fill: Box<[u8]>,
     partition: Option<WayPartition>,
     app_count: usize,
     /// Lines currently owned per application, maintained incrementally at
@@ -78,18 +132,36 @@ pub struct SetAssocCache {
     /// so [`occupancy`](Self::occupancy) is O(1) instead of a full-cache
     /// scan (it is consulted on mechanism hot paths every quantum).
     occupancy: Vec<usize>,
+    /// Reusable per-application set-occupancy scratch for partitioned
+    /// victim selection — sized to the partition's app count, zeroed per
+    /// use, so the miss path never allocates.
+    victim_scratch: Vec<usize>,
 }
 
 impl SetAssocCache {
     /// Creates an empty cache for a system with `app_count` applications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the associativity exceeds 255 (recency ranks are stored
+    /// as single bytes).
     #[must_use]
     pub fn new(geometry: CacheGeometry, app_count: usize) -> Self {
+        assert!(
+            geometry.ways() <= usize::from(u8::MAX),
+            "associativity above 255 does not fit the rank-byte encoding"
+        );
+        let lines = geometry.sets() * geometry.ways();
         SetAssocCache {
             geometry,
-            sets: vec![Vec::new(); geometry.sets()],
+            tags: vec![0; lines].into_boxed_slice(),
+            meta: vec![0; lines].into_boxed_slice(),
+            rank: vec![NO_RANK; lines].into_boxed_slice(),
+            fill: vec![0; geometry.sets()].into_boxed_slice(),
             partition: None,
             app_count,
             occupancy: vec![0; app_count],
+            victim_scratch: Vec::new(),
         }
     }
 
@@ -137,20 +209,99 @@ impl SetAssocCache {
 
     /// Accesses `line` on behalf of `app`, updating LRU state and inserting
     /// the line on a miss. Returns hit/miss, the hit's recency position, and
-    /// any eviction the insertion caused.
+    /// any eviction the insertion caused. Fused: the set index, tag, and
+    /// set base are computed once and feed both the hit and the miss half
+    /// (the split [`touch`](Self::touch)/[`insert_absent`](Self::insert_absent)
+    /// pair recomputes them between the halves).
+    #[inline]
     pub fn access(&mut self, line: LineAddr, app: AppId, is_write: bool) -> AccessOutcome {
-        if let Some(pos) = self.touch(line, is_write) {
+        by_ways!(self, access_w(line, app, is_write))
+    }
+
+    #[inline]
+    fn access_w<const W: usize>(
+        &mut self,
+        line: LineAddr,
+        app: AppId,
+        is_write: bool,
+    ) -> AccessOutcome {
+        let set_idx = self.geometry.set_index(line);
+        let tag = self.geometry.tag(line);
+        let ways = ways_of::<W>(self.geometry);
+        let base = set_idx * ways;
+        let found = find_way::<W>(
+            &self.tags[base..base + ways],
+            &self.rank[base..base + ways],
+            tag,
+        );
+        if let Some(w) = found {
             return AccessOutcome {
                 hit: true,
-                hit_recency: Some(pos),
+                hit_recency: Some(self.promote_slot::<W>(base, base + w, is_write)),
                 eviction: None,
             };
         }
         AccessOutcome {
             hit: false,
             hit_recency: None,
-            eviction: self.insert_absent(line, app, is_write),
+            eviction: self.fill_absent::<W>(set_idx, tag, app, is_write),
         }
+    }
+
+    /// Scans `line`'s set for a resident copy, returning the set's base
+    /// and the line's flat index. Sub-slices keep the per-way loads free
+    /// of bounds checks; the search itself is [`find_way`].
+    #[inline]
+    fn scan_w<const W: usize>(&self, line: LineAddr) -> Option<(usize, usize)> {
+        let base = self.geometry.set_index(line) * ways_of::<W>(self.geometry);
+        let tag = self.geometry.tag(line);
+        let ways = ways_of::<W>(self.geometry);
+        find_way::<W>(
+            &self.tags[base..base + ways],
+            &self.rank[base..base + ways],
+            tag,
+        )
+        .map(|w| (base, base + w))
+    }
+
+    /// Dynamically-sized [`scan_w`](Self::scan_w) for the cold paths.
+    #[inline]
+    fn scan(&self, line: LineAddr) -> Option<(usize, usize)> {
+        self.scan_w::<0>(line)
+    }
+
+    /// Bumps every rank below `limit` in the set at `base` one deeper
+    /// ([`crate::scan::bump_ranks_below`] over the set's rank row).
+    #[inline]
+    fn bump_ranks_below<const W: usize>(&mut self, base: usize, limit: u8) {
+        let ways = ways_of::<W>(self.geometry);
+        crate::scan::bump_ranks_below(&mut self.rank[base..base + ways], limit);
+    }
+
+    /// Flat index of the first way in the set at `base` whose rank equals
+    /// `needle` — the victim search (rank `ways - 1`) and the empty-way
+    /// search ([`NO_RANK`]), via [`first_byte_match`].
+    #[inline]
+    fn first_rank_match<const W: usize>(&self, base: usize, needle: u8) -> usize {
+        let ways = ways_of::<W>(self.geometry);
+        base + first_byte_match::<W>(&self.rank[base..base + ways], needle)
+    }
+
+    /// Promotes the line at flat index `i` (in the set at `base`) to MRU,
+    /// returning its previous rank. Only rank bytes move; tags and
+    /// metadata stay put. Re-touching the MRU line (the common case in
+    /// looping access streams) skips the rank renumbering entirely.
+    #[inline]
+    fn promote_slot<const W: usize>(&mut self, base: usize, i: usize, is_write: bool) -> usize {
+        let old = self.rank[i];
+        if is_write {
+            self.meta[i] |= DIRTY;
+        }
+        if old != 0 {
+            self.bump_ranks_below::<W>(base, old);
+            self.rank[i] = 0;
+        }
+        old as usize
     }
 
     /// The hit half of [`access`](Self::access): if `line` is resident,
@@ -159,15 +310,41 @@ impl SetAssocCache {
     /// `None`. One set scan — callers that would otherwise
     /// [`probe`](Self::probe) and then `access` on a hit (the L1 fast path)
     /// do half the work.
+    #[inline]
     pub fn touch(&mut self, line: LineAddr, is_write: bool) -> Option<usize> {
-        let set = &mut self.sets[self.geometry.set_index(line)];
-        let tag = self.geometry.tag(line);
-        let pos = set.iter().position(|w| w.tag == tag)?;
-        // Promote to MRU with a single rotate instead of remove + insert
-        // (which would shift the tail of the set twice).
-        set[..=pos].rotate_right(1);
-        set[0].dirty |= is_write;
-        Some(pos)
+        by_ways!(self, touch_w(line, is_write))
+    }
+
+    #[inline]
+    fn touch_w<const W: usize>(&mut self, line: LineAddr, is_write: bool) -> Option<usize> {
+        let (base, i) = self.scan_w::<W>(line)?;
+        Some(self.promote_slot::<W>(base, i, is_write))
+    }
+
+    /// Locates `line` without mutating any state, returning a handle that
+    /// [`promote`](Self::promote) turns into the hit half of an access.
+    /// Splitting lookup from promotion lets a caller interleave a
+    /// side-effect check (e.g. the LLC stall check) between the two
+    /// without paying for a second set scan.
+    #[inline]
+    #[must_use]
+    pub fn find(&self, line: LineAddr) -> Option<LineRef> {
+        by_ways!(self, scan_w(line)).map(|(base, slot)| LineRef { base, slot })
+    }
+
+    /// Promotes the line behind `handle` to MRU (marking it dirty on a
+    /// write) and returns its LRU-stack position at promotion time —
+    /// exactly what [`touch`](Self::touch) would have returned. The handle
+    /// must come from [`find`](Self::find) with no intervening insertion
+    /// or invalidation in the same set (promotions of other lines are
+    /// fine; they shuffle ranks, not payloads).
+    #[inline]
+    pub fn promote(&mut self, handle: LineRef, is_write: bool) -> usize {
+        debug_assert!(
+            self.rank[handle.slot] != NO_RANK,
+            "promote on a stale handle: the slot was re-filled or invalidated"
+        );
+        by_ways!(self, promote_slot(handle.base, handle.slot, is_write))
     }
 
     /// The miss half of [`access`](Self::access): inserts `line` — which
@@ -175,68 +352,109 @@ impl SetAssocCache {
     /// line if the set was full. Skips the residency scan, so callers that
     /// already established absence (via [`probe`](Self::probe) or
     /// [`touch`](Self::touch)) do not pay for it again.
+    #[inline]
     pub fn insert_absent(
         &mut self,
         line: LineAddr,
         app: AppId,
         is_write: bool,
     ) -> Option<EvictedLine> {
-        let set_idx = self.geometry.set_index(line);
-        let tag = self.geometry.tag(line);
-        let ways = self.geometry.ways();
-        let set = &mut self.sets[set_idx];
+        by_ways!(self, insert_absent_w(line, app, is_write))
+    }
+
+    #[inline]
+    fn insert_absent_w<const W: usize>(
+        &mut self,
+        line: LineAddr,
+        app: AppId,
+        is_write: bool,
+    ) -> Option<EvictedLine> {
         debug_assert!(
-            set.iter().all(|w| w.tag != tag),
+            self.scan(line).is_none(),
             "insert_absent on a resident line"
         );
+        self.fill_absent::<W>(self.geometry.set_index(line), self.geometry.tag(line), app, is_write)
+    }
 
-        let new_way = Way {
-            tag,
-            owner: app,
-            dirty: is_write,
-        };
+    /// The allocation itself: inserts the (absent) line with tag `tag`
+    /// into set `set_idx` at MRU for `app`. Takes the decomposed address
+    /// so the fused [`access`](Self::access) path computes it exactly
+    /// once.
+    #[inline]
+    fn fill_absent<const W: usize>(
+        &mut self,
+        set_idx: usize,
+        tag: u64,
+        app: AppId,
+        is_write: bool,
+    ) -> Option<EvictedLine> {
+        let ways = ways_of::<W>(self.geometry);
+        let base = set_idx * ways;
+        let new_meta = VALID | (u32::from(is_write) * DIRTY) | ((app.index() as u32) << OWNER_SHIFT);
         if let Some(c) = self.occupancy.get_mut(app.index()) {
             *c += 1;
         }
-        if set.len() < ways {
-            set.push(new_way);
-            set.rotate_right(1);
+
+        if usize::from(self.fill[set_idx]) < ways {
+            // Room left: claim the first empty way, push every resident
+            // line one rank deeper and enter at MRU. A `NO_RANK` limit
+            // bumps exactly the valid ranks.
+            let slot = self.first_rank_match::<W>(base, NO_RANK);
+            self.bump_ranks_below::<W>(base, NO_RANK);
+            self.tags[slot] = tag;
+            self.meta[slot] = new_meta;
+            self.rank[slot] = 0;
+            self.fill[set_idx] += 1;
             return None;
         }
 
-        let victim_pos = Self::pick_victim(set, app, self.partition.as_ref());
-        let victim = set[victim_pos];
-        set[..=victim_pos].rotate_right(1);
-        set[0] = new_way;
-        if let Some(c) = self.occupancy.get_mut(victim.owner.index()) {
+        let victim = self.pick_victim::<W>(base, app);
+        let victim_meta = self.meta[victim];
+        let victim_tag = self.tags[victim];
+        let victim_owner = AppId::new((victim_meta >> OWNER_SHIFT) as usize);
+        // Re-rank as if the victim's stack slot were vacated and the new
+        // line entered at MRU: everything above the victim moves one
+        // deeper, the victim's way is re-filled at rank 0.
+        let victim_rank = self.rank[victim];
+        self.bump_ranks_below::<W>(base, victim_rank);
+        self.tags[victim] = tag;
+        self.meta[victim] = new_meta;
+        self.rank[victim] = 0;
+        if let Some(c) = self.occupancy.get_mut(victim_owner.index()) {
             *c -= 1;
         }
         Some(EvictedLine {
-            line: Self::reconstruct(self.geometry, victim.tag, set_idx),
-            owner: victim.owner,
-            dirty: victim.dirty,
+            line: Self::reconstruct(self.geometry, victim_tag, set_idx),
+            owner: victim_owner,
+            dirty: victim_meta & DIRTY != 0,
         })
     }
 
     /// Checks residency without updating any state.
+    #[inline]
     #[must_use]
     pub fn probe(&self, line: LineAddr) -> bool {
-        let set = &self.sets[self.geometry.set_index(line)];
-        let tag = self.geometry.tag(line);
-        set.iter().any(|w| w.tag == tag)
+        by_ways!(self, scan_w(line)).is_some()
     }
 
     /// Removes `line` if resident, returning whether it was dirty.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
-        let set_idx = self.geometry.set_index(line);
-        let tag = self.geometry.tag(line);
-        let set = &mut self.sets[set_idx];
-        let pos = set.iter().position(|w| w.tag == tag)?;
-        let way = set.remove(pos);
-        if let Some(c) = self.occupancy.get_mut(way.owner.index()) {
+        let (base, i) = self.scan(line)?;
+        let ways = self.geometry.ways();
+        let gone = self.rank[i];
+        self.rank[i] = NO_RANK;
+        // Close the rank gap so valid ranks stay a permutation of 0..fill.
+        for r in &mut self.rank[base..base + ways] {
+            *r = r.wrapping_sub(u8::from(*r != NO_RANK && *r > gone));
+        }
+        let meta = self.meta[i];
+        self.meta[i] = 0;
+        self.fill[self.geometry.set_index(line)] -= 1;
+        let owner = AppId::new((meta >> OWNER_SHIFT) as usize);
+        if let Some(c) = self.occupancy.get_mut(owner.index()) {
             *c -= 1;
         }
-        Some(way.dirty)
+        Some(meta & DIRTY != 0)
     }
 
     /// Returns how many lines `app` currently holds across the whole cache.
@@ -244,6 +462,7 @@ impl SetAssocCache {
     /// counters (cross-checked against [`occupancy_scan`]
     /// (Self::occupancy_scan) by randomized tests).
     #[must_use]
+    #[inline]
     pub fn occupancy(&self, app: AppId) -> usize {
         self.occupancy.get(app.index()).copied().unwrap_or(0)
     }
@@ -253,45 +472,100 @@ impl SetAssocCache {
     /// against.
     #[must_use]
     pub fn occupancy_scan(&self, app: AppId) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|w| w.owner == app).count())
-            .sum()
+        self.lines().filter(|l| l.owner == app).count()
     }
 
-    /// Picks the victim way index for an insertion by `app`.
+    /// Iterates over every resident line (set order, way order within a
+    /// set) with its owner, dirtiness, and LRU-stack position. This is the
+    /// inspection surface of the flat arena: tests, the occupancy
+    /// cross-check, and any mechanism that wants to audit cache contents
+    /// read it instead of poking at the raw arrays.
+    pub fn lines(&self) -> impl Iterator<Item = ResidentLine> + '_ {
+        let ways = self.geometry.ways();
+        (0..self.tags.len()).filter_map(move |i| {
+            let r = self.rank[i];
+            if r == NO_RANK {
+                return None;
+            }
+            let set = i / ways;
+            let meta = self.meta[i];
+            Some(ResidentLine {
+                line: Self::reconstruct(self.geometry, self.tags[i], set),
+                owner: AppId::new((meta >> OWNER_SHIFT) as usize),
+                dirty: meta & DIRTY != 0,
+                set,
+                recency: r as usize,
+            })
+        })
+    }
+
+    /// Picks the victim's flat index for an insertion by `app` into the
+    /// full set starting at `base`.
     ///
     /// Without a partition this is the global LRU way. With a partition it
     /// follows UCP's enforcement: if the inserting application has reached
     /// its quota in this set, it victimises its own LRU line; otherwise the
     /// LRU line of any application holding more than its quota; otherwise
-    /// the global LRU line.
-    fn pick_victim(set: &[Way], app: AppId, partition: Option<&WayPartition>) -> usize {
-        let Some(partition) = partition else {
-            return set.len() - 1;
-        };
+    /// the global LRU line. "LRU-most matching line" is the match with the
+    /// maximum rank — the rank order *is* the old representation's stack
+    /// order, which is what keeps victim choices bit-identical.
+    fn pick_victim<const W: usize>(&mut self, base: usize, app: AppId) -> usize {
+        let ways = ways_of::<W>(self.geometry);
+        if self.partition.is_none() {
+            // Global LRU. The set is full (pick_victim only runs then), so
+            // the LRU line is exactly the one at rank `ways - 1`: a single
+            // byte search instead of a rank/meta max-scan.
+            return self.first_rank_match::<W>(base, (ways - 1) as u8);
+        }
+        let partition = self.partition.as_ref().expect("checked above");
         let own_quota = partition.ways_for(app);
-        let own_occupancy = set.iter().filter(|w| w.owner == app).count();
+        let metas = &self.meta[base..base + ways];
+        let own_occupancy = metas
+            .iter()
+            .filter(|&&m| m >> OWNER_SHIFT == app.index() as u32)
+            .count();
         if own_occupancy >= own_quota && own_occupancy > 0 {
-            // At (or over) quota: replace own LRU line (search from the LRU
-            // end). This also confines zero-quota applications to at most
-            // one transient line per set.
-            if let Some(rpos) = set.iter().rposition(|w| w.owner == app) {
-                return rpos;
-            }
+            // At (or over) quota: replace own LRU line. This also confines
+            // zero-quota applications to at most one transient line per set.
+            return self.max_rank_where::<W>(base, |m| m >> OWNER_SHIFT == app.index() as u32);
         }
         // Replace the LRU line of an over-quota application.
-        let mut occupancy = vec![0usize; partition.app_count()];
-        for w in set {
-            occupancy[w.owner.index()] += 1;
+        self.victim_scratch.clear();
+        self.victim_scratch.resize(partition.app_count(), 0);
+        for &m in metas {
+            self.victim_scratch[(m >> OWNER_SHIFT) as usize] += 1;
         }
-        if let Some(rpos) = set
-            .iter()
-            .rposition(|w| occupancy[w.owner.index()] > partition.ways_for(w.owner))
-        {
-            return rpos;
+        let scratch = std::mem::take(&mut self.victim_scratch);
+        let partition = self.partition.as_ref().expect("checked above");
+        let over_quota =
+            |m: u32| scratch[(m >> OWNER_SHIFT) as usize] > partition.ways_for(AppId::new((m >> OWNER_SHIFT) as usize));
+        let victim = if self.meta[base..base + ways].iter().any(|&m| over_quota(m)) {
+            self.max_rank_where::<W>(base, over_quota)
+        } else {
+            self.max_rank_where::<W>(base, |_| true)
+        };
+        self.victim_scratch = scratch;
+        victim
+    }
+
+    /// The flat index with the deepest rank among ways of the full set at
+    /// `base` whose metadata satisfies `pred`. Must have a match. Within a
+    /// full set ranks are unique, so first-match vs last-match on ties
+    /// cannot arise.
+    fn max_rank_where<const W: usize>(&self, base: usize, pred: impl Fn(u32) -> bool) -> usize {
+        let ways = ways_of::<W>(self.geometry);
+        let metas = &self.meta[base..base + ways];
+        let ranks = &self.rank[base..base + ways];
+        let mut best = usize::MAX;
+        let mut best_rank = 0u8;
+        for (w, (&m, &r)) in metas.iter().zip(ranks).enumerate() {
+            if pred(m) && (best == usize::MAX || r >= best_rank) {
+                best = w;
+                best_rank = r;
+            }
         }
-        set.len() - 1
+        debug_assert!(best != usize::MAX, "victim predicate matched nothing");
+        base + best
     }
 
     fn reconstruct(geometry: CacheGeometry, tag: u64, set_idx: usize) -> LineAddr {
@@ -551,6 +825,52 @@ mod tests {
     }
 
     #[test]
+    fn find_promote_equals_touch() {
+        use asm_simcore::SimRng;
+        // The handle-based hit path (find + promote) must evolve the cache
+        // exactly like the fused `touch` — this is the LLC fast path in
+        // `asm-core`'s issue().
+        let mut rng = SimRng::seed_from(0xF15D);
+        let mut fused = cache(16, 4, 2);
+        let mut split = cache(16, 4, 2);
+        for _ in 0..20_000u64 {
+            let app = AppId::new((rng.next_u64() % 2) as usize);
+            let line = LineAddr::new(rng.next_u64() % 512);
+            let is_write = rng.next_u64() % 2 == 0;
+            let a = fused.access(line, app, is_write);
+            let b = match split.find(line) {
+                Some(handle) => AccessOutcome {
+                    hit: true,
+                    hit_recency: Some(split.promote(handle, is_write)),
+                    eviction: None,
+                },
+                None => AccessOutcome {
+                    hit: false,
+                    hit_recency: None,
+                    eviction: split.insert_absent(line, app, is_write),
+                },
+            };
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn handle_survives_other_line_promotions() {
+        // A LineRef stays valid across promotions of *other* lines in the
+        // same set (the L1-victim-writeback interleaving in issue()).
+        let mut c = cache(4, 4, 1);
+        let a = AppId::new(0);
+        let l0 = same_set_line(4, 0, 0);
+        let l1 = same_set_line(4, 0, 1);
+        c.access(l0, a, false);
+        c.access(l1, a, false); // stack: [l1, l0]
+        let h = c.find(l0).unwrap();
+        c.touch(l1, true); // promote the other line; stack unchanged order
+        assert_eq!(c.promote(h, false), 1);
+        assert_eq!(c.access(l0, a, false).hit_recency, Some(0));
+    }
+
+    #[test]
     fn occupancy_counts_lines_per_app() {
         let mut c = cache(8, 2, 2);
         let a0 = AppId::new(0);
@@ -560,6 +880,51 @@ mod tests {
         c.access(LineAddr::new(2), a1, false);
         assert_eq!(c.occupancy(a0), 2);
         assert_eq!(c.occupancy(a1), 1);
+    }
+
+    #[test]
+    fn lines_iterator_reports_full_state() {
+        let mut c = cache(8, 2, 2);
+        let a0 = AppId::new(0);
+        let a1 = AppId::new(1);
+        c.access(LineAddr::new(0), a0, true);
+        c.access(LineAddr::new(8), a1, false); // same set as 0
+        let mut lines: Vec<_> = c.lines().collect();
+        lines.sort_by_key(|l| l.line.raw());
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].line, LineAddr::new(0));
+        assert_eq!(lines[0].owner, a0);
+        assert!(lines[0].dirty);
+        assert_eq!(lines[0].recency, 1); // displaced from MRU by line 8
+        assert_eq!(lines[1].line, LineAddr::new(8));
+        assert_eq!(lines[1].owner, a1);
+        assert!(!lines[1].dirty);
+        assert_eq!(lines[1].recency, 0);
+        assert_eq!(lines[0].set, lines[1].set);
+    }
+
+    #[test]
+    fn ranks_stay_a_permutation_per_set() {
+        use asm_simcore::SimRng;
+        let mut rng = SimRng::seed_from(0xBEEF);
+        let mut c = cache(8, 4, 2);
+        for _ in 0..10_000u64 {
+            let app = AppId::new((rng.next_u64() % 2) as usize);
+            let line = LineAddr::new(rng.next_u64() % 256);
+            match rng.next_u64() % 8 {
+                0 => {
+                    let _ = c.invalidate(line);
+                }
+                _ => {
+                    let _ = c.access(line, app, rng.next_u64() % 2 == 0);
+                }
+            }
+        }
+        for set in 0..8 {
+            let mut ranks: Vec<_> = c.lines().filter(|l| l.set == set).map(|l| l.recency).collect();
+            ranks.sort_unstable();
+            assert_eq!(ranks, (0..ranks.len()).collect::<Vec<_>>(), "set {set}");
+        }
     }
 
     #[test]

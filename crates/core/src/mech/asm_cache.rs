@@ -15,7 +15,7 @@
 //! The paper stresses that this extension is only straightforward because
 //! ASM works with aggregate access rates (§3.3, third reason).
 
-use asm_cache::{lookahead_partition, AuxiliaryTagStore, WayPartition};
+use asm_cache::{lookahead_partition, AuxiliaryTagStore, BenefitCurves, WayPartition};
 use asm_simcore::Cycle;
 
 use crate::system::AppQuantumStats;
@@ -38,12 +38,30 @@ pub fn slowdown_curve(
     llc_latency: Cycle,
     ways: usize,
 ) -> Vec<f64> {
+    let mut curve = vec![0.0; ways + 1];
+    fill_slowdown_curve(ats, stats, car_alone, quantum, llc_latency, &mut curve);
+    curve
+}
+
+/// Writes the predicted-slowdown curve into `row` (one entry per way
+/// count, `row[0]` = zero ways); all-ones when the application was idle or
+/// no `CAR_alone` estimate is available.
+pub fn fill_slowdown_curve(
+    ats: &AuxiliaryTagStore,
+    stats: &AppQuantumStats,
+    car_alone: Option<f64>,
+    quantum: Cycle,
+    llc_latency: Cycle,
+    row: &mut [f64],
+) {
     let accesses = stats.hits + stats.misses;
     let Some(car_alone) = car_alone.filter(|c| *c > 0.0) else {
-        return vec![1.0; ways + 1];
+        row.fill(1.0);
+        return;
     };
     if accesses == 0 {
-        return vec![1.0; ways + 1];
+        row.fill(1.0);
+        return;
     }
     let factor = ats.sampling_factor();
     let hit_t = stats.avg_hit_time(llc_latency as f64);
@@ -51,15 +69,13 @@ pub fn slowdown_curve(
     let penalty = (miss_t - hit_t).max(0.0);
     let q = quantum as f64;
 
-    (0..=ways)
-        .map(|n| {
-            let hits_n = ats.hits_with_ways(n.min(ats.geometry().ways())) as f64 * factor;
-            let delta_hits = hits_n - stats.hits as f64;
-            let cycles_n = (q - delta_hits * penalty).clamp(q * 0.05, q * 4.0);
-            let car_n = accesses as f64 / cycles_n;
-            (car_alone / car_n).max(0.01)
-        })
-        .collect()
+    for (n, v) in row.iter_mut().enumerate() {
+        let hits_n = ats.hits_with_ways(n.min(ats.geometry().ways())) as f64 * factor;
+        let delta_hits = hits_n - stats.hits as f64;
+        let cycles_n = (q - delta_hits * penalty).clamp(q * 0.05, q * 4.0);
+        let car_n = accesses as f64 / cycles_n;
+        *v = (car_alone / car_n).max(0.01);
+    }
 }
 
 /// Computes the ASM-Cache partition for this quantum.
@@ -82,18 +98,15 @@ pub fn partition(
 ) -> WayPartition {
     assert_eq!(ats.len(), qstats.len(), "per-app inputs must align");
     // Benefit = negated slowdown, so marginal utility = slowdown decrease.
-    let benefit: Vec<Vec<f64>> = ats
-        .iter()
-        .zip(qstats)
-        .enumerate()
-        .map(|(i, (a, s))| {
-            let ca = car_alone.and_then(|c| c.get(i)).copied();
-            slowdown_curve(a, s, ca, quantum, llc_latency, ways)
-                .into_iter()
-                .map(|sd| -sd)
-                .collect()
-        })
-        .collect();
+    let mut benefit = BenefitCurves::new(ats.len(), ways + 1);
+    for (i, (a, s)) in ats.iter().zip(qstats).enumerate() {
+        let ca = car_alone.and_then(|c| c.get(i)).copied();
+        let row = benefit.row_mut(i);
+        fill_slowdown_curve(a, s, ca, quantum, llc_latency, row);
+        for v in row {
+            *v = -*v;
+        }
+    }
     lookahead_partition(&benefit, ways, 1)
 }
 

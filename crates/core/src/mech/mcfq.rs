@@ -15,7 +15,7 @@
 //! memory-intensive workloads — is any notion of *memory bandwidth*
 //! interference: utilities are still cache-local.
 
-use asm_cache::{lookahead_partition, AuxiliaryTagStore, WayPartition};
+use asm_cache::{lookahead_partition, AuxiliaryTagStore, BenefitCurves, WayPartition};
 
 use crate::system::AppQuantumStats;
 
@@ -35,25 +35,22 @@ pub fn partition(
     ways: usize,
 ) -> WayPartition {
     assert_eq!(ats.len(), qstats.len(), "per-app inputs must align");
-    let benefit: Vec<Vec<f64>> = ats
-        .iter()
-        .zip(qstats)
-        .map(|(a, s)| {
-            let sampled = a.accesses();
-            let full_hits = a.hits_with_ways(a.geometry().ways());
-            let hit_rate = if sampled > 0 {
-                full_hits as f64 / sampled as f64
-            } else {
-                0.0
-            };
-            let cap = if hit_rate < THRASH_HIT_RATE { 1 } else { ways };
-            // Discount hit utility by MLP: overlapped misses hurt less.
-            let weight = 1.0 / s.avg_mlp().sqrt();
-            (0..=ways)
-                .map(|n| weight * a.hits_with_ways(n.min(cap).min(a.geometry().ways())) as f64)
-                .collect()
-        })
-        .collect();
+    let mut benefit = BenefitCurves::new(ats.len(), ways + 1);
+    for (i, (a, s)) in ats.iter().zip(qstats).enumerate() {
+        let sampled = a.accesses();
+        let full_hits = a.hits_with_ways(a.geometry().ways());
+        let hit_rate = if sampled > 0 {
+            full_hits as f64 / sampled as f64
+        } else {
+            0.0
+        };
+        let cap = if hit_rate < THRASH_HIT_RATE { 1 } else { ways };
+        // Discount hit utility by MLP: overlapped misses hurt less.
+        let weight = 1.0 / s.avg_mlp().sqrt();
+        for (n, v) in benefit.row_mut(i).iter_mut().enumerate() {
+            *v = weight * a.hits_with_ways(n.min(cap).min(a.geometry().ways())) as f64;
+        }
+    }
     lookahead_partition(&benefit, ways, 1)
 }
 

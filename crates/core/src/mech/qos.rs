@@ -8,7 +8,7 @@
 //! - **Naive-QoS**: give the application of interest *all* the ways,
 //!   meeting any achievable bound but slowing everyone else maximally.
 
-use asm_cache::{lookahead_partition, AuxiliaryTagStore, WayPartition};
+use asm_cache::{lookahead_partition, AuxiliaryTagStore, BenefitCurves, WayPartition};
 use asm_simcore::{AppId, Cycle};
 
 use crate::config::QosConfig;
@@ -52,17 +52,14 @@ pub fn asm_qos_partition(
     let mut alloc = vec![0usize; n];
     alloc[t] = target_ways;
     if !others.is_empty() {
-        let benefit: Vec<Vec<f64>> = others
-            .iter()
-            .map(|&i| {
-                let ca = car_alone.and_then(|c| c.get(i)).copied();
-                slowdown_curve(&ats[i], &qstats[i], ca, quantum, llc_latency, ways)
-                    .into_iter()
-                    .take(remaining + 1)
-                    .map(|sd| -sd)
-                    .collect()
-            })
-            .collect();
+        let mut benefit = BenefitCurves::new(others.len(), remaining + 1);
+        for (k, &i) in others.iter().enumerate() {
+            let ca = car_alone.and_then(|c| c.get(i)).copied();
+            let full = slowdown_curve(&ats[i], &qstats[i], ca, quantum, llc_latency, ways);
+            for (v, sd) in benefit.row_mut(k).iter_mut().zip(&full) {
+                *v = -sd;
+            }
+        }
         let sub = lookahead_partition(&benefit, remaining, 1);
         for (k, &i) in others.iter().enumerate() {
             alloc[i] = sub.ways_for(AppId::new(k));

@@ -7,7 +7,7 @@
 //! counts are only a *proxy* for performance, blind to how much each miss
 //! actually costs each application.
 
-use asm_cache::{lookahead_partition, AuxiliaryTagStore, WayPartition};
+use asm_cache::{lookahead_partition, AuxiliaryTagStore, BenefitCurves, WayPartition};
 
 /// Computes the UCP partition from this quantum's ATS hit curves.
 ///
@@ -17,7 +17,10 @@ use asm_cache::{lookahead_partition, AuxiliaryTagStore, WayPartition};
 /// application is reserved one way).
 #[must_use]
 pub fn partition(ats: &[AuxiliaryTagStore], ways: usize) -> WayPartition {
-    let benefit: Vec<Vec<f64>> = ats.iter().map(|a| hit_curve(a, ways)).collect();
+    let mut benefit = BenefitCurves::new(ats.len(), ways + 1);
+    for (a, t) in ats.iter().enumerate() {
+        fill_hit_curve(t, benefit.row_mut(a));
+    }
     lookahead_partition(&benefit, ways, 1)
 }
 
@@ -25,9 +28,17 @@ pub fn partition(ats: &[AuxiliaryTagStore], ways: usize) -> WayPartition {
 /// would hit with `n` ways.
 #[must_use]
 pub fn hit_curve(ats: &AuxiliaryTagStore, ways: usize) -> Vec<f64> {
-    (0..=ways)
-        .map(|n| ats.hits_with_ways(n.min(ats.geometry().ways())) as f64)
-        .collect()
+    let mut curve = vec![0.0; ways + 1];
+    fill_hit_curve(ats, &mut curve);
+    curve
+}
+
+/// Writes the cumulative-hits curve into `row` (one entry per way count,
+/// `row[0]` = zero ways).
+pub fn fill_hit_curve(ats: &AuxiliaryTagStore, row: &mut [f64]) {
+    for (n, v) in row.iter_mut().enumerate() {
+        *v = ats.hits_with_ways(n.min(ats.geometry().ways())) as f64;
+    }
 }
 
 #[cfg(test)]

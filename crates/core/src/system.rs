@@ -1063,9 +1063,9 @@ impl Hier<'_> {
 
         // L1 miss. Before mutating anything, make sure a memory request
         // could be issued if needed (otherwise stall the core).
-        let llc_resident = self.llc.probe(line);
+        let llc_line = self.llc.find(line);
         let merged = self.mshr.contains_key(&line.raw());
-        if !llc_resident && !merged && !self.mem.can_accept_read(line) {
+        if llc_line.is_none() && !merged && !self.mem.can_accept_read(line) {
             return MemIssueResult::Stall;
         }
         *self.version += 1;
@@ -1089,15 +1089,12 @@ impl Hier<'_> {
         }
 
         // Demand access to the shared cache (this is the access CAR
-        // counts). Residency was already established by the stall check
-        // (still valid: the victim writeback above can only reorder its
-        // own set's LRU stack), so hit and miss take single-scan paths.
+        // counts). The stall check already located the line, and its
+        // handle survives the victim writeback above (a promotion never
+        // moves line payloads), so hit and miss take single-scan paths.
         let ats_out = self.ats[a].access(line);
-        let llc_out = if llc_resident {
-            let pos = self
-                .llc
-                .touch(line, is_write)
-                .expect("stall check probed the line resident");
+        let llc_out = if let Some(handle) = llc_line {
+            let pos = self.llc.promote(handle, is_write);
             asm_cache::AccessOutcome {
                 hit: true,
                 hit_recency: Some(pos),

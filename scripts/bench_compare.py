@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare two bench snapshots produced by scripts/bench_snapshot.sh.
+
+Prints a per-benchmark ratio table (min-based: shared-container noise
+only ever adds time, so the per-iteration minimum is the robust
+estimator) and exits non-zero when any named hot-path benchmark regresses
+by more than the threshold.
+
+Usage:
+    scripts/bench_compare.py BENCH_pr3.json BENCH_pr4.json
+    scripts/bench_compare.py --threshold 0.10 old.json new.json
+    scripts/bench_compare.py --hot cache/llc_access_mixed_100k old.json new.json
+
+A ratio > 1 means the new snapshot is faster (old_min / new_min); a
+hot-path ratio below (1 - threshold) fails the run. Benchmarks present in
+only one snapshot are listed but never gate.
+"""
+
+import argparse
+import json
+import sys
+
+# Benchmarks that sit on the simulation hot path; a regression here slows
+# every experiment sweep. Kept in sync with the bench ids in
+# crates/bench/benches/{substrates,throughput}.rs.
+DEFAULT_HOT_PATHS = [
+    "cache/llc_access_mixed_100k",
+    "cache/ats_sampled_access_100k",
+    "cache/pollution_filter_100k",
+    "dram/stream_2k_requests_FRFCFS",
+    "sim_throughput/mcf_mix_10m_skip",
+    "sim_throughput/compute_mix_10m_no_skip",
+]
+
+
+def load_raw(path):
+    with open(path, encoding="utf-8") as f:
+        snapshot = json.load(f)
+    raw = snapshot.get("raw")
+    if not isinstance(raw, dict):
+        sys.exit(f"bench_compare: {path} has no 'raw' section — not a snapshot?")
+    return raw
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline snapshot (e.g. BENCH_pr3.json)")
+    parser.add_argument("new", help="candidate snapshot (e.g. BENCH_pr4.json)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="max tolerated hot-path regression as a fraction (default 0.25)",
+    )
+    parser.add_argument(
+        "--hot",
+        action="append",
+        default=None,
+        metavar="BENCH",
+        help="hot-path benchmark name to gate on (repeatable; "
+        "default: the built-in hot-path list)",
+    )
+    args = parser.parse_args()
+
+    old, new = load_raw(args.old), load_raw(args.new)
+    hot = set(args.hot if args.hot is not None else DEFAULT_HOT_PATHS)
+
+    names = sorted(set(old) | set(new))
+    width = max(len(n) for n in names)
+    print(f"{'benchmark':<{width}}  {'old min':>12}  {'new min':>12}  {'ratio':>7}  gate")
+
+    failures = []
+    for name in names:
+        o, n = old.get(name), new.get(name)
+        if o is None or n is None:
+            side = "old" if n is None else "new"
+            print(f"{name:<{width}}  {'—':>12}  {'—':>12}  {'—':>7}  ({side} only)")
+            continue
+        o_min, n_min = o["min_ns"], n["min_ns"]
+        ratio = o_min / n_min if n_min else float("inf")
+        gated = name in hot
+        verdict = ""
+        if gated:
+            verdict = "hot"
+            if ratio < 1.0 - args.threshold:
+                verdict = "hot REGRESSED"
+                failures.append((name, ratio))
+        print(
+            f"{name:<{width}}  {o_min:>12.0f}  {n_min:>12.0f}  {ratio:>6.2f}x  {verdict}"
+        )
+
+    missing_hot = sorted(h for h in hot if h not in old or h not in new)
+    for h in missing_hot:
+        print(f"bench_compare: note: hot-path bench {h} missing from a snapshot",
+              file=sys.stderr)
+
+    if failures:
+        for name, ratio in failures:
+            print(
+                f"bench_compare: FAIL {name} regressed to {ratio:.2f}x "
+                f"(threshold {1.0 - args.threshold:.2f}x)",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        f"bench_compare: OK — no hot-path bench regressed more than "
+        f"{args.threshold:.0%}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,7 @@
 # into a committed JSON snapshot with machine info, simulated cycles per
 # wall-clock second, and the skip-vs-no-skip speedup ratio. Usage:
 #
-#   scripts/bench_snapshot.sh [tag]     # default tag: pr3
+#   scripts/bench_snapshot.sh [tag]     # default tag: pr4
 #
 # The snapshot is a measurement record, not a gate: the enforced bound
 # (>=3x on the memory-intensive mix) lives in the PR acceptance notes
@@ -18,7 +18,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-TAG="${1:-pr3}"
+TAG="${1:-pr4}"
 OUT="BENCH_${TAG}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -33,9 +33,13 @@ import json, platform, re, subprocess, sys
 raw_path, out_path = sys.argv[1], sys.argv[2]
 
 # `  group/id: mean 12.345ms min 11.000ms max 14.000ms (10 samples)`
+# Each field carries its own unit (criterion picks the scale per value:
+# a min of 980us next to a mean of 1.02ms is routine), so each field
+# must be scaled independently — scaling min/max by the mean's unit is
+# how BENCH_pr3.json ended up with a max below its mean.
 LINE = re.compile(
-    r"^\s+(?P<group>[\w-]+)/(?P<id>[\w-]+): mean (?P<mean>[\d.]+)(?P<unit>ns|us|ms|s) "
-    r"min (?P<min>[\d.]+)(?:ns|us|ms|s) max (?P<max>[\d.]+)(?:ns|us|ms|s) "
+    r"^\s+(?P<group>[\w-]+)/(?P<id>[\w-]+): mean (?P<mean>[\d.]+)(?P<mean_unit>ns|us|ms|s) "
+    r"min (?P<min>[\d.]+)(?P<min_unit>ns|us|ms|s) max (?P<max>[\d.]+)(?P<max_unit>ns|us|ms|s) "
     r"\((?P<n>\d+) samples\)"
 )
 UNIT_NS = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -49,13 +53,20 @@ with open(raw_path, encoding="utf-8") as f:
         m = LINE.match(line)
         if not m:
             continue
-        scale = UNIT_NS[m.group("unit")]
-        results[f"{m.group('group')}/{m.group('id')}"] = {
-            "mean_ns": float(m.group("mean")) * scale,
-            "min_ns": float(m.group("min")) * scale,
-            "max_ns": float(m.group("max")) * scale,
+        key = f"{m.group('group')}/{m.group('id')}"
+        entry = {
+            "mean_ns": float(m.group("mean")) * UNIT_NS[m.group("mean_unit")],
+            "min_ns": float(m.group("min")) * UNIT_NS[m.group("min_unit")],
+            "max_ns": float(m.group("max")) * UNIT_NS[m.group("max_unit")],
             "samples": int(m.group("n")),
         }
+        if not entry["min_ns"] <= entry["mean_ns"] <= entry["max_ns"]:
+            sys.exit(
+                f"bench_snapshot: insane stats for {key} "
+                f"(min {entry['min_ns']} / mean {entry['mean_ns']} / "
+                f"max {entry['max_ns']} ns) — parse bug or corrupt output"
+            )
+        results[key] = entry
 
 # Shared-container noise only ever *adds* time, so the per-iteration
 # minimum is the robust estimator; the mean is kept for reference.
