@@ -1,0 +1,81 @@
+//! Cost of the telemetry layer on the hot simulation path.
+//!
+//! Three variants of the same 10M-cycle memory-intensive run:
+//!
+//! - `mcf_mix_10m_off` — telemetry compiled in but disabled (the
+//!   production configuration every experiment runs in by default). The
+//!   counter probes still execute — a disabled registry aliases every
+//!   counter onto one scratch slot — so this measures the always-on cost.
+//! - `mcf_mix_10m_idle` — counters, series and the latency histogram
+//!   enabled (`--stats-json`-equivalent), no tracing. The acceptance gate
+//!   lives in `scripts/bench_compare.py`: idle may cost at most 1% over
+//!   off.
+//! - `mcf_mix_10m_traced` — full request tracing at the harness's 1-in-64
+//!   sampling on top (informational; not gated).
+//!
+//! `scripts/bench_snapshot.sh` parses this output; keep the ids stable.
+
+use std::time::Duration;
+
+use asm_core::{EstimatorSet, System, SystemConfig};
+use asm_cpu::AppProfile;
+use asm_workloads::suite;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Same horizon as `throughput.rs` so the off-variant numbers line up.
+pub const SIM_CYCLES: u64 = 10_000_000;
+
+fn config() -> SystemConfig {
+    let mut c = SystemConfig::default();
+    c.quantum = 1_000_000;
+    c.epoch = 10_000;
+    c.estimators = EstimatorSet::asm_only();
+    c.skip_mode = true;
+    c
+}
+
+fn mcf_mix() -> Vec<AppProfile> {
+    ["mcf_like", "mcf_like", "mcf_like", "mcf_like"]
+        .iter()
+        .map(|n| suite::by_name(n).expect("suite profile exists"))
+        .collect()
+}
+
+/// `trace_sample`: `None` = telemetry off, `Some(0)` = counters/series
+/// only, `Some(n)` = plus 1-in-n request tracing.
+fn run(profiles: &[AppProfile], mode: Option<u64>) -> u64 {
+    let mut sys = System::new(profiles, config());
+    match mode {
+        None => {}
+        Some(0) => sys.enable_telemetry(None),
+        Some(n) => sys.enable_telemetry(Some(n)),
+    }
+    sys.run_for(SIM_CYCLES);
+    black_box(sys.take_telemetry());
+    sys.executed_cycles()
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    // The compare gate on idle-vs-off is 1%, well below this container's
+    // run-to-run noise at 10 samples — the min needs ~80 draws to reach
+    // the floor on both sides before a 1% comparison is meaningful.
+    g.sample_size(80);
+    g.measurement_time(Duration::from_secs(30));
+
+    let mix = mcf_mix();
+    g.bench_function("mcf_mix_10m_off", |b| {
+        b.iter(|| black_box(run(&mix, None)));
+    });
+    g.bench_function("mcf_mix_10m_idle", |b| {
+        b.iter(|| black_box(run(&mix, Some(0))));
+    });
+    g.bench_function("mcf_mix_10m_traced", |b| {
+        b.iter(|| black_box(run(&mix, Some(64))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

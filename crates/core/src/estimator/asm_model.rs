@@ -57,6 +57,9 @@ pub struct AsmEstimator {
     /// miss-latency estimate; Figure 6).
     latency_hist: Option<Histogram>,
     last_car_alone: Vec<f64>,
+    /// Per-app `(ats_hits, ats_misses)` from the last completed quantum,
+    /// captured before the quantum reset (telemetry introspection).
+    last_ats: Vec<(u64, u64)>,
     queueing_correction: bool,
 }
 
@@ -70,6 +73,7 @@ impl AsmEstimator {
             llc_latency,
             latency_hist: latency_hist.map(|(w, n)| Histogram::new(w, n)),
             last_car_alone: vec![0.0; app_count],
+            last_ats: vec![(0, 0); app_count],
             queueing_correction: true,
         }
     }
@@ -134,6 +138,7 @@ impl SlowdownEstimator for AsmEstimator {
             let estimate =
                 estimate_slowdown(st, ctx, i, self.llc_latency, self.queueing_correction);
             self.last_car_alone[i] = estimate.car_alone;
+            self.last_ats[i] = (st.ats_hits_sampled, st.ats_misses_sampled);
             out.push(estimate.slowdown);
             *st = AppState {
                 // Union trackers keep their horizons across quanta.
@@ -159,6 +164,10 @@ impl SlowdownEstimator for AsmEstimator {
 
     fn miss_latency_histogram(&self) -> Option<&Histogram> {
         self.latency_hist.as_ref()
+    }
+
+    fn ats_sample_counts(&self) -> Option<&[(u64, u64)]> {
+        Some(&self.last_ats)
     }
 }
 
@@ -252,19 +261,6 @@ fn estimate_slowdown(
     // The alone run cannot be more than ~20x faster within an epoch; guard
     // against degenerate denominators.
     denom = denom.max(epoch_cycles * 0.05);
-
-    if std::env::var_os("ASM_DEBUG").is_some() {
-        eprintln!(
-            "app{app_index}: epochs={} acc={} h={} m={} atsH={:.0} atsM={:.0} cont={:.0} avgMiss={:.0} avgHit={:.0} excess={:.0} ({:.0}%) q={:.0} rawCAR={:.5} CARalone={:.5} CARshared={:.5}",
-            st.epoch_count, epoch_accesses, st.epoch_hits, st.epoch_misses,
-            epoch_ats_hits, epoch_ats_misses, contention_misses,
-            avg_miss_time, avg_hit_time, excess, 100.0 * excess / epoch_cycles,
-            queueing,
-            epoch_accesses as f64 / epoch_cycles,
-            epoch_accesses as f64 / denom,
-            car_shared,
-        );
-    }
 
     let car_alone = epoch_accesses as f64 / denom;
     let slowdown = (car_alone / car_shared).clamp(1.0, MAX_SLOWDOWN);
@@ -410,6 +406,18 @@ mod tests {
         est.on_quantum_end(&ctx(&q));
         let car = est.car_alone().unwrap();
         assert!(car[0] > 0.0);
+    }
+
+    #[test]
+    fn ats_sample_counts_survive_the_quantum_reset() {
+        let mut est = AsmEstimator::new(1, 20, None);
+        est.on_epoch_start(0, Some(AppId::new(0)));
+        est.on_access(&access(0, true, Some(0), Some(true), 10));
+        est.on_access(&access(0, false, Some(0), Some(false), 30));
+        let q = [0];
+        est.on_quantum_end(&ctx(&q));
+        assert_eq!(est.ats_sample_counts(), Some(&[(1, 1)][..]));
+        assert_eq!(est.apps[0].ats_hits_sampled, 0, "live counters reset");
     }
 
     #[test]

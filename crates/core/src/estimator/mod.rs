@@ -141,6 +141,14 @@ pub trait SlowdownEstimator: std::fmt::Debug + Send {
     fn miss_latency_histogram(&self) -> Option<&Histogram> {
         None
     }
+
+    /// Per-application `(ats_hits, ats_misses)` sampled over the *last
+    /// completed* quantum, if this estimator samples an auxiliary tag
+    /// store (ASM does). Telemetry reads these at quantum boundaries to
+    /// expose the ATS-sampled miss rate as a time series.
+    fn ats_sample_counts(&self) -> Option<&[(u64, u64)]> {
+        None
+    }
 }
 
 /// Tracks the union length of possibly-overlapping service intervals —

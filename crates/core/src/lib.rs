@@ -55,5 +55,5 @@ pub use config::{
     CachePolicy, EpochAssignment, EstimatorSet, MemPolicy, PrefetchConfig, QosConfig, SystemConfig,
     ThrottlePolicy,
 };
-pub use runner::{config_hash, AloneCache, QuantumResult, RunResult, Runner};
-pub use system::{AppSpec, AppSummary, QuantumRecord, System};
+pub use runner::{config_hash, AloneCache, QuantumResult, RunOptions, RunResult, Runner};
+pub use system::{AppSpec, AppSummary, QuantumRecord, RunTelemetry, System};

@@ -25,7 +25,7 @@ use asm_simcore::hash::DetHasher;
 use asm_simcore::{AppId, Cycle, Histogram};
 
 use crate::config::{CachePolicy, EstimatorSet, MemPolicy, SystemConfig};
-use crate::system::System;
+use crate::system::{RunTelemetry, System};
 
 /// One quantum's estimates and ground truth.
 #[derive(Debug, Clone)]
@@ -57,6 +57,9 @@ pub struct RunResult {
     /// Estimated alone miss-latency distributions per estimator, from the
     /// shared run.
     pub estimator_latency_hists: Vec<(String, Histogram)>,
+    /// Counter/series/trace artefacts (`Some` only when the run was made
+    /// with [`RunOptions::telemetry`]; alone runs are never instrumented).
+    pub telemetry: Option<RunTelemetry>,
 }
 
 impl RunResult {
@@ -353,6 +356,20 @@ where
         .map_err(|e| format!("bad {what}: {e}"))
 }
 
+/// Per-run observability switches for [`Runner::run_with`]. The default
+/// (all off) makes [`Runner::run`] behave exactly as before telemetry
+/// existed — the differential tests pin this byte-for-byte.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Collect counters, per-quantum series, and the memory-latency
+    /// histogram on the *shared* run.
+    pub telemetry: bool,
+    /// Additionally trace sim-time events, sampling 1-in-`n` request
+    /// lifecycles (`Some(1)` keeps every request). Implies `telemetry`
+    /// plumbing on the shared system.
+    pub trace_sample: Option<u64>,
+}
+
 /// Runs workloads against a fixed [`SystemConfig`], caching alone runs.
 ///
 /// [`run`](Self::run) takes `&self`, and `Runner` is `Send + Sync`: one
@@ -470,6 +487,17 @@ impl Runner {
     ///
     /// Panics if `apps` is empty.
     pub fn run(&self, apps: &[AppProfile], cycles: Cycle) -> RunResult {
+        self.run_with(apps, cycles, RunOptions::default())
+    }
+
+    /// Like [`run`](Self::run), with observability switches. Telemetry is
+    /// enabled on the shared system only — alone runs (and their cache)
+    /// stay untouched — and cannot change simulated behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    pub fn run_with(&self, apps: &[AppProfile], cycles: Cycle, opts: RunOptions) -> RunResult {
         assert!(!apps.is_empty(), "need at least one application");
         let n = apps.len();
 
@@ -480,6 +508,9 @@ impl Runner {
 
         // Shared run.
         let mut sys = System::new(apps, self.config.clone());
+        if opts.telemetry || opts.trace_sample.is_some() {
+            sys.enable_telemetry(opts.trace_sample);
+        }
         sys.run_for(cycles);
 
         // Ground truth per quantum.
@@ -544,12 +575,32 @@ impl Runner {
             })
             .collect();
 
+        let telemetry = if opts.telemetry || opts.trace_sample.is_some() {
+            let mut t = sys.take_telemetry();
+            // Ground truth per quantum as a series, sampled at the same
+            // boundary cycles as the estimator series so the two line up.
+            let ids: Vec<_> = (0..n)
+                .map(|i| t.series.register(&format!("app{i}.actual_slowdown")))
+                .collect();
+            for (r, q) in sys.records().iter().zip(&quanta) {
+                for (i, &id) in ids.iter().enumerate() {
+                    if q.actual[i].is_finite() {
+                        t.series.push(id, r.end_cycle, q.actual[i]);
+                    }
+                }
+            }
+            Some(t)
+        } else {
+            None
+        };
+
         RunResult {
             app_names: sys.app_names().to_vec(),
             quanta,
             whole_run_slowdowns,
             alone_latency_hist,
             estimator_latency_hists,
+            telemetry,
         }
     }
 }
@@ -624,6 +675,50 @@ mod tests {
         let c = Runner::with_cache(other, cache.clone());
         let _ = c.run(&apps(), 100_000);
         assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn run_with_attaches_telemetry_and_run_does_not() {
+        let runner = Runner::new(config());
+        let plain = runner.run(&apps(), 100_000);
+        assert!(plain.telemetry.is_none());
+
+        let opts = RunOptions {
+            telemetry: true,
+            trace_sample: Some(1),
+        };
+        let traced = runner.run_with(&apps(), 100_000, opts);
+        let t = traced.telemetry.as_ref().expect("telemetry attached");
+        assert!(!t.counters.is_empty());
+        assert!(!t.tracer.events().is_empty());
+
+        // Ground-truth slowdowns from the quantum records are re-exposed
+        // as a series aligned with the estimator series.
+        let id = t.series.id_of("app0.actual_slowdown").expect("series");
+        let samples = t.series.samples(id);
+        assert_eq!(
+            samples.len(),
+            traced
+                .quanta
+                .iter()
+                .filter(|q| q.actual[0].is_finite())
+                .count()
+        );
+        for (s, q) in samples
+            .iter()
+            .zip(traced.quanta.iter().filter(|q| q.actual[0].is_finite()))
+        {
+            assert!((s.1 - q.actual[0]).abs() < 1e-12);
+        }
+
+        // Attaching telemetry must not perturb the simulation itself.
+        assert_eq!(plain.quanta.len(), traced.quanta.len());
+        for (a, b) in plain.quanta.iter().zip(&traced.quanta) {
+            assert_eq!(
+                a.actual.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.actual.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ use asm_cache::{AuxiliaryTagStore, PollutionFilter, SetAssocCache, WayPartition}
 use asm_cpu::{AppProfile, Core, MemIssueResult, ProgressLog, StridePrefetcher};
 use asm_dram::{Completion, MemRequest, MemorySystem};
 use asm_simcore::{AppId, Cycle, DetHashMap, Histogram, LineAddr, SimRng};
+use asm_telemetry::{CounterId, JsonValue, Registry, SeriesId, SeriesSet, Tracer};
 
 use crate::config::SystemConfig;
 use crate::estimator::{
@@ -103,6 +104,15 @@ pub struct QuantumRecord {
     pub estimates: Vec<(String, Vec<f64>)>,
     /// The way partition applied at the end of this quantum, if any.
     pub partition: Option<Vec<usize>>,
+    /// ASM's `CAR_alone` estimates at this boundary (`None` when the ASM
+    /// estimator is not instantiated).
+    pub car_alone: Option<Vec<f64>>,
+    /// Per-application `(ats_hits, ats_misses)` sampled by ASM over this
+    /// quantum (empty when ASM is not instantiated).
+    pub ats_samples: Vec<(u64, u64)>,
+    /// Per-application DRAM bank-interference cycles accumulated from
+    /// demand-miss completions during this quantum.
+    pub interference_cycles: Vec<Cycle>,
 }
 
 impl QuantumRecord {
@@ -218,6 +228,126 @@ pub struct AppSpec {
     pub mlp: u32,
 }
 
+/// Telemetry instruments owned by the system: the counter registry,
+/// per-quantum series rings, the sim-time tracer, and the counter handles
+/// held by the hot-path probe sites.
+///
+/// A disabled instance is constructed for every system; probe sites
+/// execute the same indexed adds either way (the disabled registry
+/// aliases them onto a scratch slot), so enabling telemetry cannot change
+/// simulated behaviour — pinned by the experiments' differential tests.
+#[derive(Debug)]
+struct SysTelemetry {
+    enabled: bool,
+    registry: Registry,
+    series: SeriesSet,
+    tracer: Tracer,
+    llc_hits: Vec<CounterId>,
+    llc_misses: Vec<CounterId>,
+    llc_evictions_caused: Vec<CounterId>,
+    s_est: Vec<SeriesId>,
+    s_car_shared: Vec<SeriesId>,
+    s_car_alone: Vec<SeriesId>,
+    s_ats_miss_rate: Vec<SeriesId>,
+    s_interference: Vec<SeriesId>,
+    /// Measured demand-miss memory latency buckets (for the stats-JSON
+    /// p50/p95/p99 dump); only filled while enabled. Kept as raw integer
+    /// bucket counts on the hot path — one read completion costs a
+    /// divide-by-constant and an increment, no float conversion — and
+    /// assembled into a [`Histogram`] at [`System::take_telemetry`] time.
+    mem_lat_counts: Vec<u64>,
+    mem_lat_overflow: u64,
+}
+
+/// Bucket geometry of [`SysTelemetry::mem_lat_counts`]: 50-cycle
+/// buckets to 51 200 cycles. Queueing under heavy bank contention pushes
+/// tail read latencies well past 4 000 cycles, and a p99 that lands in
+/// the overflow bucket reports as unknown — so the range is sized for
+/// the tail, not the median. Integer bucketing `latency / 50` matches
+/// `(latency as f64 / 50.0) as usize` exactly: a cycle count below 2^53
+/// converts exactly, and a quotient that is not a whole number is at
+/// least 1/50 away from one — far outside f64 rounding error.
+const MEM_HIST_BUCKET: u64 = 50;
+const MEM_HIST_BUCKETS: usize = 1024;
+
+impl SysTelemetry {
+    fn new(n: usize, enabled: bool, trace_sample: Option<u64>) -> Self {
+        let mut registry = if enabled {
+            Registry::enabled()
+        } else {
+            Registry::disabled()
+        };
+        let mut series = if enabled {
+            SeriesSet::enabled(asm_telemetry::DEFAULT_SERIES_CAPACITY)
+        } else {
+            SeriesSet::disabled()
+        };
+        let tracer = match trace_sample {
+            Some(s) if enabled => Tracer::new(s),
+            _ => Tracer::off(),
+        };
+        let per_app = |f: &mut dyn FnMut(usize) -> String| -> Vec<String> {
+            (0..n).map(f).collect()
+        };
+        let reg =
+            |r: &mut Registry, names: &[String]| names.iter().map(|s| r.register(s)).collect();
+        let ser =
+            |s: &mut SeriesSet, names: &[String]| names.iter().map(|n| s.register(n)).collect();
+        SysTelemetry {
+            enabled,
+            llc_hits: reg(&mut registry, &per_app(&mut |i| format!("llc.app{i}.hits"))),
+            llc_misses: reg(&mut registry, &per_app(&mut |i| format!("llc.app{i}.misses"))),
+            llc_evictions_caused: reg(
+                &mut registry,
+                &per_app(&mut |i| format!("llc.app{i}.evictions_caused")),
+            ),
+            s_est: ser(&mut series, &per_app(&mut |i| format!("app{i}.est_slowdown"))),
+            s_car_shared: ser(&mut series, &per_app(&mut |i| format!("app{i}.car_shared"))),
+            s_car_alone: ser(&mut series, &per_app(&mut |i| format!("app{i}.car_alone"))),
+            s_ats_miss_rate: ser(
+                &mut series,
+                &per_app(&mut |i| format!("app{i}.ats_miss_rate")),
+            ),
+            s_interference: ser(
+                &mut series,
+                &per_app(&mut |i| format!("app{i}.interference_cycles")),
+            ),
+            registry,
+            series,
+            tracer,
+            mem_lat_counts: vec![0; MEM_HIST_BUCKETS],
+            mem_lat_overflow: 0,
+        }
+    }
+
+    /// Records one demand-read latency (hot path: integer ops only).
+    #[inline]
+    fn record_mem_latency(&mut self, cycles: u64) {
+        let idx = (cycles / MEM_HIST_BUCKET) as usize;
+        if let Some(c) = self.mem_lat_counts.get_mut(idx) {
+            *c += 1;
+        } else {
+            self.mem_lat_overflow += 1;
+        }
+    }
+}
+
+/// Everything telemetry collected over one run, detached from the system
+/// so the harness can serialise it after the simulation is dropped (see
+/// [`System::take_telemetry`]).
+#[derive(Debug, Clone)]
+pub struct RunTelemetry {
+    /// Final counter/gauge snapshot, sorted by hierarchical name.
+    pub counters: Vec<(String, u64)>,
+    /// Per-quantum time series (estimated vs. actual slowdown, CARs,
+    /// ATS miss rates, interference cycles).
+    pub series: SeriesSet,
+    /// The sim-time event trace (empty unless tracing was enabled).
+    pub tracer: Tracer,
+    /// Measured demand-miss memory latencies.
+    pub mem_latency_hist: Histogram,
+}
+
 /// The simulated multi-core system.
 ///
 /// # Examples
@@ -286,6 +416,10 @@ pub struct System {
     retired_at_quantum_start: Vec<u64>,
     dropped_writebacks: u64,
     completion_buf: Vec<Completion>,
+    /// Per-app bank-interference cycles accumulated from miss completions
+    /// this quantum (always on; folded into each [`QuantumRecord`]).
+    quantum_interference: Vec<Cycle>,
+    telemetry: SysTelemetry,
 }
 
 impl System {
@@ -459,7 +593,54 @@ impl System {
             retired_at_quantum_start: vec![0; n],
             dropped_writebacks: 0,
             completion_buf: Vec::new(),
+            quantum_interference: vec![0; n],
+            telemetry: SysTelemetry::new(n, false, None),
             config,
+        }
+    }
+
+    /// Turns telemetry collection on (post-construction, like
+    /// [`MemorySystem::enable_audit`], so configuration hashes and the
+    /// alone-run cache are unaffected). `trace_sample` additionally
+    /// enables the sim-time tracer, keeping 1-in-`n` request lifecycles.
+    pub fn enable_telemetry(&mut self, trace_sample: Option<u64>) {
+        self.telemetry = SysTelemetry::new(self.cores.len(), true, trace_sample);
+    }
+
+    /// Detaches everything telemetry collected, pulling end-of-run gauges
+    /// (per-core retire/stall counts, per-bank DRAM row outcomes) into the
+    /// counter snapshot first. Returns empty artefacts when telemetry was
+    /// never enabled.
+    pub fn take_telemetry(&mut self) -> RunTelemetry {
+        if self.telemetry.enabled {
+            let reg = &mut self.telemetry.registry;
+            for (i, core) in self.cores.iter().enumerate() {
+                reg.set_named(&format!("core{i}.rob_stalls"), core.stall_episodes());
+                reg.set_named(&format!("core{i}.retired"), core.retired());
+                reg.set_named(&format!("core{i}.mem_ops"), core.mem_ops_issued());
+            }
+            let banks = self.config.dram.banks;
+            for (flat, (hits, misses)) in self.mem.bank_row_outcomes().into_iter().enumerate() {
+                let (ch, b) = (flat / banks, flat % banks);
+                reg.set_named(&format!("dram.ch{ch}.bank{b}.row_hits"), hits);
+                reg.set_named(&format!("dram.ch{ch}.bank{b}.row_misses"), misses);
+            }
+            reg.set_named("sys.executed_cycles", self.executed_cycles);
+            reg.set_named("sys.dropped_writebacks", self.dropped_writebacks);
+        }
+        let tele = std::mem::replace(
+            &mut self.telemetry,
+            SysTelemetry::new(self.cores.len(), false, None),
+        );
+        RunTelemetry {
+            counters: tele.registry.snapshot(),
+            series: tele.series,
+            tracer: tele.tracer,
+            mem_latency_hist: Histogram::from_parts(
+                MEM_HIST_BUCKET as f64,
+                tele.mem_lat_counts,
+                tele.mem_lat_overflow,
+            ),
         }
     }
 
@@ -697,6 +878,18 @@ impl System {
         for est in &mut self.estimators {
             est.on_epoch_start(now, owner);
         }
+        if self.telemetry.tracer.is_enabled() {
+            let (tid, args) = match owner {
+                Some(a) => (
+                    a.index() as u64,
+                    vec![("owner".to_owned(), JsonValue::num_u64(a.index() as u64))],
+                ),
+                None => (0, vec![("owner".to_owned(), JsonValue::Null)]),
+            };
+            self.telemetry
+                .tracer
+                .instant("epoch_owner", "sched", now, tid, args);
+        }
     }
 
     /// Finalises the quantum ending at `now`: estimates, mechanisms,
@@ -726,11 +919,11 @@ impl System {
             .iter()
             .find(|(name, _)| name == "ASM")
             .map(|(_, v)| v.clone());
-        let car_alone = self
-            .estimators
-            .iter()
-            .find(|e| e.name() == "ASM")
-            .and_then(|e| e.car_alone().map(<[f64]>::to_vec));
+        let asm_est = self.estimators.iter().find(|e| e.name() == "ASM");
+        let car_alone = asm_est.and_then(|e| e.car_alone().map(<[f64]>::to_vec));
+        let ats_samples: Vec<(u64, u64)> = asm_est
+            .and_then(|e| e.ats_sample_counts().map(<[(u64, u64)]>::to_vec))
+            .unwrap_or_default();
 
         // Cache mechanism.
         let partition = mech::apply_cache_policy(
@@ -770,18 +963,83 @@ impl System {
 
         // Record.
         let retired_end: Vec<u64> = self.cores.iter().map(Core::retired).collect();
+        let car_shared: Vec<f64> = self
+            .qstats
+            .iter()
+            .map(|s| s.accesses as f64 / q as f64)
+            .collect();
+
+        // Telemetry series + trace for this boundary (no-ops when off).
+        if self.telemetry.series.is_enabled() {
+            for i in 0..n {
+                if let Some(asm) = &asm {
+                    self.telemetry
+                        .series
+                        .push(self.telemetry.s_est[i], now, asm[i]);
+                }
+                self.telemetry
+                    .series
+                    .push(self.telemetry.s_car_shared[i], now, car_shared[i]);
+                if let Some(ca) = &car_alone {
+                    self.telemetry
+                        .series
+                        .push(self.telemetry.s_car_alone[i], now, ca[i]);
+                }
+                if let Some(&(h, m)) = ats_samples.get(i) {
+                    if h + m > 0 {
+                        self.telemetry.series.push(
+                            self.telemetry.s_ats_miss_rate[i],
+                            now,
+                            m as f64 / (h + m) as f64,
+                        );
+                    }
+                }
+                self.telemetry.series.push(
+                    self.telemetry.s_interference[i],
+                    now,
+                    self.quantum_interference[i] as f64,
+                );
+            }
+        }
+        if self.telemetry.tracer.is_enabled() {
+            self.telemetry.tracer.complete(
+                "quantum",
+                "quantum",
+                now - q,
+                q,
+                0,
+                vec![(
+                    "index".to_owned(),
+                    JsonValue::num_u64(self.records.len() as u64),
+                )],
+            );
+            if let Some(p) = &partition {
+                let ways: Vec<JsonValue> = p
+                    .as_slice()
+                    .iter()
+                    .map(|&w| JsonValue::num_u64(w as u64))
+                    .collect();
+                self.telemetry.tracer.instant(
+                    "repartition",
+                    "sched",
+                    now,
+                    0,
+                    vec![("ways".to_owned(), JsonValue::Arr(ways))],
+                );
+            }
+        }
+
         self.records.push(QuantumRecord {
             start_cycle: now - q,
             end_cycle: now,
             retired_start: self.retired_at_quantum_start.clone(),
             retired_end: retired_end.clone(),
-            car_shared: self
-                .qstats
-                .iter()
-                .map(|s| s.accesses as f64 / q as f64)
-                .collect(),
+            car_shared,
             estimates,
             partition: partition.as_ref().map(|p| p.as_slice().to_vec()),
+            car_alone,
+            ats_samples,
+            interference_cycles: std::mem::replace(&mut self.quantum_interference, vec![0; n]),
         });
         self.retired_at_quantum_start = retired_end;
 
@@ -837,6 +1095,8 @@ impl System {
             hier_version,
             stall_memo,
             core_wake,
+            quantum_interference,
+            telemetry,
             ..
         } = self;
 
@@ -856,6 +1116,8 @@ impl System {
             dropped_writebacks,
             alone_miss_hist,
             version: hier_version,
+            quantum_interference,
+            telemetry,
         };
 
         // Memory tick + completions.
@@ -929,6 +1191,8 @@ struct Hier<'a> {
     /// Bumped on every mutation of the LLC/MSHR state that a stalled
     /// core's retry decision can observe; see `System::stall_memo`.
     version: &'a mut u64,
+    quantum_interference: &'a mut Vec<Cycle>,
+    telemetry: &'a mut SysTelemetry,
 }
 
 impl Hier<'_> {
@@ -1008,6 +1272,24 @@ impl Hier<'_> {
         if let Some(h) = self.alone_miss_hist {
             h.add((c.finish - arrival) as f64);
         }
+        let interference = c.interference_cycles.min(c.finish - arrival);
+        self.quantum_interference[app.index()] += interference;
+        if self.telemetry.enabled {
+            self.telemetry.record_mem_latency(c.finish - arrival);
+        }
+        if self.telemetry.tracer.sample_request(c.id) {
+            self.telemetry.tracer.complete(
+                "mem_read",
+                "mem",
+                arrival,
+                c.finish - arrival,
+                app.index() as u64,
+                vec![
+                    ("interference".to_owned(), JsonValue::num_u64(interference)),
+                    ("row_hit".to_owned(), JsonValue::Bool(c.row_hit)),
+                ],
+            );
+        }
         let epoch_end = if epoch_owned {
             (arrival / self.config.epoch + 1) * self.config.epoch
         } else {
@@ -1018,7 +1300,7 @@ impl Hier<'_> {
             line: c.line,
             arrival,
             finish: c.finish,
-            interference_cycles: c.interference_cycles.min(c.finish - arrival),
+            interference_cycles: interference,
             concurrent_misses: concurrent,
             epoch_owned_at_issue: epoch_owned,
             epoch_end,
@@ -1042,6 +1324,9 @@ impl Hier<'_> {
         let Some(ev) = eviction else { return };
         if ev.owner != inserter {
             self.pollution[ev.owner.index()].insert(ev.line);
+            self.telemetry
+                .registry
+                .add(self.telemetry.llc_evictions_caused[inserter.index()], 1);
         }
         if ev.dirty {
             let id = self.fresh_id();
@@ -1115,8 +1400,10 @@ impl Hier<'_> {
         if llc_out.hit {
             stats.hits += 1;
             stats.hit_time.add(now, now + self.config.llc_latency);
+            self.telemetry.registry.add(self.telemetry.llc_hits[a], 1);
         } else {
             stats.misses += 1;
+            self.telemetry.registry.add(self.telemetry.llc_misses[a], 1);
         }
 
         let event = AccessEvent {
@@ -1266,6 +1553,85 @@ mod tests {
         assert_eq!(r.start_cycle, 50_000);
         assert_eq!(r.end_cycle, 100_000);
         assert_eq!(r.estimates.len(), 4); // ASM, FST, PTCA, MISE
+    }
+
+    #[test]
+    fn telemetry_does_not_change_simulation() {
+        let run = |telemetry: bool| {
+            let mut sys = System::new(&two_apps(), small_config());
+            if telemetry {
+                sys.enable_telemetry(Some(1));
+            }
+            sys.run_for(100_000);
+            (
+                sys.retired(AppId::new(0)),
+                sys.retired(AppId::new(1)),
+                sys.records()
+                    .iter()
+                    .flat_map(|r| r.car_shared.iter().map(|c| c.to_bits()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn telemetry_collects_counters_series_and_trace() {
+        let mut sys = System::new(&two_apps(), small_config());
+        sys.enable_telemetry(Some(1));
+        sys.run_for(100_000);
+        let t = sys.take_telemetry();
+
+        let get = |name: &str| {
+            t.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        // The registry agrees with the system's own accounting.
+        let s0 = sys.app_summary(AppId::new(0));
+        assert_eq!(get("llc.app0.hits"), s0.llc_hits);
+        assert_eq!(get("llc.app0.misses"), s0.llc_misses);
+        assert_eq!(get("core1.retired"), sys.retired(AppId::new(1)));
+        assert_eq!(get("sys.executed_cycles"), sys.executed_cycles());
+
+        // Per-quantum series sampled at each boundary.
+        let est = t.series.id_of("app0.est_slowdown").expect("series exists");
+        let samples = t.series.samples(est);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].0, 50_000);
+        assert!(samples.iter().all(|&(_, v)| v >= 1.0));
+
+        // The trace holds epoch/quantum events and memory lifecycles.
+        let events = t.tracer.events();
+        assert!(events.iter().any(|e| e.name == "epoch_owner"));
+        assert!(events.iter().any(|e| e.name == "quantum"));
+        assert!(events.iter().any(|e| e.name == "mem_read" && e.dur > 0));
+
+        assert!(t.mem_latency_hist.total() > 0);
+
+        // A second take returns empty artefacts.
+        assert!(sys.take_telemetry().counters.is_empty());
+    }
+
+    #[test]
+    fn quantum_records_carry_introspection_fields() {
+        let mut sys = System::new(&two_apps(), small_config());
+        sys.run_for(100_000);
+        for r in sys.records() {
+            let ca = r.car_alone.as_ref().expect("ASM instantiated");
+            assert_eq!(ca.len(), 2);
+            assert_eq!(r.ats_samples.len(), 2);
+            assert_eq!(r.interference_cycles.len(), 2);
+        }
+        // Two memory-hungry apps interfere at the banks.
+        let total: Cycle = sys
+            .records()
+            .iter()
+            .flat_map(|r| r.interference_cycles.iter())
+            .sum();
+        assert!(total > 0, "no interference recorded");
     }
 
     #[test]

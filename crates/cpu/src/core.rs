@@ -90,6 +90,16 @@ pub struct Core {
 
     retired: u64,
     mem_ops_issued: u64,
+    /// Distinct program-order ops whose first issue attempt stalled (each
+    /// op counted once, however many retries it takes). Counting episodes
+    /// rather than stalled cycles keeps the number invariant under
+    /// event-driven skipping: elided ticks only ever re-attempt the *same*
+    /// stalled head op, and an op's first stall always happens on an
+    /// executed tick.
+    stall_episodes: u64,
+    /// Id of the last op whose stall was counted, so retries don't
+    /// re-count it.
+    last_stall_id: Option<u64>,
 }
 
 /// The paper's window size (Table 2).
@@ -184,6 +194,8 @@ impl Core {
             gap_left,
             retired: 0,
             mem_ops_issued: 0,
+            stall_episodes: 0,
+            last_stall_id: None,
         }
     }
 
@@ -203,6 +215,13 @@ impl Core {
     #[must_use]
     pub fn mem_ops_issued(&self) -> u64 {
         self.mem_ops_issued
+    }
+
+    /// Memory ops that stalled at least once at issue (MSHR/queue
+    /// back-pressure episodes, not stalled cycles).
+    #[must_use]
+    pub fn stall_episodes(&self) -> u64 {
+        self.stall_episodes
     }
 
     /// Memory accesses currently outstanding in the memory system.
@@ -298,7 +317,13 @@ impl Core {
                     self.outstanding += 1;
                     self.mem_ops_issued += 1;
                 }
-                MemIssueResult::Stall => break,
+                MemIssueResult::Stall => {
+                    if self.last_stall_id != Some(id) {
+                        self.last_stall_id = Some(id);
+                        self.stall_episodes += 1;
+                    }
+                    break;
+                }
             }
         }
     }
@@ -459,6 +484,23 @@ mod tests {
         }
         assert!(core.mem_ops_issued() > 0);
         assert!(core.retired() > 0);
+    }
+
+    #[test]
+    fn stall_episodes_count_ops_not_cycles() {
+        let mut core = Core::new(AppId::new(0), &profile(1000), 1);
+        // 50 cycles of stalling is a single episode: the same head op
+        // retries every cycle.
+        for now in 0..50 {
+            core.tick(now, &mut |_, _| MemIssueResult::Stall);
+        }
+        assert_eq!(core.stall_episodes(), 1);
+        // Let it through; the next op that stalls opens a new episode.
+        core.tick(50, &mut |_, _| MemIssueResult::Completed(51));
+        for now in 51..60 {
+            core.tick(now, &mut |_, _| MemIssueResult::Stall);
+        }
+        assert_eq!(core.stall_episodes(), 2);
     }
 
     #[test]

@@ -169,6 +169,13 @@ struct Channel {
     /// controller never allocates on the tick path.
     cand_scratch: Vec<Candidate>,
     prio_scratch: Vec<Candidate>,
+    /// Cumulative commands issued per bank that hit the open row (reads
+    /// and writes). Unlike `bank_row_hits` (a transient queue-content
+    /// count), these only grow; telemetry reads them at end of run.
+    row_hit_total: Vec<u64>,
+    /// Cumulative commands per bank that needed an activate (row miss /
+    /// closed row).
+    row_miss_total: Vec<u64>,
 }
 
 impl Channel {
@@ -190,6 +197,8 @@ impl Channel {
             bank_row_hits: vec![0; config.banks],
             cand_scratch: Vec::with_capacity(config.read_queue_capacity),
             prio_scratch: Vec::with_capacity(config.read_queue_capacity),
+            row_hit_total: vec![0; config.banks],
+            row_miss_total: vec![0; config.banks],
         }
     }
 
@@ -493,6 +502,22 @@ impl MemorySystem {
     #[must_use]
     pub fn audit(&self) -> Option<&crate::audit::TimingAudit> {
         self.audit.as_ref()
+    }
+
+    /// Cumulative `(row_hits, row_misses)` per bank, flattened
+    /// channel-major (`channel * banks + bank`). Counts every issued
+    /// command — reads and writes — against the row-buffer state it met.
+    #[must_use]
+    pub fn bank_row_outcomes(&self) -> Vec<(u64, u64)> {
+        self.channels
+            .iter()
+            .flat_map(|ch| {
+                ch.row_hit_total
+                    .iter()
+                    .zip(&ch.row_miss_total)
+                    .map(|(&h, &m)| (h, m))
+            })
+            .collect()
     }
 
     /// Completed-read statistics for `app`.
@@ -891,6 +916,12 @@ impl MemorySystem {
         if needs_activate {
             ch.record_activate(now);
         }
+        let row_hit = matches!(outcome, crate::bank::RowOutcome::Hit);
+        if row_hit {
+            ch.row_hit_total[q.loc.bank] += 1;
+        } else {
+            ch.row_miss_total[q.loc.bank] += 1;
+        }
         if let Some(audit) = audit {
             audit.record(crate::audit::AuditEvent {
                 channel: ch_idx,
@@ -914,7 +945,7 @@ impl MemorySystem {
                 service_start: now,
                 finish,
                 interference_cycles,
-                row_hit: matches!(outcome, crate::bank::RowOutcome::Hit),
+                row_hit,
             },
             is_write,
         });
@@ -1007,6 +1038,25 @@ mod tests {
         let done = run_until(&mut mem, 0, 2_000);
         assert_eq!(done.len(), 2);
         assert!(done.iter().any(|c| c.row_hit));
+    }
+
+    #[test]
+    fn bank_row_outcomes_accumulate_per_bank() {
+        let mut mem = system(1);
+        let target = mem.mapping().decode(LineAddr::new(0));
+        mem.enqueue(MemRequest::read(1, LineAddr::new(0), AppId::new(0), 0))
+            .expect("queue has free capacity in this test");
+        mem.enqueue(MemRequest::read(2, LineAddr::new(1), AppId::new(0), 0))
+            .expect("queue has free capacity in this test");
+        run_until(&mut mem, 0, 2_000);
+        let outcomes = mem.bank_row_outcomes();
+        let banks = mem.config().banks;
+        assert_eq!(outcomes.len(), mem.config().channels * banks);
+        let (hits, misses) = outcomes[target.channel * banks + target.bank];
+        // First access activates (miss), second hits the open row.
+        assert_eq!((hits, misses), (1, 1));
+        let total: u64 = outcomes.iter().map(|&(h, m)| h + m).sum();
+        assert_eq!(total, 2, "only the touched bank has outcomes");
     }
 
     #[test]

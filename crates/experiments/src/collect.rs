@@ -97,12 +97,18 @@ pub fn run_parallel_with(
     cycles: Cycle,
     jobs: usize,
 ) -> Vec<RunResult> {
+    let opts = crate::sink::options();
     let results = pool::run_ordered(jobs, workloads, |_, w| {
-        let r = runner.run(w, cycles);
+        let r = runner.run_with(w, cycles, opts);
         eprint!(".");
         r
     });
     eprintln!();
+    // Telemetry snapshots are recorded here, sequentially and in
+    // submission order, so the sink's artefacts stay jobs-independent.
+    for r in &results {
+        crate::sink::record(r);
+    }
     results
 }
 

@@ -46,7 +46,8 @@ pub fn run(scale: Scale) {
     let mut runner = crate::collect::make_runner(policy_config(scale, CachePolicy::None));
     for (name, policy) in schemes {
         runner.set_policies(policy, asm_core::MemPolicy::Uniform);
-        let r = runner.run(&apps, scale.cycles);
+        let r = runner.run_with(&apps, scale.cycles, crate::sink::options());
+        crate::sink::record(&r);
         let s = &r.whole_run_slowdowns;
         let hs = harmonic_speedup(s).unwrap_or(f64::NAN);
         table.row(vec![

@@ -21,5 +21,6 @@ pub mod exps;
 pub mod output;
 pub mod pool;
 pub mod scale;
+pub mod sink;
 
 pub use scale::Scale;

@@ -43,6 +43,17 @@ OPTIONS:
                      later invocations with the same scale (stale or
                      corrupt entries are ignored with a warning)
     --csv DIR        additionally write every table to DIR/<name>.csv
+
+TELEMETRY (any of these instruments every simulated run; artefacts are
+byte-identical for any --jobs value):
+    --stats-json F   write a merged counter/series/latency snapshot of
+                     every workload to F (schema \"asm-telemetry v1\")
+    --trace F        write a Chrome trace-event JSON of the first
+                     workload to F (open in Perfetto / chrome://tracing)
+    --series-csv D   write per-workload time-series CSVs
+                     (series,cycle,value) to D
+    --series-summary print a sparkline summary of every per-quantum
+                     series after the tables
 ";
 
 fn main() {
@@ -54,12 +65,26 @@ fn main() {
 
     let mut scale = Scale::reduced();
     let mut no_skip = false;
+    let mut sink_cfg = asm_experiments::sink::SinkConfig::default();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--full" => scale = Scale::full(),
             "--tiny" => scale = Scale::tiny(),
             "--no-skip" => no_skip = true,
+            "--series-summary" => sink_cfg.series_summary = true,
+            "--stats-json" | "--trace" | "--series-csv" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("error: {} needs a path", args[i]);
+                    std::process::exit(2);
+                };
+                match args[i].as_str() {
+                    "--stats-json" => sink_cfg.stats_json = Some(path.into()),
+                    "--trace" => sink_cfg.trace = Some(path.into()),
+                    _ => sink_cfg.series_csv = Some(path.into()),
+                }
+                i += 1;
+            }
             "--alone-cache" => {
                 let Some(path) = args.get(i + 1) else {
                     eprintln!("error: --alone-cache needs a file path");
@@ -99,6 +124,7 @@ fn main() {
     if no_skip {
         scale.skip = false;
     }
+    asm_experiments::sink::configure(sink_cfg);
 
     println!(
         "scale: {} workloads x {} cycles (Q={}, E={}, warmup {} quanta, seed {})",
@@ -115,5 +141,6 @@ fn main() {
         eprintln!("error: unknown experiment '{experiment}'\n{USAGE}");
         std::process::exit(2);
     }
+    asm_experiments::sink::finalize();
     asm_experiments::collect::save_alone_cache();
 }

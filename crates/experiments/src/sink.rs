@@ -1,0 +1,310 @@
+//! Telemetry sink for the experiment harness.
+//!
+//! When any of `--stats-json`, `--trace`, `--series-csv` or
+//! `--series-summary` is passed to `asm-experiments`, every workload run
+//! is instrumented (see [`asm_core::RunOptions`]) and its
+//! [`RunTelemetry`] snapshot is collected here. Recording happens on the
+//! caller's thread **after** the parallel pool returns, in submission
+//! order, so every artefact this module writes is byte-identical for any
+//! `--jobs` value — the same invariant the tables already satisfy.
+//!
+//! Like the alone-cache and CSV plumbing, this module is process-global
+//! state behind `OnceLock`/`Mutex`; that is fine here because the
+//! experiments crate is *not* a simulation crate (asm-lint R6 bans shared
+//! mutable state only inside the deterministic simulation core).
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use asm_core::{RunOptions, RunResult, RunTelemetry};
+use asm_telemetry::JsonValue;
+
+/// 1-in-N request sampling for `--trace` memory-lifecycle events.
+/// Scheduler events (epochs, quanta, repartitions) are never sampled out.
+pub const TRACE_SAMPLE: u64 = 64;
+
+/// Which telemetry artefacts the CLI asked for.
+#[derive(Debug, Clone, Default)]
+pub struct SinkConfig {
+    /// `--stats-json FILE`: merged counter/series/latency snapshot.
+    pub stats_json: Option<PathBuf>,
+    /// `--trace FILE`: Chrome trace-event JSON for the first workload.
+    pub trace: Option<PathBuf>,
+    /// `--series-csv DIR`: one long-format CSV per workload.
+    pub series_csv: Option<PathBuf>,
+    /// `--series-summary`: print per-series sparklines to stdout.
+    pub series_summary: bool,
+}
+
+impl SinkConfig {
+    /// Whether any artefact was requested.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.stats_json.is_some()
+            || self.trace.is_some()
+            || self.series_csv.is_some()
+            || self.series_summary
+    }
+}
+
+static CONFIG: OnceLock<SinkConfig> = OnceLock::new();
+static RECORDS: Mutex<Vec<(String, RunTelemetry)>> = Mutex::new(Vec::new());
+
+/// Activates the sink (once per process; later calls are ignored). A
+/// config requesting nothing leaves the sink inactive and every run
+/// uninstrumented.
+pub fn configure(cfg: SinkConfig) {
+    if cfg.any() {
+        let _ = CONFIG.set(cfg);
+    }
+}
+
+/// Whether any telemetry artefact was requested.
+#[must_use]
+pub fn active() -> bool {
+    CONFIG.get().is_some()
+}
+
+/// The run options every experiment should simulate under: telemetry on
+/// exactly when the sink is active, request tracing only under `--trace`.
+#[must_use]
+pub fn options() -> RunOptions {
+    match CONFIG.get() {
+        Some(cfg) => RunOptions {
+            telemetry: true,
+            trace_sample: cfg.trace.is_some().then_some(TRACE_SAMPLE),
+        },
+        None => RunOptions::default(),
+    }
+}
+
+/// Collects one run's telemetry. Call in workload-submission order (the
+/// label embeds the arrival index); a run without telemetry is a no-op.
+pub fn record(result: &RunResult) {
+    let Some(t) = &result.telemetry else {
+        return;
+    };
+    let mut records = RECORDS.lock().expect("telemetry sink poisoned");
+    let label = format!("w{:03} {}", records.len(), result.app_names.join("+"));
+    records.push((label, t.clone()));
+}
+
+/// Writes every requested artefact. Called once at the end of the CLI
+/// run; I/O failures are reported to stderr but never abort (matching
+/// the CSV exporter).
+pub fn finalize() {
+    let Some(cfg) = CONFIG.get() else {
+        return;
+    };
+    let records = std::mem::take(&mut *RECORDS.lock().expect("telemetry sink poisoned"));
+    if records.is_empty() {
+        // Some experiments (fig1, workloads) never route a run through
+        // the Runner; the artefacts are still written, just empty.
+        eprintln!("[telemetry] no instrumented runs recorded");
+    }
+    if cfg.series_summary {
+        for (label, t) in &records {
+            print_series_summary(label, t);
+        }
+    }
+    if let Some(path) = &cfg.stats_json {
+        report(path, std::fs::write(path, stats_json(&records).to_json_pretty()));
+    }
+    if let Some(path) = &cfg.trace {
+        // One workload's trace is viewable; all of them concatenated are
+        // not (perfetto expects a single timeline). First in, first out.
+        let json = records.first().map_or_else(
+            || asm_telemetry::Tracer::off().to_json(),
+            |(_, t)| t.tracer.to_json(),
+        );
+        report(path, std::fs::write(path, json));
+    }
+    if let Some(dir) = &cfg.series_csv {
+        let write_all = || -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            for (label, t) in &records {
+                let path = dir.join(format!("{}.csv", sanitize(label)));
+                std::fs::write(&path, series_csv(t))?;
+            }
+            Ok(())
+        };
+        report(dir, write_all());
+    }
+}
+
+fn report<T>(path: &Path, r: std::io::Result<T>) {
+    match r {
+        Ok(_) => eprintln!("[telemetry] wrote {}", path.display()),
+        Err(e) => eprintln!("[telemetry] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// `label` → a safe file stem (alphanumerics kept, the rest become `_`).
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// The `--stats-json` document: schema tag plus one object per workload
+/// with sorted counters, the DRAM read-latency quantiles and a summary of
+/// every recorded series.
+fn stats_json(records: &[(String, RunTelemetry)]) -> JsonValue {
+    let opt = |v: Option<f64>| v.map_or(JsonValue::Null, JsonValue::Num);
+    let workloads = records
+        .iter()
+        .map(|(label, t)| {
+            let mut counters: Vec<(String, JsonValue)> = t
+                .counters
+                .iter()
+                .map(|(n, v)| (n.clone(), JsonValue::num_u64(*v)))
+                .collect();
+            counters.sort_by(|a, b| a.0.cmp(&b.0));
+
+            let h = &t.mem_latency_hist;
+            let latency = JsonValue::Obj(vec![
+                ("samples".into(), JsonValue::num_u64(h.total())),
+                ("mean".into(), opt(h.mean())),
+                ("p50".into(), opt(h.p50())),
+                ("p95".into(), opt(h.p95())),
+                ("p99".into(), opt(h.p99())),
+            ]);
+
+            let series = t
+                .series
+                .names()
+                .iter()
+                .map(|name| {
+                    let id = t.series.id_of(name).expect("name from names()");
+                    let samples = t.series.samples(id);
+                    let values: Vec<f64> = samples.iter().map(|&(_, v)| v).collect();
+                    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+                    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let summary = JsonValue::Obj(vec![
+                        ("count".into(), JsonValue::num_u64(samples.len() as u64)),
+                        ("dropped".into(), JsonValue::num_u64(t.series.dropped(id))),
+                        ("min".into(), opt(lo.is_finite().then_some(lo))),
+                        ("max".into(), opt(hi.is_finite().then_some(hi))),
+                        ("last".into(), opt(values.last().copied())),
+                    ]);
+                    ((*name).to_owned(), summary)
+                })
+                .collect();
+
+            JsonValue::Obj(vec![
+                ("label".into(), JsonValue::str(label)),
+                ("counters".into(), JsonValue::Obj(counters)),
+                ("dram_read_latency".into(), latency),
+                ("series".into(), JsonValue::Obj(series)),
+            ])
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        ("schema".into(), JsonValue::str("asm-telemetry v1")),
+        ("workloads".into(), JsonValue::Arr(workloads)),
+    ])
+}
+
+/// Long-format CSV (`series,cycle,value`) of every sample of every
+/// series, in registration then chronological order.
+fn series_csv(t: &RunTelemetry) -> String {
+    let mut out = String::from("series,cycle,value\n");
+    for name in t.series.names() {
+        let id = t.series.id_of(name).expect("name from names()");
+        for (cycle, value) in t.series.samples(id) {
+            use std::fmt::Write as _;
+            let _ = writeln!(out, "{name},{cycle},{value}");
+        }
+    }
+    out
+}
+
+/// One stdout block per workload: a sparkline and range per series.
+/// Deterministic for any `--jobs` (records arrive in submission order).
+fn print_series_summary(label: &str, t: &RunTelemetry) {
+    println!("\ntelemetry series ({label}):");
+    let names = t.series.names();
+    let width = names.iter().map(|n| n.len()).max().unwrap_or(0);
+    for name in names {
+        let id = t.series.id_of(name).expect("name from names()");
+        let values = t.series.values(id);
+        if values.is_empty() {
+            println!("  {name:<width$}  (no samples)");
+            continue;
+        }
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "  {name:<width$}  {} min {lo:.3} max {hi:.3} last {:.3} ({} samples)",
+            asm_metrics::sparkline(&values),
+            values.last().copied().unwrap_or(f64::NAN),
+            values.len(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_keeps_only_alphanumerics() {
+        assert_eq!(sanitize("w003 mcf_like+lbm_like"), "w003_mcf_like_lbm_like");
+    }
+
+    #[test]
+    fn inactive_sink_yields_default_options() {
+        // CONFIG is process-global, so this test only checks the inactive
+        // path (the active path is covered by the integration tests that
+        // spawn the binary with flags).
+        if CONFIG.get().is_none() {
+            let o = options();
+            assert!(!o.telemetry);
+            assert!(o.trace_sample.is_none());
+        }
+    }
+
+    #[test]
+    fn stats_json_shape_round_trips() {
+        let runner = asm_core::Runner::new({
+            let mut c = asm_core::SystemConfig::default();
+            c.quantum = 50_000;
+            c.epoch = 1_000;
+            c
+        });
+        let apps = vec![
+            asm_workloads::suite::by_name("mcf_like").unwrap(),
+            asm_workloads::suite::by_name("h264ref_like").unwrap(),
+        ];
+        let opts = RunOptions {
+            telemetry: true,
+            trace_sample: Some(TRACE_SAMPLE),
+        };
+        let r = runner.run_with(&apps, 100_000, opts);
+        let t = r.telemetry.clone().expect("telemetry");
+        let records = vec![("w000 mcf_like+h264ref_like".to_owned(), t)];
+
+        let text = stats_json(&records).to_json_pretty();
+        let parsed = asm_telemetry::json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(JsonValue::as_str),
+            Some("asm-telemetry v1")
+        );
+        let w = parsed
+            .get("workloads")
+            .and_then(JsonValue::as_arr)
+            .expect("workloads array");
+        assert_eq!(w.len(), 1);
+        let counters = w[0].get("counters").expect("counters");
+        assert!(counters.get("llc.app0.hits").is_some());
+        assert!(w[0]
+            .get("dram_read_latency")
+            .and_then(|l| l.get("p95"))
+            .is_some());
+
+        let csv = series_csv(&records[0].1);
+        assert!(csv.starts_with("series,cycle,value\n"));
+        assert!(csv.contains("app0.est_slowdown,50000,"));
+    }
+}

@@ -1,0 +1,211 @@
+//! End-to-end guarantees of the telemetry layer, pinned at the CLI
+//! boundary:
+//!
+//! 1. **Zero observable cost when off**: every experiment's stdout and
+//!    CSV exports are byte-identical whether or not telemetry artefacts
+//!    are requested (instrumentation is compiled in either way — the
+//!    flags only decide whether it is *enabled*).
+//! 2. **Jobs-independence**: `--stats-json` output is byte-identical for
+//!    `--jobs 1` and `--jobs 4` (snapshots merge in submission order).
+//! 3. **Artefact validity**: `--stats-json` round-trips through the
+//!    hand-rolled JSON parser with the expected schema, and `--trace`
+//!    is well-formed Chrome trace-event JSON.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use asm_telemetry::json::{parse, JsonValue};
+
+/// Every dispatchable experiment (kept in sync with `exps::run`).
+const EXPERIMENTS: &[&str] = &[
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "db", "mise", "fig7", "fig8", "table3",
+    "fig9", "fig10", "combined", "fig11", "channels", "ablation", "matrix", "workloads",
+];
+
+fn tmp_dir(label: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("telemetry_{label}"));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+/// Runs one experiment at sub-tiny scale with `extra` flags appended,
+/// returning stdout bytes and every exported CSV's bytes.
+fn run(exp: &str, csv_dir: &Path, extra: &[&str]) -> (Vec<u8>, BTreeMap<String, Vec<u8>>) {
+    std::fs::create_dir_all(csv_dir).expect("create csv dir");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_asm-experiments"));
+    cmd.arg(exp)
+        .args(["--tiny", "--workloads", "1", "--cycles", "400000", "--csv"])
+        .arg(csv_dir)
+        .args(extra);
+    let out = cmd.output().expect("spawn asm-experiments");
+    assert!(
+        out.status.success(),
+        "{exp} {extra:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut csvs = BTreeMap::new();
+    for entry in std::fs::read_dir(csv_dir).expect("read csv dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        csvs.insert(name, std::fs::read(entry.path()).expect("read csv"));
+    }
+    (out.stdout, csvs)
+}
+
+#[test]
+fn every_experiment_is_byte_identical_with_telemetry_on() {
+    for exp in EXPERIMENTS {
+        let (stdout_off, csv_off) = run(exp, &tmp_dir(&format!("{exp}_off")), &[]);
+        let on_dir = tmp_dir(&format!("{exp}_on"));
+        let stats = on_dir.join("stats.json");
+        let (stdout_on, csv_on) = run(
+            exp,
+            &on_dir.join("csv"),
+            &["--stats-json", stats.to_str().expect("utf-8 tmp path")],
+        );
+        assert!(
+            stdout_off == stdout_on,
+            "{exp}: stdout differs with telemetry enabled:\n\
+             --- off ---\n{}\n--- on ---\n{}",
+            String::from_utf8_lossy(&stdout_off),
+            String::from_utf8_lossy(&stdout_on)
+        );
+        assert_eq!(
+            csv_off.keys().collect::<Vec<_>>(),
+            csv_on.keys().collect::<Vec<_>>(),
+            "{exp}: CSV file sets differ"
+        );
+        for (name, bytes) in &csv_off {
+            assert!(
+                bytes == &csv_on[name],
+                "{exp}: {name} differs with telemetry enabled"
+            );
+        }
+        assert!(stats.is_file(), "{exp}: --stats-json wrote nothing");
+    }
+}
+
+#[test]
+fn stats_json_is_jobs_independent() {
+    for jobs in ["1", "4"] {
+        let dir = tmp_dir(&format!("jobs{jobs}"));
+        let stats = dir.join("stats.json");
+        let (_, _) = run(
+            "fig4",
+            &dir.join("csv"),
+            &[
+                "--jobs",
+                jobs,
+                "--stats-json",
+                stats.to_str().expect("utf-8 tmp path"),
+            ],
+        );
+    }
+    let one = std::fs::read(tmp_dir("jobs1").join("stats.json")).expect("jobs=1 stats");
+    let four = std::fs::read(tmp_dir("jobs4").join("stats.json")).expect("jobs=4 stats");
+    assert!(
+        one == four,
+        "--stats-json differs between --jobs 1 and --jobs 4"
+    );
+}
+
+#[test]
+fn stats_json_round_trips_with_expected_schema() {
+    let dir = tmp_dir("schema");
+    let stats = dir.join("stats.json");
+    let series_dir = dir.join("series");
+    let _ = run(
+        "fig4",
+        &dir.join("csv"),
+        &[
+            "--stats-json",
+            stats.to_str().expect("utf-8 tmp path"),
+            "--series-csv",
+            series_dir.to_str().expect("utf-8 tmp path"),
+        ],
+    );
+
+    let text = std::fs::read_to_string(&stats).expect("stats.json written");
+    let doc = parse(&text).expect("stats.json parses");
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some("asm-telemetry v1")
+    );
+    let workloads = doc
+        .get("workloads")
+        .and_then(JsonValue::as_arr)
+        .expect("workloads array");
+    assert!(!workloads.is_empty());
+    for w in workloads {
+        let counters = w.get("counters").expect("counters object");
+        for key in ["llc.app0.hits", "core0.retired", "sys.executed_cycles"] {
+            assert!(
+                counters.get(key).and_then(JsonValue::as_num).is_some(),
+                "missing counter {key}"
+            );
+        }
+        let lat = w.get("dram_read_latency").expect("latency object");
+        let samples = lat
+            .get("samples")
+            .and_then(JsonValue::as_num)
+            .expect("sample count");
+        if samples > 0.0 {
+            assert!(lat.get("p95").and_then(JsonValue::as_num).is_some());
+        }
+        let series = w.get("series").expect("series object");
+        assert!(series.get("app0.est_slowdown").is_some());
+        assert!(series.get("app0.actual_slowdown").is_some());
+    }
+
+    // Serialize → parse → serialize is a fixed point (the writer emits
+    // exactly what the parser reads).
+    let reparsed = parse(&doc.to_json()).expect("round-trip parses");
+    assert_eq!(doc.to_json(), reparsed.to_json());
+
+    // The per-workload series CSVs exist and carry the long format.
+    let mut csvs: Vec<_> = std::fs::read_dir(&series_dir)
+        .expect("series dir written")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    csvs.sort();
+    assert_eq!(csvs.len(), workloads.len());
+    let body = std::fs::read_to_string(&csvs[0]).expect("series csv");
+    assert!(body.starts_with("series,cycle,value\n"));
+    assert!(body.lines().count() > 1, "series csv has no samples");
+}
+
+#[test]
+fn trace_is_valid_chrome_trace_event_json() {
+    let dir = tmp_dir("trace");
+    let trace = dir.join("trace.json");
+    let _ = run(
+        "fig4",
+        &dir.join("csv"),
+        &["--trace", trace.to_str().expect("utf-8 tmp path")],
+    );
+
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let doc = parse(&text).expect("trace parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace recorded no events");
+    let mut cats = std::collections::BTreeSet::new();
+    for e in events {
+        let ph = e.get("ph").and_then(JsonValue::as_str).expect("ph field");
+        assert!(matches!(ph, "i" | "X"), "unexpected phase {ph}");
+        assert!(e.get("name").and_then(JsonValue::as_str).is_some());
+        assert!(e.get("ts").and_then(JsonValue::as_num).is_some());
+        assert!(e.get("pid").and_then(JsonValue::as_num).is_some());
+        assert!(e.get("tid").and_then(JsonValue::as_num).is_some());
+        if ph == "X" {
+            assert!(e.get("dur").and_then(JsonValue::as_num).is_some());
+        }
+        cats.insert(e.get("cat").and_then(JsonValue::as_str).expect("cat field"));
+    }
+    assert!(cats.contains("sched"), "no scheduler events in trace");
+    assert!(cats.contains("mem"), "no memory lifecycle events in trace");
+    assert!(doc.get("displayTimeUnit").is_some());
+}

@@ -1,8 +1,9 @@
 //! `asm-lint`: a workspace determinism & simulation-safety linter.
 //!
-//! A repo-specific static-analysis pass over the seven simulation crates
-//! (`simcore`, `cache`, `dram`, `cpu`, `core`, `workloads`, `metrics`).
-//! It enforces six rules that `rustc`/`clippy` cannot express for us:
+//! A repo-specific static-analysis pass over the eight simulation crates
+//! (`simcore`, `cache`, `dram`, `cpu`, `core`, `workloads`, `metrics`,
+//! `telemetry`). It enforces seven rules that `rustc`/`clippy` cannot
+//! express for us:
 //!
 //! - **R1** — no `HashMap`/`HashSet` in simulation code: hash iteration
 //!   order is randomized per process and feeds simulated event order.
@@ -20,6 +21,10 @@
 //!   pure single-threaded function of its inputs. Parallelism lives in
 //!   the harness crates (`experiments`/`bench`), which fan out whole
 //!   simulations and merge results in submission order.
+//! - **R7** — no `println!`/`print!`/`eprintln!`/`eprint!`/`dbg!`:
+//!   experiment stdout is byte-compared across runs and stderr belongs
+//!   to the harness; simulation state is exposed through `asm-telemetry`
+//!   (counters, series, traces) or returned to the caller.
 //!
 //! Every diagnostic carries `path:line`. Intentional violations are
 //! suppressed with an allow directive stating a reason:
@@ -56,6 +61,7 @@ pub const SIM_CRATES: &[&str] = &[
     "core",
     "workloads",
     "metrics",
+    "telemetry",
 ];
 
 /// Lints one file's contents under a display path. The path matters:
@@ -131,6 +137,6 @@ mod tests {
 
     #[test]
     fn sim_crates_list_matches_roadmap() {
-        assert_eq!(SIM_CRATES.len(), 7);
+        assert_eq!(SIM_CRATES.len(), 8);
     }
 }

@@ -1,4 +1,4 @@
-//! CLI for `asm-lint`. Lints the seven simulation crates and exits
+//! CLI for `asm-lint`. Lints the eight simulation crates and exits
 //! non-zero when any rule violation remains.
 //!
 //! ```text
@@ -33,7 +33,7 @@ fn main() -> ExitCode {
 
     if diagnostics.is_empty() {
         println!(
-            "asm-lint: clean — {} simulation crates satisfy R1-R6",
+            "asm-lint: clean — {} simulation crates satisfy R1-R7",
             asm_lint::SIM_CRATES.len()
         );
         return ExitCode::SUCCESS;

@@ -1,4 +1,4 @@
-//! The six determinism & simulation-safety rules (R1–R6).
+//! The seven determinism & simulation-safety rules (R1–R7).
 //!
 //! Each rule scans a [`SourceModel`] line by line over the cleaned text
 //! (comments and literal bodies blanked), skips `#[cfg(test)]` regions
@@ -43,6 +43,7 @@ pub fn check(model: &SourceModel) -> Vec<Diagnostic> {
     rule_r4_entropy(model, &mut out);
     rule_r5_lossy_casts(model, &mut out);
     rule_r6_thread_sync(model, &mut out);
+    rule_r7_print(model, &mut out);
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
@@ -471,6 +472,47 @@ fn r6_violation(line: &str) -> Option<String> {
     None
 }
 
+/// Print macros R7 bans in simulation code.
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+/// R7: no `println!`/`print!`/`eprintln!`/`eprint!`/`dbg!` in simulation
+/// crates.
+///
+/// Experiment stdout must be byte-identical across `--jobs` values and
+/// seeds, and stderr is reserved for harness progress chatter — a print
+/// buried in simulation code breaks both and hides state from the
+/// telemetry layer. Observability goes through `asm-telemetry` (counters,
+/// series, traces) or data returned to the harness; tests may print
+/// freely.
+fn rule_r7_print(model: &SourceModel, out: &mut Vec<Diagnostic>) {
+    for (i, line) in model.cleaned.iter().enumerate() {
+        if model.is_test_line(i) {
+            continue;
+        }
+        for &mac in PRINT_MACROS {
+            let mut from = 0;
+            while let Some(pos) = find_word(line, mac, from) {
+                from = pos + mac.len();
+                if !line[pos + mac.len()..].starts_with('!') {
+                    continue;
+                }
+                push(
+                    model,
+                    out,
+                    i,
+                    RuleId::R7,
+                    format!(
+                        "`{mac}!` in simulation code — stdout/stderr must stay \
+                         reserved for the harness (tables are byte-compared \
+                         across runs); record state via `asm-telemetry` \
+                         counters/series/traces or return it to the caller"
+                    ),
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -575,6 +617,30 @@ mod tests { use std::thread; fn t() { thread::yield_now(); } }
         let src = "\
 // asm-lint: allow(R6): single-threaded lock, documented invariant
 use std::sync::Mutex;
+";
+        assert!(diag("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r7_bans_print_macros_outside_tests() {
+        let src = "\
+fn f() { println!(\"x\"); }
+fn g() { eprintln!(\"y\"); dbg!(3); }
+fn h() { print!(\"z\"); eprint!(\"w\"); }
+fn ok() { let println = 1; format!(\"{println}\"); }
+#[cfg(test)]
+mod tests { fn t() { println!(\"test chatter is fine\"); } }
+";
+        let d = diag("crates/dram/src/x.rs", src);
+        let r7: Vec<_> = d.iter().filter(|d| d.rule == RuleId::R7).map(|d| d.line).collect();
+        assert_eq!(r7, vec![1, 2, 2, 3, 3], "{d:#?}");
+    }
+
+    #[test]
+    fn r7_allow_directive_suppresses() {
+        let src = "\
+// asm-lint: allow(R7): one-shot diagnostic behind an env flag
+fn f() { eprintln!(\"debug\"); }
 ";
         assert!(diag("crates/core/src/x.rs", src).is_empty());
     }

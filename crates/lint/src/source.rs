@@ -13,7 +13,7 @@
 
 use std::collections::BTreeSet;
 
-/// One rule's identifier (`R1`..`R6`), as used in allow directives.
+/// One rule's identifier (`R1`..`R7`), as used in allow directives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RuleId {
     /// Hash-ordered collections in simulation state.
@@ -28,17 +28,20 @@ pub enum RuleId {
     R5,
     /// Threads or synchronisation primitives in simulation crates.
     R6,
+    /// `println!`-family printing in simulation crates.
+    R7,
 }
 
 impl RuleId {
     /// All rules, in order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::R1,
         RuleId::R2,
         RuleId::R3,
         RuleId::R4,
         RuleId::R5,
         RuleId::R6,
+        RuleId::R7,
     ];
 
     /// Canonical name (`"R1"`).
@@ -51,6 +54,7 @@ impl RuleId {
             RuleId::R4 => "R4",
             RuleId::R5 => "R5",
             RuleId::R6 => "R6",
+            RuleId::R7 => "R7",
         }
     }
 
@@ -62,6 +66,7 @@ impl RuleId {
             "R4" => Some(RuleId::R4),
             "R5" => Some(RuleId::R5),
             "R6" => Some(RuleId::R6),
+            "R7" => Some(RuleId::R7),
             _ => None,
         }
     }

@@ -110,6 +110,33 @@ fn r6_thread_sync_fixture() {
 }
 
 #[test]
+fn r7_print_fixture() {
+    let src = include_str!("fixtures/r7_print.rs");
+    let diags = lint_source("crates/telemetry/src/fixture.rs", src);
+    // println (4), eprintln (5), dbg (6), print (7), eprint (8); the
+    // shadowing identifier and `format!` are clean, tests are exempt.
+    assert_eq!(
+        diags.iter().map(|d| (d.line, d.rule)).collect::<Vec<_>>(),
+        vec![
+            (4, RuleId::R7),
+            (5, RuleId::R7),
+            (6, RuleId::R7),
+            (7, RuleId::R7),
+            (8, RuleId::R7),
+        ],
+        "{diags:#?}"
+    );
+    // Exact rendering, as the CLI prints it.
+    assert_eq!(
+        diags[0].to_string(),
+        "crates/telemetry/src/fixture.rs:4: [R7] `println!` in simulation \
+         code — stdout/stderr must stay reserved for the harness (tables \
+         are byte-compared across runs); record state via `asm-telemetry` \
+         counters/series/traces or return it to the caller"
+    );
+}
+
+#[test]
 fn allow_directives_suppress_every_rule_form() {
     let src = include_str!("fixtures/allow_suppression.rs");
     let diags = lint_source("crates/core/src/fixture.rs", src);
@@ -142,7 +169,7 @@ fn stripping_the_directive_resurfaces_the_violation() {
 #[test]
 fn workspace_is_clean() {
     // The sweep half of the tentpole, pinned as a test: the real
-    // simulation crates must satisfy R1-R6. CARGO_MANIFEST_DIR is
+    // simulation crates must satisfy R1-R7. CARGO_MANIFEST_DIR is
     // crates/lint; the workspace root is two levels up.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()

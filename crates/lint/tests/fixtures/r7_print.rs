@@ -1,0 +1,24 @@
+//! R7 fixture: print macros in simulation code.
+
+fn noisy(x: u64) -> u64 {
+    println!("tick {x}");
+    eprintln!("debug {x}");
+    let y = dbg!(x + 1);
+    print!("{y}");
+    eprint!("{y}");
+    y
+}
+
+fn clean(x: u64) -> String {
+    // Formatting into a returned value is fine — no stream writes.
+    let println = x; // shadowing identifier, not the macro
+    format!("{println}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("test chatter is exempt");
+    }
+}

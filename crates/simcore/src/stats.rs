@@ -270,6 +270,68 @@ impl Histogram {
         self.counts.iter().map(move |&c| c as f64 / total)
     }
 
+    /// Returns the `q`-quantile (`0 < q <= 1`) under the integer-bucket
+    /// midpoint rule: the rank-`ceil(q * total)` sample's bucket (ranks
+    /// counted from 1 in bucket order) is located exactly, and the bucket's
+    /// midpoint is reported as the quantile value. This is exact at bucket
+    /// granularity — no interpolation between buckets, so two histograms
+    /// with the same counts always report the same quantiles.
+    ///
+    /// Returns `None` when the histogram is empty, when `q` is outside
+    /// `(0, 1]`, or when the rank falls in the overflow bucket (whose
+    /// upper edge, and hence midpoint, is unknown).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 || !(q > 0.0 && q <= 1.0) {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(i as f64 * self.bucket_width + self.bucket_width / 2.0);
+            }
+        }
+        None // rank lands in the overflow bucket
+    }
+
+    /// The median ([`quantile`](Self::quantile) at 0.5).
+    #[must_use]
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The 95th percentile.
+    #[must_use]
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// The 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// The bucket-midpoint mean of the **in-range** samples (overflow
+    /// samples carry no value and are excluded from both numerator and
+    /// denominator). `None` when no sample landed in a regular bucket.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        let in_range = self.total - self.overflow;
+        if in_range == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as f64 * (i as f64 * self.bucket_width + self.bucket_width / 2.0))
+            .sum();
+        Some(sum / in_range as f64)
+    }
+
     /// Merges another histogram with identical geometry into this one.
     ///
     /// # Panics
@@ -391,6 +453,60 @@ mod tests {
         assert_eq!(a.bucket_count(1), 1);
         assert_eq!(a.overflow(), 1);
         assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn quantile_follows_midpoint_rule() {
+        // 10 samples of value ~2.5 (bucket 0 of width 5), 80 of ~7.5
+        // (bucket 1), 10 of ~12.5 (bucket 2).
+        let h = Histogram::from_parts(5.0, vec![10, 80, 10], 0);
+        assert_eq!(h.p50(), Some(7.5));
+        assert_eq!(h.quantile(0.10), Some(2.5));
+        // rank(0.90) = 90, cumulative through bucket 1 is exactly 90.
+        assert_eq!(h.quantile(0.90), Some(7.5));
+        assert_eq!(h.p95(), Some(12.5));
+        assert_eq!(h.p99(), Some(12.5));
+        assert_eq!(h.quantile(1.0), Some(12.5));
+    }
+
+    #[test]
+    fn quantile_single_sample_every_q_hits_its_bucket() {
+        let mut h = Histogram::new(2.0, 4);
+        h.add(5.0); // bucket 2, midpoint 5.0
+        for q in [0.001, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Some(5.0));
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases_return_none() {
+        let empty = Histogram::new(1.0, 4);
+        assert_eq!(empty.p50(), None);
+
+        let mut h = Histogram::new(1.0, 2);
+        h.add(0.5);
+        assert_eq!(h.quantile(0.0), None, "q must be > 0");
+        assert_eq!(h.quantile(1.5), None, "q must be <= 1");
+        assert_eq!(h.quantile(f64::NAN), None);
+
+        // Half the mass in the overflow bucket: p50 resolvable, p99 not.
+        let ov = Histogram::from_parts(1.0, vec![5, 0], 5);
+        assert_eq!(ov.p50(), Some(0.5));
+        assert_eq!(ov.p99(), None, "rank in overflow has no midpoint");
+    }
+
+    #[test]
+    fn mean_is_midpoint_weighted_over_in_range_samples() {
+        let h = Histogram::from_parts(10.0, vec![1, 0, 3], 0);
+        // midpoints 5 and 25: (5 + 3*25) / 4
+        assert!((h.mean().unwrap() - 20.0).abs() < 1e-12);
+
+        // Overflow samples are excluded entirely.
+        let ov = Histogram::from_parts(10.0, vec![2, 0], 7);
+        assert!((ov.mean().unwrap() - 5.0).abs() < 1e-12);
+
+        assert_eq!(Histogram::new(1.0, 3).mean(), None);
+        assert_eq!(Histogram::from_parts(1.0, vec![0], 4).mean(), None);
     }
 
     #[test]

@@ -6,6 +6,11 @@ only ever adds time, so the per-iteration minimum is the robust
 estimator) and exits non-zero when any named hot-path benchmark regresses
 by more than the threshold.
 
+Additionally gates the telemetry layer *within* the new snapshot: when
+the `telemetry_overhead` group is present, the idle configuration
+(counters + series enabled, the `--stats-json` path) may cost at most
+--telemetry-threshold (default 1%) over the off configuration.
+
 Usage:
     scripts/bench_compare.py BENCH_pr3.json BENCH_pr4.json
     scripts/bench_compare.py --threshold 0.10 old.json new.json
@@ -60,6 +65,13 @@ def main():
         help="hot-path benchmark name to gate on (repeatable; "
         "default: the built-in hot-path list)",
     )
+    parser.add_argument(
+        "--telemetry-threshold",
+        type=float,
+        default=0.01,
+        help="max tolerated idle-telemetry overhead over telemetry-off "
+        "in the new snapshot, as a fraction (default 0.01)",
+    )
     args = parser.parse_args()
 
     old, new = load_raw(args.old), load_raw(args.new)
@@ -93,6 +105,26 @@ def main():
     for h in missing_hot:
         print(f"bench_compare: note: hot-path bench {h} missing from a snapshot",
               file=sys.stderr)
+
+    # Within-snapshot telemetry gate: idle (counters + series on) vs off.
+    tel_off = new.get("telemetry_overhead/mcf_mix_10m_off")
+    tel_idle = new.get("telemetry_overhead/mcf_mix_10m_idle")
+    if tel_off and tel_idle:
+        overhead = tel_idle["min_ns"] / tel_off["min_ns"] - 1.0
+        print(
+            f"bench_compare: telemetry idle-over-off overhead = {overhead:+.2%} "
+            f"(budget {args.telemetry_threshold:.0%})",
+            file=sys.stderr,
+        )
+        if overhead > args.telemetry_threshold:
+            failures.append(
+                ("telemetry_overhead/mcf_mix_10m_idle", 1.0 / (1.0 + overhead))
+            )
+            print(
+                f"bench_compare: FAIL idle telemetry costs {overhead:.2%} over off "
+                f"(budget {args.telemetry_threshold:.0%})",
+                file=sys.stderr,
+            )
 
     if failures:
         for name, ratio in failures:

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Snapshot the simulator's end-to-end throughput into BENCH_<tag>.json.
 #
-# Runs the `sim_throughput` (end-to-end cycles/sec, skip vs --no-skip)
-# and `frfcfs_pick` (scheduler hot path) bench groups and parses the
-# criterion-shim output lines
+# Runs the `sim_throughput` (end-to-end cycles/sec, skip vs --no-skip),
+# `telemetry_overhead` (telemetry off / idle / traced) and `frfcfs_pick`
+# (scheduler hot path) bench groups and parses the criterion-shim output
+# lines
 #
 #   group/id: mean 12.345ms min 11ms max 14ms (10 samples)
 #
@@ -23,8 +24,15 @@ OUT="BENCH_${TAG}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-echo "bench_snapshot: running throughput + substrates benches (release)..." >&2
+echo "bench_snapshot: running throughput + telemetry + substrates benches (release)..." >&2
 cargo bench -p asm-bench --bench throughput 2>/dev/null | tee -a "$RAW"
+# Three spaced repetitions: the telemetry gate compares off-vs-idle at the
+# 1% level, far below this container's minute-scale noise swings, so each
+# variant needs several measurement windows for its min to reach the
+# floor. Repeated lines for the same bench id are merged min-wise below.
+for _ in 1 2 3; do
+    cargo bench -p asm-bench --bench telemetry_overhead 2>/dev/null | tee -a "$RAW"
+done
 cargo bench -p asm-bench --bench substrates 2>/dev/null | tee -a "$RAW"
 
 python3 - "$RAW" "$OUT" <<'PY'
@@ -66,7 +74,23 @@ with open(raw_path, encoding="utf-8") as f:
                 f"(min {entry['min_ns']} / mean {entry['mean_ns']} / "
                 f"max {entry['max_ns']} ns) — parse bug or corrupt output"
             )
-        results[key] = entry
+        prev = results.get(key)
+        if prev is None:
+            results[key] = entry
+        else:
+            # A repeated bench id means deliberate re-measurement (the
+            # telemetry gate loop above): pool the samples — min of mins,
+            # max of maxes, sample-weighted mean.
+            n = prev["samples"] + entry["samples"]
+            results[key] = {
+                "mean_ns": (
+                    prev["mean_ns"] * prev["samples"]
+                    + entry["mean_ns"] * entry["samples"]
+                ) / n,
+                "min_ns": min(prev["min_ns"], entry["min_ns"]),
+                "max_ns": max(prev["max_ns"], entry["max_ns"]),
+                "samples": n,
+            }
 
 # Shared-container noise only ever *adds* time, so the per-iteration
 # minimum is the robust estimator; the mean is kept for reference.
@@ -111,6 +135,23 @@ def rustc_version():
     except (OSError, subprocess.CalledProcessError):
         return "unknown"
 
+# Telemetry cost on the hot path: idle (counters/series enabled, no
+# tracing) is the --stats-json configuration and carries a 1% budget over
+# off; traced is informational. Min-based, like everything else here.
+telemetry = {}
+tel_off = results.get("telemetry_overhead/mcf_mix_10m_off")
+tel_idle = results.get("telemetry_overhead/mcf_mix_10m_idle")
+tel_traced = results.get("telemetry_overhead/mcf_mix_10m_traced")
+if tel_off and tel_idle:
+    telemetry = {
+        "off_cycles_per_sec": cycles_per_sec("telemetry_overhead/mcf_mix_10m_off", "min_ns"),
+        "idle_cycles_per_sec": cycles_per_sec("telemetry_overhead/mcf_mix_10m_idle", "min_ns"),
+        "traced_cycles_per_sec": cycles_per_sec(
+            "telemetry_overhead/mcf_mix_10m_traced", "min_ns"
+        ) if tel_traced else None,
+        "idle_over_off_overhead": tel_idle["min_ns"] / tel_off["min_ns"] - 1.0,
+    }
+
 snapshot = {
     "schema": "asm-bench-snapshot v1",
     "machine": {
@@ -120,6 +161,7 @@ snapshot = {
         "rustc": rustc_version(),
     },
     "sim_throughput": throughput,
+    "telemetry_overhead": telemetry,
     "frfcfs_pick": {
         k.split("/", 1)[1]: v for k, v in results.items() if k.startswith("frfcfs_pick/")
     },
@@ -133,4 +175,7 @@ print(f"bench_snapshot: wrote {out_path}", file=sys.stderr)
 mcf = throughput.get("mcf_mix", {}).get("skip_speedup")
 if mcf is not None:
     print(f"bench_snapshot: mcf_mix skip speedup = {mcf:.2f}x", file=sys.stderr)
+tel = telemetry.get("idle_over_off_overhead")
+if tel is not None:
+    print(f"bench_snapshot: telemetry idle-over-off overhead = {tel:+.2%}", file=sys.stderr)
 PY
