@@ -1,0 +1,52 @@
+//! Wall-clock cost of the whole-workspace determinism lint.
+//!
+//! The linter is part of the tier-1 gate (`scripts/ci.sh` runs it on
+//! every change), so its own latency is budgeted: one full
+//! `run_workspace` pass — filesystem walk, lex/parse of every
+//! simulation and harness file, symbol resolution, and the call-graph
+//! reachability pass — must stay under one second. The budget is
+//! enforced by `scripts/bench_snapshot.sh`, which reads the
+//! `full_pass` id from this group; keep the id stable.
+//!
+//! `analyze_only` isolates the in-memory analysis from the I/O walk so
+//! a regression can be attributed to the right layer.
+
+use asm_lint::{analyze_sources, run_workspace, Options};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("bench crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn bench_lint_workspace(c: &mut Criterion) {
+    let root = workspace_root();
+    let mut g = c.benchmark_group("lint_workspace");
+
+    g.bench_function("full_pass", |b| {
+        b.iter(|| {
+            let analysis = run_workspace(black_box(&root)).expect("workspace tree is readable");
+            assert!(analysis.diagnostics.is_empty(), "the repo lints clean");
+            black_box(analysis.files)
+        });
+    });
+
+    // Pre-read the tree once; measures lex/parse/resolve/callgraph only.
+    let files = asm_lint::read_workspace_sources(&root).expect("workspace tree is readable");
+    g.bench_function("analyze_only", |b| {
+        b.iter(|| {
+            let analysis = analyze_sources(black_box(&files), &Options::default());
+            black_box(analysis.diagnostics.len())
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_lint_workspace);
+criterion_main!(benches);

@@ -857,6 +857,8 @@ impl System {
 
     /// Picks the epoch owner (§4.2: probabilistic assignment; §7.2:
     /// slowdown-proportional under ASM-Mem) and applies memory priority.
+    // asm-lint: allow(R9): epoch boundary — runs once per epoch_cycles
+    // (default 100k), not per cycle; trace args may allocate
     fn begin_epoch(&mut self, now: Cycle) {
         let owner = if let Some(active) = self.active_only {
             // Alone runs: the single application always has priority (it is
@@ -894,6 +896,8 @@ impl System {
 
     /// Finalises the quantum ending at `now`: estimates, mechanisms,
     /// record, reset.
+    // asm-lint: allow(R9): quantum boundary — runs once per quantum
+    // (default 5M cycles); estimator/mechanism bookkeeping may allocate
     fn end_quantum(&mut self, now: Cycle) {
         self.last_quantum_end = now;
         let n = self.cores.len();
@@ -1277,19 +1281,7 @@ impl Hier<'_> {
         if self.telemetry.enabled {
             self.telemetry.record_mem_latency(c.finish - arrival);
         }
-        if self.telemetry.tracer.sample_request(c.id) {
-            self.telemetry.tracer.complete(
-                "mem_read",
-                "mem",
-                arrival,
-                c.finish - arrival,
-                app.index() as u64,
-                vec![
-                    ("interference".to_owned(), JsonValue::num_u64(interference)),
-                    ("row_hit".to_owned(), JsonValue::Bool(c.row_hit)),
-                ],
-            );
-        }
+        self.trace_mem_read(app, c, arrival, interference);
         let epoch_end = if epoch_owned {
             (arrival / self.config.epoch + 1) * self.config.epoch
         } else {
@@ -1309,6 +1301,26 @@ impl Hier<'_> {
         };
         for est in self.estimators.iter_mut() {
             est.on_miss_complete(&ev);
+        }
+    }
+
+    /// Emits the sampled `mem_read` span for a finished demand miss.
+    // asm-lint: allow(R9): sampled-trace emission — gated on
+    // `sample_request`, so it allocates only for traced requests when
+    // the opt-in tracer is attached
+    fn trace_mem_read(&mut self, app: AppId, c: &Completion, arrival: Cycle, interference: u64) {
+        if self.telemetry.tracer.sample_request(c.id) {
+            self.telemetry.tracer.complete(
+                "mem_read",
+                "mem",
+                arrival,
+                c.finish - arrival,
+                app.index() as u64,
+                vec![
+                    ("interference".to_owned(), JsonValue::num_u64(interference)),
+                    ("row_hit".to_owned(), JsonValue::Bool(c.row_hit)),
+                ],
+            );
         }
     }
 

@@ -57,6 +57,9 @@ impl Parbs {
 
     /// Marks a new batch and recomputes application ranks
     /// (shortest-job-first by marked-request count, ties by app index).
+    // asm-lint: allow(R9): batch boundary — runs once per batch (when
+    // every marked request has drained), not per cycle; scratch vectors
+    // are proportional to apps×banks
     fn form_batch(&mut self, queue: &mut [QueuedRequest]) {
         let apps = self.rank.len();
         let banks = queue.iter().map(|q| q.loc.bank).max().map_or(1, |b| b + 1);

@@ -81,6 +81,8 @@ impl Tcm {
             .unwrap_or(false)
     }
 
+    // asm-lint: allow(R9): quantum boundary — reclustering runs once per
+    // TCM quantum, not per cycle; the order scratch is apps-sized
     fn recluster(&mut self) {
         let total: u64 = self.window_served.iter().sum();
         let budget = (total as f64 * self.config.cluster_threshold) as u64;
@@ -101,6 +103,8 @@ impl Tcm {
         self.window_served.fill(0);
     }
 
+    // asm-lint: allow(R9): shuffle boundary — runs once per shuffle
+    // interval, not per cycle; the candidate list is apps-sized
     fn shuffle_ranks(&mut self) {
         // Shuffle only the bandwidth-cluster applications' relative order.
         let mut bw_apps: Vec<usize> = (0..self.rank.len())

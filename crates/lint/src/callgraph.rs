@@ -1,0 +1,532 @@
+//! Workspace call graph: the R9 hot-path hygiene pass.
+//!
+//! Builds a conservative intra-workspace call graph over the simulation
+//! crates and walks it from the per-cycle roots — `System::step`,
+//! `System::step_until`, `System::run_for` — to find every function
+//! that can execute inside the simulated-cycle loop. Reachable
+//! functions must not allocate, perform I/O, or invoke panic macros;
+//! the reachability set itself is exported (see `--json`) so the hot
+//! path is auditable.
+//!
+//! Conservatism and escape hatch:
+//!
+//! - Method calls (`x.f(…)`) link to *every* workspace fn named `f`
+//!   that takes a `self` receiver — receiver types are unknown without
+//!   type inference, but method syntax provably cannot reach free fns
+//!   or self-less associated fns. Qualified calls (`T::f(…)`) link only
+//!   to fns in `impl T`; bare calls prefer the defining file, then free
+//!   fns. External calls (`Vec::new`) create no edges.
+//! - A fn-level `// asm-lint: allow(R9): reason` on (or directly above)
+//!   the `fn` line both suppresses the fn's own leaf checks *and* stops
+//!   traversal there: it declares a justified quantum boundary (epoch
+//!   accounting, tracer flush) whose callees run off the per-cycle
+//!   path. Boundary fns still appear in the reachability set, marked.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::parse::FileModel;
+use crate::rules::Diagnostic;
+use crate::tokens::{Delim, TokKind};
+use crate::{HotFn, Options, RuleId};
+
+/// Root methods of the per-cycle loop, all on `impl System`.
+const ROOTS: &[&str] = &["step", "step_until", "run_for"];
+
+/// Self type that owns the roots.
+const ROOT_IMPL: &str = "System";
+
+/// The R9 pass result.
+#[derive(Debug, Default)]
+pub struct GraphResult {
+    /// Active diagnostics.
+    pub active: Vec<Diagnostic>,
+    /// Allow-suppressed diagnostics.
+    pub suppressed: Vec<Diagnostic>,
+    /// Every reachable fn, sorted by (path, line).
+    pub reachable: Vec<HotFn>,
+}
+
+/// One fn node in the graph.
+struct Node {
+    file: usize,
+    fn_idx: usize,
+    name: String,
+    impl_type: Option<String>,
+    has_self: bool,
+    boundary: bool,
+}
+
+/// Runs the R9 pass over the simulation files.
+#[must_use]
+pub fn analyze(models: &[&FileModel], opts: &Options) -> GraphResult {
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (file, m) in models.iter().enumerate() {
+        for (fn_idx, f) in m.fns.iter().enumerate() {
+            if f.is_test || f.body.is_none() {
+                continue;
+            }
+            let id = nodes.len();
+            nodes.push(Node {
+                file,
+                fn_idx,
+                name: f.name.clone(),
+                impl_type: f.impl_type.clone(),
+                has_self: f.has_self,
+                boundary: m.is_allowed(f.sig_line, RuleId::R9),
+            });
+            by_name.entry(&models[file].fns[fn_idx].name).or_default().push(id);
+        }
+    }
+
+    // BFS from the roots; boundary fns are listed but not expanded.
+    let mut visited: BTreeSet<usize> = BTreeSet::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (id, n) in nodes.iter().enumerate() {
+        if ROOTS.contains(&n.name.as_str()) && n.impl_type.as_deref() == Some(ROOT_IMPL) {
+            visited.insert(id);
+            queue.push_back(id);
+        }
+    }
+    let mut result = GraphResult::default();
+    while let Some(id) = queue.pop_front() {
+        let node = &nodes[id];
+        if node.boundary {
+            continue;
+        }
+        let m = models[node.file];
+        let f = &m.fns[node.fn_idx];
+        let (open, close) = f.body.unwrap_or((0, 0));
+        check_leaves(m, &f.name, open, close, opts, &mut result);
+        for callee in call_targets(m, open, close, node, &nodes, &by_name) {
+            if visited.insert(callee) {
+                queue.push_back(callee);
+            }
+        }
+    }
+
+    result.reachable = visited
+        .iter()
+        .map(|&id| {
+            let n = &nodes[id];
+            let f = &models[n.file].fns[n.fn_idx];
+            HotFn {
+                path: models[n.file].path.clone(),
+                line: f.sig_line + 1,
+                name: n.name.clone(),
+                impl_type: n.impl_type.clone(),
+                boundary: n.boundary,
+            }
+        })
+        .collect();
+    result
+        .reachable
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    result
+}
+
+/// Resolves the call sites in one fn body to node ids, conservatively.
+fn call_targets(
+    m: &FileModel,
+    open: usize,
+    close: usize,
+    caller: &Node,
+    nodes: &[Node],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        if m.tokens[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Macro invocation, not a call.
+        if m.is_punct(i + 1, "!") {
+            i += 1;
+            continue;
+        }
+        // `name(`, `name::<T>(`.
+        let mut j = i + 1;
+        if m.is_punct(j, "::") && m.is_punct(j + 1, "<") {
+            j = m.skip_generics_pub(j + 1);
+        }
+        let is_call = m
+            .tokens
+            .get(j)
+            .is_some_and(|t| t.kind == TokKind::Open(Delim::Paren));
+        if !is_call {
+            i += 1;
+            continue;
+        }
+        let name = m.text(i);
+        let Some(candidates) = by_name.get(name) else {
+            i += 1;
+            continue;
+        };
+        if i > 0 && m.is_punct(i - 1, ".") {
+            // Method call: receiver type unknown — every same-named fn
+            // that actually has a `self` receiver. Free fns and self-less
+            // associated fns (constructors) cannot be called with method
+            // syntax, so `.all(…)`-style iterator adaptors never link to
+            // a workspace free fn named `all`.
+            out.extend(candidates.iter().copied().filter(|&c| nodes[c].has_self));
+        } else if i > 1 && m.is_punct(i - 1, "::") {
+            if m.tokens[i - 2].kind == TokKind::Ident {
+                // `T::name(…)`: only fns in `impl T` (Self = caller's).
+                let qualifier = m.text(i - 2);
+                let ty = if qualifier == "Self" {
+                    caller.impl_type.as_deref()
+                } else {
+                    Some(qualifier)
+                };
+                out.extend(
+                    candidates
+                        .iter()
+                        .copied()
+                        .filter(|&c| nodes[c].impl_type.as_deref() == ty),
+                );
+            }
+            // `Vec::<u8>::new(`-style turbofish qualifiers: external.
+        } else {
+            // Bare call: same file first, then free fns.
+            let same_file: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&c| nodes[c].file == caller.file && nodes[c].impl_type.is_none())
+                .collect();
+            if same_file.is_empty() {
+                out.extend(
+                    candidates
+                        .iter()
+                        .copied()
+                        .filter(|&c| nodes[c].impl_type.is_none()),
+                );
+            } else {
+                out.extend(same_file);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Allocating macros.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+/// Allocating methods (`.x(…)` / `.collect::<…>()`).
+const ALLOC_METHODS: &[&str] = &["to_owned", "to_string", "to_vec", "collect"];
+/// Panicking macros. `assert!`/`debug_assert!`/`unreachable!` stay legal:
+/// they are invariant checks, not control flow.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+/// I/O type names.
+const IO_TYPES: &[&str] = &["File", "OpenOptions"];
+/// I/O constructor fns (`stdout()` …).
+const IO_FNS: &[&str] = &["stdin", "stdout", "stderr"];
+/// I/O methods (`.read_to_string(…)` …).
+const IO_METHODS: &[&str] = &["read_to_string", "read_line", "read_dir"];
+
+/// Scans one reachable fn body for R9 leaf violations.
+fn check_leaves(
+    m: &FileModel,
+    fname: &str,
+    open: usize,
+    close: usize,
+    opts: &Options,
+    result: &mut GraphResult,
+) {
+    let emit = |tok: usize, message: String, result: &mut GraphResult| {
+        let t = &m.tokens[tok];
+        let allowed = m.is_allowed(t.line, RuleId::R9);
+        let d = Diagnostic {
+            path: m.path.clone(),
+            line: t.line + 1,
+            col: t.col + 1,
+            rule: RuleId::R9,
+            message,
+            allowed,
+        };
+        if allowed {
+            result.suppressed.push(d);
+        } else {
+            result.active.push(d);
+        }
+    };
+    let escape = "or justify with `// asm-lint: allow(R9): reason`";
+    let mut i = open + 1;
+    while i < close {
+        let kind = m.tokens[i].kind;
+        if kind == TokKind::Ident && !m.is_test_token(i) {
+            let word = m.text(i);
+            let prev_dot = i > 0 && m.is_punct(i - 1, ".");
+            let prev_path = i > 0 && m.is_punct(i - 1, "::");
+            if m.is_punct(i + 1, "!") && !m.is_punct(i + 2, "=") {
+                if ALLOC_MACROS.contains(&word) {
+                    emit(
+                        i,
+                        format!(
+                            "`{word}!` allocates in hot-path fn `{fname}` (reachable from \
+                             `System::step`) — pre-size or reuse buffers outside the \
+                             per-cycle loop, {escape}"
+                        ),
+                        result,
+                    );
+                } else if PANIC_MACROS.contains(&word) {
+                    emit(
+                        i,
+                        format!(
+                            "`{word}!` can panic in hot-path fn `{fname}` (reachable from \
+                             `System::step`) — return an error or make the invariant a \
+                             `debug_assert!`, {escape}"
+                        ),
+                        result,
+                    );
+                }
+            } else if (prev_dot && ALLOC_METHODS.contains(&word))
+                || (word == "with_capacity" && (prev_dot || prev_path))
+                || (word == "new" && prev_path && i > 1 && m.is_ident(i - 2, "Box"))
+                || (word == "from" && prev_path && i > 1 && m.is_ident(i - 2, "String"))
+            {
+                let what = if prev_path {
+                    format!("{}::{word}", m.text(i - 2))
+                } else {
+                    format!(".{word}(…)")
+                };
+                emit(
+                    i,
+                    format!(
+                        "`{what}` allocates in hot-path fn `{fname}` (reachable from \
+                         `System::step`) — pre-size or reuse buffers outside the \
+                         per-cycle loop, {escape}"
+                    ),
+                    result,
+                );
+            } else if IO_TYPES.contains(&word)
+                || (IO_FNS.contains(&word)
+                    && m.tokens
+                        .get(i + 1)
+                        .is_some_and(|t| t.kind == TokKind::Open(Delim::Paren)))
+                || (prev_dot && IO_METHODS.contains(&word))
+            {
+                emit(
+                    i,
+                    format!(
+                        "`{word}` performs I/O in hot-path fn `{fname}` (reachable from \
+                         `System::step`) — simulation code must not touch files or \
+                         stdio; move it to the harness, {escape}"
+                    ),
+                    result,
+                );
+            }
+        } else if opts.pedantic && kind == TokKind::Open(Delim::Bracket) && i > 0 {
+            let indexing = matches!(
+                m.tokens[i - 1].kind,
+                TokKind::Ident | TokKind::Close(Delim::Paren) | TokKind::Close(Delim::Bracket)
+            ) && !m.is_punct(i - 1, "#");
+            if indexing && !m.is_test_token(i) {
+                emit(
+                    i,
+                    format!(
+                        "indexing can panic in hot-path fn `{fname}` (reachable from \
+                         `System::step`) — use `get`/checked access, {escape}"
+                    ),
+                    result,
+                );
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> GraphResult {
+        let owned: Vec<FileModel> = files.iter().map(|(p, c)| FileModel::new(p, c)).collect();
+        let refs: Vec<&FileModel> = owned.iter().collect();
+        analyze(&refs, &Options::default())
+    }
+
+    const SYSTEM: &str = "\
+pub struct System;
+impl System {
+    pub fn step(&mut self) {
+        self.tick();
+        helper(self);
+    }
+    fn tick(&mut self) { }
+}
+fn helper(_s: &mut System) { }
+";
+
+    #[test]
+    fn reachability_covers_methods_and_free_fns() {
+        let g = run(&[("crates/core/src/system.rs", SYSTEM)]);
+        let names: Vec<&str> = g.reachable.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, vec!["step", "tick", "helper"], "{:?}", g.reachable);
+        assert!(g.active.is_empty(), "{:#?}", g.active);
+    }
+
+    #[test]
+    fn allocation_in_transitive_callee_is_flagged() {
+        let src = "\
+pub struct System;
+impl System {
+    pub fn step(&mut self) { self.record(); }
+    fn record(&mut self) {
+        let v = vec![1, 2, 3];
+        let s = 3.to_string();
+        let _ = (v, s);
+    }
+}
+";
+        let g = run(&[("crates/core/src/system.rs", src)]);
+        let lines: Vec<usize> = g.active.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![5, 6], "{:#?}", g.active);
+    }
+
+    #[test]
+    fn unreachable_fns_are_not_checked() {
+        let src = "\
+pub struct System;
+impl System {
+    pub fn step(&mut self) { }
+    pub fn dump(&self) { let v = vec![1]; let _ = v; }
+}
+";
+        let g = run(&[("crates/core/src/system.rs", src)]);
+        assert!(g.active.is_empty(), "{:#?}", g.active);
+        assert_eq!(g.reachable.len(), 1);
+    }
+
+    #[test]
+    fn fn_level_allow_is_a_traversal_boundary() {
+        let src = "\
+pub struct System;
+impl System {
+    pub fn step(&mut self) { self.end_quantum(); }
+    // asm-lint: allow(R9): quantum boundary — runs once per 5M cycles
+    fn end_quantum(&mut self) { self.flush(); }
+    fn flush(&mut self) { let v = vec![1]; let _ = v; }
+}
+";
+        let g = run(&[("crates/core/src/system.rs", src)]);
+        // end_quantum is reachable but marked boundary; flush is behind
+        // the boundary and must not be flagged.
+        assert!(g.active.is_empty(), "{:#?}", g.active);
+        let names: Vec<(&str, bool)> = g
+            .reachable
+            .iter()
+            .map(|h| (h.name.as_str(), h.boundary))
+            .collect();
+        assert_eq!(names, vec![("step", false), ("end_quantum", true)]);
+    }
+
+    #[test]
+    fn line_allow_suppresses_one_leaf() {
+        let src = "\
+pub struct System;
+impl System {
+    pub fn step(&mut self) {
+        // asm-lint: allow(R9): one-time lazy init, pre-sized
+        let v = vec![0u64; 8];
+        let w = vec![1u64; 8];
+        let _ = (v, w);
+    }
+}
+";
+        let g = run(&[("crates/core/src/system.rs", src)]);
+        let active: Vec<usize> = g.active.iter().map(|d| d.line).collect();
+        assert_eq!(active, vec![6], "{:#?}", g.active);
+        assert_eq!(g.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn panic_and_io_leaves_fire() {
+        let src = "\
+pub struct System;
+impl System {
+    pub fn step(&mut self) {
+        if bad() { panic!(\"boom\"); }
+        let f = File::open(\"x\");
+        let _ = f;
+    }
+}
+fn bad() -> bool { false }
+";
+        let g = run(&[("crates/core/src/system.rs", src)]);
+        let lines: Vec<usize> = g.active.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![4, 5], "{:#?}", g.active);
+    }
+
+    #[test]
+    fn cross_file_method_calls_link_conservatively() {
+        let sys = "\
+pub struct System;
+impl System {
+    pub fn run_for(&mut self, cache: &mut Cache) { cache.access(1); }
+}
+";
+        let cache = "\
+pub struct Cache;
+impl Cache {
+    pub fn access(&mut self, addr: u64) -> bool { self.probe(addr) }
+    fn probe(&mut self, addr: u64) -> bool { let v = addr.to_string(); !v.is_empty() }
+}
+";
+        let g = run(&[
+            ("crates/core/src/system.rs", sys),
+            ("crates/cache/src/lib.rs", cache),
+        ]);
+        let lines: Vec<(String, usize)> = g
+            .active
+            .iter()
+            .map(|d| (d.path.clone(), d.line))
+            .collect();
+        assert_eq!(lines, vec![("crates/cache/src/lib.rs".to_owned(), 4)]);
+        assert_eq!(g.reachable.len(), 3);
+    }
+
+    #[test]
+    fn method_calls_never_link_to_receiverless_fns() {
+        // `.all(…)` here is the iterator adaptor; the workspace free fn
+        // `all` (which allocates) must not be dragged into the hot set.
+        let sys = "\
+pub struct System;
+impl System {
+    pub fn step(&mut self, bits: &[bool]) -> bool { bits.iter().all(|b| *b) }
+}
+";
+        let suite = "\
+pub fn all() -> Vec<u32> { let v = vec![1, 2, 3]; v }
+pub struct Suite;
+impl Suite {
+    pub fn new() -> Self { let _scratch = vec![0u8; 64]; Suite }
+}
+";
+        let g = run(&[
+            ("crates/core/src/system.rs", sys),
+            ("crates/workloads/src/suite.rs", suite),
+        ]);
+        assert!(g.active.is_empty(), "{:#?}", g.active);
+        assert_eq!(g.reachable.len(), 1, "{:#?}", g.reachable);
+    }
+
+    #[test]
+    fn assert_macros_stay_legal() {
+        let src = "\
+pub struct System;
+impl System {
+    pub fn step(&mut self) {
+        assert!(1 + 1 == 2, \"arithmetic holds\");
+        debug_assert!(true);
+        let x: Option<u32> = None;
+        if x.is_none() { }
+    }
+}
+";
+        let g = run(&[("crates/core/src/system.rs", src)]);
+        assert!(g.active.is_empty(), "{:#?}", g.active);
+    }
+}
+

@@ -1,0 +1,1131 @@
+//! The item-level parser: one [`FileModel`] per source file.
+//!
+//! This is not a full Rust parser — it is the smallest syntactic layer
+//! that the v2 passes need on top of the [`crate::tokens`] lexer:
+//!
+//! - **Delimiter matching** (`match_of`): every `(`/`[`/`{` knows its
+//!   partner, so item extents and fn bodies are O(1) jumps. Unmatched
+//!   delimiters match themselves; nothing panics on malformed input.
+//! - **Test masking**: tokens covered by a `#[cfg(test)]` item (or a
+//!   `#[test]` fn) are flagged so rules skip test code exactly like v1.
+//! - **Allow directives**: `// asm-lint: allow(R#, ...): reason`
+//!   comments, trailing or standalone, now covering R1–R11.
+//! - **Items**: `use` trees (with `as` renames, groups, `self`, globs),
+//!   `type` aliases (name, right-hand-side head path and ident set),
+//!   struct/enum generic-parameter defaults, `fn` definitions (name,
+//!   signature line, body token range, enclosing `impl` type), `impl`
+//!   block self-types, and every `unsafe` occurrence.
+//!
+//! The symbol-resolution ([`crate::resolve`]) and call-graph
+//! ([`crate::callgraph`]) layers are built from these models; the
+//! per-file rules ([`crate::rules`]) walk the token stream directly.
+
+use std::collections::BTreeSet;
+
+use crate::tokens::{lex, Comment, Delim, TokKind, Token};
+use crate::RuleId;
+
+/// One local name introduced by a `use` declaration.
+#[derive(Debug, Clone)]
+pub struct UseBinding {
+    /// The name visible in this file (`Map` for `use x::HashMap as Map`).
+    pub name: String,
+    /// Full path segments as written (`["std", "collections", "HashMap"]`).
+    pub path: Vec<String>,
+    /// 0-based line of the binding (the segment or rename token).
+    pub line: usize,
+    /// Whether the `use` is `pub` (a re-export other files can reach).
+    pub is_pub: bool,
+    /// Whether the binding renames (`as`): renames are what the lexical
+    /// v1 rules could not see through.
+    pub renamed: bool,
+}
+
+/// A `type Name = …;` alias (free or associated).
+#[derive(Debug, Clone)]
+pub struct TypeAlias {
+    /// Alias name.
+    pub name: String,
+    /// Leading path of the right-hand side (`["std", "collections",
+    /// "HashMap"]` for `type F = std::collections::HashMap<u64, u64>`).
+    pub rhs_head: Vec<String>,
+    /// Every identifier appearing anywhere in the right-hand side
+    /// (generic arguments included) — taint propagates through any of
+    /// them.
+    pub rhs_idents: Vec<String>,
+    /// 0-based line of the `type` keyword.
+    pub line: usize,
+}
+
+/// A generic parameter default on a struct/enum (`struct S<H = Foo>`).
+#[derive(Debug, Clone)]
+pub struct GenericDefault {
+    /// The type that declares the default.
+    pub owner: String,
+    /// Identifiers of the default's path.
+    pub default_idents: Vec<String>,
+    /// 0-based line of the declaration.
+    pub line: usize,
+}
+
+/// One `fn` definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Self type of the enclosing `impl`, if any.
+    pub impl_type: Option<String>,
+    /// 0-based line of the `fn` keyword (fn-level allow directives bind
+    /// here).
+    pub sig_line: usize,
+    /// Token index of the `fn` keyword.
+    pub sig_tok: usize,
+    /// Body as a token index range `(open_brace, close_brace)`, or
+    /// `None` for body-less declarations (traits, externs).
+    pub body: Option<(usize, usize)>,
+    /// Whether the first parameter is a `self` receiver. Method-call
+    /// syntax (`x.f(…)`) can only reach fns with a receiver, so call
+    /// resolution uses this to keep constructors and free fns out of
+    /// method edges.
+    pub has_self: bool,
+    /// Whether the definition sits inside test-masked code.
+    pub is_test: bool,
+}
+
+/// What an `unsafe` keyword introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// `unsafe { … }` block.
+    Block,
+    /// `unsafe fn` definition (or fn-pointer type).
+    Fn,
+    /// `unsafe impl`.
+    Impl,
+    /// `unsafe trait`.
+    Trait,
+}
+
+impl UnsafeKind {
+    /// Stable lower-case name for the inventory.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "block",
+            UnsafeKind::Fn => "fn",
+            UnsafeKind::Impl => "impl",
+            UnsafeKind::Trait => "trait",
+        }
+    }
+}
+
+/// One `unsafe` occurrence (rule R10's subject).
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Token index of the `unsafe` keyword.
+    pub tok: usize,
+    /// 0-based line.
+    pub line: usize,
+    /// 0-based byte column.
+    pub col: usize,
+    /// Block / fn / impl / trait.
+    pub kind: UnsafeKind,
+    /// Name of the smallest enclosing fn body, if any.
+    pub enclosing_fn: Option<String>,
+    /// Whether an adjacent `// SAFETY:` comment justifies it.
+    pub has_safety: bool,
+    /// Whether the site is inside test-masked code.
+    pub is_test: bool,
+}
+
+/// A fully analysed source file.
+pub struct FileModel {
+    /// Display path used in diagnostics.
+    pub path: String,
+    /// The source text.
+    pub src: String,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// Comments (allow directives and `SAFETY:` text live here).
+    pub comments: Vec<Comment>,
+    /// For delimiter tokens: index of the matching partner (self when
+    /// unmatched). For all other tokens: the token's own index.
+    pub match_of: Vec<usize>,
+    /// Per-token: inside a `#[cfg(test)]` item or `#[test]` fn.
+    pub test_tokens: Vec<bool>,
+    /// 0-based lines covered by test-masked items.
+    pub test_lines: BTreeSet<usize>,
+    /// `(line, rule)` pairs suppressed by allow directives.
+    pub allows: BTreeSet<(usize, RuleId)>,
+    /// `use` bindings.
+    pub uses: Vec<UseBinding>,
+    /// `type` aliases.
+    pub aliases: Vec<TypeAlias>,
+    /// Struct/enum generic defaults.
+    pub generic_defaults: Vec<GenericDefault>,
+    /// `fn` definitions.
+    pub fns: Vec<FnDef>,
+    /// `unsafe` occurrences.
+    pub unsafes: Vec<UnsafeSite>,
+    /// Lines that carry at least one token (code lines).
+    pub line_has_token: BTreeSet<usize>,
+}
+
+impl FileModel {
+    /// Lexes and parses `content`, labelled `path` in diagnostics.
+    #[must_use]
+    pub fn new(path: &str, content: &str) -> Self {
+        let lexed = lex(content);
+        let mut model = FileModel {
+            path: path.to_owned(),
+            src: content.to_owned(),
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            match_of: Vec::new(),
+            test_tokens: Vec::new(),
+            test_lines: BTreeSet::new(),
+            allows: BTreeSet::new(),
+            uses: Vec::new(),
+            aliases: Vec::new(),
+            generic_defaults: Vec::new(),
+            fns: Vec::new(),
+            unsafes: Vec::new(),
+            line_has_token: BTreeSet::new(),
+        };
+        model.match_delims();
+        model.line_has_token = model.tokens.iter().map(|t| t.line).collect();
+        model.mark_tests();
+        model.find_allows();
+        model.scan_items();
+        model.attach_contexts();
+        model.mark_safety_comments();
+        model
+    }
+
+    /// The source text of token `i` (empty for out-of-range indices).
+    #[must_use]
+    pub fn text(&self, i: usize) -> &str {
+        self.tokens
+            .get(i)
+            .and_then(|t| self.src.get(t.lo..t.hi))
+            .unwrap_or("")
+    }
+
+    /// Whether token `i` is the identifier `word`.
+    #[must_use]
+    pub fn is_ident(&self, i: usize, word: &str) -> bool {
+        self.tokens.get(i).is_some_and(|t| t.kind == TokKind::Ident) && self.text(i) == word
+    }
+
+    /// Whether token `i` is the punctuation `p`.
+    #[must_use]
+    pub fn is_punct(&self, i: usize, p: &str) -> bool {
+        self.tokens.get(i).is_some_and(|t| t.kind == TokKind::Punct) && self.text(i) == p
+    }
+
+    /// Whether 0-based `line` is inside test-masked code.
+    #[must_use]
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.contains(&line)
+    }
+
+    /// Whether token `i` is inside test-masked code.
+    #[must_use]
+    pub fn is_test_token(&self, i: usize) -> bool {
+        self.test_tokens.get(i).copied().unwrap_or(false)
+    }
+
+    /// Whether `rule` is suppressed on 0-based `line`.
+    #[must_use]
+    pub fn is_allowed(&self, line: usize, rule: RuleId) -> bool {
+        self.allows.contains(&(line, rule))
+    }
+
+    fn match_delims(&mut self) {
+        self.match_of = (0..self.tokens.len()).collect();
+        self.test_tokens = vec![false; self.tokens.len()];
+        let mut stack: Vec<(Delim, usize)> = Vec::new();
+        for (i, t) in self.tokens.iter().enumerate() {
+            match t.kind {
+                TokKind::Open(d) => stack.push((d, i)),
+                TokKind::Close(d) => {
+                    // Pop until a matching open; non-matching opens on
+                    // top are abandoned (they match themselves).
+                    if let Some(pos) = stack.iter().rposition(|&(od, _)| od == d) {
+                        let (_, open) = stack[pos];
+                        stack.truncate(pos);
+                        self.match_of[open] = i;
+                        self.match_of[i] = open;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Marks `#[cfg(test)]` / `#[test]` item extents.
+    fn mark_tests(&mut self) {
+        let n = self.tokens.len();
+        let mut i = 0usize;
+        while i < n {
+            if self.is_punct(i, "#")
+                && self
+                    .tokens
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == TokKind::Open(Delim::Bracket))
+            {
+                let close = self.match_of[i + 1];
+                if close <= i + 1 {
+                    i += 1;
+                    continue;
+                }
+                let inner: Vec<&str> = ((i + 2)..close).map(|j| self.text(j)).collect();
+                let is_test_attr = (inner.len() == 1 && inner[0] == "test")
+                    || (inner.contains(&"cfg") && inner.contains(&"test"));
+                if is_test_attr {
+                    // Skip any further attributes, then mask the item.
+                    let mut start = close + 1;
+                    while self.is_punct(start, "#")
+                        && self
+                            .tokens
+                            .get(start + 1)
+                            .is_some_and(|t| t.kind == TokKind::Open(Delim::Bracket))
+                        && self.match_of[start + 1] > start + 1
+                    {
+                        start = self.match_of[start + 1] + 1;
+                    }
+                    let end = self.item_extent(start);
+                    for j in i..=end.min(n.saturating_sub(1)) {
+                        self.test_tokens[j] = true;
+                        self.test_lines.insert(self.tokens[j].line);
+                    }
+                    // Attribute lines count as test lines too (v1 did).
+                    self.test_lines.insert(self.tokens[i].line);
+                    i = close + 1;
+                    continue;
+                }
+                i = close + 1;
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    /// The last token index of the item starting at token `start`:
+    /// through the matching `}` of the first top-level brace, or the
+    /// first top-level `;`.
+    fn item_extent(&self, start: usize) -> usize {
+        let n = self.tokens.len();
+        let mut j = start;
+        while j < n {
+            match self.tokens[j].kind {
+                TokKind::Open(Delim::Brace) => return self.match_of[j].max(j),
+                TokKind::Open(_) => {
+                    j = self.match_of[j].max(j) + 1;
+                    continue;
+                }
+                TokKind::Close(_) => return j.saturating_sub(1).max(start),
+                TokKind::Punct if self.text(j) == ";" => return j,
+                _ => {}
+            }
+            j += 1;
+        }
+        n.saturating_sub(1).max(start)
+    }
+
+    /// Parses `asm-lint: allow(R…): reason` directives out of comments.
+    fn find_allows(&mut self) {
+        for c in &self.comments {
+            let text = self.src.get(c.lo..c.hi).unwrap_or("");
+            let Some(rules) = parse_allow(text) else {
+                continue;
+            };
+            // Trailing directive: a token earlier on the same line.
+            let trailing = self
+                .tokens
+                .iter()
+                .any(|t| t.line == c.line && t.col < c.col);
+            let target = if trailing {
+                c.line
+            } else {
+                // Standalone: the next line carrying code.
+                match self.line_has_token.range(c.line..).next() {
+                    Some(&l) => l,
+                    None => continue,
+                }
+            };
+            for r in rules {
+                self.allows.insert((target, r));
+            }
+        }
+    }
+
+    /// One linear walk collecting uses, aliases, defaults, impls, fns,
+    /// and unsafe sites.
+    fn scan_items(&mut self) {
+        let n = self.tokens.len();
+        let mut i = 0usize;
+        let mut uses = Vec::new();
+        let mut aliases = Vec::new();
+        let mut defaults = Vec::new();
+        let mut fns = Vec::new();
+        let mut unsafes = Vec::new();
+        while i < n {
+            if self.tokens[i].kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            match self.text(i) {
+                "use" => {
+                    let next = self.parse_use(i, &mut uses);
+                    i = next.max(i + 1);
+                }
+                "type" => {
+                    if let Some(next) = self.parse_type_alias(i, &mut aliases) {
+                        i = next.max(i + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+                "struct" | "enum" | "trait" => {
+                    self.parse_generic_defaults(i, &mut defaults);
+                    i += 1;
+                }
+                "fn" => {
+                    let next = self.parse_fn(i, &mut fns);
+                    i = next.max(i + 1);
+                }
+                "unsafe" => {
+                    let kind = if self.is_ident(i + 1, "fn") {
+                        UnsafeKind::Fn
+                    } else if self.is_ident(i + 1, "impl") {
+                        UnsafeKind::Impl
+                    } else if self.is_ident(i + 1, "trait") {
+                        UnsafeKind::Trait
+                    } else {
+                        UnsafeKind::Block
+                    };
+                    unsafes.push(UnsafeSite {
+                        tok: i,
+                        line: self.tokens[i].line,
+                        col: self.tokens[i].col,
+                        kind,
+                        enclosing_fn: None,
+                        has_safety: false,
+                        is_test: self.is_test_token(i),
+                    });
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        self.uses = uses;
+        self.aliases = aliases;
+        self.generic_defaults = defaults;
+        self.fns = fns;
+        self.unsafes = unsafes;
+    }
+
+    /// Parses one `use` declaration starting at the `use` keyword.
+    /// Returns the index just past the terminating `;`.
+    fn parse_use(&self, use_tok: usize, out: &mut Vec<UseBinding>) -> usize {
+        let is_pub = use_tok > 0
+            && (self.is_ident(use_tok - 1, "pub")
+                || (self
+                    .tokens
+                    .get(use_tok - 1)
+                    .is_some_and(|t| t.kind == TokKind::Close(Delim::Paren))
+                    && self.match_of[use_tok - 1] > 0
+                    && self.is_ident(self.match_of[use_tok - 1] - 1, "pub")));
+        let mut i = use_tok + 1;
+        self.use_tree(&mut i, &mut Vec::new(), is_pub, out, 0);
+        // Consume through the `;` if present.
+        let n = self.tokens.len();
+        while i < n && !self.is_punct(i, ";") {
+            i += 1;
+        }
+        i + 1
+    }
+
+    /// Recursive `use`-tree walker. `prefix` is the path so far.
+    fn use_tree(
+        &self,
+        i: &mut usize,
+        prefix: &mut Vec<String>,
+        is_pub: bool,
+        out: &mut Vec<UseBinding>,
+        depth: usize,
+    ) {
+        let n = self.tokens.len();
+        if depth > 32 {
+            return; // pathological nesting: bail rather than recurse forever
+        }
+        let base_len = prefix.len();
+        let mut seg_line = self.tokens.get(*i).map_or(0, |t| t.line);
+        loop {
+            let Some(t) = self.tokens.get(*i) else { return };
+            match t.kind {
+                TokKind::Ident if self.text(*i) == "as" => {
+                    // Rename: bind the new name to the accumulated path.
+                    let name_tok = *i + 1;
+                    if self
+                        .tokens
+                        .get(name_tok)
+                        .is_some_and(|t| t.kind == TokKind::Ident)
+                    {
+                        out.push(UseBinding {
+                            name: self.text(name_tok).to_owned(),
+                            path: prefix.clone(),
+                            line: self.tokens[name_tok].line,
+                            is_pub,
+                            renamed: true,
+                        });
+                        *i = name_tok + 1;
+                    } else {
+                        *i += 1;
+                    }
+                    prefix.truncate(base_len);
+                    return;
+                }
+                TokKind::Ident if self.text(*i) == "self" && !prefix.is_empty() => {
+                    // `use foo::{self}`: binds the prefix's last segment.
+                    if let Some(last) = prefix.last().cloned() {
+                        out.push(UseBinding {
+                            name: last,
+                            path: prefix.clone(),
+                            line: t.line,
+                            is_pub,
+                            renamed: false,
+                        });
+                    }
+                    *i += 1;
+                    // An `as` may still follow (`self as x`): loop handles it.
+                }
+                TokKind::Ident => {
+                    prefix.push(self.text(*i).to_owned());
+                    seg_line = t.line;
+                    *i += 1;
+                }
+                TokKind::Punct if self.text(*i) == "::" => {
+                    *i += 1;
+                    match self.tokens.get(*i).map(|t| t.kind) {
+                        Some(TokKind::Open(Delim::Brace)) => {
+                            let close = self.match_of[*i];
+                            *i += 1;
+                            while *i < n && *i < close.max(*i) {
+                                let before = *i;
+                                self.use_tree(i, &mut prefix.clone(), is_pub, out, depth + 1);
+                                if self.is_punct(*i, ",") {
+                                    *i += 1;
+                                }
+                                if *i >= close || *i <= before {
+                                    break;
+                                }
+                            }
+                            *i = close.max(*i) + 1;
+                            prefix.truncate(base_len);
+                            return;
+                        }
+                        Some(TokKind::Punct) if self.text(*i) == "*" => {
+                            // Glob: no named binding (literal names are
+                            // already caught by R1/R4 at use sites).
+                            *i += 1;
+                            prefix.truncate(base_len);
+                            return;
+                        }
+                        _ => {}
+                    }
+                }
+                TokKind::Punct if self.text(*i) == "," || self.text(*i) == ";" => {
+                    // End of this tree: bind the last segment plainly.
+                    self.bind_plain(prefix, seg_line, is_pub, out);
+                    prefix.truncate(base_len);
+                    return;
+                }
+                TokKind::Close(Delim::Brace) => {
+                    self.bind_plain(prefix, seg_line, is_pub, out);
+                    prefix.truncate(base_len);
+                    return;
+                }
+                _ => {
+                    *i += 1;
+                    prefix.truncate(base_len);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Emits the implicit binding for `use a::b::C;` (name = last seg).
+    fn bind_plain(&self, prefix: &[String], line: usize, is_pub: bool, out: &mut Vec<UseBinding>) {
+        if let Some(last) = prefix.last() {
+            if last != "*" {
+                out.push(UseBinding {
+                    name: last.clone(),
+                    path: prefix.to_vec(),
+                    line,
+                    is_pub,
+                    renamed: false,
+                });
+            }
+        }
+    }
+
+    /// Parses `type Name<…>? = rhs;`. Returns the index past the `;`,
+    /// or `None` when this `type` is a body-less associated-type decl.
+    fn parse_type_alias(&self, type_tok: usize, out: &mut Vec<TypeAlias>) -> Option<usize> {
+        let name_tok = type_tok + 1;
+        if !self
+            .tokens
+            .get(name_tok)
+            .is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            return None;
+        }
+        let name = self.text(name_tok).to_owned();
+        let mut i = name_tok + 1;
+        if self.is_punct(i, "<") {
+            i = self.skip_generics(i);
+        }
+        // Bounds (`type X: Bound = …` in traits) or straight `=`.
+        let n = self.tokens.len();
+        while i < n && !self.is_punct(i, "=") && !self.is_punct(i, ";") {
+            match self.tokens[i].kind {
+                TokKind::Open(_) => i = self.match_of[i].max(i) + 1,
+                TokKind::Close(_) => return None, // ran out of the item
+                _ => i += 1,
+            }
+        }
+        if !self.is_punct(i, "=") {
+            return None;
+        }
+        i += 1;
+        // Right-hand side up to the top-level `;`.
+        let rhs_start = i;
+        let mut rhs_idents = Vec::new();
+        while i < n && !self.is_punct(i, ";") {
+            match self.tokens[i].kind {
+                TokKind::Open(_) => {
+                    // Collect idents inside groups too.
+                    let close = self.match_of[i].max(i);
+                    for j in i..=close.min(n - 1) {
+                        if self.tokens[j].kind == TokKind::Ident {
+                            rhs_idents.push(self.text(j).to_owned());
+                        }
+                    }
+                    i = close + 1;
+                }
+                TokKind::Close(_) => break,
+                TokKind::Ident => {
+                    rhs_idents.push(self.text(i).to_owned());
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        // Head path: leading `a::b::C` chain of the rhs.
+        let mut rhs_head = Vec::new();
+        let mut j = rhs_start;
+        while j < n {
+            if self.tokens[j].kind == TokKind::Ident {
+                rhs_head.push(self.text(j).to_owned());
+                j += 1;
+                if self.is_punct(j, "::") {
+                    j += 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        out.push(TypeAlias {
+            name,
+            rhs_head,
+            rhs_idents,
+            line: self.tokens[type_tok].line,
+        });
+        Some(i + 1)
+    }
+
+    /// Records `struct S<…, H = Path>` generic defaults.
+    fn parse_generic_defaults(&self, kw_tok: usize, out: &mut Vec<GenericDefault>) {
+        let name_tok = kw_tok + 1;
+        if !self
+            .tokens
+            .get(name_tok)
+            .is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            return;
+        }
+        let owner = self.text(name_tok).to_owned();
+        let open = name_tok + 1;
+        if !self.is_punct(open, "<") {
+            return;
+        }
+        let close = self.skip_generics(open);
+        let mut j = open + 1;
+        while j + 1 < close {
+            if self.tokens[j].kind == TokKind::Ident && self.is_punct(j + 1, "=") {
+                // Collect the default's idents until `,` or the end.
+                let mut idents = Vec::new();
+                let mut k = j + 2;
+                while k < close && !self.is_punct(k, ",") {
+                    if self.tokens[k].kind == TokKind::Ident {
+                        idents.push(self.text(k).to_owned());
+                    }
+                    if matches!(self.tokens[k].kind, TokKind::Open(_)) {
+                        k = self.match_of[k].max(k);
+                    }
+                    k += 1;
+                }
+                if !idents.is_empty() {
+                    out.push(GenericDefault {
+                        owner: owner.clone(),
+                        default_idents: idents,
+                        line: self.tokens[j].line,
+                    });
+                }
+                j = k;
+            } else {
+                j += 1;
+            }
+        }
+    }
+
+    /// Skips a `<…>` generic group starting at the `<`. Returns the
+    /// index just past the closing `>` (best-effort on malformed input).
+    /// Public so the call-graph layer can step over turbofish.
+    #[must_use]
+    pub fn skip_generics_pub(&self, open: usize) -> usize {
+        self.skip_generics(open)
+    }
+
+    fn skip_generics(&self, open: usize) -> usize {
+        let n = self.tokens.len();
+        let mut depth = 0i64;
+        let mut i = open;
+        while i < n {
+            match self.text(i) {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                ";" => return i, // malformed: stop at statement end
+                _ => {
+                    if matches!(self.tokens[i].kind, TokKind::Open(_)) {
+                        i = self.match_of[i].max(i);
+                    }
+                }
+            }
+            i += 1;
+            if depth <= 0 {
+                return i;
+            }
+        }
+        n
+    }
+
+    /// Parses a `fn` definition starting at the `fn` keyword. Returns
+    /// the index to resume scanning from (just past the signature — the
+    /// body is scanned for nested items by the main loop).
+    fn parse_fn(&self, fn_tok: usize, out: &mut Vec<FnDef>) -> usize {
+        let name_tok = fn_tok + 1;
+        if !self
+            .tokens
+            .get(name_tok)
+            .is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            return fn_tok + 1; // fn-pointer type `fn(u32)` — not a def
+        }
+        let name = self.text(name_tok).to_owned();
+        let n = self.tokens.len();
+        // Find the parameter list: first `(` outside generics.
+        let mut i = name_tok + 1;
+        if self.is_punct(i, "<") {
+            i = self.skip_generics(i);
+        }
+        if !self
+            .tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Open(Delim::Paren))
+        {
+            return name_tok + 1;
+        }
+        let params_close = self.match_of[i].max(i);
+        // Receiver check: `self` in the first parameter (`self`,
+        // `&mut self`, `mut self`, `self: Pin<&mut Self>` all qualify).
+        let mut has_self = false;
+        let mut k = i + 1;
+        while k < params_close {
+            match self.tokens[k].kind {
+                TokKind::Ident if self.text(k) == "self" => {
+                    has_self = true;
+                    break;
+                }
+                TokKind::Punct if self.text(k) == "," => break,
+                TokKind::Open(_) => k = self.match_of[k].max(k),
+                _ => {}
+            }
+            k += 1;
+        }
+        // Find the body `{` (or `;` for body-less declarations), jumping
+        // groups and skipping generic angles in the return type.
+        let mut j = params_close + 1;
+        let mut angle = 0i64;
+        let mut body = None;
+        while j < n {
+            match self.tokens[j].kind {
+                TokKind::Open(Delim::Brace) if angle <= 0 => {
+                    body = Some((j, self.match_of[j].max(j)));
+                    break;
+                }
+                TokKind::Open(_) => {
+                    j = self.match_of[j].max(j);
+                }
+                TokKind::Close(_) => break, // malformed / trait default end
+                TokKind::Punct => match self.text(j) {
+                    ";" if angle <= 0 => break,
+                    "<" => angle += 1,
+                    "<<" => angle += 2,
+                    ">" => angle -= 1,
+                    ">>" => angle -= 2,
+                    _ => {}
+                },
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push(FnDef {
+            name,
+            impl_type: None,
+            sig_line: self.tokens[fn_tok].line,
+            sig_tok: fn_tok,
+            body,
+            has_self,
+            is_test: self.is_test_token(fn_tok),
+        });
+        params_close + 1
+    }
+
+    /// Post-pass: attach impl self-types to fns and enclosing fns to
+    /// unsafe sites by interval containment.
+    fn attach_contexts(&mut self) {
+        // Impl ranges: (body_open, body_close, self_type).
+        let mut impls: Vec<(usize, usize, String)> = Vec::new();
+        let n = self.tokens.len();
+        let mut i = 0usize;
+        while i < n {
+            if self.tokens[i].kind == TokKind::Ident && self.text(i) == "impl" {
+                if let Some((open, close, ty)) = self.parse_impl_header(i) {
+                    impls.push((open, close, ty));
+                    i += 1;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        for f in &mut self.fns {
+            // Innermost impl range containing the fn keyword.
+            let mut best: Option<(usize, usize, &String)> = None;
+            for (open, close, ty) in &impls {
+                if *open < f.sig_tok && f.sig_tok < *close {
+                    if best.is_none_or(|(bo, bc, _)| close - open < bc - bo) {
+                        best = Some((*open, *close, ty));
+                    }
+                }
+            }
+            f.impl_type = best.map(|(_, _, ty)| ty.clone());
+        }
+        // Enclosing fn for unsafe sites: smallest fn body containing it.
+        let bodies: Vec<(usize, usize, String)> = self
+            .fns
+            .iter()
+            .filter_map(|f| f.body.map(|(o, c)| (o, c, f.name.clone())))
+            .collect();
+        for u in &mut self.unsafes {
+            let mut best: Option<(usize, usize, &String)> = None;
+            for (o, c, name) in &bodies {
+                if *o < u.tok && u.tok < *c && best.is_none_or(|(bo, bc, _)| c - o < bc - bo) {
+                    best = Some((*o, *c, name));
+                }
+            }
+            u.enclosing_fn = best.map(|(_, _, name)| name.clone());
+        }
+    }
+
+    /// Parses an `impl` header at `impl_tok`: returns the body brace
+    /// range and the self type name.
+    fn parse_impl_header(&self, impl_tok: usize) -> Option<(usize, usize, String)> {
+        let n = self.tokens.len();
+        let mut i = impl_tok + 1;
+        if self.is_punct(i, "<") {
+            i = self.skip_generics(i);
+        }
+        let mut angle = 0i64;
+        let mut candidate: Option<String> = None;
+        let mut in_where = false;
+        while i < n {
+            match self.tokens[i].kind {
+                TokKind::Open(Delim::Brace) if angle <= 0 => {
+                    let close = self.match_of[i].max(i);
+                    return candidate.map(|ty| (i, close, ty));
+                }
+                TokKind::Open(_) => i = self.match_of[i].max(i),
+                TokKind::Close(_) => return None,
+                TokKind::Punct => match self.text(i) {
+                    ";" if angle <= 0 => return None,
+                    "<" => angle += 1,
+                    "<<" => angle += 2,
+                    ">" => angle -= 1,
+                    ">>" => angle -= 2,
+                    _ => {}
+                },
+                TokKind::Ident if angle <= 0 => match self.text(i) {
+                    "for" => candidate = None, // self type follows `for`
+                    "where" => in_where = true,
+                    "dyn" | "mut" | "const" => {}
+                    w if !in_where => candidate = Some(w.to_owned()),
+                    _ => {}
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Marks unsafe sites that carry an adjacent `// SAFETY:` comment:
+    /// trailing on the same line, or a contiguous comment block ending
+    /// on one of the lines directly above (only comment-only lines may
+    /// intervene).
+    fn mark_safety_comments(&mut self) {
+        // Comment lines (any line touched by a comment) and SAFETY lines.
+        let mut comment_lines = BTreeSet::new();
+        let mut safety_lines = BTreeSet::new();
+        for c in &self.comments {
+            let text = self.src.get(c.lo..c.hi).unwrap_or("");
+            for l in c.line..=c.end_line {
+                comment_lines.insert(l);
+            }
+            if text.contains("SAFETY:") {
+                for l in c.line..=c.end_line {
+                    safety_lines.insert(l);
+                }
+            }
+        }
+        let line_has_token = self.line_has_token.clone();
+        for u in &mut self.unsafes {
+            if safety_lines.contains(&u.line) {
+                u.has_safety = true;
+                continue;
+            }
+            // Walk upward over comment-only lines.
+            let mut l = u.line;
+            while l > 0 {
+                l -= 1;
+                let code = line_has_token.contains(&l);
+                let comment = comment_lines.contains(&l);
+                if comment && safety_lines.contains(&l) {
+                    u.has_safety = true;
+                    break;
+                }
+                if code || !comment {
+                    break; // hit a code line or a blank line
+                }
+            }
+        }
+    }
+}
+
+/// Extracts the rule list from one comment's text, if it is an
+/// `asm-lint: allow(...)` directive.
+fn parse_allow(comment: &str) -> Option<Vec<RuleId>> {
+    let idx = comment.find("asm-lint:")?;
+    let rest = comment[idx + "asm-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<RuleId> = rest[..close].split(',').filter_map(RuleId::parse).collect();
+    if rules.is_empty() {
+        None
+    } else {
+        Some(rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::new("t.rs", src)
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module_body() {
+        let src = "\
+fn prod() { }
+
+#[cfg(test)]
+mod tests {
+    fn helper() { }
+}
+
+fn also_prod() { }
+";
+        let m = model(src);
+        assert!(!m.is_test_line(0));
+        assert!(m.is_test_line(2));
+        assert!(m.is_test_line(3));
+        assert!(m.is_test_line(4));
+        assert!(m.is_test_line(5));
+        assert!(!m.is_test_line(7));
+        let fns: Vec<(&str, bool)> = m.fns.iter().map(|f| (f.name.as_str(), f.is_test)).collect();
+        assert_eq!(fns, vec![("prod", false), ("helper", true), ("also_prod", false)]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_stops_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() { }\n";
+        let m = model(src);
+        assert!(m.is_test_line(1));
+        assert!(!m.is_test_line(2));
+    }
+
+    #[test]
+    fn allow_directive_trailing_and_standalone() {
+        let src = "\
+let a = frob(); // asm-lint: allow(R2): invariant stated elsewhere
+// asm-lint: allow(R1, R3): migration pending
+let b = frob();
+let c = frob();
+// asm-lint: allow(R9): quantum-boundary path
+fn boundary() { }
+";
+        let m = model(src);
+        assert!(m.is_allowed(0, RuleId::R2));
+        assert!(!m.is_allowed(0, RuleId::R1));
+        assert!(m.is_allowed(2, RuleId::R1));
+        assert!(m.is_allowed(2, RuleId::R3));
+        assert!(!m.is_allowed(3, RuleId::R1));
+        assert!(m.is_allowed(5, RuleId::R9));
+    }
+
+    #[test]
+    fn use_trees_expand_groups_renames_and_self() {
+        let src = "\
+use std::collections::{BTreeMap, HashMap as Map};
+pub use crate::inner::{self, Fast as Public};
+use a::b::*;
+";
+        let m = model(src);
+        let names: Vec<(&str, String, bool, bool)> = m
+            .uses
+            .iter()
+            .map(|u| (u.name.as_str(), u.path.join("::"), u.renamed, u.is_pub))
+            .collect();
+        assert!(names.contains(&("BTreeMap".into(), "std::collections::BTreeMap".into(), false, false)), "{names:?}");
+        assert!(names.contains(&("Map".into(), "std::collections::HashMap".into(), true, false)), "{names:?}");
+        assert!(names.contains(&("inner".into(), "crate::inner".into(), false, true)), "{names:?}");
+        assert!(names.contains(&("Public".into(), "crate::inner::Fast".into(), true, true)), "{names:?}");
+    }
+
+    #[test]
+    fn type_aliases_capture_head_and_generic_idents() {
+        let src = "type Fast = std::collections::HashMap<u64, MyVal>;\ntype Plain = Vec<u8>;\n";
+        let m = model(src);
+        assert_eq!(m.aliases.len(), 2);
+        assert_eq!(m.aliases[0].name, "Fast");
+        assert_eq!(m.aliases[0].rhs_head, vec!["std", "collections", "HashMap"]);
+        assert!(m.aliases[0].rhs_idents.contains(&"MyVal".to_owned()));
+        assert_eq!(m.aliases[1].rhs_head, vec!["Vec"]);
+    }
+
+    #[test]
+    fn generic_defaults_are_recorded() {
+        let src = "struct S<K, V, H = RandomState> { k: K, v: V, h: H }\n";
+        let m = model(src);
+        assert_eq!(m.generic_defaults.len(), 1);
+        assert_eq!(m.generic_defaults[0].owner, "S");
+        assert_eq!(m.generic_defaults[0].default_idents, vec!["RandomState"]);
+    }
+
+    #[test]
+    fn fns_get_impl_context_and_bodies() {
+        let src = "\
+struct System;
+impl System {
+    pub fn step(&mut self) { self.tick(); }
+    fn tick(&self) { }
+}
+impl std::fmt::Display for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }
+}
+fn free() -> u64 { 3 }
+";
+        let m = model(src);
+        let sigs: Vec<(String, Option<String>, bool)> = m
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.impl_type.clone(), f.body.is_some()))
+            .collect();
+        assert!(sigs.contains(&("step".into(), Some("System".into()), true)), "{sigs:?}");
+        assert!(sigs.contains(&("tick".into(), Some("System".into()), true)), "{sigs:?}");
+        assert!(sigs.contains(&("fmt".into(), Some("System".into()), true)), "{sigs:?}");
+        assert!(sigs.contains(&("free".into(), None, true)), "{sigs:?}");
+    }
+
+    #[test]
+    fn unsafe_sites_and_safety_adjacency() {
+        let src = "\
+fn a() {
+    // SAFETY: the slice is length-checked above.
+    let x = unsafe { load() };
+}
+fn b() {
+    let y = unsafe { load() };
+}
+fn c() {
+    let z = unsafe { load() }; // SAFETY: trailing form
+}
+";
+        let m = model(src);
+        assert_eq!(m.unsafes.len(), 3);
+        assert!(m.unsafes[0].has_safety);
+        assert!(!m.unsafes[1].has_safety);
+        assert!(m.unsafes[2].has_safety);
+        assert_eq!(m.unsafes[0].enclosing_fn.as_deref(), Some("a"));
+        assert_eq!(m.unsafes[1].enclosing_fn.as_deref(), Some("b"));
+        assert_eq!(m.unsafes[0].kind, UnsafeKind::Block);
+    }
+
+    #[test]
+    fn multiline_safety_comment_blocks_count() {
+        let src = "\
+fn a() {
+    // SAFETY: SSE2 is baseline and the load
+    // reads inside the length-checked slice;
+    // branchless beats the fallback here.
+    let m = unsafe { go() };
+}
+";
+        let m = model(src);
+        assert!(m.unsafes[0].has_safety);
+    }
+
+    #[test]
+    fn malformed_input_never_panics() {
+        for src in [
+            "fn f( {",
+            "impl {",
+            "use ::;",
+            "type = ;",
+            "unsafe",
+            "fn",
+            "}}}",
+            "#[cfg(test)",
+            "struct S<",
+        ] {
+            let m = model(src);
+            let _ = (&m.fns, &m.uses, &m.aliases);
+        }
+    }
+}

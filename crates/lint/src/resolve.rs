@@ -1,0 +1,331 @@
+//! Workspace symbol resolution: the R8 iteration-order taint pass.
+//!
+//! The lexical rules catch `HashMap` spelled out; they provably cannot
+//! catch `type Fast = std::collections::HashMap<u64, u64>;` used three
+//! files away. This pass builds a workspace-wide, name-keyed alias
+//! table from every `use … as` rename, `pub use` re-export, `type`
+//! alias, and struct generic-parameter default, propagates taint from
+//! the hash-ordered roots (`HashMap`, `HashSet`, `RandomState`, and the
+//! `hash_map`/`hash_set` modules) to a fixpoint, and flags every use of
+//! a tainted name in simulation code.
+//!
+//! Resolution is deliberately conservative and purely name-keyed: two
+//! crates using the same alias name both count as tainted. False
+//! positives are cheap (rename the alias or add a reasoned allow);
+//! false negatives are a reproducibility bug.
+//!
+//! An `// asm-lint: allow(R8): reason` on a *definition* line (use,
+//! type alias, or generic default) is a propagation barrier: the
+//! justification vouches for the alias itself (e.g. a fixed-seed
+//! hasher pins iteration order), so no usage anywhere is flagged. An
+//! allow on a *usage* line suppresses only that line.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parse::FileModel;
+use crate::rules::Diagnostic;
+use crate::tokens::TokKind;
+use crate::RuleId;
+
+/// Type names whose iteration/config order is process-randomized.
+const BANNED_TYPES: &[&str] = &["HashMap", "HashSet", "RandomState"];
+
+/// Module path segments that place a name inside the hash collections.
+const BANNED_MODULES: &[&str] = &["hash_map", "hash_set"];
+
+fn is_banned_type(name: &str) -> bool {
+    BANNED_TYPES.contains(&name)
+}
+
+fn path_is_hashy(path: &[String]) -> bool {
+    path.last().is_some_and(|s| is_banned_type(s))
+        || path.iter().any(|s| BANNED_MODULES.contains(&s.as_str()))
+}
+
+/// Runs the R8 pass over the simulation files. Returns
+/// `(active, suppressed)` diagnostics.
+#[must_use]
+pub fn check_alias_taint(models: &[&FileModel]) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    // Taint table: local name -> resolved description of the hash root
+    // it reaches (e.g. "std::collections::HashMap").
+    let mut taint: BTreeMap<String, String> = BTreeMap::new();
+    // Definition sites per name: (path, 0-based line). Usage reporting
+    // skips these — the defining line is either already flagged by the
+    // literal-name rules (R1/R4) or is itself flagged through the name
+    // it mentions.
+    let mut def_sites: BTreeSet<(String, String, usize)> = BTreeSet::new();
+    // Names whose definition line carries `allow(R8)`: the justification
+    // at the source is a propagation *barrier* — the alias is vouched-for
+    // (e.g. a fixed-seed hasher makes iteration deterministic), so
+    // nothing downstream of it is tainted. Mirrors R9's fn-level allow.
+    let mut barriers: BTreeSet<String> = BTreeSet::new();
+
+    for m in models {
+        for u in &m.uses {
+            def_sites.insert((u.name.clone(), m.path.clone(), u.line));
+            if m.is_allowed(u.line, RuleId::R8) {
+                barriers.insert(u.name.clone());
+            }
+        }
+        for a in &m.aliases {
+            def_sites.insert((a.name.clone(), m.path.clone(), a.line));
+            if m.is_allowed(a.line, RuleId::R8) {
+                barriers.insert(a.name.clone());
+            }
+        }
+        for g in &m.generic_defaults {
+            def_sites.insert((g.owner.clone(), m.path.clone(), g.line));
+            if m.is_allowed(g.line, RuleId::R8) {
+                barriers.insert(g.owner.clone());
+            }
+        }
+    }
+
+    // Seed + propagate to fixpoint. Each round only adds names, so the
+    // loop terminates within (number of names) iterations.
+    loop {
+        let mut changed = false;
+        for m in models {
+            for u in &m.uses {
+                if taint.contains_key(&u.name) || barriers.contains(&u.name) {
+                    continue;
+                }
+                // Literal `use std::collections::HashMap;` keeps the
+                // banned name visible: that is R1's business, not R8's.
+                if path_is_hashy(&u.path) && !(is_banned_type(&u.name) && !u.renamed) {
+                    taint.insert(u.name.clone(), u.path.join("::"));
+                    changed = true;
+                } else if let Some(target) =
+                    u.path.last().and_then(|last| taint.get(last)).cloned()
+                {
+                    taint.insert(u.name.clone(), target);
+                    changed = true;
+                }
+            }
+            for a in &m.aliases {
+                if taint.contains_key(&a.name)
+                    || is_banned_type(&a.name)
+                    || barriers.contains(&a.name)
+                {
+                    continue;
+                }
+                let direct = a
+                    .rhs_idents
+                    .iter()
+                    .find(|id| is_banned_type(id))
+                    .map(|id| {
+                        if a.rhs_head.last().is_some_and(|h| h == id.as_str()) {
+                            a.rhs_head.join("::")
+                        } else {
+                            (*id).clone()
+                        }
+                    });
+                let via_alias = a
+                    .rhs_idents
+                    .iter()
+                    .find_map(|id| taint.get(id))
+                    .cloned();
+                if let Some(target) = direct.or(via_alias) {
+                    taint.insert(a.name.clone(), target);
+                    changed = true;
+                }
+            }
+            for g in &m.generic_defaults {
+                if taint.contains_key(&g.owner)
+                    || is_banned_type(&g.owner)
+                    || barriers.contains(&g.owner)
+                {
+                    continue;
+                }
+                let hit = g
+                    .default_idents
+                    .iter()
+                    .find_map(|id| {
+                        if is_banned_type(id) {
+                            Some((*id).clone())
+                        } else {
+                            taint.get(id).cloned()
+                        }
+                    });
+                if let Some(target) = hit {
+                    taint.insert(g.owner.clone(), target);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Usage scan: every non-test mention of a tainted name, outside its
+    // own definition sites.
+    let mut active = Vec::new();
+    let mut suppressed = Vec::new();
+    for m in models {
+        for i in 0..m.tokens.len() {
+            if m.tokens[i].kind != TokKind::Ident || m.is_test_token(i) {
+                continue;
+            }
+            // Field/method positions are values, not types.
+            if i > 0 && m.is_punct(i - 1, ".") {
+                continue;
+            }
+            let name = m.text(i);
+            let Some(target) = taint.get(name) else {
+                continue;
+            };
+            let line = m.tokens[i].line;
+            if def_sites.contains(&(name.to_owned(), m.path.clone(), line)) {
+                continue;
+            }
+            let allowed = m.is_allowed(line, RuleId::R8);
+            let d = Diagnostic {
+                path: m.path.clone(),
+                line: line + 1,
+                col: m.tokens[i].col + 1,
+                rule: RuleId::R8,
+                message: format!(
+                    "`{name}` resolves to `{target}` — hash iteration order is \
+                     process-randomized and can reorder simulated events; use \
+                     `BTreeMap`/`BTreeSet` or an explicitly sorted drain"
+                ),
+                allowed,
+            };
+            if allowed {
+                suppressed.push(d);
+            } else {
+                active.push(d);
+            }
+        }
+    }
+    (active, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models(files: &[(&str, &str)]) -> Vec<FileModel> {
+        files
+            .iter()
+            .map(|(p, c)| FileModel::new(p, c))
+            .collect()
+    }
+
+    fn r8_lines(files: &[(&str, &str)]) -> Vec<(String, usize)> {
+        let owned = models(files);
+        let refs: Vec<&FileModel> = owned.iter().collect();
+        let (active, _) = check_alias_taint(&refs);
+        active.iter().map(|d| (d.path.clone(), d.line)).collect()
+    }
+
+    #[test]
+    fn rename_taints_usage_sites() {
+        let got = r8_lines(&[(
+            "crates/core/src/state.rs",
+            "use std::collections::HashMap as Map;\nstruct S { m: Map }\n",
+        )]);
+        assert_eq!(got, vec![("crates/core/src/state.rs".to_owned(), 2)]);
+    }
+
+    #[test]
+    fn cross_file_type_alias_is_caught() {
+        let got = r8_lines(&[
+            (
+                "crates/core/src/aliases.rs",
+                "pub type Fast = std::collections::HashMap<u64, u64>;\n",
+            ),
+            (
+                "crates/core/src/state.rs",
+                "use crate::aliases::Fast;\npub struct SimState { pub table: Fast }\n",
+            ),
+        ]);
+        assert_eq!(got, vec![("crates/core/src/state.rs".to_owned(), 2)]);
+    }
+
+    #[test]
+    fn chained_aliases_reach_fixpoint() {
+        let got = r8_lines(&[(
+            "crates/core/src/chain.rs",
+            "type A = std::collections::HashSet<u64>;\ntype B = A;\ntype C = B;\nfn f(x: C) { let _ = x; }\n",
+        )]);
+        // B's rhs mentions A (line 2), C's rhs mentions B (line 3), and
+        // the use of C (line 4).
+        assert_eq!(
+            got,
+            vec![
+                ("crates/core/src/chain.rs".to_owned(), 2),
+                ("crates/core/src/chain.rs".to_owned(), 3),
+                ("crates/core/src/chain.rs".to_owned(), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_default_taints_owner() {
+        let got = r8_lines(&[(
+            "crates/core/src/g.rs",
+            "use std::collections::hash_map::RandomState as St;\nstruct Fast<H = St> { h: H }\nfn f(x: Fast) { let _ = x; }\n",
+        )]);
+        // Line 2 uses St (tainted), line 3 uses Fast (tainted via the
+        // generic default).
+        assert_eq!(
+            got,
+            vec![
+                ("crates/core/src/g.rs".to_owned(), 2),
+                ("crates/core/src/g.rs".to_owned(), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn literal_imports_stay_r1_territory() {
+        // A plain `use std::collections::HashMap;` keeps the literal
+        // name: R8 must not double-report what R1 already flags.
+        let got = r8_lines(&[(
+            "crates/core/src/lit.rs",
+            "use std::collections::HashMap;\nfn f(m: HashMap<u64, u64>) { let _ = m; }\n",
+        )]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn allow_directive_routes_to_suppressed() {
+        let owned = models(&[(
+            "crates/core/src/state.rs",
+            "use std::collections::HashMap as Map;\n// asm-lint: allow(R8): drained through a BTreeMap before use\nstruct S { m: Map }\n",
+        )]);
+        let refs: Vec<&FileModel> = owned.iter().collect();
+        let (active, suppressed) = check_alias_taint(&refs);
+        assert!(active.is_empty(), "{active:#?}");
+        assert_eq!(suppressed.len(), 1);
+    }
+
+    #[test]
+    fn def_site_allow_is_a_propagation_barrier() {
+        // One justification at the alias definition clears every usage:
+        // the fixed-seed-hasher pattern (`DetHashMap` in `asm-simcore`).
+        let got = r8_lines(&[
+            (
+                "crates/simcore/src/hash.rs",
+                "// asm-lint: allow(R8): fixed-seed hasher — iteration order is deterministic\n\
+                 pub type DetMap<K, V> = std::collections::HashMap<K, V, S>;\n",
+            ),
+            (
+                "crates/core/src/state.rs",
+                "use asm_simcore::DetMap;\nstruct S { m: DetMap<u64, u64> }\n",
+            ),
+        ]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn clean_aliases_are_untainted() {
+        let got = r8_lines(&[(
+            "crates/core/src/clean.rs",
+            "use std::collections::BTreeMap as Map;\ntype Fast = Vec<u64>;\nstruct S { m: Map, f: Fast }\n",
+        )]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

@@ -1,23 +1,34 @@
-//! The seven determinism & simulation-safety rules (R1–R7).
+//! The per-file rules (R1–R7, R10, R11), re-implemented on the token
+//! stream.
 //!
-//! Each rule scans a [`SourceModel`] line by line over the cleaned text
-//! (comments and literal bodies blanked), skips `#[cfg(test)]` regions
-//! where the rule permits test code, and honours per-line
-//! `// asm-lint: allow(Rn): reason` directives.
+//! Each rule walks a [`FileModel`]'s tokens — comments and literal
+//! bodies are simply not there, so strings and comments can never fire
+//! a rule (strictly fewer false positives than the v1 blanking pass,
+//! and fewer false negatives inside macros and raw strings). Rules skip
+//! `#[cfg(test)]` regions where test code is exempt and honour per-line
+//! `// asm-lint: allow(Rn): reason` directives; suppressed diagnostics
+//! are returned separately so the JSON report can audit them.
 
-use crate::source::{is_ident_byte, RuleId, SourceModel};
+use crate::parse::FileModel;
+use crate::tokens::{Delim, TokKind};
+use crate::{FileRole, Options, RuleId};
 
-/// One rule violation, with a 1-based line for display.
+/// One rule violation, with 1-based line/column for display.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Display path of the offending file.
     pub path: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
     /// Which rule fired.
     pub rule: RuleId,
     /// Human-readable explanation.
     pub message: String,
+    /// Whether an allow directive suppressed it (suppressed diagnostics
+    /// never fail the build but stay visible in `--json` output).
+    pub allowed: bool,
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -33,81 +44,110 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
-/// Runs every rule against one analysed file.
+/// Runs the per-file rules for one analysed file under its role.
+/// Returns `(active, suppressed)` diagnostics, unsorted — call
+/// [`finish`] once all files (and workspace passes) contributed.
 #[must_use]
-pub fn check(model: &SourceModel) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    rule_r1_hash_collections(model, &mut out);
-    rule_r2_unwrap(model, &mut out);
-    rule_r3_float_eq(model, &mut out);
-    rule_r4_entropy(model, &mut out);
-    rule_r5_lossy_casts(model, &mut out);
-    rule_r6_thread_sync(model, &mut out);
-    rule_r7_print(model, &mut out);
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    out
-}
-
-fn push(
-    model: &SourceModel,
-    out: &mut Vec<Diagnostic>,
-    line: usize,
-    rule: RuleId,
-    message: String,
-) {
-    if model.is_allowed(line, rule) {
-        return;
-    }
-    out.push(Diagnostic {
-        path: model.path.clone(),
-        line: line + 1,
-        rule,
-        message,
-    });
-}
-
-/// Finds `needle` as a whole word in `hay`, starting at `from`.
-fn find_word(hay: &str, needle: &str, from: usize) -> Option<usize> {
-    let bytes = hay.as_bytes();
-    let mut start = from;
-    while let Some(pos) = hay.get(start..).and_then(|s| s.find(needle)) {
-        let abs = start + pos;
-        let before_ok = abs == 0 || !is_ident_byte(bytes[abs - 1]);
-        let after = abs + needle.len();
-        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
-        if before_ok && after_ok {
-            return Some(abs);
+pub fn check(
+    model: &FileModel,
+    role: FileRole,
+    _opts: &Options,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    let mut sink = Sink::default();
+    match role {
+        FileRole::Sim => {
+            rule_r1_hash_collections(model, &mut sink);
+            rule_r2_unwrap(model, &mut sink);
+            rule_r3_float_eq(model, &mut sink);
+            rule_r4_entropy(model, &mut sink);
+            rule_r5_lossy_casts(model, &mut sink);
+            rule_r6_thread_sync(model, &mut sink);
+            rule_r7_print(model, &mut sink);
+            rule_r10_safety_comments(model, &mut sink);
         }
-        start = abs + 1;
+        FileRole::Harness => {
+            rule_r10_safety_comments(model, &mut sink);
+            rule_r11_lock_discipline(model, &mut sink);
+        }
     }
-    None
+    (sink.active, sink.suppressed)
 }
 
-fn contains_word(hay: &str, needle: &str) -> bool {
-    find_word(hay, needle, 0).is_some()
+/// Deduplicates (same path/line/rule/message collapses to the leftmost
+/// column) and sorts by `(path, line, rule, col)` so output is stable
+/// regardless of scan order — the property a future `--jobs`-style
+/// parallel file walk must preserve.
+#[must_use]
+pub fn finish(
+    active: Vec<Diagnostic>,
+    suppressed: Vec<Diagnostic>,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    (dedup_sort(active), dedup_sort(suppressed))
 }
 
-/// R1: no `HashMap`/`HashSet` in simulation code. Hash iteration order is
-/// randomized per process and feeds simulated event order.
-fn rule_r1_hash_collections(model: &SourceModel, out: &mut Vec<Diagnostic>) {
-    for (i, line) in model.cleaned.iter().enumerate() {
-        if model.is_test_line(i) {
+fn dedup_sort(mut v: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    v.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, a.col, &a.message).cmp(&(&b.path, b.line, b.rule, b.col, &b.message))
+    });
+    v.dedup_by(|next, kept| {
+        kept.path == next.path
+            && kept.line == next.line
+            && kept.rule == next.rule
+            && kept.message == next.message
+    });
+    v
+}
+
+/// Collects active and suppressed diagnostics for one file.
+#[derive(Default)]
+struct Sink {
+    active: Vec<Diagnostic>,
+    suppressed: Vec<Diagnostic>,
+}
+
+impl Sink {
+    fn emit(&mut self, model: &FileModel, line: usize, col: usize, rule: RuleId, message: String) {
+        let allowed = model.is_allowed(line, rule);
+        let d = Diagnostic {
+            path: model.path.clone(),
+            line: line + 1,
+            col: col + 1,
+            rule,
+            message,
+            allowed,
+        };
+        if allowed {
+            self.suppressed.push(d);
+        } else {
+            self.active.push(d);
+        }
+    }
+
+    fn emit_at(&mut self, model: &FileModel, tok: usize, rule: RuleId, message: String) {
+        let t = &model.tokens[tok];
+        self.emit(model, t.line, t.col, rule, message);
+    }
+}
+
+/// R1: no `HashMap`/`HashSet` in simulation code. Hash iteration order
+/// is randomized per process and feeds simulated event order.
+fn rule_r1_hash_collections(model: &FileModel, sink: &mut Sink) {
+    for i in 0..model.tokens.len() {
+        if model.tokens[i].kind != TokKind::Ident || model.is_test_token(i) {
             continue;
         }
-        for ty in ["HashMap", "HashSet"] {
-            if contains_word(line, ty) {
-                push(
-                    model,
-                    out,
-                    i,
-                    RuleId::R1,
-                    format!(
-                        "simulation code uses `{ty}` — iteration order is \
-                         process-randomized and can reorder simulated events; \
-                         use `BTreeMap`/`BTreeSet` or an explicitly sorted drain"
-                    ),
-                );
-            }
+        let ty = model.text(i);
+        if ty == "HashMap" || ty == "HashSet" {
+            sink.emit_at(
+                model,
+                i,
+                RuleId::R1,
+                format!(
+                    "simulation code uses `{ty}` — iteration order is \
+                     process-randomized and can reorder simulated events; \
+                     use `BTreeMap`/`BTreeSet` or an explicitly sorted drain"
+                ),
+            );
         }
     }
 }
@@ -116,21 +156,23 @@ fn rule_r1_hash_collections(model: &SourceModel, out: &mut Vec<Diagnostic>) {
 const MIN_INVARIANT_LEN: usize = 10;
 
 /// R2: no `unwrap()` and no bare `expect` outside `#[cfg(test)]`.
-fn rule_r2_unwrap(model: &SourceModel, out: &mut Vec<Diagnostic>) {
-    for (i, line) in model.cleaned.iter().enumerate() {
-        if model.is_test_line(i) {
+fn rule_r2_unwrap(model: &FileModel, sink: &mut Sink) {
+    for i in 0..model.tokens.len() {
+        if model.tokens[i].kind != TokKind::Ident || model.is_test_token(i) {
             continue;
         }
-        // `.unwrap()` — exact method name, not unwrap_or/unwrap_err/...
-        let mut from = 0;
-        while let Some(pos) = find_word(line, "unwrap", from) {
-            from = pos + 6;
-            let preceded_by_dot = line[..pos].trim_end().ends_with('.');
-            let followed_by_call = line[pos + 6..].trim_start().starts_with('(');
-            if preceded_by_dot && followed_by_call {
-                push(
+        let preceded_by_dot = i > 0 && model.is_punct(i - 1, ".");
+        if !preceded_by_dot {
+            continue;
+        }
+        let followed_by_call = model
+            .tokens
+            .get(i + 1)
+            .is_some_and(|t| t.kind == TokKind::Open(Delim::Paren));
+        match model.text(i) {
+            "unwrap" if followed_by_call => {
+                sink.emit_at(
                     model,
-                    out,
                     i,
                     RuleId::R2,
                     "`unwrap()` in simulation code — state the invariant with \
@@ -138,147 +180,147 @@ fn rule_r2_unwrap(model: &SourceModel, out: &mut Vec<Diagnostic>) {
                         .to_owned(),
                 );
             }
-        }
-        // `.expect("msg")` — message must state an invariant.
-        let mut from = 0;
-        while let Some(pos) = find_word(line, "expect", from) {
-            from = pos + 6;
-            let preceded_by_dot = line[..pos].trim_end().ends_with('.');
-            if !preceded_by_dot {
-                continue;
-            }
-            let after = &line[pos + 6..];
-            if !after.trim_start().starts_with('(') {
-                continue;
-            }
-            // Read the original text (literals intact), possibly spanning
-            // lines, and extract the first string-literal argument.
-            let window = model.original_window(i, pos, 4);
-            match expect_message(&window) {
-                Some(msg) if msg.chars().count() >= MIN_INVARIANT_LEN => {}
-                Some(_) => push(
-                    model,
-                    out,
-                    i,
-                    RuleId::R2,
-                    "bare `expect` — the message is too short to state an \
-                     invariant; explain why this cannot fail"
-                        .to_owned(),
-                ),
-                None => push(
-                    model,
-                    out,
-                    i,
-                    RuleId::R2,
-                    "`expect` without a literal invariant message — state why \
-                     this cannot fail in a string literal"
-                        .to_owned(),
-                ),
-            }
-        }
-    }
-}
-
-/// Extracts the first string-literal argument after `expect(` in `window`
-/// (which starts at the `expect` token).
-fn expect_message(window: &str) -> Option<String> {
-    let open = window.find('(')?;
-    let rest = &window[open + 1..];
-    // Only accept a literal that starts the argument list (after
-    // whitespace); `expect(&format!(...))` and friends are not literals.
-    let trimmed = rest.trim_start();
-    let inner = trimmed.strip_prefix('"')?;
-    let mut msg = String::new();
-    let mut chars = inner.chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '"' => return Some(msg),
-            '\\' => {
-                if let Some(e) = chars.next() {
-                    msg.push(e);
+            "expect" if followed_by_call => {
+                // First argument token: a string literal states the
+                // invariant; anything else (format!, variables) does not.
+                let arg = i + 2;
+                let msg = model
+                    .tokens
+                    .get(arg)
+                    .filter(|t| t.kind == TokKind::Str)
+                    .and_then(|_| str_literal_content(model.text(arg)));
+                match msg {
+                    Some(m) if m.chars().count() >= MIN_INVARIANT_LEN => {}
+                    Some(_) => sink.emit_at(
+                        model,
+                        i,
+                        RuleId::R2,
+                        "bare `expect` — the message is too short to state an \
+                         invariant; explain why this cannot fail"
+                            .to_owned(),
+                    ),
+                    None => sink.emit_at(
+                        model,
+                        i,
+                        RuleId::R2,
+                        "`expect` without a literal invariant message — state why \
+                         this cannot fail in a string literal"
+                            .to_owned(),
+                    ),
                 }
             }
-            _ => msg.push(c),
+            _ => {}
         }
     }
-    None
 }
 
-/// Operand-boundary characters for R3's textual operand extraction.
-const OPERAND_BOUNDARY: &[char] = &[
-    ',', ';', '(', '{', '[', ')', '}', ']', '&', '|', '<', '>', '?',
+/// Decodes the content of a string-literal token (`"…"`, `r#"…"#`,
+/// `b"…"`). Escaped characters count as the escaped character, matching
+/// the v1 length semantics (`\n` counts one).
+fn str_literal_content(text: &str) -> Option<String> {
+    let open = text.find('"')?;
+    let raw = text[..open].contains('r') || text[..open].contains('R');
+    let close = text.rfind('"')?;
+    if close <= open {
+        return None;
+    }
+    let inner = &text[open + 1..close];
+    if raw {
+        return Some(inner.to_owned());
+    }
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(e) = chars.next() {
+                out.push(e);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Punctuation that ends an operand for R3's neighbourhood scan.
+const OPERAND_BOUNDARY: &[&str] = &[
+    ",", ";", "&", "|", "&&", "||", "<", ">", "<<", ">>", "<=", ">=", "?",
 ];
 
-/// R3: no `f64`/`f32` `==`/`!=` comparisons. Detection is textual: either
-/// operand mentions a float literal, an `f64`/`f32` type, or a float-ish
-/// accessor. Slowdown/CAR ratios must be compared with an epsilon (see
-/// `asm_metrics::approx`) or in integer cycle math.
-fn rule_r3_float_eq(model: &SourceModel, out: &mut Vec<Diagnostic>) {
-    for (i, line) in model.cleaned.iter().enumerate() {
-        if model.is_test_line(i) {
+/// R3: no `f64`/`f32` `==`/`!=` comparisons. An operand is float-typed
+/// when its token neighbourhood (up to the nearest boundary) contains a
+/// float literal, an `f64`/`f32` mention, or `NAN`/`INFINITY`.
+fn rule_r3_float_eq(model: &FileModel, sink: &mut Sink) {
+    for i in 0..model.tokens.len() {
+        if model.tokens[i].kind != TokKind::Punct || model.is_test_token(i) {
             continue;
         }
-        let bytes = line.as_bytes();
-        for pos in 0..bytes.len().saturating_sub(1) {
-            let op = &bytes[pos..pos + 2];
-            let is_eq = op == b"==";
-            let is_ne = op == b"!=";
-            if !is_eq && !is_ne {
-                continue;
+        let op = model.text(i);
+        if op != "==" && op != "!=" {
+            continue;
+        }
+        let mut floaty = false;
+        // Left neighbourhood.
+        let mut k = i;
+        let mut steps = 0;
+        while k > 0 && steps < 16 {
+            k -= 1;
+            steps += 1;
+            if is_operand_boundary(model, k) {
+                break;
             }
-            // Reject `===`/`!==`/`<=`/`>=`/`=>`-adjacent forms.
-            if pos > 0 && matches!(bytes[pos - 1], b'=' | b'!' | b'<' | b'>') {
-                continue;
+            if is_float_token(model, k) {
+                floaty = true;
+                break;
             }
-            if bytes.get(pos + 2) == Some(&b'=') {
-                continue;
+        }
+        // Right neighbourhood.
+        let mut k = i + 1;
+        let mut steps = 0;
+        while !floaty && k < model.tokens.len() && steps < 16 {
+            if is_operand_boundary(model, k) {
+                break;
             }
-            let left = &line[..pos];
-            let right = &line[pos + 2..];
-            let left_op = left.rsplit(OPERAND_BOUNDARY).next().unwrap_or("");
-            let right_op = right.split(OPERAND_BOUNDARY).next().unwrap_or("");
-            if is_floaty(left_op) || is_floaty(right_op) {
-                push(
-                    model,
-                    out,
-                    i,
-                    RuleId::R3,
-                    format!(
-                        "float `{}` comparison — exact equality on f64/f32 is \
-                         fragile; use an epsilon helper or integer cycle math",
-                        if is_eq { "==" } else { "!=" }
-                    ),
-                );
+            if is_float_token(model, k) {
+                floaty = true;
+                break;
             }
+            k += 1;
+            steps += 1;
+        }
+        if floaty {
+            sink.emit_at(
+                model,
+                i,
+                RuleId::R3,
+                format!(
+                    "float `{op}` comparison — exact equality on f64/f32 is \
+                     fragile; use an epsilon helper or integer cycle math"
+                ),
+            );
         }
     }
 }
 
-/// Whether an operand snippet is textually float-typed: a float literal
-/// (`1.0`, `0.5`), an `f64`/`f32` mention (type ascription or cast), or
-/// the float constants `NAN`/`INFINITY`.
-fn is_floaty(operand: &str) -> bool {
-    let op = operand.trim();
-    if contains_word(op, "f64") || contains_word(op, "f32") {
-        return true;
+fn is_operand_boundary(model: &FileModel, i: usize) -> bool {
+    match model.tokens[i].kind {
+        TokKind::Open(_) | TokKind::Close(_) => true,
+        TokKind::Punct => OPERAND_BOUNDARY.contains(&model.text(i)),
+        _ => false,
     }
-    if contains_word(op, "NAN") || contains_word(op, "INFINITY") {
-        return true;
+}
+
+fn is_float_token(model: &FileModel, i: usize) -> bool {
+    match model.tokens[i].kind {
+        TokKind::Float => true,
+        TokKind::Ident => matches!(model.text(i), "f64" | "f32" | "NAN" | "INFINITY"),
+        _ => false,
     }
-    // Float literal: digit '.' digit (excludes ranges `0..1` and tuple
-    // field access `x.0` which lacks a digit before the dot).
-    let b = op.as_bytes();
-    (0..b.len().saturating_sub(2)).any(|i| {
-        b[i].is_ascii_digit()
-            && b[i + 1] == b'.'
-            && b[i + 2].is_ascii_digit()
-            && (i == 0 || !is_ident_byte(b[i - 1]))
-    })
 }
 
 /// R4: no wall-clock or OS entropy in simulation crates — `SimRng` only.
 /// (`std::time::Duration` is a plain value type and stays legal.)
-fn rule_r4_entropy(model: &SourceModel, out: &mut Vec<Diagnostic>) {
+fn rule_r4_entropy(model: &FileModel, sink: &mut Sink) {
     const BANNED: &[(&str, &str)] = &[
         ("Instant", "wall-clock time is not simulated time"),
         ("SystemTime", "wall-clock time is not simulated time"),
@@ -290,33 +332,30 @@ fn rule_r4_entropy(model: &SourceModel, out: &mut Vec<Diagnostic>) {
             "per-process hash randomization breaks seed-reproducibility",
         ),
     ];
-    for (i, line) in model.cleaned.iter().enumerate() {
-        if model.is_test_line(i) {
+    for i in 0..model.tokens.len() {
+        if model.tokens[i].kind != TokKind::Ident || model.is_test_token(i) {
             continue;
         }
-        for &(word, why) in BANNED {
-            if contains_word(line, word) {
-                push(
-                    model,
-                    out,
-                    i,
-                    RuleId::R4,
-                    format!("`{word}` in simulation code — {why}; derive all randomness from `SimRng`"),
-                );
-            }
+        let word = model.text(i);
+        if let Some(&(w, why)) = BANNED.iter().find(|&&(w, _)| w == word) {
+            sink.emit_at(
+                model,
+                i,
+                RuleId::R4,
+                format!("`{w}` in simulation code — {why}; derive all randomness from `SimRng`"),
+            );
+            continue;
         }
-        // External `rand` crate paths (`rand::...` / `use rand`).
-        if let Some(pos) = find_word(line, "rand", 0) {
-            let after = line[pos + 4..].trim_start();
-            let before = line[..pos].trim_end();
-            let is_path_root = after.starts_with("::")
-                && !before.ends_with("::")
-                && !before.ends_with('.');
-            let is_use = before.ends_with("use") && (after.starts_with("::") || after.starts_with(';'));
+        if word == "rand" {
+            // `rand::...` as a path root, or `use rand;`.
+            let next_coloncolon = model.is_punct(i + 1, "::");
+            let prev_path = i > 0 && (model.is_punct(i - 1, "::") || model.is_punct(i - 1, "."));
+            let after_use = i > 0 && model.is_ident(i - 1, "use");
+            let is_path_root = next_coloncolon && !prev_path;
+            let is_use = after_use && (next_coloncolon || model.is_punct(i + 1, ";"));
             if is_path_root || is_use {
-                push(
+                sink.emit_at(
                     model,
-                    out,
                     i,
                     RuleId::R4,
                     "external `rand` crate in simulation code — OS-seeded RNGs \
@@ -341,33 +380,29 @@ const MONEY_PATHS: &[&str] = &["billing.rs", "accounting.rs"];
 /// justified (allow directive) or replaced with a lossless conversion —
 /// silent truncation or precision loss there corrupts what tenants are
 /// charged.
-fn rule_r5_lossy_casts(model: &SourceModel, out: &mut Vec<Diagnostic>) {
+fn rule_r5_lossy_casts(model: &FileModel, sink: &mut Sink) {
     if !MONEY_PATHS.iter().any(|p| model.path.ends_with(p)) {
         return;
     }
-    for (i, line) in model.cleaned.iter().enumerate() {
-        if model.is_test_line(i) {
+    for i in 0..model.tokens.len() {
+        if !model.is_ident(i, "as") || model.is_test_token(i) {
             continue;
         }
-        let mut from = 0;
-        while let Some(pos) = find_word(line, "as", from) {
-            from = pos + 2;
-            let target = line[pos + 2..].trim_start();
-            let casts_to_numeric = NUMERIC_TYPES
-                .iter()
-                .any(|ty| target.starts_with(ty) && !is_ident_byte(*target.as_bytes().get(ty.len()).unwrap_or(&b' ')));
-            if casts_to_numeric {
-                push(
-                    model,
-                    out,
-                    i,
-                    RuleId::R5,
-                    "numeric `as` cast in billing/accounting arithmetic — \
-                     potential silent truncation/precision loss; use `From`/`try_from` \
-                     or justify with an allow directive"
-                        .to_owned(),
-                );
-            }
+        let target_is_numeric = model
+            .tokens
+            .get(i + 1)
+            .is_some_and(|t| t.kind == TokKind::Ident)
+            && NUMERIC_TYPES.contains(&model.text(i + 1));
+        if target_is_numeric {
+            sink.emit_at(
+                model,
+                i,
+                RuleId::R5,
+                "numeric `as` cast in billing/accounting arithmetic — \
+                 potential silent truncation/precision loss; use `From`/`try_from` \
+                 or justify with an allow directive"
+                    .to_owned(),
+            );
         }
     }
 }
@@ -383,90 +418,90 @@ const SYNC_PRIMITIVES: &[&str] = &[
 ///
 /// The simulator must be a pure single-threaded function of its inputs:
 /// lock acquisition order and atomic read-modify-write interleavings
-/// depend on the OS scheduler, so any `std::thread` / `std::sync` use
-/// (beyond `Arc`, which is mere shared ownership) could make simulated
-/// event order vary run to run. Parallelism lives exclusively in the
+/// depend on the OS scheduler. Parallelism lives exclusively in the
 /// harness crates (`experiments`/`bench`), which fan out *whole*
 /// simulations and merge results in submission order.
 ///
 /// Emits at most one diagnostic per line (first trigger wins).
-fn rule_r6_thread_sync(model: &SourceModel, out: &mut Vec<Diagnostic>) {
-    for (i, line) in model.cleaned.iter().enumerate() {
-        if model.is_test_line(i) {
+fn rule_r6_thread_sync(model: &FileModel, sink: &mut Sink) {
+    let mut last_line = usize::MAX;
+    for i in 0..model.tokens.len() {
+        let line = model.tokens[i].line;
+        if line == last_line || model.is_test_token(i) {
             continue;
         }
-        if let Some(msg) = r6_violation(line) {
-            push(model, out, i, RuleId::R6, msg);
+        if let Some((tok, msg)) = r6_violation_on_line(model, i) {
+            last_line = line;
+            sink.emit_at(model, tok, RuleId::R6, msg);
         }
     }
 }
 
-/// First R6 trigger on a cleaned line, if any.
-fn r6_violation(line: &str) -> Option<String> {
-    // `std::thread` / `thread::spawn` / `use std::thread;` — the word
-    // `thread` in path position (next to `::`). Plain identifiers named
-    // `thread` and words like `thread_rng` (R4's business) stay out.
-    let mut from = 0;
-    while let Some(pos) = find_word(line, "thread", from) {
-        from = pos + 6;
-        let is_path = line[..pos].trim_end().ends_with("::")
-            || line[pos + 6..].trim_start().starts_with("::");
-        if is_path {
-            return Some(
+/// Scans the rest of the line starting at token `start` for the first
+/// R6 trigger, in the v1 priority order: `thread` paths, `std::sync`
+/// beyond `Arc`, sync primitive names, `Atomic*` types.
+fn r6_violation_on_line(model: &FileModel, start: usize) -> Option<(usize, String)> {
+    let line = model.tokens[start].line;
+    let end = (start..model.tokens.len())
+        .take_while(|&i| model.tokens[i].line == line)
+        .last()?
+        + 1;
+    // 1. `std::thread` / `thread::spawn`: `thread` in path position.
+    for i in start..end {
+        if model.is_ident(i, "thread")
+            && ((i > 0 && model.is_punct(i - 1, "::")) || model.is_punct(i + 1, "::"))
+        {
+            return Some((
+                i,
                 "`std::thread` in simulation code — the simulator must stay \
                  single-threaded; parallelism lives in the harness crates \
                  (`experiments`/`bench`)"
                     .to_owned(),
-            );
-        }
-    }
-    // `std::sync::*` paths other than `std::sync::Arc`.
-    let mut from = 0;
-    while let Some(pos) = find_word(line, "std", from) {
-        from = pos + 3;
-        let after = &line[pos + 3..];
-        let Some(rest) = after.strip_prefix("::sync") else {
-            continue;
-        };
-        if rest.as_bytes().first().copied().is_some_and(is_ident_byte) {
-            continue; // `std::sync` must end the path segment
-        }
-        let arc_only = rest
-            .strip_prefix("::Arc")
-            .is_some_and(|tail| !tail.as_bytes().first().copied().is_some_and(is_ident_byte));
-        if !arc_only {
-            return Some(
-                "`std::sync` (beyond `Arc`) in simulation code — locks and \
-                 channels make event order depend on thread scheduling; keep \
-                 synchronisation in the harness crates (`experiments`/`bench`)"
-                    .to_owned(),
-            );
-        }
-    }
-    // Primitive type names, wherever imported from.
-    for &word in SYNC_PRIMITIVES {
-        if contains_word(line, word) {
-            return Some(format!(
-                "`{word}` in simulation code — lock/channel timing depends on \
-                 thread scheduling and can reorder simulated events; keep \
-                 synchronisation in the harness crates (`experiments`/`bench`)"
             ));
         }
     }
-    // `Atomic*` types (AtomicUsize, AtomicBool, AtomicU64, ...): an
-    // identifier starting with `Atomic` at a word boundary.
-    let bytes = line.as_bytes();
-    let mut start = 0;
-    while let Some(rel) = line.get(start..).and_then(|s| s.find("Atomic")) {
-        let abs = start + rel;
-        start = abs + 1;
-        if abs == 0 || !is_ident_byte(bytes[abs - 1]) {
-            return Some(
+    // 2. `std::sync::*` paths other than `std::sync::Arc`.
+    for i in start..end {
+        if model.is_ident(i, "std")
+            && model.is_punct(i + 1, "::")
+            && model.is_ident(i + 2, "sync")
+        {
+            let arc_only = model.is_punct(i + 3, "::") && model.is_ident(i + 4, "Arc");
+            if !arc_only {
+                return Some((
+                    i,
+                    "`std::sync` (beyond `Arc`) in simulation code — locks and \
+                     channels make event order depend on thread scheduling; keep \
+                     synchronisation in the harness crates (`experiments`/`bench`)"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+    // 3. Primitive type names, wherever imported from.
+    for i in start..end {
+        if model.tokens[i].kind == TokKind::Ident && SYNC_PRIMITIVES.contains(&model.text(i)) {
+            let word = model.text(i);
+            return Some((
+                i,
+                format!(
+                    "`{word}` in simulation code — lock/channel timing depends on \
+                     thread scheduling and can reorder simulated events; keep \
+                     synchronisation in the harness crates (`experiments`/`bench`)"
+                ),
+            ));
+        }
+    }
+    // 4. `Atomic*` types (AtomicUsize, AtomicBool, AtomicU64, ...).
+    for i in start..end {
+        if model.tokens[i].kind == TokKind::Ident && model.text(i).starts_with("Atomic") {
+            return Some((
+                i,
                 "atomic type in simulation code — read-modify-write \
                  interleavings depend on thread scheduling; keep atomics in \
                  the harness crates (`experiments`/`bench`)"
                     .to_owned(),
-            );
+            ));
         }
     }
     None
@@ -479,46 +514,197 @@ const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"]
 /// crates.
 ///
 /// Experiment stdout must be byte-identical across `--jobs` values and
-/// seeds, and stderr is reserved for harness progress chatter — a print
-/// buried in simulation code breaks both and hides state from the
-/// telemetry layer. Observability goes through `asm-telemetry` (counters,
-/// series, traces) or data returned to the harness; tests may print
-/// freely.
-fn rule_r7_print(model: &SourceModel, out: &mut Vec<Diagnostic>) {
-    for (i, line) in model.cleaned.iter().enumerate() {
-        if model.is_test_line(i) {
+/// seeds, and stderr is reserved for harness progress chatter.
+/// Observability goes through `asm-telemetry` (counters, series,
+/// traces) or data returned to the harness; tests may print freely.
+fn rule_r7_print(model: &FileModel, sink: &mut Sink) {
+    for i in 0..model.tokens.len() {
+        if model.tokens[i].kind != TokKind::Ident || model.is_test_token(i) {
             continue;
         }
-        for &mac in PRINT_MACROS {
-            let mut from = 0;
-            while let Some(pos) = find_word(line, mac, from) {
-                from = pos + mac.len();
-                if !line[pos + mac.len()..].starts_with('!') {
-                    continue;
-                }
-                push(
-                    model,
-                    out,
-                    i,
-                    RuleId::R7,
-                    format!(
-                        "`{mac}!` in simulation code — stdout/stderr must stay \
-                         reserved for the harness (tables are byte-compared \
-                         across runs); record state via `asm-telemetry` \
-                         counters/series/traces or return it to the caller"
-                    ),
-                );
-            }
+        let mac = model.text(i);
+        if PRINT_MACROS.contains(&mac) && model.is_punct(i + 1, "!") {
+            sink.emit_at(
+                model,
+                i,
+                RuleId::R7,
+                format!(
+                    "`{mac}!` in simulation code — stdout/stderr must stay \
+                     reserved for the harness (tables are byte-compared \
+                     across runs); record state via `asm-telemetry` \
+                     counters/series/traces or return it to the caller"
+                ),
+            );
         }
     }
+}
+
+/// R10: every non-test `unsafe` site needs an adjacent `// SAFETY:`
+/// comment — trailing on the same line or a contiguous comment block
+/// ending directly above — stating the invariant that makes it sound.
+/// All sites, justified or not, land in the emitted unsafe inventory.
+fn rule_r10_safety_comments(model: &FileModel, sink: &mut Sink) {
+    for u in &model.unsafes {
+        if u.is_test || u.has_safety {
+            continue;
+        }
+        let what = match u.kind.name() {
+            "block" => "`unsafe` block",
+            "fn" => "`unsafe fn`",
+            "impl" => "`unsafe impl`",
+            _ => "`unsafe trait`",
+        };
+        sink.emit(
+            model,
+            u.line,
+            u.col,
+            RuleId::R10,
+            format!(
+                "{what} without an adjacent `// SAFETY:` comment — state the \
+                 invariant that makes it sound (same line or the comment block \
+                 directly above); every unsafe site is audited via the \
+                 unsafe-inventory"
+            ),
+        );
+    }
+}
+
+/// Methods whose call sites R11 watches: dispatch entry points of the
+/// experiments `Runner`.
+const RUNNER_DISPATCH: &[&str] = &["run", "run_with"];
+
+/// R11: harness lock discipline — no `MutexGuard` may be held across a
+/// call into `Runner::run`/`run_with`. The pool fans out and joins
+/// inside those calls; a guard held across them serializes every worker
+/// behind one lock and can deadlock with sinks that lock the same data.
+fn rule_r11_lock_discipline(model: &FileModel, sink: &mut Sink) {
+    for f in &model.fns {
+        let Some((open, close)) = f.body else { continue };
+        if f.is_test {
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut guards: Vec<(String, i64, usize)> = Vec::new(); // (name, depth, live_from)
+        let mut i = open + 1;
+        while i < close {
+            match model.tokens[i].kind {
+                TokKind::Open(Delim::Brace) => depth += 1,
+                TokKind::Close(Delim::Brace) => {
+                    depth -= 1;
+                    guards.retain(|&(_, d, _)| d <= depth);
+                }
+                TokKind::Ident => {
+                    let word = model.text(i);
+                    if word == "let" {
+                        let end = statement_end(model, i, close);
+                        if let Some(name) = guard_binding(model, i, end) {
+                            guards.push((name, depth, end));
+                        }
+                    } else if word == "drop"
+                        && model
+                            .tokens
+                            .get(i + 1)
+                            .is_some_and(|t| t.kind == TokKind::Open(Delim::Paren))
+                        && model.tokens.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+                        && model
+                            .tokens
+                            .get(i + 3)
+                            .is_some_and(|t| t.kind == TokKind::Close(Delim::Paren))
+                    {
+                        let dropped = model.text(i + 2).to_owned();
+                        guards.retain(|(n, _, _)| *n != dropped);
+                    } else if RUNNER_DISPATCH.contains(&word)
+                        && i > 0
+                        && (model.is_punct(i - 1, ".") || model.is_punct(i - 1, "::"))
+                        && model
+                            .tokens
+                            .get(i + 1)
+                            .is_some_and(|t| t.kind == TokKind::Open(Delim::Paren))
+                    {
+                        if let Some((name, _, _)) = guards.iter().find(|&&(_, _, from)| from < i) {
+                            sink.emit_at(
+                                model,
+                                i,
+                                RuleId::R11,
+                                format!(
+                                    "`MutexGuard` `{name}` is still live across `{word}(…)` — \
+                                     a lock held while dispatching simulations serializes the \
+                                     pool and risks deadlock; drop or scope the guard before \
+                                     calling `Runner::{word}`"
+                                ),
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+}
+
+/// The token index of the `;` ending the statement at `from` (or the
+/// enclosing close brace), jumping over bracketed groups.
+fn statement_end(model: &FileModel, from: usize, limit: usize) -> usize {
+    let mut i = from;
+    while i < limit {
+        match model.tokens[i].kind {
+            TokKind::Open(_) => i = model.match_of[i].max(i),
+            TokKind::Close(_) => return i,
+            TokKind::Punct if model.text(i) == ";" => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    limit
+}
+
+/// If the `let` statement at `let_tok..end` binds a `.lock()` result to
+/// a named variable, that name.
+fn guard_binding(model: &FileModel, let_tok: usize, end: usize) -> Option<String> {
+    // Pattern name: first identifier after `let`, skipping `mut`.
+    let mut p = let_tok + 1;
+    if model.is_ident(p, "mut") {
+        p += 1;
+    }
+    if !model.tokens.get(p).is_some_and(|t| t.kind == TokKind::Ident) {
+        return None; // tuple/struct patterns: out of scope
+    }
+    let name = model.text(p);
+    if name == "_" {
+        return None;
+    }
+    // `.lock(` anywhere in the initializer — but not inside a brace
+    // block (`let x = { let g = m.lock(); *g };` drops the guard at the
+    // block's end, so `x` is not a guard).
+    let mut i = p + 1;
+    while i < end {
+        if model.tokens[i].kind == TokKind::Open(Delim::Brace) {
+            i = model.match_of[i].max(i) + 1;
+            continue;
+        }
+        if model.is_ident(i, "lock")
+            && i > 0
+            && model.is_punct(i - 1, ".")
+            && model
+                .tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokKind::Open(Delim::Paren))
+        {
+            return Some(name.to_owned());
+        }
+        i += 1;
+    }
+    None
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lint_source;
 
     fn diag(path: &str, src: &str) -> Vec<Diagnostic> {
-        check(&SourceModel::new(path, src))
+        lint_source(path, src)
     }
 
     #[test]
@@ -530,7 +716,7 @@ fn f() { let m: HashMap<u64, u64> = HashMap::new(); }
 mod tests { use std::collections::HashSet; }
 ";
         let d = diag("x.rs", src);
-        // One diagnostic per line per offending type.
+        // Line 2 mentions HashMap twice with one message: deduplicated.
         assert_eq!(d.iter().filter(|d| d.rule == RuleId::R1).count(), 2);
         assert!(d.iter().all(|d| d.line <= 2));
     }
@@ -551,6 +737,25 @@ fn f(o: Option<u32>) -> u32 {
         assert_eq!(r2.len(), 2, "{r2:?}");
         assert_eq!(r2[0].line, 2);
         assert_eq!(r2[1].line, 3);
+    }
+
+    #[test]
+    fn r2_sees_unwrap_inside_macros_and_multiline_expect() {
+        // v1's line heuristics could miss macro bodies; the token rules
+        // must not.
+        let src = "\
+fn f(o: Option<u32>) -> u32 {
+    my_macro!(o.unwrap())
+}
+fn g(o: Option<u32>) -> u32 {
+    o.expect(
+        \"queue drained before quantum end, checked by caller\",
+    )
+}
+";
+        let d = diag("x.rs", src);
+        let r2: Vec<usize> = d.iter().filter(|d| d.rule == RuleId::R2).map(|d| d.line).collect();
+        assert_eq!(r2, vec![2], "{d:#?}");
     }
 
     #[test]
@@ -601,22 +806,11 @@ fn a() { let c = std::sync::atomic::AtomicUsize::new(0); }
 
     #[test]
     fn r6_allows_arc_and_test_code() {
-        // Arc is deterministic shared ownership; `thread` as a plain
-        // identifier is not a path; tests may synchronise freely.
         let src = "\
 use std::sync::Arc;
 fn f(x: Arc<u64>) -> u64 { let thread = *x; thread }
 #[cfg(test)]
 mod tests { use std::thread; fn t() { thread::yield_now(); } }
-";
-        assert!(diag("crates/core/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn r6_allow_directive_suppresses() {
-        let src = "\
-// asm-lint: allow(R6): single-threaded lock, documented invariant
-use std::sync::Mutex;
 ";
         assert!(diag("crates/core/src/x.rs", src).is_empty());
     }
@@ -637,23 +831,49 @@ mod tests { fn t() { println!(\"test chatter is fine\"); } }
     }
 
     #[test]
-    fn r7_allow_directive_suppresses() {
+    fn r10_fires_without_safety_and_not_with() {
         let src = "\
-// asm-lint: allow(R7): one-shot diagnostic behind an env flag
-fn f() { eprintln!(\"debug\"); }
+fn a() {
+    // SAFETY: the index is bounds-checked two lines up.
+    let x = unsafe { go() };
+    let y = unsafe { go() };
+}
 ";
-        assert!(diag("crates/core/src/x.rs", src).is_empty());
+        let d = diag("crates/cache/src/x.rs", src);
+        let r10: Vec<usize> = d.iter().filter(|d| d.rule == RuleId::R10).map(|d| d.line).collect();
+        assert_eq!(r10, vec![4], "{d:#?}");
     }
 
     #[test]
-    fn allow_directive_suppresses() {
+    fn r11_guard_across_dispatch() {
         let src = "\
-fn f(o: Option<u32>) -> u32 {
-    // asm-lint: allow(R2): demo suppression
-    o.unwrap()
+fn bad(state: &std::sync::Mutex<u64>, runner: &Runner) {
+    let guard = state.lock().expect(\"pool mutex never poisoned\");
+    let _ = runner.run(*guard);
+}
+fn good(state: &std::sync::Mutex<u64>, runner: &Runner) {
+    let seed = { let guard = state.lock().expect(\"pool mutex never poisoned\"); *guard };
+    let _ = runner.run(seed);
+}
+fn dropped(state: &std::sync::Mutex<u64>, runner: &Runner) {
+    let guard = state.lock().expect(\"pool mutex never poisoned\");
+    drop(guard);
+    let _ = runner.run_with(3, |r| r);
 }
 ";
-        assert!(diag("x.rs", src).is_empty());
+        let d = diag("crates/experiments/src/x.rs", src);
+        let r11: Vec<usize> = d.iter().filter(|d| d.rule == RuleId::R11).map(|d| d.line).collect();
+        assert_eq!(r11, vec![3], "{d:#?}");
+    }
+
+    #[test]
+    fn dedup_collapses_identical_line_rule_message() {
+        // Two HashMap mentions on one line, one message: one diagnostic,
+        // anchored at the leftmost column.
+        let src = "fn f(m: HashMap<u64, HashMap<u64, u64>>) { let _ = m; }\n";
+        let d = diag("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].col, 9);
     }
 
     #[test]
@@ -665,5 +885,21 @@ fn f() -> &'static str {
 }
 ";
         assert!(diag("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses_but_stays_visible() {
+        let src = "\
+fn f(o: Option<u32>) -> u32 {
+    // asm-lint: allow(R2): demo suppression
+    o.unwrap()
+}
+";
+        assert!(diag("x.rs", src).is_empty());
+        let model = FileModel::new("x.rs", src);
+        let (active, suppressed) = check(&model, FileRole::Sim, &Options::default());
+        assert!(active.is_empty());
+        assert_eq!(suppressed.len(), 1);
+        assert!(suppressed[0].allowed);
     }
 }

@@ -169,13 +169,28 @@ fn stripping_the_directive_resurfaces_the_violation() {
 #[test]
 fn workspace_is_clean() {
     // The sweep half of the tentpole, pinned as a test: the real
-    // simulation crates must satisfy R1-R7. CARGO_MANIFEST_DIR is
+    // simulation crates must satisfy R1-R11. CARGO_MANIFEST_DIR is
     // crates/lint; the workspace root is two levels up.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("lint crate lives two levels below the workspace root")
         .to_path_buf();
-    let diags = asm_lint::run_workspace(&root).expect("workspace tree is readable");
-    assert!(diags.is_empty(), "workspace has lint violations: {diags:#?}");
+    let analysis = asm_lint::run_workspace(&root).expect("workspace tree is readable");
+    assert!(
+        analysis.diagnostics.is_empty(),
+        "workspace has lint violations: {:#?}",
+        analysis.diagnostics
+    );
+    // The three-layer analysis must actually have seen the workspace: the
+    // unsafe inventory is non-empty (flat tag arenas use unchecked reads)
+    // and the hot-path reachability set contains `System::step`.
+    assert!(
+        analysis
+            .hot_reachable
+            .iter()
+            .any(|h| h.name == "step" && h.impl_type.as_deref() == Some("System")),
+        "System::step missing from hot-path reachability: {:#?}",
+        analysis.hot_reachable
+    );
 }

@@ -1,0 +1,20 @@
+//! R10 fixture: one justified unsafe block, one bare unsafe block, and
+//! a test-module unsafe that is exempt.
+pub fn justified(xs: &[u64]) -> u64 {
+    // SAFETY: index 0 exists — the caller guarantees a non-empty slice
+    // and debug builds assert it.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub fn bare(xs: &[u64]) -> u64 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let xs = [1u64];
+        let _ = unsafe { *xs.get_unchecked(0) };
+    }
+}

@@ -1,0 +1,27 @@
+//! R11 fixture (harness role): a `MutexGuard` held across a
+//! `Runner::run*` dispatch serialises the sweep; dropping first is fine.
+pub fn bad(results: &std::sync::Mutex<Vec<u64>>, runner: &Runner) {
+    let mut guard = results.lock().expect("results mutex poisoned at collection time");
+    guard.push(1);
+    runner.run(7);
+}
+
+pub fn good(results: &std::sync::Mutex<Vec<u64>>, runner: &Runner) {
+    {
+        let mut guard = results.lock().expect("results mutex poisoned at collection time");
+        guard.push(1);
+    }
+    runner.run(7);
+}
+
+pub fn dropped(results: &std::sync::Mutex<Vec<u64>>, runner: &Runner) {
+    let guard = results.lock().expect("results mutex poisoned at collection time");
+    drop(guard);
+    runner.run_with(7);
+}
+
+pub struct Runner;
+impl Runner {
+    pub fn run(&self, _seed: u64) {}
+    pub fn run_with(&self, _seed: u64) {}
+}

@@ -1,0 +1,8 @@
+//! R8 fixture, definition side: a type alias that hides a hash map
+//! behind an innocuous name. `lint_source` (per-file rules only) cannot
+//! see through this; the workspace resolution pass must.
+// asm-lint: allow(R1): fixture — the lexical rule is silenced so the test isolates R8
+pub type Fast = std::collections::HashMap<u64, u64>;
+
+// asm-lint: allow(R1): fixture — the lexical rule is silenced so the test isolates R8
+pub type Pool = std::collections::HashSet<u32>;

@@ -1,0 +1,14 @@
+//! R8 fixture, usage side: simulation state keyed by the `Fast` alias
+//! defined in `r8_aliases.rs`. Line numbers are pinned by the test.
+use crate::aliases::Fast;
+
+pub struct SimState {
+    pub table: Fast,
+    pub epoch: u64,
+}
+
+// An allow-directive usage stays visible in `suppressed`, not active.
+pub struct Audited {
+    // asm-lint: allow(R8): drained through a sorted Vec before any iteration
+    pub side: Fast,
+}

@@ -1,0 +1,28 @@
+//! R9 fixture: a per-cycle loop whose callee allocates, a justified
+//! boundary fn, and an unreachable fn that allocates legally.
+pub struct System {
+    scratch: Vec<u64>,
+}
+
+impl System {
+    pub fn step(&mut self) {
+        self.drain();
+        self.end_quantum();
+    }
+
+    fn drain(&mut self) {
+        let spilled: Vec<u64> = self.scratch.iter().copied().collect();
+        self.scratch.clear();
+        let _ = spilled;
+    }
+
+    // asm-lint: allow(R9): quantum boundary — runs once per quantum
+    fn end_quantum(&mut self) {
+        let snapshot = self.scratch.to_vec();
+        let _ = snapshot;
+    }
+
+    pub fn dump(&self) -> String {
+        format!("{} entries", self.scratch.len())
+    }
+}

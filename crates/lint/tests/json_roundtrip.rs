@@ -1,0 +1,146 @@
+//! Round-trips the `--json` report through the dependency-free JSON
+//! parser in `asm-telemetry`, pinning the `asm-lint/2` schema shape.
+//!
+//! Two sources feed the check: a synthetic fixture analysis where every
+//! array is non-empty, and the real workspace tree (which also gates
+//! the <1s whole-workspace wall-clock budget — the `test` profile is
+//! optimized, so the bound is meaningful here, not just in the bench).
+
+use std::path::PathBuf;
+
+use asm_lint::{analyze_sources, jsonout, run_workspace, Options};
+use asm_telemetry::json::{parse, JsonValue};
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> &'a JsonValue {
+    v.get(key).unwrap_or_else(|| panic!("missing field `{key}`"))
+}
+
+fn arr<'a>(v: &'a JsonValue, key: &str) -> &'a [JsonValue] {
+    field(v, key)
+        .as_arr()
+        .unwrap_or_else(|| panic!("field `{key}` is not an array"))
+}
+
+fn check_diag_shape(d: &JsonValue, ctx: &str) {
+    assert!(field(d, "rule").as_str().is_some_and(|r| r.starts_with('R')), "{ctx}");
+    assert!(field(d, "path").as_str().is_some(), "{ctx}");
+    assert!(field(d, "line").as_num().is_some_and(|n| n >= 1.0), "{ctx}");
+    assert!(field(d, "col").as_num().is_some_and(|n| n >= 1.0), "{ctx}");
+    assert!(field(d, "message").as_str().is_some_and(|m| !m.is_empty()), "{ctx}");
+    assert!(matches!(field(d, "allowed"), JsonValue::Bool(_)), "{ctx}");
+}
+
+#[test]
+fn fixture_report_round_trips_with_every_array_populated() {
+    let files: Vec<(String, String)> = [
+        ("crates/core/src/aliases.rs", include_str!("fixtures/r8_aliases.rs")),
+        ("crates/core/src/sim_state.rs", include_str!("fixtures/r8_sim_state.rs")),
+        ("crates/core/src/hot.rs", include_str!("fixtures/r9_hot_alloc.rs")),
+        ("crates/cache/src/scan.rs", include_str!("fixtures/r10_unsafe.rs")),
+        (
+            "crates/experiments/src/fixture.rs",
+            include_str!("fixtures/r11_lock_across_run.rs"),
+        ),
+    ]
+    .into_iter()
+    .map(|(p, c)| (p.to_owned(), c.to_owned()))
+    .collect();
+    let analysis = analyze_sources(&files, &Options::default());
+    assert!(!analysis.diagnostics.is_empty());
+    assert!(!analysis.suppressed.is_empty());
+    assert!(!analysis.unsafe_inventory.is_empty());
+    assert!(!analysis.hot_reachable.is_empty());
+
+    let doc = parse(&jsonout::render(&analysis)).expect("report is valid RFC 8259 JSON");
+
+    assert_eq!(field(&doc, "schema").as_str(), Some("asm-lint/2"));
+    let rules: Vec<&str> = arr(&doc, "rules").iter().filter_map(JsonValue::as_str).collect();
+    assert_eq!(rules.first().copied(), Some("R1"));
+    assert_eq!(rules.last().copied(), Some("R11"));
+    assert_eq!(rules.len(), 11);
+    assert_eq!(field(&doc, "files").as_num(), Some(files.len() as f64));
+
+    let diags = arr(&doc, "diagnostics");
+    assert_eq!(diags.len(), analysis.diagnostics.len());
+    for (d, orig) in diags.iter().zip(&analysis.diagnostics) {
+        check_diag_shape(d, "diagnostics");
+        assert_eq!(field(d, "rule").as_str(), Some(orig.rule.name()));
+        assert_eq!(field(d, "line").as_num(), Some(orig.line as f64));
+        assert_eq!(field(d, "message").as_str(), Some(orig.message.as_str()));
+        assert!(matches!(field(d, "allowed"), JsonValue::Bool(false)));
+    }
+    for d in arr(&doc, "suppressed") {
+        check_diag_shape(d, "suppressed");
+        assert!(matches!(field(d, "allowed"), JsonValue::Bool(true)));
+    }
+
+    let inv = arr(&doc, "unsafe_inventory");
+    assert_eq!(inv.len(), analysis.unsafe_inventory.len());
+    for (u, orig) in inv.iter().zip(&analysis.unsafe_inventory) {
+        assert_eq!(field(u, "path").as_str(), Some(orig.path.as_str()));
+        assert_eq!(field(u, "line").as_num(), Some(orig.line as f64));
+        assert_eq!(field(u, "kind").as_str(), Some(orig.kind));
+        match (&orig.enclosing_fn, field(u, "fn")) {
+            (Some(name), v) => assert_eq!(v.as_str(), Some(name.as_str())),
+            (None, JsonValue::Null) => {}
+            (None, other) => panic!("fn should be null, got {other:?}"),
+        }
+        assert!(matches!(field(u, "has_safety"), JsonValue::Bool(b) if *b == orig.has_safety));
+    }
+
+    let hot = arr(&doc, "hot_reachable");
+    assert_eq!(hot.len(), analysis.hot_reachable.len());
+    for (h, orig) in hot.iter().zip(&analysis.hot_reachable) {
+        assert_eq!(field(h, "fn").as_str(), Some(orig.name.as_str()));
+        assert_eq!(field(h, "path").as_str(), Some(orig.path.as_str()));
+        assert_eq!(field(h, "line").as_num(), Some(orig.line as f64));
+        assert!(matches!(field(h, "boundary"), JsonValue::Bool(b) if *b == orig.boundary));
+    }
+}
+
+#[test]
+fn workspace_report_round_trips_and_meets_budget() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("lint crate lives two levels under the workspace root")
+        .to_path_buf();
+
+    let start = std::time::Instant::now();
+    let analysis = run_workspace(&root).expect("workspace tree is readable");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_millis() < 1000,
+        "whole-workspace lint budget is <1s, took {elapsed:?}"
+    );
+
+    let doc = parse(&jsonout::render(&analysis)).expect("report is valid RFC 8259 JSON");
+    assert_eq!(field(&doc, "schema").as_str(), Some("asm-lint/2"));
+    assert!(
+        arr(&doc, "diagnostics").is_empty(),
+        "the repo lints clean: {:#?}",
+        analysis.diagnostics
+    );
+    for d in arr(&doc, "suppressed") {
+        check_diag_shape(d, "workspace suppressed");
+    }
+    // Every unsafe site in the tree carries a SAFETY justification.
+    let inv = arr(&doc, "unsafe_inventory");
+    assert!(!inv.is_empty(), "the SoA tag arenas contain unsafe sites");
+    for u in inv {
+        assert!(
+            matches!(field(u, "has_safety"), JsonValue::Bool(true)),
+            "unjustified unsafe at {}:{}",
+            field(u, "path").as_str().unwrap_or("?"),
+            field(u, "line").as_num().unwrap_or(0.0)
+        );
+    }
+    // The hot set is anchored at System::step.
+    assert!(
+        arr(&doc, "hot_reachable").iter().any(|h| {
+            field(h, "fn").as_str() == Some("step")
+                && field(h, "impl").as_str() == Some("System")
+        }),
+        "System::step missing from hot_reachable"
+    );
+}

@@ -28,10 +28,13 @@ use std::hash::{BuildHasherDefault, Hasher};
 /// A `HashMap` with a fixed, deterministic hash function.
 // asm-lint: allow(R1): fixed-seed hasher — iteration order is identical
 // across processes, which is exactly the property R1 exists to protect
+// asm-lint: allow(R8): fixed-seed hasher — the alias is the sanctioned
+// deterministic map, so uses of it must not re-flag as hash-ordered
 pub type DetHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<DetHasher>>;
 
 /// A `HashSet` with a fixed, deterministic hash function.
 // asm-lint: allow(R1): fixed-seed hasher — see DetHashMap above
+// asm-lint: allow(R8): fixed-seed hasher — see DetHashMap above
 pub type DetHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<DetHasher>>;
 
 /// Fixed-seed hasher: splitmix64 finaliser over a running state.

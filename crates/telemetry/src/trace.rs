@@ -165,6 +165,9 @@ impl Tracer {
     }
 
     /// Records a complete (span) event covering `[ts, ts + dur)`.
+    // asm-lint: allow(R9): opt-in trace recording — callers gate on
+    // `is_enabled`/`sample_request`, so the name copy only happens for
+    // requests actually being traced
     pub fn complete(
         &mut self,
         name: &str,

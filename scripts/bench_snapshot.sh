@@ -2,9 +2,10 @@
 # Snapshot the simulator's end-to-end throughput into BENCH_<tag>.json.
 #
 # Runs the `sim_throughput` (end-to-end cycles/sec, skip vs --no-skip),
-# `telemetry_overhead` (telemetry off / idle / traced) and `frfcfs_pick`
-# (scheduler hot path) bench groups and parses the criterion-shim output
-# lines
+# `telemetry_overhead` (telemetry off / idle / traced), `frfcfs_pick`
+# (scheduler hot path) and `lint_workspace` (whole-workspace asm-lint
+# pass; hard-gated at <1s) bench groups and parses the criterion-shim
+# output lines
 #
 #   group/id: mean 12.345ms min 11ms max 14ms (10 samples)
 #
@@ -34,6 +35,7 @@ for _ in 1 2 3; do
     cargo bench -p asm-bench --bench telemetry_overhead 2>/dev/null | tee -a "$RAW"
 done
 cargo bench -p asm-bench --bench substrates 2>/dev/null | tee -a "$RAW"
+cargo bench -p asm-bench --bench lint_workspace 2>/dev/null | tee -a "$RAW"
 
 python3 - "$RAW" "$OUT" <<'PY'
 import json, platform, re, subprocess, sys
@@ -152,6 +154,20 @@ if tel_off and tel_idle:
         "idle_over_off_overhead": tel_idle["min_ns"] / tel_off["min_ns"] - 1.0,
     }
 
+# Whole-workspace lint budget: the linter runs inside the tier-1 gate
+# (scripts/ci.sh), so its full pass — walk, lex/parse, resolve, call
+# graph — is hard-capped at 1s. Min-based like every other stat here;
+# missing means the bench did not run, which is itself a failure.
+LINT_BUDGET_NS = 1e9
+lint = results.get("lint_workspace/full_pass")
+if lint is None:
+    sys.exit("bench_snapshot: lint_workspace/full_pass missing from bench output")
+if lint["min_ns"] > LINT_BUDGET_NS:
+    sys.exit(
+        f"bench_snapshot: whole-workspace lint took {lint['min_ns'] / 1e6:.1f}ms "
+        f"(budget {LINT_BUDGET_NS / 1e6:.0f}ms) — the tier-1 gate would drag"
+    )
+
 snapshot = {
     "schema": "asm-bench-snapshot v1",
     "machine": {
@@ -164,6 +180,9 @@ snapshot = {
     "telemetry_overhead": telemetry,
     "frfcfs_pick": {
         k.split("/", 1)[1]: v for k, v in results.items() if k.startswith("frfcfs_pick/")
+    },
+    "lint_workspace": {
+        k.split("/", 1)[1]: v for k, v in results.items() if k.startswith("lint_workspace/")
     },
     "raw": results,
 }
@@ -178,4 +197,9 @@ if mcf is not None:
 tel = telemetry.get("idle_over_off_overhead")
 if tel is not None:
     print(f"bench_snapshot: telemetry idle-over-off overhead = {tel:+.2%}", file=sys.stderr)
+print(
+    f"bench_snapshot: whole-workspace lint min = {lint['min_ns'] / 1e6:.1f}ms "
+    f"(budget {LINT_BUDGET_NS / 1e6:.0f}ms)",
+    file=sys.stderr,
+)
 PY

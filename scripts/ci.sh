@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# The tier-1 verification chain, in one place instead of three shell
+# histories:
+#
+#   1. cargo build --release --all-targets   (every crate, bench, example)
+#   2. cargo test -q                         (unit + integration + doc)
+#   3. cargo run -p asm-lint --release       (workspace determinism lint;
+#                                             exit 1 on any violation)
+#
+# Usage:
+#   scripts/ci.sh                 # tier-1 only (~minutes)
+#   scripts/ci.sh --bench TAG     # tier-1, then a bench snapshot named
+#                                 # BENCH_TAG.json compared against the
+#                                 # newest committed BENCH_*.json with
+#                                 # scripts/bench_compare.py (hot-path
+#                                 # regression + telemetry + lint-budget
+#                                 # gates)
+#
+# The bench leg is opt-in because a meaningful snapshot needs ~10 quiet
+# minutes of machine time; the lint <1s budget is still enforced on
+# every bench run via bench_snapshot.sh itself.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCH_TAG=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --bench)
+            [[ $# -ge 2 ]] || { echo "ci: --bench needs a tag" >&2; exit 2; }
+            BENCH_TAG="$2"
+            shift 2
+            ;;
+        -h|--help)
+            sed -n '2,21p' "$0" | sed 's/^# \{0,1\}//'
+            exit 0
+            ;;
+        *)
+            echo "ci: unknown argument '$1' (try --help)" >&2
+            exit 2
+            ;;
+    esac
+done
+
+echo "ci: [1/3] cargo build --release --all-targets" >&2
+cargo build --release --all-targets
+
+echo "ci: [2/3] cargo test -q" >&2
+cargo test -q
+
+echo "ci: [3/3] cargo run -p asm-lint --release" >&2
+cargo run -p asm-lint --release
+
+if [[ -n "$BENCH_TAG" ]]; then
+    baseline="$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -n1 || true)"
+    echo "ci: [bench] snapshot -> BENCH_${BENCH_TAG}.json" >&2
+    scripts/bench_snapshot.sh "$BENCH_TAG"
+    if [[ -n "$baseline" && "$baseline" != "BENCH_${BENCH_TAG}.json" ]]; then
+        echo "ci: [bench] compare $baseline -> BENCH_${BENCH_TAG}.json" >&2
+        scripts/bench_compare.py "$baseline" "BENCH_${BENCH_TAG}.json"
+    else
+        echo "ci: [bench] no prior snapshot to compare against" >&2
+    fi
+fi
+
+echo "ci: all gates green" >&2
