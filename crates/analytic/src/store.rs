@@ -1,0 +1,323 @@
+//! Disk cache of [`ReuseProfile`]s: the `AloneCache` pattern, analytic
+//! edition.
+//!
+//! Same discipline as the cycle tier's alone-run cache (PR 3): a versioned
+//! magic header, a strict parser that rejects anything malformed, and
+//! staleness detection by fingerprint — an entry whose key does not match
+//! the current (source profile, parameters, algorithm) fingerprint is
+//! simply re-extracted, so a cache file from an older binary can never
+//! change results, only fail to speed things up.
+//!
+//! The payload is **integers only** (counters and bucket counts). The
+//! floating-point tail/footprint curves are derived and recomputed on
+//! load, so a loaded profile is bitwise identical to a freshly extracted
+//! one (pinned by tests).
+
+use std::collections::BTreeMap;
+use std::io::{self, Read as _, Write as _};
+use std::path::Path;
+
+use asm_cpu::AppProfile;
+
+use crate::profile::{bucket_bounds, profile_key, ProfileParams, ProfileParts, ReuseProfile};
+
+/// Magic + version header; bump the version on any format change.
+pub const PROFILE_CACHE_FORMAT: &str = "asm-reuse-profile v1";
+
+/// A set of extracted profiles, keyed by workload name.
+///
+/// The store is a plain map — deliberately no interior mutability. The
+/// harness populates it *before* fanning mixes across worker threads and
+/// then shares it read-only (`Arc<ProfileStore>`), so the analytic tier
+/// needs no locks at all.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileStore {
+    entries: BTreeMap<String, ReuseProfile>,
+}
+
+impl ProfileStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached profiles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a profile by workload name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&ReuseProfile> {
+        self.entries.get(name)
+    }
+
+    /// Inserts (or replaces) a profile under its workload name.
+    pub fn put(&mut self, profile: ReuseProfile) {
+        self.entries.insert(profile.name().to_owned(), profile);
+    }
+
+    /// Returns the profile for `profile`, extracting it if the store has
+    /// no entry — or only a *stale* entry (fingerprint mismatch: the
+    /// source model, the parameters or the algorithm changed).
+    pub fn ensure(&mut self, profile: &AppProfile, params: &ProfileParams) -> &ReuseProfile {
+        let key = profile_key(profile, params);
+        let fresh = self
+            .entries
+            .get(profile.name())
+            .is_some_and(|e| e.key() == key);
+        if !fresh {
+            self.put(ReuseProfile::extract(profile, params));
+        }
+        self.entries
+            .get(profile.name())
+            .expect("entry inserted above")
+    }
+
+    /// Renders the store in the versioned text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(PROFILE_CACHE_FORMAT);
+        out.push('\n');
+        out.push_str(&format!("profiles {}\n", self.entries.len()));
+        for entry in self.entries.values() {
+            let p = entry.to_parts();
+            out.push_str(&format!("profile {}\n", p.name));
+            out.push_str(&format!("key {:016x}\n", p.key));
+            out.push_str(&format!("ops {}\n", p.ops));
+            out.push_str(&format!("llc {}\n", p.llc));
+            out.push_str(&format!("writes {}\n", p.writes));
+            out.push_str(&format!("seq {}\n", p.seq));
+            out.push_str(&format!("cold {}\n", p.cold));
+            out.push_str(&format!("lines {}\n", p.lines_touched));
+            out.push_str(&format!("mpk {}\n", p.mem_per_kilo));
+            out.push_str(&format!("mlp {}\n", p.mlp));
+            out.push_str(&format!("ws {}\n", p.working_set_lines));
+            let nonzero = p.counts.iter().filter(|&&c| c > 0).count();
+            out.push_str(&format!("buckets {nonzero}\n"));
+            let bounds = bucket_bounds();
+            for (k, &c) in p.counts.iter().enumerate() {
+                if c > 0 {
+                    out.push_str(&format!("{} {}\n", bounds[k], c));
+                }
+            }
+            out.push_str("end\n");
+        }
+        out
+    }
+
+    /// Parses a store from the text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first problem: wrong header,
+    /// malformed field, inconsistent counters, unknown bucket bound,
+    /// missing terminator, or trailing garbage.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty profile cache file")?;
+        if header != PROFILE_CACHE_FORMAT {
+            return Err(format!(
+                "bad header `{header}` (expected `{PROFILE_CACHE_FORMAT}`)"
+            ));
+        }
+        let count: usize = parse_field(lines.next(), "profiles")?;
+        let bounds = bucket_bounds();
+        let mut store = ProfileStore::new();
+        for _ in 0..count {
+            let name: String = parse_field(lines.next(), "profile")?;
+            let key = u64::from_str_radix(&parse_field::<String>(lines.next(), "key")?, 16)
+                .map_err(|e| format!("profile `{name}`: bad key: {e}"))?;
+            let ops = parse_field(lines.next(), "ops")?;
+            let llc = parse_field(lines.next(), "llc")?;
+            let writes = parse_field(lines.next(), "writes")?;
+            let seq = parse_field(lines.next(), "seq")?;
+            let cold = parse_field(lines.next(), "cold")?;
+            let lines_touched = parse_field(lines.next(), "lines")?;
+            let mem_per_kilo = parse_field(lines.next(), "mpk")?;
+            let mlp = parse_field(lines.next(), "mlp")?;
+            let working_set_lines = parse_field(lines.next(), "ws")?;
+            let buckets: usize = parse_field(lines.next(), "buckets")?;
+            let mut counts = vec![0u64; bounds.len()];
+            for _ in 0..buckets {
+                let line = lines.next().ok_or("truncated bucket list")?;
+                let (b, c) = line
+                    .split_once(' ')
+                    .ok_or_else(|| format!("malformed bucket line `{line}`"))?;
+                let bound: u64 = b.parse().map_err(|e| format!("bad bucket bound: {e}"))?;
+                let k = bounds
+                    .binary_search(&bound)
+                    .map_err(|_| format!("bound {bound} is not on the canonical grid"))?;
+                counts[k] = c.parse().map_err(|e| format!("bad bucket count: {e}"))?;
+            }
+            if lines.next() != Some("end") {
+                return Err(format!("profile `{name}`: missing `end` terminator"));
+            }
+            store.put(ReuseProfile::from_parts(ProfileParts {
+                name,
+                key,
+                ops,
+                llc,
+                writes,
+                seq,
+                cold,
+                lines_touched,
+                mem_per_kilo,
+                mlp,
+                working_set_lines,
+                counts,
+            })?);
+        }
+        if let Some(extra) = lines.next() {
+            return Err(format!("trailing content after last profile: `{extra}`"));
+        }
+        if store.len() != count {
+            return Err(format!(
+                "duplicate profile names: header said {count}, parsed {}",
+                store.len()
+            ));
+        }
+        Ok(store)
+    }
+
+    /// Writes the store to `path` (atomically enough for a cache: full
+    /// rewrite).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_to(&self, path: &Path) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_text().as_bytes())
+    }
+
+    /// Reads a store previously written by [`Self::save_to`].
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors are returned as-is; malformed or stale-format
+    /// content becomes [`io::ErrorKind::InvalidData`]. Callers are
+    /// expected to warn and fall back to an empty store — a bad cache
+    /// file must never change results.
+    pub fn load_from(path: &Path) -> io::Result<Self> {
+        let mut text = String::new();
+        std::fs::File::open(path)?.read_to_string(&mut text)?;
+        Self::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Parses one `label value` line, naming the field in errors.
+fn parse_field<T: std::str::FromStr>(line: Option<&str>, label: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let line = line.ok_or_else(|| format!("missing `{label}` line"))?;
+    let (head, value) = line
+        .split_once(' ')
+        .ok_or_else(|| format!("malformed `{label}` line: `{line}`"))?;
+    if head != label {
+        return Err(format!("expected `{label}` line, found `{line}`"));
+    }
+    value
+        .parse()
+        .map_err(|e| format!("bad `{label}` value `{value}`: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ProfileStore {
+        let params = ProfileParams::default();
+        let mut store = ProfileStore::new();
+        for (name, mpk, ws, run) in [("alpha", 50, 1u64 << 14, 8u32), ("beta", 110, 1 << 16, 64)] {
+            let p = AppProfile::builder(name)
+                .mem_per_kilo(mpk)
+                .working_set_lines(ws)
+                .hot_lines(ws / 16)
+                .hot_frac(0.4)
+                .seq_run(run)
+                .build();
+            store.ensure(&p, &params);
+        }
+        store
+    }
+
+    #[test]
+    fn round_trip_is_bitwise_identical() {
+        let store = sample_store();
+        let text = store.to_text();
+        let back = ProfileStore::parse(&text).expect("parse own output");
+        assert_eq!(store, back);
+        // And the re-rendered text is byte-identical.
+        assert_eq!(text, back.to_text());
+    }
+
+    #[test]
+    fn ensure_hits_fresh_entries_and_replaces_stale_ones() {
+        let params = ProfileParams::default();
+        let mut store = ProfileStore::new();
+        let p = AppProfile::builder("w")
+            .mem_per_kilo(40)
+            .working_set_lines(1 << 12)
+            .build();
+        let key = store.ensure(&p, &params).key();
+        assert_eq!(store.ensure(&p, &params).key(), key);
+        assert_eq!(store.len(), 1);
+        // Same name, different parameters: the old entry is stale.
+        let other = ProfileParams {
+            stream_seed: 99,
+            ..params
+        };
+        let key2 = store.ensure(&p, &other).key();
+        assert_ne!(key, key2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn wrong_header_is_rejected() {
+        assert!(ProfileStore::parse("asm-reuse-profile v0\nprofiles 0\n").is_err());
+        assert!(ProfileStore::parse("").is_err());
+        assert!(ProfileStore::parse("garbage\n").is_err());
+    }
+
+    #[test]
+    fn corrupt_or_truncated_files_are_rejected() {
+        let text = sample_store().to_text();
+        // Truncate mid-profile.
+        let cut = text.len() / 2;
+        assert!(ProfileStore::parse(&text[..cut]).is_err());
+        // Flip a field label.
+        let bad = text.replacen("ops ", "oops ", 1);
+        assert!(ProfileStore::parse(&bad).is_err());
+        // Off-grid bucket bound.
+        let bad = text.replacen("\n1 ", "\n5 ", 1);
+        if bad != text {
+            assert!(ProfileStore::parse(&bad).is_err());
+        }
+        // Trailing garbage.
+        let bad = format!("{text}junk\n");
+        assert!(ProfileStore::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let store = sample_store();
+        let dir = std::env::temp_dir();
+        let path = dir.join("asm_reuse_profile_store_test.txt");
+        store.save_to(&path).expect("save");
+        let back = ProfileStore::load_from(&path).expect("load");
+        assert_eq!(store, back);
+        std::fs::remove_file(&path).ok();
+        assert!(ProfileStore::load_from(&path).is_err()); // NotFound
+    }
+}

@@ -1,0 +1,66 @@
+//! Throughput of the analytic fast tier: mixes solved per second and the
+//! one-time profile-extraction cost.
+//!
+//! The tier's whole reason to exist is sweep throughput — the ISSUE gate
+//! is >=100x over the cycle-accurate tier on the same mix (compare
+//! `mixes_1k` here against `sim_throughput/mcf_mix_10m_skip`: one cycle
+//! run simulates 10M cycles of a 4-app mix, one analytic solve replaces
+//! it outright). `scripts/bench_snapshot.sh` reads both ids into
+//! `BENCH_<tag>.json` and records the ratio; keep the ids stable.
+//!
+//! `mixes_1k` reuses one `MixSolver` across 1000 4-app solves, the way
+//! `asm-experiments --tier analytic` drives it (profiles extracted once,
+//! solver state recycled). `profile_extract` measures the cached
+//! one-time cost per workload.
+
+use asm_analytic::{AnalyticConfig, MixSolver, ProfileParams, ReuseProfile};
+use asm_core::SystemConfig;
+use asm_workloads::{mix, suite};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_analytic_tier(c: &mut Criterion) {
+    let config = SystemConfig::default();
+    let params = ProfileParams::from_system(&config);
+    let mut g = c.benchmark_group("analytic_tier");
+
+    // 1000 stratified 4-app mixes over the full suite, profiles
+    // extracted once up front (the harness's steady state).
+    let mixes = mix::binned_mixes(1000, 4, 7);
+    let names: std::collections::BTreeSet<&str> =
+        mixes.iter().flatten().map(|p| p.name()).collect();
+    let profiles: std::collections::BTreeMap<&str, ReuseProfile> = names
+        .iter()
+        .map(|&n| {
+            let p = suite::by_name(n).expect("suite profile exists");
+            (n, ReuseProfile::extract(&p, &params))
+        })
+        .collect();
+    let mix_refs: Vec<Vec<&ReuseProfile>> = mixes
+        .iter()
+        .map(|m| m.iter().map(|p| &profiles[p.name()]).collect())
+        .collect();
+
+    g.bench_function("mixes_1k", |b| {
+        let mut solver = MixSolver::new(AnalyticConfig::from_system(&config));
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for m in &mix_refs {
+                solver.solve(black_box(m));
+                let sol = solver.solution(m);
+                acc += sol.weighted_speedup();
+            }
+            black_box(acc)
+        });
+    });
+
+    g.bench_function("profile_extract", |b| {
+        let app = suite::by_name("mcf_like").expect("suite profile exists");
+        b.iter(|| black_box(ReuseProfile::extract(black_box(&app), &params)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_analytic_tier);
+criterion_main!(benches);

@@ -73,6 +73,20 @@ impl DramConfig {
     pub fn mapping(&self) -> AddressMapping {
         AddressMapping::new(self.channels, self.banks, self.row_lines)
     }
+
+    /// The timing/geometry parameters of this configuration, packaged for
+    /// consumers that model memory service without the event loop (the
+    /// analytic tier, future trace-driven backends). One source of truth:
+    /// derived from the same fields the cycle-accurate controller enforces.
+    #[must_use]
+    pub fn timing_spec(&self) -> crate::timing::TimingSpec {
+        crate::timing::TimingSpec {
+            timing: self.timing,
+            channels: self.channels,
+            banks: self.banks,
+            row_lines: self.row_lines,
+        }
+    }
 }
 
 /// Error returned by [`MemorySystem::enqueue`] when the target channel's

@@ -55,4 +55,4 @@ pub use controller::{DramConfig, MemorySystem};
 pub use mapping::{AddressMapping, Loc};
 pub use request::{Completion, MemRequest};
 pub use sched::SchedulerKind;
-pub use timing::{DramTiming, RefreshConfig};
+pub use timing::{DramTiming, RefreshConfig, TimingSpec};

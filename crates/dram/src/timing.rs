@@ -95,6 +95,69 @@ impl Default for DramTiming {
     }
 }
 
+/// The complete set of timing and geometry parameters a non-cycle-accurate
+/// memory model needs, read off a [`crate::DramConfig`] via
+/// [`crate::DramConfig::timing_spec`].
+///
+/// This is the one source of truth for analytical tiers (and future
+/// trace-driven backends): instead of duplicating DDR3 constants, they take
+/// a `TimingSpec` and derive service times from it, so a change to the
+/// simulated device propagates to every tier.
+///
+/// # Examples
+///
+/// ```
+/// use asm_dram::DramConfig;
+/// let spec = DramConfig::default().timing_spec();
+/// assert_eq!(spec.channels, 1);
+/// assert_eq!(spec.banks, 8);
+/// // Sanity: a fully row-hostile stream is slower than a streaming one.
+/// assert!(spec.avg_read_latency(0.0) > spec.avg_read_latency(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingSpec {
+    /// Device timing in core cycles (tRCD/tRP/CL/tBL and friends).
+    pub timing: DramTiming,
+    /// Independent channels (each with its own data bus and controller).
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks: usize,
+    /// Cache lines per DRAM row (row-buffer reach).
+    pub row_lines: u64,
+}
+
+impl TimingSpec {
+    /// Mean no-contention read latency given the fraction of reads that
+    /// hit the open row; misses are costed as row conflicts (open-page
+    /// policy keeps rows open, so a non-hit usually finds a stale row).
+    #[must_use]
+    pub fn avg_read_latency(&self, row_hit_frac: f64) -> f64 {
+        let hit = self.timing.row_hit_latency() as f64;
+        let conflict = self.timing.row_conflict_latency() as f64;
+        row_hit_frac * hit + (1.0 - row_hit_frac) * conflict
+    }
+
+    /// Data-bus occupancy per request, per channel: the burst duration
+    /// divided across channels. This bounds sustainable throughput — one
+    /// request per `burst_slot()` cycles system-wide.
+    #[must_use]
+    pub fn burst_slot(&self) -> f64 {
+        self.timing.burst as f64 / self.channels.max(1) as f64
+    }
+
+    /// Mean bank occupancy per request across all banks: how long one
+    /// request keeps its bank busy, divided by system bank count. Second
+    /// throughput bound (binding for row-hostile streams).
+    #[must_use]
+    pub fn bank_slot(&self, row_hit_frac: f64) -> f64 {
+        let t = &self.timing;
+        let hit_busy = t.tccd.max(t.burst) as f64;
+        let conflict_busy = (t.trp + t.trcd + t.burst.max(t.tccd)) as f64;
+        let busy = row_hit_frac * hit_busy + (1.0 - row_hit_frac) * conflict_busy;
+        busy / (self.banks.max(1) * self.channels.max(1)) as f64
+    }
+}
+
 /// Periodic all-bank refresh parameters (in core cycles).
 ///
 /// Refresh is off by default in [`crate::DramConfig`] — it is
@@ -154,5 +217,33 @@ mod tests {
     #[should_panic(expected = "clock ratio")]
     fn zero_ratio_rejected() {
         let _ = DramTiming::ddr3_1333(0);
+    }
+
+    #[test]
+    fn timing_spec_latency_bounds() {
+        let spec = TimingSpec {
+            timing: DramTiming::default(),
+            channels: 1,
+            banks: 8,
+            row_lines: 128,
+        };
+        // avg latency interpolates between the hit and conflict endpoints.
+        assert!(
+            asm_metrics_free_approx(spec.avg_read_latency(1.0), spec.timing.row_hit_latency() as f64)
+        );
+        assert!(asm_metrics_free_approx(
+            spec.avg_read_latency(0.0),
+            spec.timing.row_conflict_latency() as f64
+        ));
+        // Two channels halve the per-request bus slot.
+        let two = TimingSpec { channels: 2, ..spec };
+        assert!(asm_metrics_free_approx(two.burst_slot() * 2.0, spec.burst_slot()));
+        // Bank occupancy shrinks with banks and with row locality.
+        assert!(spec.bank_slot(0.0) > spec.bank_slot(1.0));
+    }
+
+    /// Local epsilon compare (this crate does not depend on asm-metrics).
+    fn asm_metrics_free_approx(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
     }
 }

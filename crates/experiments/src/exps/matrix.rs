@@ -11,7 +11,7 @@ use asm_core::EstimatorSet;
 use asm_metrics::Table;
 use asm_workloads::suite;
 
-use crate::scale::Scale;
+use crate::scale::{Scale, Tier};
 
 /// Representative applications spanning the behaviour space.
 pub const APPS: &[&str] = &[
@@ -23,20 +23,14 @@ pub const APPS: &[&str] = &[
     "cg_like",         // irregular memory-bound (NAS)
 ];
 
-/// Runs the pairwise interference matrix.
-pub fn run(scale: Scale) {
-    println!("\n=== Pairwise interference matrix (victim slowdown under one aggressor) ===");
-    let mut config = scale.base_config();
-    config.estimators = EstimatorSet::none();
-    config.epochs_enabled = false;
-    let cycles = scale.cycles / 2;
-    let runner = crate::collect::make_runner(config);
-
-    // All ordered pairs are independent runs: flatten them into one list
-    // and fan it across the pool; the row-major order of `pairs` makes
-    // the sequential table assembly below identical for any job count.
-    let pairs: Vec<Vec<asm_cpu::AppProfile>> = APPS
-        .iter()
+/// All ordered (victim, aggressor) pairs, row-major: independent runs
+/// flattened into one list so they fan across the pool, with an order
+/// that makes the sequential table assembly identical for any job count.
+/// The same 36 configurations anchor the cross-validation sweep
+/// ([`crate::exps::xval`]).
+#[must_use]
+pub fn ordered_pairs() -> Vec<Vec<asm_cpu::AppProfile>> {
+    APPS.iter()
         .flat_map(|victim| {
             APPS.iter().map(|aggressor| {
                 vec![
@@ -45,8 +39,33 @@ pub fn run(scale: Scale) {
                 ]
             })
         })
-        .collect();
-    let results = crate::collect::run_parallel_with(&runner, &pairs, cycles, scale.jobs);
+        .collect()
+}
+
+/// Runs the pairwise interference matrix.
+pub fn run(scale: Scale) {
+    println!("\n=== Pairwise interference matrix (victim slowdown under one aggressor) ===");
+    let pairs = ordered_pairs();
+    let slowdowns: Vec<f64> = match scale.tier {
+        Tier::Cycle => {
+            let mut config = scale.base_config();
+            config.estimators = EstimatorSet::none();
+            config.epochs_enabled = false;
+            let cycles = scale.cycles / 2;
+            let runner = crate::collect::make_runner(config);
+            crate::collect::run_parallel_with(&runner, &pairs, cycles, scale.jobs)
+                .iter()
+                .map(|r| r.whole_run_slowdowns[0])
+                .collect()
+        }
+        Tier::Analytic => {
+            let config = scale.base_config();
+            crate::analytic::solve_mixes(&config, &pairs, scale.jobs)
+                .iter()
+                .map(|s| s.slowdowns[0])
+                .collect()
+        }
+    };
 
     let mut table = Table::new(
         std::iter::once("victim \\ aggressor".to_owned())
@@ -56,8 +75,7 @@ pub fn run(scale: Scale) {
     for (vi, victim) in APPS.iter().enumerate() {
         let mut row = vec![victim.trim_end_matches("_like").to_owned()];
         for ai in 0..APPS.len() {
-            let r = &results[vi * APPS.len() + ai];
-            row.push(format!("{:.2}", r.whole_run_slowdowns[0]));
+            row.push(format!("{:.2}", slowdowns[vi * APPS.len() + ai]));
         }
         table.row(row);
     }

@@ -18,6 +18,7 @@ pub mod matrix;
 pub mod mise;
 pub mod table3;
 pub mod workloads;
+pub mod xval;
 
 use crate::scale::Scale;
 
@@ -26,6 +27,17 @@ pub const ALL: &[&str] = &[
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "db", "mise", "fig7", "fig8", "table3", "fig9",
     "fig10", "combined", "fig11",
 ];
+
+/// Experiments that accept `--tier analytic`. Everything else models
+/// per-quantum estimator behaviour the analytic tier deliberately does
+/// not have, so the CLI rejects the combination up front (exit 2).
+pub const ANALYTIC_CAPABLE: &[&str] = &["matrix", "xval"];
+
+/// Whether `name` can run on the analytic tier.
+#[must_use]
+pub fn supports_analytic(name: &str) -> bool {
+    ANALYTIC_CAPABLE.contains(&name)
+}
 
 /// Dispatches one experiment by name. Returns `false` for unknown names.
 pub fn run(name: &str, scale: Scale) -> bool {
@@ -49,6 +61,7 @@ pub fn run(name: &str, scale: Scale) -> bool {
         "ablation" => ablation::run(scale),
         "matrix" => matrix::run(scale),
         "workloads" => workloads::run(scale),
+        "xval" => xval::run(scale),
         "all" => {
             for n in ALL {
                 run(n, scale);

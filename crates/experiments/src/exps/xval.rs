@@ -1,0 +1,251 @@
+//! Cross-validation of the analytic tier against the cycle-accurate
+//! simulator (`xval`).
+//!
+//! Runs *both* tiers over the gated validation sweep — every ordered
+//! pair of the interference-matrix application set (36 configurations)
+//! plus two intensity-binned 4-app mixes — and over extra stratified
+//! random mixes, then reports the per-workload-class disagreement
+//! envelope of the per-app slowdowns. The headline number, the geometric
+//! mean of `max(s_analytic, s_cycle) / min(s_analytic, s_cycle) − 1`
+//! over the sweep, is gated at ≤ 10% by
+//! `crates/experiments/tests/analytic_gate.rs`; the per-class envelope
+//! is recorded in EXPERIMENTS.md.
+//!
+//! Both tiers fan across the `--jobs` pool; the error fold below runs
+//! sequentially in workload order, so the emitted table is byte-identical
+//! for every `--jobs` value.
+
+use std::collections::BTreeMap;
+
+use asm_analytic::WorkloadClass;
+use asm_core::EstimatorSet;
+use asm_cpu::AppProfile;
+use asm_metrics::Table;
+use asm_workloads::mix;
+
+use crate::scale::Scale;
+
+/// Per-app tier-disagreement samples, grouped by workload class.
+///
+/// Each sample is the symmetric relative error of one app's slowdown in
+/// one mix: `max(s_a, s_c) / min(s_a, s_c) − 1` (0 = tiers agree).
+#[derive(Debug, Default, Clone)]
+pub struct Envelope {
+    /// Samples per class display name.
+    pub per_class: BTreeMap<&'static str, Vec<f64>>,
+}
+
+impl Envelope {
+    /// All samples, in class display order.
+    #[must_use]
+    pub fn all_samples(&self) -> Vec<f64> {
+        self.per_class.values().flatten().copied().collect()
+    }
+
+    /// Geometric mean of `1 + err` over the samples, minus 1 — the
+    /// multiplicative average disagreement. `None` when empty.
+    #[must_use]
+    pub fn geomean(samples: &[f64]) -> Option<f64> {
+        if samples.is_empty() {
+            return None;
+        }
+        let s: f64 = samples.iter().map(|e| (1.0 + e).ln()).sum();
+        Some((s / samples.len() as f64).exp() - 1.0)
+    }
+
+    /// Worst single-app disagreement. `None` when empty.
+    #[must_use]
+    pub fn worst(samples: &[f64]) -> Option<f64> {
+        samples.iter().copied().fold(None, |m, e| {
+            Some(m.map_or(e, |m: f64| m.max(e)))
+        })
+    }
+}
+
+/// The gated validation sweep at this scale: the 36 ordered
+/// interference-matrix pairs plus two intensity-binned 4-app mixes
+/// (38 configurations). Below suite scale (`--tiny`), a smoke subset:
+/// the 6 self-pairs plus one binned mix.
+#[must_use]
+pub fn sweep_mixes(scale: Scale) -> Vec<Vec<AppProfile>> {
+    let mut mixes = super::matrix::ordered_pairs();
+    if scale.workloads < 6 {
+        // CI smoke: the matrix diagonal (one self-pair per app class).
+        mixes = mixes.into_iter().step_by(7).collect();
+        mixes.extend(mix::binned_mixes(1, 4, scale.seed));
+    } else {
+        mixes.extend(mix::binned_mixes(2, 4, scale.seed));
+    }
+    mixes
+}
+
+/// Runs both tiers over `mixes` and folds the per-app disagreement
+/// envelope. Public so the gating test can enforce it directly.
+#[must_use]
+pub fn envelope(scale: Scale, mixes: &[Vec<AppProfile>]) -> Envelope {
+    let mut config = scale.base_config();
+    config.estimators = EstimatorSet::none();
+    config.epochs_enabled = false;
+    let cycles = scale.cycles / 2;
+    let results = crate::collect::run_parallel(&config, mixes, cycles, scale.jobs);
+    let solutions = crate::analytic::solve_mixes(&config, mixes, scale.jobs);
+    let debug = std::env::var_os("ASM_XVAL_DEBUG").is_some();
+    let mut env = Envelope::default();
+    for (k, (r, s)) in results.iter().zip(&solutions).enumerate() {
+        if debug {
+            eprintln!("[xval] mix {k}: {}", s.app_names.join(" + "));
+            for i in 0..s.slowdowns.len() {
+                let car_cycle = r.quanta.iter().map(|q| q.car_shared[i]).sum::<f64>()
+                    / r.quanta.len().max(1) as f64;
+                eprintln!(
+                    "[xval]   {:<16} {:<15} cyc {:>6.3} ana {:>6.3} | miss a/s {:.3}/{:.3} \
+                     cpi a/s {:.2}/{:.2} car cyc/ana {:.4}/{:.4}",
+                    s.app_names[i],
+                    s.classes[i].name(),
+                    r.whole_run_slowdowns[i],
+                    s.slowdowns[i],
+                    s.miss_alone[i],
+                    s.miss_shared[i],
+                    s.cpi_alone[i],
+                    s.cpi_shared[i],
+                    car_cycle,
+                    s.car_shared[i],
+                );
+            }
+        }
+        for i in 0..s.slowdowns.len() {
+            let c = r.whole_run_slowdowns[i];
+            let a = s.slowdowns[i];
+            if !(c.is_finite() && c > 0.0 && a.is_finite() && a > 0.0) {
+                continue;
+            }
+            let err = a.max(c) / a.min(c) - 1.0;
+            env.per_class
+                .entry(s.classes[i].name())
+                .or_default()
+                .push(err);
+        }
+    }
+    env
+}
+
+fn pct(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{:.1}%", v * 100.0),
+        None => "-".to_owned(),
+    }
+}
+
+/// `ASM_XVAL_DEBUG` diagnostic: runs each matrix app *alone* on both
+/// tiers and prints measured vs modelled CAR and the implied CPI — the
+/// first thing to check when recalibrating `asm_analytic::Tuning`.
+fn debug_singletons(scale: Scale) {
+    let mut config = scale.base_config();
+    config.estimators = EstimatorSet::none();
+    config.epochs_enabled = false;
+    let singles: Vec<Vec<AppProfile>> = super::matrix::APPS
+        .iter()
+        .map(|n| vec![asm_workloads::suite::by_name(n).expect("profile")])
+        .collect();
+    let results = crate::collect::run_parallel(&config, &singles, scale.cycles / 2, scale.jobs);
+    let solutions = crate::analytic::solve_mixes(&config, &singles, scale.jobs);
+    for (r, s) in results.iter().zip(&solutions) {
+        let car_cycle = r.quanta.iter().map(|q| q.car_shared[0]).sum::<f64>()
+            / r.quanta.len().max(1) as f64;
+        let api = s.car_alone[0] * s.cpi_alone[0];
+        eprintln!(
+            "[xval] alone {:<16} car cyc/ana {:.4}/{:.4} cpi cyc/ana {:.2}/{:.2} miss ana {:.3}",
+            s.app_names[0],
+            car_cycle,
+            s.car_alone[0],
+            api / car_cycle,
+            s.cpi_alone[0],
+            s.miss_alone[0],
+        );
+    }
+}
+
+/// Runs the cross-validation experiment.
+pub fn run(scale: Scale) {
+    println!("\n=== Cross-validation: analytic tier vs cycle-accurate (per-app slowdown) ===");
+    if std::env::var_os("ASM_XVAL_DEBUG").is_some() {
+        debug_singletons(scale);
+    }
+    let sweep = sweep_mixes(scale);
+    let apps: usize = sweep.iter().map(Vec::len).sum();
+    println!("sweep: {} mixes ({apps} app slots)", sweep.len());
+    let env = envelope(scale, &sweep);
+
+    // Extra stratified (intensity-binned) random mixes beyond the gated
+    // sweep, to probe mixes the calibration never saw.
+    let extras = mix::binned_mixes(scale.workloads.min(8), 4, scale.seed + 0x5eed);
+    let extra_env = envelope(scale, &extras);
+
+    let mut table = Table::new(
+        ["mix set / class", "apps", "geomean err", "max err"]
+            .map(str::to_owned)
+            .to_vec(),
+    );
+    for class in WorkloadClass::all() {
+        let Some(samples) = env.per_class.get(class.name()) else {
+            continue;
+        };
+        table.row(vec![
+            format!("sweep: {}", class.name()),
+            samples.len().to_string(),
+            pct(Envelope::geomean(samples)),
+            pct(Envelope::worst(samples)),
+        ]);
+    }
+    let all = env.all_samples();
+    table.row(vec![
+        "sweep: all".to_owned(),
+        all.len().to_string(),
+        pct(Envelope::geomean(&all)),
+        pct(Envelope::worst(&all)),
+    ]);
+    let extra_all = extra_env.all_samples();
+    table.row(vec![
+        "random 4-app mixes".to_owned(),
+        extra_all.len().to_string(),
+        pct(Envelope::geomean(&extra_all)),
+        pct(Envelope::worst(&extra_all)),
+    ]);
+    crate::output::emit("xval", &table);
+
+    let gate = Envelope::geomean(&all).unwrap_or(f64::INFINITY);
+    if scale.workloads < 6 {
+        // Sub-suite scales run too few cycles for the cycle tier to reach
+        // steady state; the smoke run only proves both tiers execute.
+        println!(
+            "gate: sweep geomean per-app error {} (informational — the 10% \
+             gate applies at suite scale, see tests/analytic_gate.rs)",
+            pct(Some(gate)),
+        );
+    } else {
+        println!(
+            "gate: sweep geomean per-app error {} (threshold 10.0%) — {}",
+            pct(Some(gate)),
+            if gate <= 0.10 { "PASS" } else { "FAIL" }
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_math() {
+        assert_eq!(Envelope::geomean(&[]), None);
+        let g = Envelope::geomean(&[0.1, 0.1]).unwrap();
+        assert!((g - 0.1).abs() < 1e-12);
+        assert_eq!(Envelope::worst(&[0.05, 0.2, 0.1]), Some(0.2));
+    }
+
+    #[test]
+    fn sweep_sizes() {
+        assert_eq!(sweep_mixes(Scale::reduced()).len(), 38);
+        assert_eq!(sweep_mixes(Scale::tiny()).len(), 7);
+    }
+}

@@ -16,6 +16,7 @@
 //! via [`pool::run_ordered`]; results merge in submission order, so every
 //! table and CSV is byte-identical for any `--jobs` value.
 
+pub mod analytic;
 pub mod collect;
 pub mod exps;
 pub mod output;
@@ -23,4 +24,4 @@ pub mod pool;
 pub mod scale;
 pub mod sink;
 
-pub use scale::Scale;
+pub use scale::{Scale, Tier};

@@ -1,6 +1,6 @@
 //! CLI entry point: regenerates the paper's tables and figures.
 
-use asm_experiments::{exps, Scale};
+use asm_experiments::{exps, Scale, Tier};
 
 const USAGE: &str = "\
 asm-experiments — regenerate the ASM paper's evaluation
@@ -24,7 +24,8 @@ EXPERIMENTS:
     fig10     ASM-Mem vs FRFCFS/PARBS/TCM
     combined  ASM-Cache-Mem vs PARBS+UCP
     fig11     ASM-QoS slowdown guarantees
-    all       everything above, in order
+    xval      cross-validate the analytic tier against cycle-accurate
+    all       everything above, in order (excluding xval)
 
 OPTIONS:
     --full           paper scale (100 workloads, 100M cycles, Q=5M) — hours
@@ -39,9 +40,14 @@ OPTIONS:
                      every cycle (slower; output is byte-identical —
                      this flag exists for benchmarking and differential
                      testing, see DESIGN.md §8)
+    --tier T         simulation tier: `cycle` (event-driven, default) or
+                     `analytic` (reuse-distance model, ~1000x faster;
+                     supported by: matrix, xval — see DESIGN.md §10)
     --alone-cache F  persist alone-run profiles in F and reuse them on
                      later invocations with the same scale (stale or
                      corrupt entries are ignored with a warning)
+    --profile-cache F  persist analytic-tier reuse profiles in F (stale
+                     or corrupt entries are re-extracted with a warning)
     --csv DIR        additionally write every table to DIR/<name>.csv
 
 TELEMETRY (any of these instruments every simulated run; artefacts are
@@ -65,6 +71,7 @@ fn main() {
 
     let mut scale = Scale::reduced();
     let mut no_skip = false;
+    let mut tier = None;
     let mut sink_cfg = asm_experiments::sink::SinkConfig::default();
     let mut i = 1;
     while i < args.len() {
@@ -85,12 +92,30 @@ fn main() {
                 }
                 i += 1;
             }
+            "--tier" => {
+                let Some(t) = args.get(i + 1).and_then(|v| Tier::parse(v)) else {
+                    eprintln!("error: --tier needs `cycle` or `analytic`");
+                    std::process::exit(2);
+                };
+                // Applied after the loop: `--full`/`--tiny` replace the
+                // whole Scale and must not wipe an earlier `--tier`.
+                tier = Some(t);
+                i += 1;
+            }
             "--alone-cache" => {
                 let Some(path) = args.get(i + 1) else {
                     eprintln!("error: --alone-cache needs a file path");
                     std::process::exit(2);
                 };
                 asm_experiments::collect::set_alone_cache_path(path.into());
+                i += 1;
+            }
+            "--profile-cache" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("error: --profile-cache needs a file path");
+                    std::process::exit(2);
+                };
+                asm_experiments::analytic::set_profile_cache_path(path.into());
                 i += 1;
             }
             "--csv" => {
@@ -124,8 +149,22 @@ fn main() {
     if no_skip {
         scale.skip = false;
     }
+    if let Some(tier) = tier {
+        scale.tier = tier;
+    }
+    if scale.tier == Tier::Analytic && !exps::supports_analytic(experiment) {
+        eprintln!(
+            "error: experiment '{experiment}' does not support --tier analytic \
+             (supported: {})",
+            exps::ANALYTIC_CAPABLE.join(", ")
+        );
+        std::process::exit(2);
+    }
     asm_experiments::sink::configure(sink_cfg);
 
+    if scale.tier == Tier::Analytic {
+        println!("tier: analytic (reuse-distance model, no cycle loop)");
+    }
     println!(
         "scale: {} workloads x {} cycles (Q={}, E={}, warmup {} quanta, seed {})",
         scale.workloads, scale.cycles, scale.quantum, scale.epoch, scale.warmup_quanta, scale.seed
@@ -143,4 +182,5 @@ fn main() {
     }
     asm_experiments::sink::finalize();
     asm_experiments::collect::save_alone_cache();
+    asm_experiments::analytic::save_profile_cache();
 }

@@ -5,6 +5,43 @@
 use asm_core::SystemConfig;
 use asm_simcore::Cycle;
 
+/// Which simulation tier an experiment runs on (`--tier`).
+///
+/// The cycle tier is the event-driven `asm_core::System`; the analytic
+/// tier is the reuse-distance model in `asm-analytic`, which trades
+/// per-cycle fidelity for mix throughput measured in microseconds (see
+/// DESIGN.md §10). Only experiments listed in
+/// [`crate::exps::ANALYTIC_CAPABLE`] accept the analytic tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tier {
+    /// Cycle-accurate event-driven simulation (the default).
+    #[default]
+    Cycle,
+    /// Analytical reuse-distance slowdown model.
+    Analytic,
+}
+
+impl Tier {
+    /// The CLI spelling of this tier.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Cycle => "cycle",
+            Tier::Analytic => "analytic",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "cycle" => Some(Tier::Cycle),
+            "analytic" => Some(Tier::Analytic),
+            _ => None,
+        }
+    }
+}
+
 /// How big to run each experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
@@ -28,6 +65,8 @@ pub struct Scale {
     /// this may never change what a run computes — outputs are
     /// byte-identical either way (see DESIGN.md §8).
     pub skip: bool,
+    /// Simulation tier (`--tier cycle|analytic`).
+    pub tier: Tier,
 }
 
 impl Scale {
@@ -43,6 +82,7 @@ impl Scale {
             seed: 42,
             jobs: crate::pool::default_jobs(),
             skip: true,
+            tier: Tier::default(),
         }
     }
 
@@ -59,6 +99,7 @@ impl Scale {
             seed: 42,
             jobs: crate::pool::default_jobs(),
             skip: true,
+            tier: Tier::default(),
         }
     }
 
@@ -75,6 +116,7 @@ impl Scale {
             seed: 42,
             jobs: 1,
             skip: true,
+            tier: Tier::default(),
         }
     }
 

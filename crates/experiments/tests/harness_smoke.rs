@@ -2,7 +2,7 @@
 //! micro scale. Guards `asm-experiments all` against bit-rot in any
 //! single experiment.
 
-use asm_experiments::{exps, Scale};
+use asm_experiments::{exps, Scale, Tier};
 
 /// A scale even smaller than `Scale::tiny()`, so the whole sweep stays
 /// test-suite friendly.
@@ -16,6 +16,7 @@ fn micro() -> Scale {
         seed: 7,
         jobs: 2,
         skip: true,
+        tier: Tier::Cycle,
     }
 }
 

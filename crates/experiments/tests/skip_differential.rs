@@ -12,6 +12,9 @@ use std::process::Command;
 
 /// Every dispatchable experiment, paper figures plus the extra sweeps
 /// (kept in sync with `exps::run`; a typo here fails the run loudly).
+/// `xval` is deliberately absent: it runs both tiers itself, its skip
+/// invariance is covered by the experiments it composes, and its own
+/// gates live in `tests/analytic_gate.rs` and `tests/analytic_cli.rs`.
 const EXPERIMENTS: &[&str] = &[
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "db", "mise", "fig7", "fig8", "table3",
     "fig9", "fig10", "combined", "fig11", "channels", "ablation", "matrix", "workloads",

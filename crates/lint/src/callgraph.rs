@@ -1,9 +1,10 @@
 //! Workspace call graph: the R9 hot-path hygiene pass.
 //!
 //! Builds a conservative intra-workspace call graph over the simulation
-//! crates and walks it from the per-cycle roots — `System::step`,
-//! `System::step_until`, `System::run_for` — to find every function
-//! that can execute inside the simulated-cycle loop. Reachable
+//! crates and walks it from the hot-path roots — the per-cycle loop
+//! (`System::step`, `System::step_until`, `System::run_for`) and the
+//! analytic tier's per-mix solve (`MixSolver::solve`) — to find every
+//! function that can execute inside those loops. Reachable
 //! functions must not allocate, perform I/O, or invoke panic macros;
 //! the reachability set itself is exported (see `--json`) so the hot
 //! path is auditable.
@@ -29,11 +30,16 @@ use crate::rules::Diagnostic;
 use crate::tokens::{Delim, TokKind};
 use crate::{HotFn, Options, RuleId};
 
-/// Root methods of the per-cycle loop, all on `impl System`.
-const ROOTS: &[&str] = &["step", "step_until", "run_for"];
-
-/// Self type that owns the roots.
-const ROOT_IMPL: &str = "System";
+/// Root methods of the analysed hot paths as `(impl type, fn)` pairs: the
+/// per-cycle loop on `impl System`, plus the analytic tier's per-mix solve
+/// on `impl MixSolver` — a campaign calls it millions of times, so it gets
+/// the same no-alloc/no-I/O discipline as the cycle loop.
+const ROOTS: &[(&str, &str)] = &[
+    ("System", "step"),
+    ("System", "step_until"),
+    ("System", "run_for"),
+    ("MixSolver", "solve"),
+];
 
 /// The R9 pass result.
 #[derive(Debug, Default)]
@@ -83,7 +89,10 @@ pub fn analyze(models: &[&FileModel], opts: &Options) -> GraphResult {
     let mut visited: BTreeSet<usize> = BTreeSet::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
     for (id, n) in nodes.iter().enumerate() {
-        if ROOTS.contains(&n.name.as_str()) && n.impl_type.as_deref() == Some(ROOT_IMPL) {
+        if ROOTS
+            .iter()
+            .any(|&(ty, f)| n.name == f && n.impl_type.as_deref() == Some(ty))
+        {
             visited.insert(id);
             queue.push_back(id);
         }

@@ -187,6 +187,7 @@ pub const SIM_CRATES: &[&str] = &[
     "workloads",
     "metrics",
     "telemetry",
+    "analytic",
 ];
 
 /// The harness crates, linted only for lock discipline (R11): they are
@@ -431,7 +432,7 @@ mod tests {
 
     #[test]
     fn sim_crates_list_matches_roadmap() {
-        assert_eq!(SIM_CRATES.len(), 8);
+        assert_eq!(SIM_CRATES.len(), 9);
     }
 
     #[test]

@@ -35,6 +35,7 @@ DEFAULT_HOT_PATHS = [
     "dram/stream_2k_requests_FRFCFS",
     "sim_throughput/mcf_mix_10m_skip",
     "sim_throughput/compute_mix_10m_no_skip",
+    "analytic_tier/mixes_1k",
 ]
 
 

@@ -36,6 +36,7 @@ for _ in 1 2 3; do
 done
 cargo bench -p asm-bench --bench substrates 2>/dev/null | tee -a "$RAW"
 cargo bench -p asm-bench --bench lint_workspace 2>/dev/null | tee -a "$RAW"
+cargo bench -p asm-bench --bench analytic_tier 2>/dev/null | tee -a "$RAW"
 
 python3 - "$RAW" "$OUT" <<'PY'
 import json, platform, re, subprocess, sys
@@ -168,6 +169,26 @@ if lint["min_ns"] > LINT_BUDGET_NS:
         f"(budget {LINT_BUDGET_NS / 1e6:.0f}ms) — the tier-1 gate would drag"
     )
 
+# Analytic fast tier: mixes solved per second, and the speedup of one
+# analytic solve over one cycle-accurate run of a comparable 4-app mix
+# (mcf_mix, 10M cycles, skip mode — the cycle tier's best case). The
+# ISSUE gate is >=100x; min-based like everything else here.
+analytic = {}
+ana_1k = results.get("analytic_tier/mixes_1k")
+cyc_run = results.get("sim_throughput/mcf_mix_10m_skip")
+if ana_1k:
+    per_mix_ns = ana_1k["min_ns"] / 1000.0
+    analytic = {
+        "mixes_per_sec": 1e9 / per_mix_ns,
+        "per_mix_ns": per_mix_ns,
+        "speedup_vs_cycle_mcf_mix_10m_skip": (
+            cyc_run["min_ns"] / per_mix_ns if cyc_run else None
+        ),
+    }
+    ext = results.get("analytic_tier/profile_extract")
+    if ext:
+        analytic["profile_extract_ns"] = ext["min_ns"]
+
 snapshot = {
     "schema": "asm-bench-snapshot v1",
     "machine": {
@@ -178,6 +199,7 @@ snapshot = {
     },
     "sim_throughput": throughput,
     "telemetry_overhead": telemetry,
+    "analytic_tier": analytic,
     "frfcfs_pick": {
         k.split("/", 1)[1]: v for k, v in results.items() if k.startswith("frfcfs_pick/")
     },
@@ -197,6 +219,13 @@ if mcf is not None:
 tel = telemetry.get("idle_over_off_overhead")
 if tel is not None:
     print(f"bench_snapshot: telemetry idle-over-off overhead = {tel:+.2%}", file=sys.stderr)
+ana = analytic.get("speedup_vs_cycle_mcf_mix_10m_skip")
+if ana is not None:
+    print(
+        f"bench_snapshot: analytic tier = {analytic['mixes_per_sec']:.0f} mixes/sec, "
+        f"{ana:.0f}x over one cycle-accurate mcf_mix run",
+        file=sys.stderr,
+    )
 print(
     f"bench_snapshot: whole-workspace lint min = {lint['min_ns'] / 1e6:.1f}ms "
     f"(budget {LINT_BUDGET_NS / 1e6:.0f}ms)",

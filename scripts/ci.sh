@@ -6,6 +6,11 @@
 #   2. cargo test -q                         (unit + integration + doc)
 #   3. cargo run -p asm-lint --release       (workspace determinism lint;
 #                                             exit 1 on any violation)
+#   4. asm-experiments xval --tiny           (analytic-tier smoke: both
+#                                             tiers agree on the 7-mix
+#                                             CI sweep; full 38-config
+#                                             gate lives in the asm-
+#                                             experiments test suite)
 #
 # Usage:
 #   scripts/ci.sh                 # tier-1 only (~minutes)
@@ -42,14 +47,17 @@ while [[ $# -gt 0 ]]; do
     esac
 done
 
-echo "ci: [1/3] cargo build --release --all-targets" >&2
+echo "ci: [1/4] cargo build --release --all-targets" >&2
 cargo build --release --all-targets
 
-echo "ci: [2/3] cargo test -q" >&2
+echo "ci: [2/4] cargo test -q" >&2
 cargo test -q
 
-echo "ci: [3/3] cargo run -p asm-lint --release" >&2
+echo "ci: [3/4] cargo run -p asm-lint --release" >&2
 cargo run -p asm-lint --release
+
+echo "ci: [4/4] asm-experiments xval --tiny (analytic-tier smoke)" >&2
+cargo run -q -p asm-experiments --release -- xval --tiny
 
 if [[ -n "$BENCH_TAG" ]]; then
     baseline="$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -n1 || true)"
