@@ -14,15 +14,20 @@
 //! one (pinned by tests).
 
 use std::collections::BTreeMap;
-use std::io::{self, Read as _, Write as _};
+use std::io;
 use std::path::Path;
 
 use asm_cpu::AppProfile;
+use asm_simcore::persist::{self, PersistError};
 
 use crate::profile::{bucket_bounds, profile_key, ProfileParams, ProfileParts, ReuseProfile};
 
-/// Magic + version header; bump the version on any format change.
-pub const PROFILE_CACHE_FORMAT: &str = "asm-reuse-profile v1";
+/// Format name of the profile cache; bump [`PROFILE_CACHE_VERSION`] on
+/// any format change.
+pub const PROFILE_CACHE_NAME: &str = "asm-reuse-profile";
+
+/// Version of [`PROFILE_CACHE_NAME`]'s text format.
+pub const PROFILE_CACHE_VERSION: u32 = 1;
 
 /// A set of extracted profiles, keyed by workload name.
 ///
@@ -86,7 +91,10 @@ impl ProfileStore {
     #[must_use]
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        out.push_str(PROFILE_CACHE_FORMAT);
+        out.push_str(&persist::text_header(
+            PROFILE_CACHE_NAME,
+            PROFILE_CACHE_VERSION,
+        ));
         out.push('\n');
         out.push_str(&format!("profiles {}\n", self.entries.len()));
         for entry in self.entries.values() {
@@ -115,21 +123,22 @@ impl ProfileStore {
         out
     }
 
-    /// Parses a store from the text format.
+    /// Parses a store from the text format. The versioned header goes
+    /// through [`persist::check_text_header`], so a stale file reports as
+    /// [`PersistError::StaleVersion`] rather than generic corruption.
     ///
     /// # Errors
     ///
-    /// Returns a message describing the first problem: wrong header,
-    /// malformed field, inconsistent counters, unknown bucket bound,
-    /// missing terminator, or trailing garbage.
-    pub fn parse(text: &str) -> Result<Self, String> {
-        let mut lines = text.lines();
-        let header = lines.next().ok_or("empty profile cache file")?;
-        if header != PROFILE_CACHE_FORMAT {
-            return Err(format!(
-                "bad header `{header}` (expected `{PROFILE_CACHE_FORMAT}`)"
-            ));
-        }
+    /// Returns the first problem found: wrong or stale header, malformed
+    /// field, inconsistent counters, unknown bucket bound, missing
+    /// terminator, or trailing garbage.
+    pub fn parse(text: &str) -> Result<Self, PersistError> {
+        let body = persist::check_text_header(text, PROFILE_CACHE_NAME, PROFILE_CACHE_VERSION)?;
+        Self::parse_body(body).map_err(PersistError::Corrupt)
+    }
+
+    fn parse_body(body: &str) -> Result<Self, String> {
+        let mut lines = body.lines();
         let count: usize = parse_field(lines.next(), "profiles")?;
         let bounds = bucket_bounds();
         let mut store = ProfileStore::new();
@@ -189,29 +198,31 @@ impl ProfileStore {
         Ok(store)
     }
 
-    /// Writes the store to `path` (atomically enough for a cache: full
-    /// rewrite).
+    /// Writes the store to `path` atomically (temp file + rename, via
+    /// [`persist::write_atomic`]): a reader racing the write sees either
+    /// the old store or the new one, never a torn file.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn save_to(&self, path: &Path) -> io::Result<()> {
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(self.to_text().as_bytes())
+        persist::write_atomic(path, self.to_text().as_bytes())
     }
 
-    /// Reads a store previously written by [`Self::save_to`].
-    ///
-    /// # Errors
-    ///
-    /// Filesystem errors are returned as-is; malformed or stale-format
-    /// content becomes [`io::ErrorKind::InvalidData`]. Callers are
-    /// expected to warn and fall back to an empty store — a bad cache
-    /// file must never change results.
-    pub fn load_from(path: &Path) -> io::Result<Self> {
-        let mut text = String::new();
-        std::fs::File::open(path)?.read_to_string(&mut text)?;
-        Self::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    /// Reads a store previously written by [`Self::save_to`] under the
+    /// workspace-wide warn-and-rebuild policy
+    /// ([`persist::load_or_rebuild`]): a missing file starts empty
+    /// silently; an unreadable, stale, or corrupt file starts empty with
+    /// a warning string the caller surfaces — a bad cache file must never
+    /// change results, only fail to speed things up.
+    #[must_use]
+    pub fn load_or_warn(path: &Path) -> (Self, Option<String>) {
+        let (store, warning) = persist::load_or_rebuild(path, |bytes| {
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| PersistError::Corrupt("cache file is not UTF-8".to_owned()))?;
+            Self::parse(text)
+        });
+        (store.unwrap_or_default(), warning)
     }
 }
 
@@ -315,9 +326,20 @@ mod tests {
         let dir = std::env::temp_dir();
         let path = dir.join("asm_reuse_profile_store_test.txt");
         store.save_to(&path).expect("save");
-        let back = ProfileStore::load_from(&path).expect("load");
+        let (back, warning) = ProfileStore::load_or_warn(&path);
+        assert_eq!(warning, None);
         assert_eq!(store, back);
+
+        // Corrupt file: empty store plus a warning naming the file.
+        std::fs::write(&path, "garbage\n").expect("write");
+        let (empty, warning) = ProfileStore::load_or_warn(&path);
+        assert!(empty.is_empty());
+        assert!(warning.expect("warning").contains("asm_reuse_profile_store_test"));
+
+        // Missing file: silent empty start.
         std::fs::remove_file(&path).ok();
-        assert!(ProfileStore::load_from(&path).is_err()); // NotFound
+        let (empty, warning) = ProfileStore::load_or_warn(&path);
+        assert!(empty.is_empty());
+        assert_eq!(warning, None);
     }
 }

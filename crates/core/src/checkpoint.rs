@@ -1,0 +1,454 @@
+//! Deterministic system checkpoints: fork-shared warmups and resumable
+//! sweeps (DESIGN.md §11).
+//!
+//! A [`System`] is a pure function of its configuration, workload, and
+//! cycle count, so its complete dynamic state at any cycle can be written
+//! once and replayed into any number of continuations. Two campaign-level
+//! optimisations build on that:
+//!
+//! * **Fork-shared warmups.** The cache/memory/throttle policies act only
+//!   inside the quantum boundary (`end_quantum`); every cycle in between
+//!   is policy-blind. [`System::run_prefix`] exploits this by leaving a
+//!   quantum that completes exactly at the end of the run *unfinalised*,
+//!   so a first-quantum warmup simulated under the [`prefix_config`] —
+//!   the member configuration with all three policies neutralised — is
+//!   bitwise-identical to the first quantum of *every* member
+//!   configuration's own cold run. The sweep planner simulates that
+//!   prefix once, snapshots it, and forks the snapshot into each member;
+//!   the deferred boundary then fires as the first step of each
+//!   continuation, under the continuation's own policies.
+//! * **Resumable sweeps.** Snapshots and per-run result manifests are
+//!   written atomically under a checkpoint directory, so a campaign
+//!   killed mid-flight resumes from completed work with byte-identical
+//!   output.
+//!
+//! Snapshots carry a caller-provided key — [`Runner::warmup_key`] folds
+//! the prefix-relevant configuration hash, the workload mix, and the
+//! telemetry switch — and are rejected on any mismatch, so a stale file
+//! can only fail to speed things up, never change results.
+//!
+//! [`Runner::warmup_key`]: crate::runner::Runner::warmup_key
+
+use asm_cpu::AppProfile;
+use asm_simcore::persist::{PersistError, StateReader, StateWriter};
+use asm_simcore::{Cycle, Histogram};
+
+use crate::config::{CachePolicy, MemPolicy, SystemConfig, ThrottlePolicy};
+use crate::runner::{QuantumResult, RunResult};
+use crate::system::System;
+
+/// Format name of a binary warmup snapshot. Bump [`SNAPSHOT_VERSION`] on
+/// any change to [`System::save_state`]'s layout.
+pub const SNAPSHOT_FORMAT: &str = "asm-snapshot";
+/// Version of [`SNAPSHOT_FORMAT`].
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Format name of a binary per-run result manifest.
+pub const MANIFEST_FORMAT: &str = "asm-run-manifest";
+/// Version of [`MANIFEST_FORMAT`].
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// The prefix-relevant configuration: `config` with the three
+/// quantum-boundary policies neutralised. Configurations that agree on
+/// this derivation share one warmup trajectory (see the module docs);
+/// everything else — geometries, estimators, epochs, seed, scheduler —
+/// stays, because it shapes the simulation from cycle 0.
+#[must_use]
+pub fn prefix_config(config: &SystemConfig) -> SystemConfig {
+    let mut c = config.clone();
+    c.cache_policy = CachePolicy::None;
+    c.mem_policy = MemPolicy::Uniform;
+    c.throttle_policy = ThrottlePolicy::None;
+    c
+}
+
+/// Canonical signature of a workload mix: profile names joined by `+`
+/// (slot order matters — the same profiles in different slots are a
+/// different simulation).
+#[must_use]
+pub fn mix_signature(apps: &[AppProfile]) -> String {
+    apps.iter()
+        .map(AppProfile::name)
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// Serializes a warmed system into a snapshot artefact tagged with `key`
+/// and the warm cycle count. The system must have been advanced with
+/// [`System::run_prefix`] (boundary deferred) and must not be tracing —
+/// the sim-time tracer is deliberately outside the snapshot.
+#[must_use]
+pub fn capture(sys: &System, key: u64, warm_cycles: Cycle) -> Vec<u8> {
+    let mut w = StateWriter::new(SNAPSHOT_FORMAT, SNAPSHOT_VERSION);
+    w.u64(key);
+    w.u64(warm_cycles);
+    sys.save_state(&mut w);
+    w.finish()
+}
+
+/// Restores a snapshot produced by [`capture`] into a freshly constructed
+/// system and returns the warm cycle count it covers.
+///
+/// # Errors
+///
+/// [`PersistError::BadHeader`] / [`PersistError::StaleVersion`] for
+/// foreign or outdated artefacts, [`PersistError::Corrupt`] when the key
+/// does not match (a snapshot of a different configuration, mix, or
+/// telemetry switch) or the state does not fit `sys`'s structure.
+pub fn resume(bytes: &[u8], key: u64, sys: &mut System) -> Result<Cycle, PersistError> {
+    let mut r = StateReader::new(bytes, SNAPSHOT_FORMAT, SNAPSHOT_VERSION)?;
+    let found = r.u64()?;
+    if found != key {
+        return Err(PersistError::Corrupt(format!(
+            "snapshot key {found:016x} does not match expected {key:016x}"
+        )));
+    }
+    let warm_cycles = r.u64()?;
+    sys.restore_state(&mut r)?;
+    r.finish()?;
+    Ok(warm_cycles)
+}
+
+/// Reads the key a snapshot was captured under without restoring it.
+/// The header, version and whole-payload checksum are still validated,
+/// so a `Ok` return means the artefact is intact and current — the sweep
+/// planner uses this to decide whether an on-disk warmup file can serve
+/// a campaign's group before handing it to every member.
+///
+/// # Errors
+///
+/// The same header/version/damage errors as [`resume`].
+pub fn peek_key(bytes: &[u8]) -> Result<u64, PersistError> {
+    let mut r = StateReader::new(bytes, SNAPSHOT_FORMAT, SNAPSHOT_VERSION)?;
+    r.u64()
+}
+
+fn save_hist(w: &mut StateWriter, h: Option<&Histogram>) {
+    w.bool(h.is_some());
+    if let Some(h) = h {
+        h.save_state(w);
+    }
+}
+
+fn read_hist(r: &mut StateReader<'_>) -> Result<Option<Histogram>, PersistError> {
+    Ok(if r.bool()? {
+        Some(Histogram::restore_from(r)?)
+    } else {
+        None
+    })
+}
+
+/// Serializes a completed [`RunResult`] as a manifest tagged with `key`,
+/// for `--resume`. Floats travel as bit patterns (NaN ground truth
+/// included), so a reloaded result is bitwise-identical to the simulated
+/// one.
+///
+/// # Errors
+///
+/// [`PersistError::Corrupt`] when the result carries telemetry —
+/// manifests cover plain runs only (the telemetry artefacts are written
+/// by the sink, per run, and are not replayable from a manifest).
+pub fn save_manifest(result: &RunResult, key: u64) -> Result<Vec<u8>, PersistError> {
+    if result.telemetry.is_some() {
+        return Err(PersistError::Corrupt(
+            "telemetry runs are not manifest-eligible".to_owned(),
+        ));
+    }
+    let mut w = StateWriter::new(MANIFEST_FORMAT, MANIFEST_VERSION);
+    w.u64(key);
+    w.usize(result.app_names.len());
+    for name in &result.app_names {
+        w.str(name);
+    }
+    w.usize(result.quanta.len());
+    for q in &result.quanta {
+        w.usize(q.estimates.len());
+        for (name, est) in &q.estimates {
+            w.str(name);
+            w.f64_slice(est);
+        }
+        w.f64_slice(&q.actual);
+        w.f64_slice(&q.car_shared);
+        w.bool(q.partition.is_some());
+        if let Some(p) = &q.partition {
+            w.usize(p.len());
+            for &ways in p {
+                w.usize(ways);
+            }
+        }
+    }
+    w.f64_slice(&result.whole_run_slowdowns);
+    save_hist(&mut w, result.alone_latency_hist.as_ref());
+    w.usize(result.estimator_latency_hists.len());
+    for (name, h) in &result.estimator_latency_hists {
+        w.str(name);
+        h.save_state(&mut w);
+    }
+    Ok(w.finish())
+}
+
+/// Reloads a manifest written by [`save_manifest`], validating `key`.
+///
+/// # Errors
+///
+/// Header/version/checksum errors from the reader; `Corrupt` on a key
+/// mismatch or any structural inconsistency.
+pub fn load_manifest(bytes: &[u8], key: u64) -> Result<RunResult, PersistError> {
+    let corrupt = |what: &str| PersistError::Corrupt(what.to_owned());
+    let mut r = StateReader::new(bytes, MANIFEST_FORMAT, MANIFEST_VERSION)?;
+    let found = r.u64()?;
+    if found != key {
+        return Err(PersistError::Corrupt(format!(
+            "manifest key {found:016x} does not match expected {key:016x}"
+        )));
+    }
+    let n = r.checked_len(1)?;
+    let app_names: Vec<String> = (0..n)
+        .map(|_| r.str().map(str::to_owned))
+        .collect::<Result<_, _>>()?;
+    let quanta_len = r.checked_len(1)?;
+    let mut quanta = Vec::with_capacity(quanta_len);
+    for _ in 0..quanta_len {
+        let est_len = r.checked_len(1)?;
+        let mut estimates = Vec::with_capacity(est_len);
+        for _ in 0..est_len {
+            let name = r.str()?.to_owned();
+            let est = r.f64_vec()?;
+            if est.len() != n {
+                return Err(corrupt("estimate length does not match app count"));
+            }
+            estimates.push((name, est));
+        }
+        let actual = r.f64_vec()?;
+        let car_shared = r.f64_vec()?;
+        if actual.len() != n || car_shared.len() != n {
+            return Err(corrupt("quantum vector length does not match app count"));
+        }
+        let partition = if r.bool()? {
+            let ways = r.checked_len(8)?;
+            Some((0..ways).map(|_| r.usize()).collect::<Result<Vec<_>, _>>()?)
+        } else {
+            None
+        };
+        quanta.push(QuantumResult {
+            estimates,
+            actual,
+            car_shared,
+            partition,
+        });
+    }
+    let whole_run_slowdowns = r.f64_vec()?;
+    if whole_run_slowdowns.len() != n {
+        return Err(corrupt("whole-run vector length does not match app count"));
+    }
+    let alone_latency_hist = read_hist(&mut r)?;
+    let hists = r.checked_len(1)?;
+    let estimator_latency_hists = (0..hists)
+        .map(|_| Ok((r.str()?.to_owned(), Histogram::restore_from(&mut r)?)))
+        .collect::<Result<Vec<_>, PersistError>>()?;
+    r.finish()?;
+    Ok(RunResult {
+        app_names,
+        quanta,
+        whole_run_slowdowns,
+        alone_latency_hist,
+        estimator_latency_hists,
+        telemetry: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EstimatorSet;
+    use crate::runner::Runner;
+    use asm_workloads::suite;
+
+    fn config() -> SystemConfig {
+        let mut c = SystemConfig::default();
+        c.quantum = 50_000;
+        c.epoch = 1_000;
+        c.estimators = EstimatorSet::asm_only();
+        c
+    }
+
+    fn apps() -> Vec<AppProfile> {
+        vec![
+            suite::by_name("mcf_like").unwrap(),
+            suite::by_name("h264ref_like").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn prefix_config_neutralises_exactly_the_boundary_policies() {
+        let mut c = config();
+        c.cache_policy = CachePolicy::AsmCache;
+        c.mem_policy = MemPolicy::SlowdownWeighted;
+        c.throttle_policy = ThrottlePolicy::Fst {
+            unfairness_threshold: 1.4,
+        };
+        let p = prefix_config(&c);
+        assert_eq!(p.cache_policy, CachePolicy::None);
+        assert_eq!(p.mem_policy, MemPolicy::Uniform);
+        assert_eq!(p.throttle_policy, ThrottlePolicy::None);
+        // Everything else must survive: neutralising twice is idempotent
+        // and equals neutralising the already-neutral base.
+        assert_eq!(
+            crate::runner::config_hash(&prefix_config(&p)),
+            crate::runner::config_hash(&prefix_config(&config()))
+        );
+    }
+
+    #[test]
+    fn mix_signature_is_slot_ordered() {
+        let a = apps();
+        let mut b = apps();
+        b.reverse();
+        assert_eq!(mix_signature(&a), "mcf_like+h264ref_like");
+        assert_ne!(mix_signature(&a), mix_signature(&b));
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_key_and_damage() {
+        let apps = apps();
+        let runner = Runner::new(config());
+        let snap = runner.warm_snapshot(&apps, crate::runner::RunOptions::default());
+        let key = runner.warmup_key(&apps, crate::runner::RunOptions::default());
+
+        let mut sys = System::new(&apps, config());
+        assert!(matches!(
+            resume(&snap, key ^ 1, &mut sys),
+            Err(PersistError::Corrupt(_))
+        ));
+        let mut sys = System::new(&apps, config());
+        assert!(resume(&snap[..snap.len() - 3], key, &mut sys).is_err());
+        let mut flipped = snap.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        let mut sys = System::new(&apps, config());
+        assert!(resume(&flipped, key, &mut sys).is_err());
+    }
+
+    fn assert_results_bitwise_equal(a: &RunResult, b: &RunResult) {
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(a.app_names, b.app_names);
+        assert_eq!(a.quanta.len(), b.quanta.len());
+        for (qa, qb) in a.quanta.iter().zip(&b.quanta) {
+            assert_eq!(qa.estimates.len(), qb.estimates.len());
+            for ((n1, e1), (n2, e2)) in qa.estimates.iter().zip(&qb.estimates) {
+                assert_eq!(n1, n2);
+                assert_eq!(bits(e1), bits(e2));
+            }
+            assert_eq!(bits(&qa.actual), bits(&qb.actual));
+            assert_eq!(bits(&qa.car_shared), bits(&qb.car_shared));
+            assert_eq!(qa.partition, qb.partition);
+        }
+        assert_eq!(bits(&a.whole_run_slowdowns), bits(&b.whole_run_slowdowns));
+        assert_eq!(a.alone_latency_hist, b.alone_latency_hist);
+        assert_eq!(a.estimator_latency_hists, b.estimator_latency_hists);
+    }
+
+    #[test]
+    fn one_warmup_forks_into_every_policy_bitwise() {
+        use crate::runner::RunOptions;
+        let apps = apps();
+        // One snapshot, taken under the neutral prefix configuration,
+        // serves members that differ (only) in their boundary policies.
+        let snap = Runner::new(config()).warm_snapshot(&apps, RunOptions::default());
+        let members = [
+            (CachePolicy::None, MemPolicy::Uniform),
+            (CachePolicy::Ucp, MemPolicy::Uniform),
+            (CachePolicy::AsmCache, MemPolicy::Uniform),
+            (CachePolicy::AsmCache, MemPolicy::SlowdownWeighted),
+        ];
+        for (cache, mem) in members {
+            let mut c = config();
+            c.cache_policy = cache;
+            c.mem_policy = mem;
+            let runner = Runner::new(c);
+            let cold = runner.run(&apps, 150_000);
+            let forked = runner
+                .run_with_snapshot(&apps, 150_000, RunOptions::default(), &snap)
+                .expect("every member shares the warmup key");
+            assert_results_bitwise_equal(&cold, &forked);
+        }
+    }
+
+    #[test]
+    fn warmup_key_shared_across_policies_but_not_hardware_or_mix() {
+        use crate::runner::RunOptions;
+        let apps = apps();
+        let opts = RunOptions::default();
+        let base = Runner::new(config()).warmup_key(&apps, opts);
+        let mut with_policy = config();
+        with_policy.cache_policy = CachePolicy::AsmCache;
+        with_policy.throttle_policy = ThrottlePolicy::Fst {
+            unfairness_threshold: 1.4,
+        };
+        assert_eq!(Runner::new(with_policy).warmup_key(&apps, opts), base);
+
+        let mut other_hw = config();
+        other_hw.epoch = 2_000;
+        assert_ne!(Runner::new(other_hw).warmup_key(&apps, opts), base);
+
+        let mut rev = apps.clone();
+        rev.reverse();
+        assert_ne!(Runner::new(config()).warmup_key(&rev, opts), base);
+        let telem = RunOptions {
+            telemetry: true,
+            trace_sample: None,
+        };
+        assert_ne!(Runner::new(config()).warmup_key(&apps, telem), base);
+    }
+
+    #[test]
+    fn manifest_round_trips_bitwise_and_validates_key() {
+        let mut c = config();
+        c.latency_hist = Some((50.0, 40));
+        c.cache_policy = CachePolicy::AsmCache;
+        let runner = Runner::new(c);
+        let result = runner.run(&apps(), 150_000);
+
+        let bytes = save_manifest(&result, 7).expect("plain run is eligible");
+        let back = load_manifest(&bytes, 7).expect("roundtrip");
+        assert_eq!(back.app_names, result.app_names);
+        assert_eq!(back.quanta.len(), result.quanta.len());
+        for (a, b) in result.quanta.iter().zip(&back.quanta) {
+            assert_eq!(a.estimates.len(), b.estimates.len());
+            for ((n1, e1), (n2, e2)) in a.estimates.iter().zip(&b.estimates) {
+                assert_eq!(n1, n2);
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(e1), bits(e2));
+            }
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.actual), bits(&b.actual));
+            assert_eq!(bits(&a.car_shared), bits(&b.car_shared));
+            assert_eq!(a.partition, b.partition);
+        }
+        assert_eq!(result.alone_latency_hist, back.alone_latency_hist);
+        assert_eq!(
+            result.estimator_latency_hists,
+            back.estimator_latency_hists
+        );
+
+        assert!(matches!(
+            load_manifest(&bytes, 8),
+            Err(PersistError::Corrupt(_))
+        ));
+        assert!(load_manifest(&bytes[..bytes.len() - 1], 7).is_err());
+    }
+
+    #[test]
+    fn telemetry_runs_are_not_manifest_eligible() {
+        let runner = Runner::new(config());
+        let opts = crate::runner::RunOptions {
+            telemetry: true,
+            trace_sample: None,
+        };
+        let result = runner.run_with(&apps(), 100_000, opts);
+        assert!(matches!(
+            save_manifest(&result, 1),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+}

@@ -149,6 +149,22 @@ pub trait SlowdownEstimator: std::fmt::Debug + Send {
     fn ats_sample_counts(&self) -> Option<&[(u64, u64)]> {
         None
     }
+
+    /// Serializes the estimator's accumulated quantum state for
+    /// checkpointing.
+    fn save_state(&self, w: &mut asm_simcore::persist::StateWriter);
+
+    /// Restores state captured by [`save_state`](Self::save_state) into an
+    /// estimator constructed with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; `Corrupt` when the stored shape disagrees
+    /// with this estimator's structure.
+    fn restore_state(
+        &mut self,
+        r: &mut asm_simcore::persist::StateReader<'_>,
+    ) -> Result<(), asm_simcore::persist::PersistError>;
 }
 
 /// Tracks the union length of possibly-overlapping service intervals —
@@ -177,6 +193,28 @@ impl UnionTime {
     /// spanning the boundary are not double counted).
     pub fn reset(&mut self) {
         self.total = 0;
+    }
+
+    /// Serializes both the accumulated total and the busy horizon (the
+    /// horizon survives [`reset`](Self::reset), so it is live state).
+    pub fn save_state(&self, w: &mut asm_simcore::persist::StateWriter) {
+        w.u64(self.busy_until);
+        w.u64(self.total);
+    }
+
+    /// Reads a tracker previously written by
+    /// [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors.
+    pub fn restore_from(
+        r: &mut asm_simcore::persist::StateReader<'_>,
+    ) -> Result<Self, asm_simcore::persist::PersistError> {
+        Ok(UnionTime {
+            busy_until: r.u64()?,
+            total: r.u64()?,
+        })
     }
 }
 

@@ -22,6 +22,10 @@
 //! - [`runner`]: pairs shared runs with per-application alone runs to
 //!   compute ground-truth slowdowns (`IPC_alone / IPC_shared` over the
 //!   same work, §5) and produce the records every experiment consumes.
+//! - [`checkpoint`]: deterministic system snapshots — fork one shared
+//!   first-quantum warmup into every policy variant of a sweep, and
+//!   resume interrupted campaigns — with byte-identical results either
+//!   way (DESIGN.md §11).
 //!
 //! # Quick start
 //!
@@ -45,6 +49,7 @@
 //! assert_eq!(q.actual.len(), 2);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod estimator;
 pub mod mech;

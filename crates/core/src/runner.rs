@@ -22,8 +22,10 @@ use std::sync::Mutex;
 use asm_cpu::{AppProfile, ProgressLog};
 use asm_metrics::SlowdownSample;
 use asm_simcore::hash::DetHasher;
+use asm_simcore::persist::{self, PersistError};
 use asm_simcore::{AppId, Cycle, Histogram};
 
+use crate::checkpoint;
 use crate::config::{CachePolicy, EstimatorSet, MemPolicy, SystemConfig};
 use crate::system::{RunTelemetry, System};
 
@@ -195,32 +197,35 @@ impl AloneCache {
     }
 
     /// Writes the cache to `path` in the versioned text format of
-    /// [`Self::load_from`]. Overwrites any existing file.
+    /// [`Self::load_or_warn`], atomically (temp file + rename): a reader
+    /// racing the write sees either the old cache or the new one, never a
+    /// torn file.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn save_to(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_text())
+        persist::write_atomic(path, self.to_text().as_bytes())
     }
 
-    /// Reads a cache previously written by [`Self::save_to`].
+    /// Reads a cache previously written by [`Self::save_to`] under the
+    /// workspace-wide warn-and-rebuild policy
+    /// ([`persist::load_or_rebuild`]): a missing file starts empty
+    /// silently; an unreadable, stale, or corrupt file starts empty with
+    /// a warning string the caller surfaces on stderr (sim crates cannot
+    /// print — lint rule R7).
     ///
     /// Entries are keyed by [`config_hash`] of the alone configuration
     /// they were simulated under, so a file recorded with different
     /// hardware parameters loads fine but never satisfies a lookup.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error for filesystem failures, for a version header
-    /// other than the current one (a stale file from an older or newer
-    /// binary), and for any malformed content. Callers are expected to
-    /// warn and fall back to an empty cache.
-    pub fn load_from(path: &std::path::Path) -> std::io::Result<AloneCache> {
-        let text = std::fs::read_to_string(path)?;
-        Self::parse(&text).map_err(|why| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, why)
-        })
+    #[must_use]
+    pub fn load_or_warn(path: &std::path::Path) -> (AloneCache, Option<String>) {
+        let (cache, warning) = persist::load_or_rebuild(path, |bytes| {
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| PersistError::Corrupt("cache file is not UTF-8".to_owned()))?;
+            Self::parse(text)
+        });
+        (cache.unwrap_or_default(), warning)
     }
 
     /// Serializes to the on-disk text format. One `entry` line per record
@@ -230,7 +235,7 @@ impl AloneCache {
         use std::fmt::Write as _;
         let map = self.lock();
         let mut out = String::new();
-        out.push_str(ALONE_CACHE_FORMAT);
+        out.push_str(&persist::text_header(ALONE_CACHE_NAME, ALONE_CACHE_VERSION));
         out.push('\n');
         for ((name, slot, cfg), rec) in map.iter() {
             // asm-lint: allow(R2): writing to a String cannot fail
@@ -260,15 +265,18 @@ impl AloneCache {
         out
     }
 
-    /// Strict parser for [`Self::to_text`]: any deviation is an error so
-    /// a truncated or hand-edited file cannot half-load.
-    fn parse(text: &str) -> Result<AloneCache, String> {
-        let mut lines = text.lines();
-        match lines.next() {
-            Some(ALONE_CACHE_FORMAT) => {}
-            Some(other) => return Err(format!("unsupported format header {other:?}")),
-            None => return Err("empty file".to_owned()),
-        }
+    /// Strict parser for [`Self::to_text`]: the versioned header goes
+    /// through [`persist::check_text_header`] (so a stale file reports as
+    /// [`PersistError::StaleVersion`], not generic corruption) and any
+    /// deviation in the body is an error so a truncated or hand-edited
+    /// file cannot half-load.
+    fn parse(text: &str) -> Result<AloneCache, PersistError> {
+        let body = persist::check_text_header(text, ALONE_CACHE_NAME, ALONE_CACHE_VERSION)?;
+        Self::parse_body(body).map_err(PersistError::Corrupt)
+    }
+
+    fn parse_body(body: &str) -> Result<AloneCache, String> {
+        let mut lines = body.lines();
         let cache = AloneCache::new();
         let mut map = cache.lock();
         while let Some(line) = lines.next() {
@@ -339,11 +347,14 @@ impl AloneCache {
     }
 }
 
-/// On-disk format tag for the persisted alone-run cache. Bump the version
-/// whenever the record layout changes *or* a simulator change alters what
-/// alone runs compute without touching `SystemConfig` — an old file must
-/// never be read as if it were current.
-const ALONE_CACHE_FORMAT: &str = "asm-alone-cache v1";
+/// On-disk format name for the persisted alone-run cache. Bump
+/// [`ALONE_CACHE_VERSION`] whenever the record layout changes *or* a
+/// simulator change alters what alone runs compute without touching
+/// `SystemConfig` — an old file must never be read as if it were current.
+const ALONE_CACHE_NAME: &str = "asm-alone-cache";
+
+/// Version of [`ALONE_CACHE_NAME`]'s text format.
+const ALONE_CACHE_VERSION: u32 = 1;
 
 /// Parses one whitespace-separated field, naming it in the error.
 fn parse_field<T: std::str::FromStr>(field: Option<&str>, what: &str) -> Result<T, String>
@@ -499,12 +510,6 @@ impl Runner {
     /// Panics if `apps` is empty.
     pub fn run_with(&self, apps: &[AppProfile], cycles: Cycle, opts: RunOptions) -> RunResult {
         assert!(!apps.is_empty(), "need at least one application");
-        let n = apps.len();
-
-        // Alone runs (cached).
-        let alone: Vec<AloneRecord> = (0..n)
-            .map(|slot| self.alone_record(apps, slot, cycles))
-            .collect();
 
         // Shared run.
         let mut sys = System::new(apps, self.config.clone());
@@ -512,6 +517,110 @@ impl Runner {
             sys.enable_telemetry(opts.trace_sample);
         }
         sys.run_for(cycles);
+        self.finish_run(apps, cycles, opts, sys)
+    }
+
+    /// The key identifying warmup snapshots this runner can fork for
+    /// `apps`: a fingerprint of the prefix-relevant configuration
+    /// ([`checkpoint::prefix_config`]), the workload mix, and the
+    /// telemetry switch. Runners whose configurations differ only in the
+    /// quantum-boundary policies produce the same key — that is the
+    /// sharing the sweep planner exploits.
+    #[must_use]
+    pub fn warmup_key(&self, apps: &[AppProfile], opts: RunOptions) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = DetHasher::default();
+        h.write_u64(config_hash(&checkpoint::prefix_config(&self.config)));
+        h.write(checkpoint::mix_signature(apps).as_bytes());
+        h.write_u8(u8::from(opts.telemetry));
+        h.finish()
+    }
+
+    /// Simulates the first quantum of `apps` under the prefix-neutral
+    /// configuration with the boundary deferred
+    /// ([`System::run_prefix`]) and returns it as a snapshot keyed by
+    /// [`warmup_key`](Self::warmup_key). Fork the result into any member
+    /// configuration with [`run_with_snapshot`](Self::run_with_snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty or `opts` requests tracing (the
+    /// sim-time tracer is deliberately outside snapshots).
+    #[must_use]
+    pub fn warm_snapshot(&self, apps: &[AppProfile], opts: RunOptions) -> Vec<u8> {
+        assert!(!apps.is_empty(), "need at least one application");
+        assert!(
+            opts.trace_sample.is_none(),
+            "traced runs are not snapshot-eligible"
+        );
+        let warm = self.config.quantum;
+        let mut sys = System::new(apps, checkpoint::prefix_config(&self.config));
+        if opts.telemetry {
+            sys.enable_telemetry(None);
+        }
+        sys.run_prefix(warm);
+        checkpoint::capture(&sys, self.warmup_key(apps, opts), warm)
+    }
+
+    /// Like [`run_with`](Self::run_with), but seeds the shared system
+    /// from a warmup snapshot instead of simulating the first quantum:
+    /// the snapshot state is restored into a freshly constructed system
+    /// and the remaining `cycles - warm` cycles run under this runner's
+    /// own policies. The result is bitwise-identical to a cold
+    /// [`run_with`](Self::run_with) — the deferred first-quantum boundary
+    /// fires as the first step of the continuation.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PersistError`] from the snapshot: foreign or stale artefact,
+    /// key mismatch (different prefix configuration, mix, or telemetry
+    /// switch), damage, or a warm prefix longer than `cycles`. On error
+    /// the caller falls back to a cold run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty or `opts` requests tracing.
+    pub fn run_with_snapshot(
+        &self,
+        apps: &[AppProfile],
+        cycles: Cycle,
+        opts: RunOptions,
+        snapshot: &[u8],
+    ) -> Result<RunResult, PersistError> {
+        assert!(!apps.is_empty(), "need at least one application");
+        assert!(
+            opts.trace_sample.is_none(),
+            "traced runs are not snapshot-eligible"
+        );
+        let mut sys = System::new(apps, self.config.clone());
+        if opts.telemetry {
+            sys.enable_telemetry(None);
+        }
+        let warm = checkpoint::resume(snapshot, self.warmup_key(apps, opts), &mut sys)?;
+        if warm > cycles {
+            return Err(PersistError::Corrupt(format!(
+                "snapshot covers {warm} cycles but the run is only {cycles}"
+            )));
+        }
+        sys.run_for(cycles - warm);
+        Ok(self.finish_run(apps, cycles, opts, sys))
+    }
+
+    /// Turns a finished shared system into a [`RunResult`]: pairs it with
+    /// the (cached) alone runs for ground truth and attaches telemetry.
+    fn finish_run(
+        &self,
+        apps: &[AppProfile],
+        cycles: Cycle,
+        opts: RunOptions,
+        mut sys: System,
+    ) -> RunResult {
+        let n = apps.len();
+
+        // Alone runs (cached).
+        let alone: Vec<AloneRecord> = (0..n)
+            .map(|slot| self.alone_record(apps, slot, cycles))
+            .collect();
 
         // Ground truth per quantum.
         let quanta: Vec<QuantumResult> = sys

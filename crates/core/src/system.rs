@@ -135,6 +135,115 @@ impl QuantumRecord {
             .map(|(s, e)| (e - s) as f64 / cycles)
             .collect()
     }
+
+    fn save_state(&self, w: &mut asm_simcore::persist::StateWriter) {
+        w.u64(self.start_cycle);
+        w.u64(self.end_cycle);
+        w.u64_slice(&self.retired_start);
+        w.u64_slice(&self.retired_end);
+        w.f64_slice(&self.car_shared);
+        w.usize(self.estimates.len());
+        for (name, v) in &self.estimates {
+            w.str(name);
+            w.f64_slice(v);
+        }
+        match &self.partition {
+            Some(p) => {
+                w.bool(true);
+                w.usize(p.len());
+                for &q in p {
+                    w.usize(q);
+                }
+            }
+            None => w.bool(false),
+        }
+        match &self.car_alone {
+            Some(v) => {
+                w.bool(true);
+                w.f64_slice(v);
+            }
+            None => w.bool(false),
+        }
+        w.usize(self.ats_samples.len());
+        for &(h, m) in &self.ats_samples {
+            w.u64(h);
+            w.u64(m);
+        }
+        w.u64_slice(&self.interference_cycles);
+    }
+
+    fn restore_from(
+        r: &mut asm_simcore::persist::StateReader<'_>,
+        app_count: usize,
+    ) -> Result<Self, asm_simcore::persist::PersistError> {
+        use asm_simcore::persist::PersistError;
+        let corrupt = |what: &str| PersistError::Corrupt(what.to_owned());
+        let start_cycle = r.u64()?;
+        let end_cycle = r.u64()?;
+        let retired_start = r.u64_vec()?;
+        let retired_end = r.u64_vec()?;
+        let car_shared = r.f64_vec()?;
+        let est_count = r.checked_len(8)?;
+        let mut estimates = Vec::with_capacity(est_count);
+        for _ in 0..est_count {
+            let name = r.str()?.to_owned();
+            let v = r.f64_vec()?;
+            if v.len() != app_count {
+                return Err(corrupt("record estimate length mismatch"));
+            }
+            estimates.push((name, v));
+        }
+        let partition = if r.bool()? {
+            let n = r.checked_len(8)?;
+            if n != app_count {
+                return Err(corrupt("record partition length mismatch"));
+            }
+            let mut p = Vec::with_capacity(n);
+            for _ in 0..n {
+                p.push(r.usize()?);
+            }
+            Some(p)
+        } else {
+            None
+        };
+        let car_alone = if r.bool()? {
+            let v = r.f64_vec()?;
+            if v.len() != app_count {
+                return Err(corrupt("record car-alone length mismatch"));
+            }
+            Some(v)
+        } else {
+            None
+        };
+        let ats_count = r.checked_len(16)?;
+        if ats_count != 0 && ats_count != app_count {
+            return Err(corrupt("record ATS-sample length mismatch"));
+        }
+        let mut ats_samples = Vec::with_capacity(ats_count);
+        for _ in 0..ats_count {
+            ats_samples.push((r.u64()?, r.u64()?));
+        }
+        let interference_cycles = r.u64_vec()?;
+        if retired_start.len() != app_count
+            || retired_end.len() != app_count
+            || car_shared.len() != app_count
+            || interference_cycles.len() != app_count
+        {
+            return Err(corrupt("record per-app length mismatch"));
+        }
+        Ok(QuantumRecord {
+            start_cycle,
+            end_cycle,
+            retired_start,
+            retired_end,
+            car_shared,
+            estimates,
+            partition,
+            car_alone,
+            ats_samples,
+            interference_cycles,
+        })
+    }
 }
 
 /// The completion tokens waiting on one in-flight miss. Nearly every miss
@@ -169,6 +278,49 @@ impl TokenList {
     fn iter(&self) -> impl Iterator<Item = &u64> {
         self.inline[..usize::from(self.len)].iter().chain(&self.spill)
     }
+
+    fn save_state(&self, w: &mut asm_simcore::persist::StateWriter) {
+        w.usize(usize::from(self.len) + self.spill.len());
+        for &t in self.iter() {
+            w.u64(t);
+        }
+    }
+
+    /// Re-pushing in saved order reproduces the original inline/spill
+    /// layout exactly (the original was built the same way).
+    fn restore_from(
+        r: &mut asm_simcore::persist::StateReader<'_>,
+    ) -> Result<Self, asm_simcore::persist::PersistError> {
+        let n = r.checked_len(8)?;
+        let mut tokens = TokenList::default();
+        for _ in 0..n {
+            tokens.push(r.u64()?);
+        }
+        Ok(tokens)
+    }
+}
+
+/// `Option<bool>` wire encoding shared by the MSHR entries: 0 = `None`,
+/// 1 = `Some(false)`, 2 = `Some(true)`.
+fn save_opt_bool(w: &mut asm_simcore::persist::StateWriter, v: Option<bool>) {
+    w.u8(match v {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    });
+}
+
+fn read_opt_bool(
+    r: &mut asm_simcore::persist::StateReader<'_>,
+) -> Result<Option<bool>, asm_simcore::persist::PersistError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(false)),
+        2 => Ok(Some(true)),
+        _ => Err(asm_simcore::persist::PersistError::Corrupt(
+            "bad optional-bool tag".to_owned(),
+        )),
+    }
 }
 
 #[derive(Debug)]
@@ -191,6 +343,57 @@ struct DemandMerge {
     epoch_owned: bool,
     ats_hit: Option<bool>,
     pollution_hit: bool,
+}
+
+impl MissEntry {
+    fn save_state(&self, w: &mut asm_simcore::persist::StateWriter) {
+        w.u64(self.app.index() as u64);
+        self.tokens.save_state(w);
+        w.bool(self.prefetch);
+        w.bool(self.epoch_owned);
+        save_opt_bool(w, self.ats_hit);
+        w.bool(self.pollution_hit);
+        match &self.demand_merge {
+            Some(m) => {
+                w.bool(true);
+                w.u64(m.arrival);
+                w.bool(m.epoch_owned);
+                save_opt_bool(w, m.ats_hit);
+                w.bool(m.pollution_hit);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    fn restore_from(
+        r: &mut asm_simcore::persist::StateReader<'_>,
+        app_count: usize,
+    ) -> Result<Self, asm_simcore::persist::PersistError> {
+        use asm_simcore::persist::PersistError;
+        let app = usize::try_from(r.u64()?)
+            .ok()
+            .filter(|&i| i < app_count)
+            .map(AppId::new)
+            .ok_or_else(|| PersistError::Corrupt("MSHR entry app out of range".to_owned()))?;
+        Ok(MissEntry {
+            app,
+            tokens: TokenList::restore_from(r)?,
+            prefetch: r.bool()?,
+            epoch_owned: r.bool()?,
+            ats_hit: read_opt_bool(r)?,
+            pollution_hit: r.bool()?,
+            demand_merge: if r.bool()? {
+                Some(DemandMerge {
+                    arrival: r.u64()?,
+                    epoch_owned: r.bool()?,
+                    ats_hit: read_opt_bool(r)?,
+                    pollution_hit: r.bool()?,
+                })
+            } else {
+                None
+            },
+        })
+    }
 }
 
 /// Cumulative per-application statistics over a whole run (see
@@ -329,6 +532,41 @@ impl SysTelemetry {
         } else {
             self.mem_lat_overflow += 1;
         }
+    }
+
+    /// Serializes counters, series rings, and the memory-latency buckets.
+    /// The tracer is deliberately excluded: snapshots are only taken from
+    /// runs with tracing off (checkpoint eligibility), so there is never
+    /// trace state to carry.
+    fn save_state(&self, w: &mut asm_simcore::persist::StateWriter) {
+        w.bool(self.enabled);
+        self.registry.save_state(w);
+        self.series.save_state(w);
+        w.u64_slice(&self.mem_lat_counts);
+        w.u64(self.mem_lat_overflow);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut asm_simcore::persist::StateReader<'_>,
+    ) -> Result<(), asm_simcore::persist::PersistError> {
+        use asm_simcore::persist::PersistError;
+        if r.bool()? != self.enabled {
+            return Err(PersistError::Corrupt(
+                "telemetry enabled flag mismatch".to_owned(),
+            ));
+        }
+        self.registry.restore_state(r)?;
+        self.series.restore_state(r)?;
+        let counts = r.u64_vec()?;
+        if counts.len() != self.mem_lat_counts.len() {
+            return Err(PersistError::Corrupt(
+                "memory-latency bucket count mismatch".to_owned(),
+            ));
+        }
+        self.mem_lat_counts = counts;
+        self.mem_lat_overflow = r.u64()?;
+        Ok(())
     }
 }
 
@@ -791,6 +1029,29 @@ impl System {
         }
     }
 
+    /// Runs for `cycles` cycles like [`run_for`](Self::run_for), but
+    /// leaves a quantum that completes exactly at the end *unfinalised*:
+    /// the boundary work (estimates, mechanisms, record, reset) fires as
+    /// the first step of whatever continues the run — under *that* run's
+    /// policies. `run_prefix(q)` + [`save_state`](Self::save_state), then
+    /// [`restore_state`](Self::restore_state) + `run_for(c - q)`, is
+    /// bitwise-identical to a straight `run_for(c)`; and because the
+    /// cache/memory/throttle policies act only inside the quantum
+    /// boundary, configurations differing only in those share one prefix
+    /// trajectory.
+    pub fn run_prefix(&mut self, cycles: Cycle) {
+        let end = self.now + cycles;
+        while self.now < end {
+            self.step();
+            if self.config.skip_mode {
+                let next = self.next_event_cycle(self.now - 1);
+                if next > self.now {
+                    self.now = next.min(end);
+                }
+            }
+        }
+    }
+
     /// The earliest cycle after `executed` at which *anything* in the
     /// system can change state: a core fetch/retire/unstall, a memory
     /// completion / scheduler retry / refresh, or a quantum/epoch
@@ -1074,6 +1335,254 @@ impl System {
         // Throttling may have changed MLP caps (and the partition the
         // stall answers): cached wake-ups are stale, re-examine everyone.
         self.core_wake.fill(0);
+    }
+
+    /// Serializes the complete dynamic simulation state — cores, caches,
+    /// ATS/pollution filters, prefetchers, the memory system, the MSHR,
+    /// estimators, quantum machinery, RNG streams, and telemetry
+    /// counters/series — for checkpointing. Everything derivable from the
+    /// configuration (geometries, policies, counter registrations) is
+    /// structural: the restore target must be constructed from the same
+    /// configuration and workload, which [`restore_state`]
+    /// (Self::restore_state) cross-checks where it can.
+    pub fn save_state(&self, w: &mut asm_simcore::persist::StateWriter) {
+        let n = self.cores.len();
+        w.usize(n);
+        w.opt_u64(self.active_only.map(|a| a.index() as u64));
+        for c in &self.cores {
+            c.save_state(w);
+        }
+        for l1 in &self.l1s {
+            l1.save_state(w);
+        }
+        self.llc.save_state(w);
+        for a in &self.ats {
+            a.save_state(w);
+        }
+        for p in &self.pollution {
+            p.save_state(w);
+        }
+        w.usize(self.prefetchers.len());
+        for p in &self.prefetchers {
+            p.save_state(w);
+        }
+        self.mem.save_state(w);
+        // The MSHR map is never iterated on the simulation path, so its
+        // internal order is arbitrary; write entries sorted by line for
+        // canonical bytes.
+        let mut lines: Vec<u64> = self.mshr.keys().copied().collect();
+        lines.sort_unstable();
+        w.usize(lines.len());
+        for line in lines {
+            w.u64(line);
+            self.mshr[&line].save_state(w);
+        }
+        w.usize(self.estimators.len());
+        for e in &self.estimators {
+            w.str(e.name());
+            e.save_state(w);
+        }
+        for s in &self.qstats {
+            w.u64(s.accesses);
+            w.u64(s.hits);
+            w.u64(s.misses);
+            s.hit_time.save_state(w);
+            s.miss_time.save_state(w);
+            w.u64(s.mlp_sum);
+            w.u64(s.mlp_samples);
+        }
+        w.usize(self.records.len());
+        for rec in &self.records {
+            rec.save_state(w);
+        }
+        for &(accesses, hits, misses) in &self.lifetime {
+            w.u64(accesses);
+            w.u64(hits);
+            w.u64(misses);
+        }
+        for p in &self.progress {
+            p.save_state(w);
+        }
+        w.bool(self.alone_miss_hist.is_some());
+        if let Some(h) = &self.alone_miss_hist {
+            h.save_state(w);
+        }
+        w.opt_u64(self.epoch_owner.map(|a| a.index() as u64));
+        w.f64_slice(&self.epoch_weights);
+        w.u64(self.epoch_counter);
+        self.throttle.save_state(w);
+        self.rng.save_state(w);
+        w.u64(self.now);
+        w.u64(self.next_req);
+        w.u64(self.executed_cycles);
+        w.u64(self.hier_version);
+        for &m in &self.stall_memo {
+            w.opt_u64(m);
+        }
+        w.u64_slice(&self.core_wake);
+        w.u64(self.last_quantum_end);
+        w.u64_slice(&self.retired_at_quantum_start);
+        w.u64(self.dropped_writebacks);
+        w.u64_slice(&self.quantum_interference);
+        self.telemetry.save_state(w);
+    }
+
+    /// Restores state captured by [`save_state`](Self::save_state) into a
+    /// freshly-constructed system with the same configuration and
+    /// workload. Continuing the restored system is bitwise-identical to
+    /// continuing the one that was saved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; `Corrupt` when the stored state does not
+    /// fit this system's structure (application count, estimator set,
+    /// cache geometries, telemetry registrations, index bounds).
+    pub fn restore_state(
+        &mut self,
+        r: &mut asm_simcore::persist::StateReader<'_>,
+    ) -> Result<(), asm_simcore::persist::PersistError> {
+        use asm_simcore::persist::PersistError;
+        let corrupt = |what: &str| PersistError::Corrupt(what.to_owned());
+        let n = self.cores.len();
+        let read_opt_app =
+            |r: &mut asm_simcore::persist::StateReader<'_>| -> Result<Option<AppId>, PersistError> {
+                match r.opt_u64()? {
+                    None => Ok(None),
+                    Some(i) => usize::try_from(i)
+                        .ok()
+                        .filter(|&i| i < n)
+                        .map(|i| Some(AppId::new(i)))
+                        .ok_or_else(|| corrupt("app index out of range")),
+                }
+            };
+        if r.usize()? != n {
+            return Err(corrupt("application count mismatch"));
+        }
+        if read_opt_app(r)? != self.active_only {
+            return Err(corrupt("active-only application mismatch"));
+        }
+        for c in &mut self.cores {
+            c.restore_state(r)?;
+        }
+        for l1 in &mut self.l1s {
+            l1.restore_state(r)?;
+        }
+        self.llc.restore_state(r)?;
+        for a in &mut self.ats {
+            a.restore_state(r)?;
+        }
+        for p in &mut self.pollution {
+            p.restore_state(r)?;
+        }
+        if r.usize()? != self.prefetchers.len() {
+            return Err(corrupt("prefetcher count mismatch"));
+        }
+        for p in &mut self.prefetchers {
+            p.restore_state(r)?;
+        }
+        self.mem.restore_state(r)?;
+        let mshr_count = r.checked_len(16)?;
+        let mut mshr = DetHashMap::default();
+        for _ in 0..mshr_count {
+            let line = r.u64()?;
+            let entry = MissEntry::restore_from(r, n)?;
+            if mshr.insert(line, entry).is_some() {
+                return Err(corrupt("duplicate MSHR line"));
+            }
+        }
+        if r.usize()? != self.estimators.len() {
+            return Err(corrupt("estimator count mismatch"));
+        }
+        for e in &mut self.estimators {
+            if r.str()? != e.name() {
+                return Err(corrupt("estimator name mismatch"));
+            }
+            e.restore_state(r)?;
+        }
+        let mut qstats = Vec::with_capacity(n);
+        for _ in 0..n {
+            qstats.push(AppQuantumStats {
+                accesses: r.u64()?,
+                hits: r.u64()?,
+                misses: r.u64()?,
+                hit_time: UnionTime::restore_from(r)?,
+                miss_time: UnionTime::restore_from(r)?,
+                mlp_sum: r.u64()?,
+                mlp_samples: r.u64()?,
+            });
+        }
+        let record_count = r.checked_len(8)?;
+        let mut records = Vec::with_capacity(record_count);
+        for _ in 0..record_count {
+            records.push(QuantumRecord::restore_from(r, n)?);
+        }
+        let mut lifetime = Vec::with_capacity(n);
+        for _ in 0..n {
+            lifetime.push((r.u64()?, r.u64()?, r.u64()?));
+        }
+        let mut progress = Vec::with_capacity(n);
+        for _ in 0..n {
+            progress.push(ProgressLog::restore_from(r)?);
+        }
+        if r.bool()? != self.alone_miss_hist.is_some() {
+            return Err(corrupt("measured-histogram presence mismatch"));
+        }
+        let alone_miss_hist = if self.alone_miss_hist.is_some() {
+            Some(Histogram::restore_from(r)?)
+        } else {
+            None
+        };
+        let epoch_owner = read_opt_app(r)?;
+        let epoch_weights = r.f64_vec()?;
+        if epoch_weights.len() != n {
+            return Err(corrupt("epoch weight length mismatch"));
+        }
+        let epoch_counter = r.u64()?;
+        self.throttle.restore_state(r)?;
+        self.rng.restore_state(r)?;
+        let now = r.u64()?;
+        let next_req = r.u64()?;
+        let executed_cycles = r.u64()?;
+        let hier_version = r.u64()?;
+        let mut stall_memo = Vec::with_capacity(n);
+        for _ in 0..n {
+            stall_memo.push(r.opt_u64()?);
+        }
+        let core_wake = r.u64_vec()?;
+        if core_wake.len() != n {
+            return Err(corrupt("core wake length mismatch"));
+        }
+        let last_quantum_end = r.u64()?;
+        let retired_at_quantum_start = r.u64_vec()?;
+        if retired_at_quantum_start.len() != n {
+            return Err(corrupt("retired-at-start length mismatch"));
+        }
+        let dropped_writebacks = r.u64()?;
+        let quantum_interference = r.u64_vec()?;
+        if quantum_interference.len() != n {
+            return Err(corrupt("interference length mismatch"));
+        }
+        self.telemetry.restore_state(r)?;
+        self.mshr = mshr;
+        self.qstats = qstats;
+        self.records = records;
+        self.lifetime = lifetime;
+        self.progress = progress;
+        self.alone_miss_hist = alone_miss_hist;
+        self.epoch_owner = epoch_owner;
+        self.epoch_weights = epoch_weights;
+        self.epoch_counter = epoch_counter;
+        self.now = now;
+        self.next_req = next_req;
+        self.executed_cycles = executed_cycles;
+        self.hier_version = hier_version;
+        self.stall_memo = stall_memo;
+        self.core_wake = core_wake;
+        self.last_quantum_end = last_quantum_end;
+        self.retired_at_quantum_start = retired_at_quantum_start;
+        self.dropped_writebacks = dropped_writebacks;
+        self.quantum_interference = quantum_interference;
+        Ok(())
     }
 
     /// One cycle of memory + cores.
@@ -1760,6 +2269,99 @@ mod tests {
         sys.run_for(120_000);
         // Weights must be valid probabilities-in-waiting (positive).
         assert!(sys.epoch_weights.iter().all(|&w| w > 0.0));
+    }
+
+    fn system_bytes(sys: &System) -> Vec<u8> {
+        let mut w = asm_simcore::persist::StateWriter::new("test-system", 1);
+        sys.save_state(&mut w);
+        w.finish()
+    }
+
+    fn restore_into(sys: &mut System, bytes: &[u8]) {
+        let mut r = asm_simcore::persist::StateReader::new(bytes, "test-system", 1).unwrap();
+        sys.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_matches_straight_run() {
+        let mut cfg = small_config();
+        cfg.latency_hist = Some((50.0, 40));
+        cfg.cache_policy = CachePolicy::AsmCache;
+        cfg.mem_policy = MemPolicy::SlowdownWeighted;
+
+        let mut straight = System::new(&two_apps(), cfg.clone());
+        straight.run_for(150_000);
+
+        let mut prefix = System::new(&two_apps(), cfg.clone());
+        prefix.run_prefix(50_000);
+        let snap = system_bytes(&prefix);
+        let mut resumed = System::new(&two_apps(), cfg);
+        restore_into(&mut resumed, &snap);
+        resumed.run_for(100_000);
+
+        assert_eq!(resumed.now(), straight.now());
+        assert_eq!(resumed.records().len(), straight.records().len());
+        assert_eq!(
+            system_bytes(&resumed),
+            system_bytes(&straight),
+            "restored continuation diverged from the straight run"
+        );
+    }
+
+    #[test]
+    fn run_prefix_defers_the_boundary_to_the_continuation() {
+        let mut sys = System::new(&two_apps(), small_config());
+        sys.run_prefix(50_000);
+        // The quantum that ends exactly at the prefix end is unfinalised.
+        assert_eq!(sys.now(), 50_000);
+        assert!(sys.records().is_empty());
+        sys.run_for(50_000);
+        assert_eq!(sys.records().len(), 2);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_with_telemetry_and_prefetcher() {
+        let mut cfg = small_config();
+        cfg.prefetcher = Some(crate::config::PrefetchConfig::default());
+        let run_cold = || {
+            let mut sys = System::new(&two_apps(), cfg.clone());
+            sys.enable_telemetry(None);
+            sys
+        };
+
+        let mut straight = run_cold();
+        straight.run_for(150_000);
+
+        let mut prefix = run_cold();
+        prefix.run_prefix(50_000);
+        let snap = system_bytes(&prefix);
+        let mut resumed = run_cold();
+        restore_into(&mut resumed, &snap);
+        resumed.run_for(100_000);
+
+        assert_eq!(system_bytes(&resumed), system_bytes(&straight));
+        let a = straight.take_telemetry();
+        let b = resumed.take_telemetry();
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn restore_rejects_structural_mismatch() {
+        let mut sys = System::new(&two_apps(), small_config());
+        sys.run_prefix(50_000);
+        let snap = system_bytes(&sys);
+
+        // Wrong estimator set: structure disagrees with the snapshot.
+        let mut other_cfg = small_config();
+        other_cfg.estimators = EstimatorSet::asm_only();
+        let mut other = System::new(&two_apps(), other_cfg);
+        let mut r = asm_simcore::persist::StateReader::new(&snap, "test-system", 1).unwrap();
+        assert!(other.restore_state(&mut r).is_err());
+
+        // Truncated payload.
+        let cut = &snap[..snap.len() - 9];
+        assert!(asm_simcore::persist::StateReader::new(cut, "test-system", 1).is_err());
     }
 
     #[test]

@@ -396,6 +396,138 @@ impl Core {
             self.outstanding -= 1;
         }
     }
+
+    /// Serializes the core's dynamic state — ROB contents, issue/waiting
+    /// queues, outstanding tokens, RNG position, fetch gap, throttle, and
+    /// lifetime counters — for checkpointing. The profile-derived
+    /// parameters (window, width, MLP, memory probability) and the access
+    /// source's configuration are structural: the restore target must be
+    /// constructed from the same profile and seed.
+    pub fn save_state(&self, w: &mut asm_simcore::persist::StateWriter) {
+        self.source.save_state(w);
+        self.typ_rng.save_state(w);
+        w.opt_u64(self.mlp_throttle.map(u64::from));
+        w.usize(self.rob.len());
+        for slot in &self.rob {
+            match slot {
+                SlotState::Done(c) => {
+                    w.u8(0);
+                    w.u64(*c);
+                }
+                SlotState::WaitIssue(op) => {
+                    w.u8(1);
+                    w.u64(op.line.raw());
+                    w.bool(op.is_write);
+                }
+                SlotState::Outstanding => w.u8(2),
+            }
+        }
+        w.u64(self.first_id);
+        w.u64(self.next_id);
+        w.usize(self.waiting.len());
+        for &id in &self.waiting {
+            w.u64(id);
+        }
+        w.usize(self.tokens.len());
+        for &(token, id) in &self.tokens {
+            w.u64(token);
+            w.u64(id);
+        }
+        w.u32(self.outstanding);
+        w.u64(self.gap_left);
+        w.u64(self.retired);
+        w.u64(self.mem_ops_issued);
+        w.u64(self.stall_episodes);
+        w.opt_u64(self.last_stall_id);
+    }
+
+    /// Restores state captured by [`save_state`](Self::save_state) into a
+    /// core built from the same profile, seed, window, and width.
+    ///
+    /// # Errors
+    ///
+    /// [`asm_simcore::persist::PersistError::Corrupt`] when the stored
+    /// state is internally inconsistent or does not fit this core.
+    pub fn restore_state(
+        &mut self,
+        r: &mut asm_simcore::persist::StateReader<'_>,
+    ) -> Result<(), asm_simcore::persist::PersistError> {
+        use asm_simcore::persist::PersistError;
+        let corrupt = |what: &str| PersistError::Corrupt(format!("core state: {what}"));
+        self.source.restore_state(r)?;
+        self.typ_rng.restore_state(r)?;
+        let throttle = r.opt_u64()?;
+        self.mlp_throttle = match throttle {
+            Some(t) => Some(u32::try_from(t).map_err(|_| corrupt("throttle out of range"))?),
+            None => None,
+        };
+        let rob_len = r.checked_len(1)?;
+        if rob_len > self.window {
+            return Err(corrupt("ROB larger than window"));
+        }
+        let mut rob = VecDeque::with_capacity(self.window);
+        for _ in 0..rob_len {
+            rob.push_back(match r.u8()? {
+                0 => SlotState::Done(r.u64()?),
+                1 => {
+                    let line = LineAddr::new(r.u64()?);
+                    let is_write = r.bool()?;
+                    SlotState::WaitIssue(MemOp { line, is_write })
+                }
+                2 => SlotState::Outstanding,
+                b => return Err(corrupt(&format!("slot tag {b}"))),
+            });
+        }
+        let first_id = r.u64()?;
+        let next_id = r.u64()?;
+        if next_id - first_id != rob_len as u64 {
+            return Err(corrupt("id range does not match ROB"));
+        }
+        let waiting_len = r.checked_len(8)?;
+        let mut waiting = VecDeque::with_capacity(waiting_len);
+        for _ in 0..waiting_len {
+            waiting.push_back(r.u64()?);
+        }
+        let token_len = r.checked_len(16)?;
+        let mut tokens = Vec::with_capacity(token_len);
+        for _ in 0..token_len {
+            tokens.push((r.u64()?, r.u64()?));
+        }
+        let outstanding = r.u32()?;
+        if outstanding as usize != token_len {
+            return Err(corrupt("outstanding count does not match tokens"));
+        }
+        for &id in &waiting {
+            let idx = id
+                .checked_sub(first_id)
+                .filter(|&i| (i as usize) < rob_len)
+                .ok_or_else(|| corrupt("waiting id outside ROB"))?;
+            if !matches!(rob[idx as usize], SlotState::WaitIssue(_)) {
+                return Err(corrupt("waiting id points at non-waiting slot"));
+            }
+        }
+        for &(_, id) in &tokens {
+            let idx = id
+                .checked_sub(first_id)
+                .filter(|&i| (i as usize) < rob_len)
+                .ok_or_else(|| corrupt("token id outside ROB"))?;
+            if !matches!(rob[idx as usize], SlotState::Outstanding) {
+                return Err(corrupt("token id points at non-outstanding slot"));
+            }
+        }
+        self.rob = rob;
+        self.first_id = first_id;
+        self.next_id = next_id;
+        self.waiting = waiting;
+        self.tokens = tokens;
+        self.outstanding = outstanding;
+        self.gap_left = r.u64()?;
+        self.retired = r.u64()?;
+        self.mem_ops_issued = r.u64()?;
+        self.stall_episodes = r.u64()?;
+        self.last_stall_id = r.opt_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -30,11 +30,39 @@ use crate::stream::{AddressStream, MemOp};
 pub trait AccessSource: fmt::Debug + Send {
     /// Produces the next memory operation.
     fn next_op(&mut self) -> MemOp;
+
+    /// Serializes the source's dynamic position (not its configuration —
+    /// the restore target is rebuilt from the same profile/trace first)
+    /// for checkpointing.
+    fn save_state(&self, w: &mut asm_simcore::persist::StateWriter);
+
+    /// Restores a position captured by [`save_state`](Self::save_state);
+    /// the op stream continues bitwise identically from there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; `Corrupt` when the stored position does
+    /// not fit this source.
+    fn restore_state(
+        &mut self,
+        r: &mut asm_simcore::persist::StateReader<'_>,
+    ) -> Result<(), asm_simcore::persist::PersistError>;
 }
 
 impl AccessSource for AddressStream {
     fn next_op(&mut self) -> MemOp {
         AddressStream::next_op(self)
+    }
+
+    fn save_state(&self, w: &mut asm_simcore::persist::StateWriter) {
+        AddressStream::save_state(self, w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut asm_simcore::persist::StateReader<'_>,
+    ) -> Result<(), asm_simcore::persist::PersistError> {
+        AddressStream::restore_state(self, r)
     }
 }
 
@@ -189,6 +217,24 @@ impl AccessSource for TraceSource {
         let op = self.ops[self.pos];
         self.pos = (self.pos + 1) % self.ops.len();
         op
+    }
+
+    fn save_state(&self, w: &mut asm_simcore::persist::StateWriter) {
+        w.usize(self.pos);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut asm_simcore::persist::StateReader<'_>,
+    ) -> Result<(), asm_simcore::persist::PersistError> {
+        let pos = r.usize()?;
+        if pos >= self.ops.len() {
+            return Err(asm_simcore::persist::PersistError::Corrupt(
+                "trace position out of range".to_owned(),
+            ));
+        }
+        self.pos = pos;
+        Ok(())
     }
 }
 

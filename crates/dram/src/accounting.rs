@@ -44,6 +44,29 @@ pub struct InterferenceSnapshot {
     own: Cycle,
 }
 
+impl InterferenceSnapshot {
+    /// Serializes the snapshot's counters for checkpointing.
+    pub fn save_state(&self, w: &mut asm_simcore::persist::StateWriter) {
+        w.u64(self.total);
+        w.u64(self.own);
+    }
+
+    /// Reads a snapshot previously written by
+    /// [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors.
+    pub fn restore_from(
+        r: &mut asm_simcore::persist::StateReader<'_>,
+    ) -> Result<Self, asm_simcore::persist::PersistError> {
+        Ok(InterferenceSnapshot {
+            total: r.u64()?,
+            own: r.u64()?,
+        })
+    }
+}
+
 /// Lazy per-channel accounting state.
 #[derive(Debug, Clone)]
 pub struct ChannelAccounting {
@@ -239,6 +262,75 @@ impl ChannelAccounting {
             .get(app.index())
             .copied()
             .unwrap_or(0)
+    }
+
+    /// Serializes the accounting counters for checkpointing. `app_count`
+    /// is structural; the lazily-sized per-bank charge vectors keep
+    /// whatever length they have grown to.
+    pub fn save_state(&self, w: &mut asm_simcore::persist::StateWriter) {
+        w.u64(self.last_event);
+        w.u64_slice(&self.bank_charge);
+        w.u64_slice(&self.bank_charge_by_app);
+        w.u64_slice(&self.outstanding_reads);
+        w.u64_slice(&self.waiting_reads);
+        w.f64_slice(&self.queueing_cycles);
+        // asm-lint: allow(R5): AppId slot indices widen losslessly to u64
+        w.opt_u64(self.priority_app.map(|a| a.index() as u64));
+        // asm-lint: allow(R5): AppId slot indices widen losslessly to u64
+        w.opt_u64(self.last_issued_app.map(|a| a.index() as u64));
+    }
+
+    /// Restores counters captured by [`save_state`](Self::save_state) into
+    /// accounting state built for the same application count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; `Corrupt` when any vector length or
+    /// application index disagrees with this state's structure.
+    pub fn restore_state(
+        &mut self,
+        r: &mut asm_simcore::persist::StateReader<'_>,
+    ) -> Result<(), asm_simcore::persist::PersistError> {
+        use asm_simcore::persist::PersistError;
+        let corrupt = |what: &str| PersistError::Corrupt(what.to_owned());
+        let last_event = r.u64()?;
+        let bank_charge = r.u64_vec()?;
+        let bank_charge_by_app = r.u64_vec()?;
+        if bank_charge_by_app.len() != bank_charge.len() * self.app_count {
+            return Err(corrupt("bank-charge vector shape mismatch"));
+        }
+        let outstanding_reads = r.u64_vec()?;
+        let waiting_reads = r.u64_vec()?;
+        let queueing_cycles = r.f64_vec()?;
+        if outstanding_reads.len() != self.app_count
+            || waiting_reads.len() != self.app_count
+            || queueing_cycles.len() != self.app_count
+        {
+            return Err(corrupt("per-application counter length mismatch"));
+        }
+        let app_count = self.app_count;
+        let read_app = |r: &mut asm_simcore::persist::StateReader<'_>| {
+            let idx = r.opt_u64()?;
+            idx.map(|i| {
+                usize::try_from(i)
+                    .ok()
+                    .filter(|&i| i < app_count)
+                    .map(AppId::new)
+                    .ok_or_else(|| corrupt("application index out of range"))
+            })
+            .transpose()
+        };
+        let priority_app = read_app(r)?;
+        let last_issued_app = read_app(r)?;
+        self.last_event = last_event;
+        self.bank_charge = bank_charge;
+        self.bank_charge_by_app = bank_charge_by_app;
+        self.outstanding_reads = outstanding_reads;
+        self.waiting_reads = waiting_reads;
+        self.queueing_cycles = queueing_cycles;
+        self.priority_app = priority_app;
+        self.last_issued_app = last_issued_app;
+        Ok(())
     }
 }
 

@@ -169,6 +169,43 @@ impl Bank {
         self.open_row = None;
         self.owner = None;
     }
+
+    /// Serializes the bank's timing state for checkpointing.
+    pub fn save_state(&self, w: &mut asm_simcore::persist::StateWriter) {
+        w.opt_u64(self.open_row);
+        w.u64(self.ready_at);
+        w.opt_u64(self.owner.map(|a| a.index() as u64));
+    }
+
+    /// Restores state captured by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; `Corrupt` when the owner index does not
+    /// fit `app_count`.
+    pub fn restore_state(
+        &mut self,
+        r: &mut asm_simcore::persist::StateReader<'_>,
+        app_count: usize,
+    ) -> Result<(), asm_simcore::persist::PersistError> {
+        self.open_row = r.opt_u64()?;
+        self.ready_at = r.u64()?;
+        self.owner = r
+            .opt_u64()?
+            .map(|i| {
+                usize::try_from(i)
+                    .ok()
+                    .filter(|&i| i < app_count)
+                    .map(AppId::new)
+                    .ok_or_else(|| {
+                        asm_simcore::persist::PersistError::Corrupt(
+                            "bank owner index out of range".to_owned(),
+                        )
+                    })
+            })
+            .transpose()?;
+        Ok(())
+    }
 }
 
 impl Default for Bank {

@@ -38,24 +38,16 @@ fn store() -> &'static Mutex<ProfileStore> {
 /// `ProfileStore::ensure`. Chatter goes to stderr: stdout must stay
 /// byte-identical with and without a cache.
 pub fn set_profile_cache_path(path: PathBuf) {
-    let loaded = match ProfileStore::load_from(&path) {
-        Ok(s) => {
-            eprintln!(
-                "profile-cache: loaded {} profile(s) from {}",
-                s.len(),
-                path.display()
-            );
-            s
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => ProfileStore::new(),
-        Err(e) => {
-            eprintln!(
-                "warning: profile-cache: ignoring {} ({e}); starting empty",
-                path.display()
-            );
-            ProfileStore::new()
-        }
-    };
+    let (loaded, warning) = ProfileStore::load_or_warn(&path);
+    if let Some(w) = warning {
+        eprintln!("warning: profile-cache: {w}");
+    } else if !loaded.is_empty() {
+        eprintln!(
+            "profile-cache: loaded {} profile(s) from {}",
+            loaded.len(),
+            path.display()
+        );
+    }
     *store().lock().expect("profile store poisoned") = loaded;
     let _ = PROFILE_CACHE_PATH.set(path);
 }

@@ -23,20 +23,16 @@ static ALONE_CACHE: OnceLock<(PathBuf, Arc<AloneCache>)> = OnceLock::new();
 /// Progress chatter goes to stderr: stdout must stay byte-identical with
 /// and without a cache.
 pub fn set_alone_cache_path(path: PathBuf) {
-    let cache = match AloneCache::load_from(&path) {
-        Ok(c) => {
-            eprintln!("alone-cache: loaded {} run(s) from {}", c.len(), path.display());
-            c
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => AloneCache::new(),
-        Err(e) => {
-            eprintln!(
-                "warning: alone-cache: ignoring {} ({e}); starting empty",
-                path.display()
-            );
-            AloneCache::new()
-        }
-    };
+    let (cache, warning) = AloneCache::load_or_warn(&path);
+    if let Some(w) = warning {
+        eprintln!("warning: alone-cache: {w}");
+    } else if !cache.is_empty() {
+        eprintln!(
+            "alone-cache: loaded {} run(s) from {}",
+            cache.len(),
+            path.display()
+        );
+    }
     let _ = ALONE_CACHE.set((path, Arc::new(cache)));
 }
 
@@ -266,9 +262,18 @@ pub fn eval_mechanism_with(
     cycles: Cycle,
     jobs: usize,
 ) -> MechOutcome {
+    mech_outcome(&run_parallel_with(runner, workloads, cycles, jobs))
+}
+
+/// Folds per-workload results into the averaged fairness/performance
+/// outcome. Sequential and order-dependent only on the slice order, so a
+/// caller that slices a [`crate::plan::run_campaign`] result by scheme
+/// gets output byte-identical to the per-scheme sweeps it replaces.
+#[must_use]
+pub fn mech_outcome(results: &[RunResult]) -> MechOutcome {
     let mut maxes = Vec::new();
     let mut hspeeds = Vec::new();
-    for r in run_parallel_with(runner, workloads, cycles, jobs) {
+    for r in results {
         let slowdowns: Vec<f64> = r
             .whole_run_slowdowns
             .iter()
@@ -290,6 +295,18 @@ pub fn eval_mechanism_with(
         unfairness: m,
         unfairness_std: std,
         harmonic_speedup: mean(&hspeeds),
+    }
+}
+
+/// The alone-run cache a campaign's runners share: the persistent global
+/// cache when `--alone-cache` is configured, else one fresh cache per
+/// campaign — either way, every runner of the campaign dedupes alone
+/// simulations against the same table.
+#[must_use]
+pub fn campaign_cache() -> Arc<AloneCache> {
+    match ALONE_CACHE.get() {
+        Some((_, cache)) => Arc::clone(cache),
+        None => Arc::new(AloneCache::new()),
     }
 }
 

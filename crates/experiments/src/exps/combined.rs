@@ -6,7 +6,8 @@ use asm_dram::SchedulerKind;
 use asm_metrics::Table;
 use asm_workloads::mix;
 
-use crate::collect::eval_mechanism;
+use crate::collect::mech_outcome;
+use crate::plan::PlannedRun;
 use crate::scale::Scale;
 
 fn asm_cache_mem(scale: Scale) -> SystemConfig {
@@ -49,15 +50,25 @@ pub fn run(scale: Scale) {
             cores,
             scale.seed ^ 0xC0DE ^ cores as u64,
         );
-        for (name, config) in [
+        let schemes = [
             ("FRFCFS+NoPart", baseline(scale)),
             ("PARBS+UCP", parbs_ucp(scale)),
             ("ASM-Cache-Mem", asm_cache_mem(scale)),
-        ] {
-            let out = eval_mechanism(&config, &workloads, scale.cycles, scale.jobs);
+        ];
+        let runs: Vec<PlannedRun> = schemes
+            .iter()
+            .flat_map(|(_, config)| {
+                workloads
+                    .iter()
+                    .map(|w| PlannedRun::new(config.clone(), w.clone(), scale.cycles))
+            })
+            .collect();
+        let results = crate::plan::run_campaign(&runs, scale.jobs);
+        for ((name, _), per_scheme) in schemes.iter().zip(results.chunks(workloads.len())) {
+            let out = mech_outcome(per_scheme);
             table.row(vec![
                 cores.to_string(),
-                name.into(),
+                (*name).into(),
                 format!("{:.2}", out.unfairness),
                 format!("{:.3}", out.harmonic_speedup),
             ]);

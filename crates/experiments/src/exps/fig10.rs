@@ -6,7 +6,8 @@ use asm_dram::SchedulerKind;
 use asm_metrics::Table;
 use asm_workloads::mix;
 
-use crate::collect::eval_mechanism;
+use crate::collect::mech_outcome;
+use crate::plan::PlannedRun;
 use crate::scale::Scale;
 
 /// Core counts evaluated.
@@ -114,9 +115,22 @@ pub fn run(scale: Scale) {
             cores,
             scale.seed ^ (0x10 << 8) ^ cores as u64,
         );
-        for &scheme in SCHEMES {
-            let config = scheme_config(scale, scheme);
-            let out = eval_mechanism(&config, &workloads, scale.cycles, scale.jobs);
+        // The schemes differ in scheduler or estimator set, which shape
+        // the trajectory from cycle 0, so their warmup keys differ and
+        // nothing is fork-shared — the campaign still buys `--resume`
+        // across every run of an interrupted sweep.
+        let runs: Vec<PlannedRun> = SCHEMES
+            .iter()
+            .flat_map(|&scheme| {
+                let config = scheme_config(scale, scheme);
+                workloads
+                    .iter()
+                    .map(move |w| PlannedRun::new(config.clone(), w.clone(), scale.cycles))
+            })
+            .collect();
+        let results = crate::plan::run_campaign(&runs, scale.jobs);
+        for (scheme, per_scheme) in SCHEMES.iter().zip(results.chunks(workloads.len())) {
+            let out = mech_outcome(per_scheme);
             table.row(vec![
                 cores.to_string(),
                 scheme.name.into(),

@@ -6,7 +6,8 @@ use asm_core::{CachePolicy, EstimatorSet, SystemConfig};
 use asm_metrics::Table;
 use asm_workloads::mix;
 
-use crate::collect::eval_mechanism_with;
+use crate::collect::mech_outcome;
+use crate::plan::PlannedRun;
 use crate::scale::Scale;
 
 /// Core counts evaluated (the paper uses 4/8/16).
@@ -56,13 +57,24 @@ pub fn run(scale: Scale) {
             cores,
             scale.seed ^ (0x9 << 8) ^ cores as u64,
         );
-        let mut runner = crate::collect::make_runner(policy_config(scale, CachePolicy::None));
-        for (name, policy) in policies {
-            runner.set_policies(policy, asm_core::MemPolicy::Uniform);
-            let out = eval_mechanism_with(&runner, &workloads, scale.cycles, scale.jobs);
+        // All four policies agree on the prefix-relevant configuration,
+        // so the campaign warms each workload once and forks it into
+        // every policy — the planner's showcase (DESIGN.md §11).
+        let runs: Vec<PlannedRun> = policies
+            .iter()
+            .flat_map(|&(_, policy)| {
+                let config = policy_config(scale, policy);
+                workloads
+                    .iter()
+                    .map(move |w| PlannedRun::new(config.clone(), w.clone(), scale.cycles))
+            })
+            .collect();
+        let results = crate::plan::run_campaign(&runs, scale.jobs);
+        for ((name, _), per_policy) in policies.iter().zip(results.chunks(workloads.len())) {
+            let out = mech_outcome(per_policy);
             table.row(vec![
                 cores.to_string(),
-                name.into(),
+                (*name).into(),
                 format!("{:.2}", out.unfairness),
                 format!("{:.3}", out.harmonic_speedup),
             ]);

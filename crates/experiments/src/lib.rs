@@ -14,12 +14,17 @@
 //!
 //! Sweeps fan out across `--jobs` worker threads (default: one per core)
 //! via [`pool::run_ordered`]; results merge in submission order, so every
-//! table and CSV is byte-identical for any `--jobs` value.
+//! table and CSV is byte-identical for any `--jobs` value. Policy sweeps
+//! additionally route through [`plan::run_campaign`], which warms each
+//! shared configuration prefix once and forks it into every member
+//! (`--checkpoint-dir` / `--resume` persist the work across invocations;
+//! DESIGN.md §11).
 
 pub mod analytic;
 pub mod collect;
 pub mod exps;
 pub mod output;
+pub mod plan;
 pub mod pool;
 pub mod scale;
 pub mod sink;

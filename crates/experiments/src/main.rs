@@ -48,6 +48,13 @@ OPTIONS:
                      corrupt entries are ignored with a warning)
     --profile-cache F  persist analytic-tier reuse profiles in F (stale
                      or corrupt entries are re-extracted with a warning)
+    --checkpoint-dir D  persist campaign warmup snapshots and finished-run
+                     manifests under D (written atomically; kill-safe).
+                     Stale or damaged artefacts are ignored with a
+                     warning — output never depends on checkpoint state
+    --resume         replay finished runs from D's manifests instead of
+                     simulating them (byte-identical); requires
+                     --checkpoint-dir
     --csv DIR        additionally write every table to DIR/<name>.csv
 
 TELEMETRY (any of these instruments every simulated run; artefacts are
@@ -73,6 +80,8 @@ fn main() {
     let mut no_skip = false;
     let mut tier = None;
     let mut sink_cfg = asm_experiments::sink::SinkConfig::default();
+    let mut checkpoint_dir: Option<std::path::PathBuf> = None;
+    let mut resume = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -118,6 +127,15 @@ fn main() {
                 asm_experiments::analytic::set_profile_cache_path(path.into());
                 i += 1;
             }
+            "--checkpoint-dir" => {
+                let Some(dir) = args.get(i + 1) else {
+                    eprintln!("error: --checkpoint-dir needs a directory");
+                    std::process::exit(2);
+                };
+                checkpoint_dir = Some(dir.into());
+                i += 1;
+            }
+            "--resume" => resume = true,
             "--csv" => {
                 let Some(dir) = args.get(i + 1) else {
                     eprintln!("error: --csv needs a directory");
@@ -161,6 +179,14 @@ fn main() {
         std::process::exit(2);
     }
     asm_experiments::sink::configure(sink_cfg);
+    match checkpoint_dir {
+        Some(dir) => asm_experiments::plan::set_checkpoint_dir(dir, resume),
+        None if resume => {
+            eprintln!("error: --resume requires --checkpoint-dir");
+            std::process::exit(2);
+        }
+        None => {}
+    }
 
     if scale.tier == Tier::Analytic {
         println!("tier: analytic (reuse-distance model, no cycle loop)");

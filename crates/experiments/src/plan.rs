@@ -1,0 +1,335 @@
+//! The sweep planner: prefix-shared warmups and resumable campaigns.
+//!
+//! A *campaign* is a flat list of [`PlannedRun`]s — full configurations,
+//! workload mixes and cycle counts — evaluated by [`run_campaign`] with
+//! results returned **in submission order**, so any sequential fold over
+//! them is byte-identical for every `--jobs` value, exactly like
+//! [`crate::collect::run_parallel`]. On top of that contract the planner
+//! layers two optimisations, both invisible in the output:
+//!
+//! * **Fork-shared warmups.** Runs whose configurations agree on the
+//!   prefix-relevant subset ([`asm_core::checkpoint::prefix_config`]) and
+//!   share a workload mix have bitwise-identical first quanta, because
+//!   the quantum-boundary policies they differ in never act before the
+//!   first boundary. The planner groups runs by [`Runner::warmup_key`],
+//!   simulates each multi-member group's first quantum once (phase A, in
+//!   parallel), and forks the snapshot into every member's continuation
+//!   (phase B). A fork that fails — stale artefact, damage — falls back
+//!   to a cold run with a stderr warning; results may never depend on it.
+//! * **Resumable campaigns.** With `--checkpoint-dir` the warmup
+//!   snapshots and each finished run's result manifest are persisted
+//!   (atomically — kill-safe at any instant). With `--resume` a later
+//!   invocation replays finished runs from their manifests instead of
+//!   simulating, byte-identically: manifests store every float as its
+//!   bit pattern.
+//!
+//! Telemetry-instrumented runs fork warmups like any others (counter and
+//! series state rides in the snapshot) but are never manifest-replayed —
+//! a [`asm_core::RunTelemetry`] is an introspection artefact, not a
+//! result, and serializing its tracer would dwarf the runs it describes.
+//! Traced runs (`--trace`) bypass checkpointing entirely.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+use asm_core::checkpoint;
+use asm_core::{config_hash, RunResult, Runner, SystemConfig};
+use asm_cpu::AppProfile;
+use asm_simcore::hash::DetHasher;
+use asm_simcore::persist;
+use asm_simcore::Cycle;
+
+use crate::{collect, pool};
+
+/// `--checkpoint-dir` / `--resume` settings, set once by the CLI before
+/// any experiment runs (process-global like the sink and the caches).
+static CHECKPOINT: OnceLock<CheckpointCfg> = OnceLock::new();
+
+#[derive(Debug)]
+struct CheckpointCfg {
+    dir: PathBuf,
+    resume: bool,
+}
+
+/// Persists campaign warmup snapshots (`<dir>/warmups/<key>.bin`) and
+/// finished-run manifests (`<dir>/runs/<key>.bin`) under `dir`. With
+/// `resume`, manifests found there short-circuit their simulations.
+/// Later calls are ignored (first flag wins, matching the sink).
+pub fn set_checkpoint_dir(dir: PathBuf, resume: bool) {
+    let _ = CHECKPOINT.set(CheckpointCfg { dir, resume });
+}
+
+/// One run of a sweep campaign.
+#[derive(Debug, Clone)]
+pub struct PlannedRun {
+    /// Full system configuration, boundary policies included.
+    pub config: SystemConfig,
+    /// Workload mix (slot order matters).
+    pub apps: Vec<AppProfile>,
+    /// Cycles to simulate.
+    pub cycles: Cycle,
+}
+
+impl PlannedRun {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(config: SystemConfig, apps: Vec<AppProfile>, cycles: Cycle) -> Self {
+        PlannedRun {
+            config,
+            apps,
+            cycles,
+        }
+    }
+}
+
+/// The key a finished run's manifest is stored under: the *full*
+/// configuration hash (boundary policies included — unlike the warmup
+/// key), the mix, and the cycle count. Everything a [`RunResult`] is a
+/// pure function of.
+fn manifest_key(run: &PlannedRun) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = DetHasher::default();
+    h.write_u64(config_hash(&run.config));
+    h.write(checkpoint::mix_signature(&run.apps).as_bytes());
+    h.write_u64(run.cycles);
+    h.finish()
+}
+
+fn warmup_path(cfg: &CheckpointCfg, key: u64) -> PathBuf {
+    cfg.dir.join("warmups").join(format!("{key:016x}.bin"))
+}
+
+fn manifest_path(cfg: &CheckpointCfg, key: u64) -> PathBuf {
+    cfg.dir.join("runs").join(format!("{key:016x}.bin"))
+}
+
+/// Evaluates every planned run and returns the results in submission
+/// order, warming each shared prefix exactly once (module docs). The
+/// output is byte-identical to `runs.iter().map(cold run)` for every
+/// `jobs` value, with or without a checkpoint directory, cold or
+/// resumed — pinned by tests and the `ci.sh` resume leg.
+///
+/// Telemetry snapshots are recorded into [`crate::sink`] here,
+/// sequentially and in submission order, so sink artefacts stay
+/// jobs-independent — callers must not record them again.
+#[must_use]
+pub fn run_campaign(runs: &[PlannedRun], jobs: usize) -> Vec<RunResult> {
+    let opts = crate::sink::options();
+    let cache = collect::campaign_cache();
+    let cfg = CHECKPOINT.get();
+
+    // Group snapshot-eligible runs by warmup key. Runs shorter than one
+    // quantum have no shareable prefix; traced runs are ineligible (the
+    // tracer is deliberately outside snapshots).
+    let mut key_of: Vec<Option<u64>> = vec![None; runs.len()];
+    let mut groups: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    if opts.trace_sample.is_none() {
+        for (i, run) in runs.iter().enumerate() {
+            if run.cycles >= run.config.quantum {
+                let runner = Runner::with_cache(run.config.clone(), Arc::clone(&cache));
+                let key = runner.warmup_key(&run.apps, opts);
+                key_of[i] = Some(key);
+                groups.entry(key).or_default().push(i);
+            }
+        }
+    }
+
+    // Phase A: warm each group worth warming — more than one member, or
+    // a singleton whose snapshot already sits on disk from an earlier
+    // (possibly killed) invocation. Warming a fresh singleton would cost
+    // exactly what it saves.
+    let warm_reps: Vec<(u64, usize)> = groups
+        .iter()
+        .filter(|(key, members)| {
+            members.len() >= 2 || cfg.is_some_and(|c| warmup_path(c, **key).exists())
+        })
+        .map(|(key, members)| (*key, members[0]))
+        .collect();
+    let snapshots: BTreeMap<u64, Vec<u8>> = pool::run_ordered(jobs, &warm_reps, |_, &(key, rep)| {
+        let run = &runs[rep];
+        if let Some(path) = cfg.map(|c| warmup_path(c, key)) {
+            if let Ok(bytes) = std::fs::read(&path) {
+                match checkpoint::peek_key(&bytes) {
+                    Ok(found) if found == key => return (key, bytes),
+                    Ok(_) | Err(_) => {
+                        eprintln!("checkpoint: ignoring stale warmup {}", path.display());
+                    }
+                }
+            }
+        }
+        let runner = Runner::with_cache(run.config.clone(), Arc::clone(&cache));
+        let bytes = runner.warm_snapshot(&run.apps, opts);
+        if let Some(path) = cfg.map(|c| warmup_path(c, key)) {
+            if let Err(e) = persist::write_atomic(&path, &bytes) {
+                eprintln!("warning: checkpoint: could not save {}: {e}", path.display());
+            }
+        }
+        (key, bytes)
+    })
+    .into_iter()
+    .collect();
+
+    // Phase B: every run, in parallel, forking its group's snapshot when
+    // one exists. Manifests only make sense for uninstrumented runs.
+    let manifests = opts.trace_sample.is_none() && !opts.telemetry;
+    let results = pool::run_ordered(jobs, runs, |i, run| {
+        let mkey = manifest_key(run);
+        if manifests {
+            if let Some(path) = cfg.filter(|c| c.resume).map(|c| manifest_path(c, mkey)) {
+                if let Ok(bytes) = std::fs::read(&path) {
+                    match checkpoint::load_manifest(&bytes, mkey) {
+                        Ok(r) => {
+                            eprint!(".");
+                            return r;
+                        }
+                        Err(e) => {
+                            eprintln!("checkpoint: ignoring manifest {}: {e}", path.display());
+                        }
+                    }
+                }
+            }
+        }
+        let runner = Runner::with_cache(run.config.clone(), Arc::clone(&cache));
+        let result = match key_of[i].and_then(|k| snapshots.get(&k)) {
+            Some(snap) => runner
+                .run_with_snapshot(&run.apps, run.cycles, opts, snap)
+                .unwrap_or_else(|e| {
+                    eprintln!("warning: checkpoint: fork failed ({e}); running cold");
+                    runner.run_with(&run.apps, run.cycles, opts)
+                }),
+            None => runner.run_with(&run.apps, run.cycles, opts),
+        };
+        if manifests {
+            if let Some(path) = cfg.map(|c| manifest_path(c, mkey)) {
+                match checkpoint::save_manifest(&result, mkey) {
+                    Ok(bytes) => {
+                        if let Err(e) = persist::write_atomic(&path, &bytes) {
+                            eprintln!(
+                                "warning: checkpoint: could not save {}: {e}",
+                                path.display()
+                            );
+                        }
+                    }
+                    Err(e) => eprintln!("warning: checkpoint: {e}"),
+                }
+            }
+        }
+        eprint!(".");
+        result
+    });
+    eprintln!();
+    for r in &results {
+        crate::sink::record(r);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm_core::{CachePolicy, RunOptions};
+    use asm_workloads::suite;
+
+    fn base_config() -> SystemConfig {
+        let mut c = SystemConfig::default();
+        c.quantum = 50_000;
+        c.epoch = 1_000;
+        c.estimators = asm_core::EstimatorSet::asm_only();
+        c
+    }
+
+    fn mixes() -> Vec<Vec<AppProfile>> {
+        vec![
+            vec![
+                suite::by_name("mcf_like").unwrap(),
+                suite::by_name("h264ref_like").unwrap(),
+            ],
+            vec![
+                suite::by_name("lbm_like").unwrap(),
+                suite::by_name("povray_like").unwrap(),
+            ],
+        ]
+    }
+
+    fn policy_sweep(cycles: Cycle) -> Vec<PlannedRun> {
+        let policies = [CachePolicy::None, CachePolicy::Ucp, CachePolicy::AsmCache];
+        let mut runs = Vec::new();
+        for policy in policies {
+            for apps in mixes() {
+                let mut c = base_config();
+                c.cache_policy = policy;
+                runs.push(PlannedRun::new(c, apps, cycles));
+            }
+        }
+        runs
+    }
+
+    fn assert_bitwise_equal(a: &[RunResult], b: &[RunResult]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.app_names, y.app_names);
+            let xb: Vec<u64> = x.whole_run_slowdowns.iter().map(|v| v.to_bits()).collect();
+            let yb: Vec<u64> = y.whole_run_slowdowns.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(xb, yb, "whole-run slowdowns differ");
+            assert_eq!(x.quanta.len(), y.quanta.len());
+            for (qx, qy) in x.quanta.iter().zip(&y.quanta) {
+                let ax: Vec<u64> = qx.actual.iter().map(|v| v.to_bits()).collect();
+                let ay: Vec<u64> = qy.actual.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ax, ay, "per-quantum ground truth differs");
+                assert_eq!(qx.estimates.len(), qy.estimates.len());
+                for ((nx, ex), (ny, ey)) in qx.estimates.iter().zip(&qy.estimates) {
+                    assert_eq!(nx, ny);
+                    let bx: Vec<u64> = ex.iter().map(|v| v.to_bits()).collect();
+                    let by: Vec<u64> = ey.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(bx, by, "estimates differ for {nx}");
+                }
+            }
+        }
+    }
+
+    /// Cold per-run results, computed the way the sweeps used to: one
+    /// shared cache, `Runner::run_with` each.
+    fn cold(runs: &[PlannedRun]) -> Vec<RunResult> {
+        let cache = Arc::new(asm_core::AloneCache::new());
+        runs.iter()
+            .map(|r| {
+                Runner::with_cache(r.config.clone(), Arc::clone(&cache)).run_with(
+                    &r.apps,
+                    r.cycles,
+                    RunOptions::default(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn campaign_matches_cold_runs_bitwise_for_any_jobs() {
+        let runs = policy_sweep(125_000);
+        let reference = cold(&runs);
+        for jobs in [1, 4] {
+            let got = run_campaign(&runs, jobs);
+            assert_bitwise_equal(&got, &reference);
+        }
+    }
+
+    #[test]
+    fn short_runs_skip_warmup_sharing_but_still_match() {
+        // One quantum of 50k cycles never completes in 30k: no prefix to
+        // share, every run goes cold through the same code path.
+        let runs = policy_sweep(30_000);
+        assert_bitwise_equal(&run_campaign(&runs, 2), &cold(&runs));
+    }
+
+    #[test]
+    fn manifest_key_separates_cycles_configs_and_mixes() {
+        let runs = policy_sweep(125_000);
+        let mut keys: Vec<u64> = runs.iter().map(manifest_key).collect();
+        let mut longer = policy_sweep(150_000);
+        keys.extend(longer.iter().map(manifest_key));
+        longer[0].apps.reverse();
+        keys.push(manifest_key(&longer[0]));
+        let unique: std::collections::BTreeSet<u64> = keys.iter().copied().collect();
+        assert_eq!(unique.len(), keys.len(), "manifest key collision");
+    }
+}

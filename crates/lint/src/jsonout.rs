@@ -8,7 +8,7 @@
 //! ```json
 //! {
 //!   "schema": "asm-lint/2",
-//!   "rules": ["R1", …, "R11"],
+//!   "rules": ["R1", …, "R12"],
 //!   "files": 42,
 //!   "diagnostics":     [{"rule", "path", "line", "col", "message", "allowed"}…],
 //!   "suppressed":      [same shape, allowed = true…],

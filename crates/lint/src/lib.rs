@@ -29,6 +29,11 @@
 //! - **R11** — harness lock discipline: no `MutexGuard` held across a
 //!   call into `Runner::run`/`run_with` (a lock held while dispatching
 //!   simulations serializes the pool and risks deadlock).
+//! - **R12** — state serialization in simulation crates goes through
+//!   `asm_simcore::persist`'s writer/reader: no ad-hoc
+//!   `to_le_bytes`/`from_le_bytes` framing outside the persist module
+//!   itself. Hand-rolled framing skips the magic/version/checksum
+//!   envelope that makes every artefact warn-and-rebuild safe.
 //!
 //! Workspace rules (symbol table + call graph, see [`resolve`] and
 //! [`callgraph`]):
@@ -101,11 +106,13 @@ pub enum RuleId {
     R10,
     /// `MutexGuard` held across `Runner::run*` dispatch.
     R11,
+    /// Ad-hoc byte framing outside `simcore/src/persist.rs`.
+    R12,
 }
 
 impl RuleId {
     /// All rules, in order.
-    pub const ALL: [RuleId; 11] = [
+    pub const ALL: [RuleId; 12] = [
         RuleId::R1,
         RuleId::R2,
         RuleId::R3,
@@ -117,6 +124,7 @@ impl RuleId {
         RuleId::R9,
         RuleId::R10,
         RuleId::R11,
+        RuleId::R12,
     ];
 
     /// Canonical name (`"R1"`).
@@ -134,6 +142,7 @@ impl RuleId {
             RuleId::R9 => "R9",
             RuleId::R10 => "R10",
             RuleId::R11 => "R11",
+            RuleId::R12 => "R12",
         }
     }
 
@@ -152,6 +161,7 @@ impl RuleId {
             RuleId::R9 => "no heap allocation, I/O, or panic macros reachable from System::step",
             RuleId::R10 => "every unsafe site carries an adjacent // SAFETY: comment",
             RuleId::R11 => "no MutexGuard held across Runner::run*/run_with dispatch",
+            RuleId::R12 => "state serialization goes through asm_simcore::persist (no ad-hoc to_le_bytes framing)",
         }
     }
 
@@ -170,6 +180,7 @@ impl RuleId {
             "R9" => Some(RuleId::R9),
             "R10" => Some(RuleId::R10),
             "R11" => Some(RuleId::R11),
+            "R12" => Some(RuleId::R12),
         _ => None,
         }
     }
@@ -443,12 +454,12 @@ mod tests {
     }
 
     #[test]
-    fn rule_parse_covers_all_eleven() {
+    fn rule_parse_covers_all_twelve() {
         for r in RuleId::ALL {
             assert_eq!(RuleId::parse(r.name()), Some(r));
         }
-        assert_eq!(RuleId::ALL.len(), 11);
+        assert_eq!(RuleId::ALL.len(), 12);
         assert_eq!(RuleId::parse("r10"), Some(RuleId::R10));
-        assert_eq!(RuleId::parse("R12"), None);
+        assert_eq!(RuleId::parse("R13"), None);
     }
 }

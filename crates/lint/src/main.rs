@@ -42,7 +42,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: asm-lint [ROOT] [--json] [--pedantic] [--list-rules]\n\
-                     lints the simulation crates for determinism rules R1-R11"
+                     lints the simulation crates for determinism rules R1-R12"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -81,7 +81,7 @@ fn main() -> ExitCode {
     if analysis.diagnostics.is_empty() {
         println!(
             "asm-lint: clean — {} files across {} simulation + {} harness crates \
-             satisfy R1-R11 ({} unsafe sites justified, {} hot-path fns audited, \
+             satisfy R1-R12 ({} unsafe sites justified, {} hot-path fns audited, \
              {} reasoned suppressions)",
             analysis.files,
             asm_lint::SIM_CRATES.len(),

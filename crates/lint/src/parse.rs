@@ -9,7 +9,7 @@
 //! - **Test masking**: tokens covered by a `#[cfg(test)]` item (or a
 //!   `#[test]` fn) are flagged so rules skip test code exactly like v1.
 //! - **Allow directives**: `// asm-lint: allow(R#, ...): reason`
-//!   comments, trailing or standalone, now covering R1–R11.
+//!   comments, trailing or standalone, now covering R1–R12.
 //! - **Items**: `use` trees (with `as` renames, groups, `self`, globs),
 //!   `type` aliases (name, right-hand-side head path and ident set),
 //!   struct/enum generic-parameter defaults, `fn` definitions (name,

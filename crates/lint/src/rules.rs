@@ -64,6 +64,7 @@ pub fn check(
             rule_r6_thread_sync(model, &mut sink);
             rule_r7_print(model, &mut sink);
             rule_r10_safety_comments(model, &mut sink);
+            rule_r12_persist_framing(model, &mut sink);
         }
         FileRole::Harness => {
             rule_r10_safety_comments(model, &mut sink);
@@ -533,6 +534,50 @@ fn rule_r7_print(model: &FileModel, sink: &mut Sink) {
                      reserved for the harness (tables are byte-compared \
                      across runs); record state via `asm-telemetry` \
                      counters/series/traces or return it to the caller"
+                ),
+            );
+        }
+    }
+}
+
+/// The endianness-framing methods R12 bans outside the persist module.
+const FRAMING_METHODS: &[&str] = &[
+    "to_le_bytes",
+    "from_le_bytes",
+    "to_be_bytes",
+    "from_be_bytes",
+    "to_ne_bytes",
+    "from_ne_bytes",
+];
+
+/// R12: state serialization in simulation crates goes through
+/// `asm_simcore::persist`'s `StateWriter`/`StateReader` (binary) or
+/// `text_header`/`check_text_header` (text). Hand-rolled
+/// `to_le_bytes`/`from_le_bytes` framing skips the magic/version/
+/// checksum envelope that makes every on-disk artefact warn-and-rebuild
+/// safe, and `ne`-variants additionally bake in host endianness. The
+/// persist module itself is the one place allowed to frame bytes;
+/// non-serialization bit tricks (SWAR scans, hashing) carry a reasoned
+/// allow directive.
+fn rule_r12_persist_framing(model: &FileModel, sink: &mut Sink) {
+    if model.path.ends_with("simcore/src/persist.rs") {
+        return;
+    }
+    for i in 0..model.tokens.len() {
+        if model.tokens[i].kind != TokKind::Ident || model.is_test_token(i) {
+            continue;
+        }
+        let name = model.text(i);
+        if FRAMING_METHODS.contains(&name) {
+            sink.emit_at(
+                model,
+                i,
+                RuleId::R12,
+                format!(
+                    "`{name}` outside `simcore/src/persist.rs` — ad-hoc byte \
+                     framing skips the versioned, checksummed envelope; \
+                     serialize state through `asm_simcore::persist`'s \
+                     StateWriter/StateReader instead"
                 ),
             );
         }

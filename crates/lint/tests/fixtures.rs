@@ -137,6 +137,23 @@ fn r7_print_fixture() {
 }
 
 #[test]
+fn r12_le_bytes_fixture() {
+    let src = include_str!("fixtures/r12_le_bytes.rs");
+    // to_le_bytes (5), to_be_bytes (6), from_ne_bytes (13); the allowed
+    // hashing site and `format!` are clean, tests are exempt.
+    let got = lines_of("crates/core/src/fixture.rs", src);
+    assert_eq!(
+        got,
+        vec![(5, RuleId::R12), (6, RuleId::R12), (13, RuleId::R12)]
+    );
+    // The persist module itself is the one place allowed to frame bytes.
+    assert!(
+        lint_source("crates/simcore/src/persist.rs", src).is_empty(),
+        "persist.rs owns the framing primitives"
+    );
+}
+
+#[test]
 fn allow_directives_suppress_every_rule_form() {
     let src = include_str!("fixtures/allow_suppression.rs");
     let diags = lint_source("crates/core/src/fixture.rs", src);
@@ -169,7 +186,7 @@ fn stripping_the_directive_resurfaces_the_violation() {
 #[test]
 fn workspace_is_clean() {
     // The sweep half of the tentpole, pinned as a test: the real
-    // simulation crates must satisfy R1-R11. CARGO_MANIFEST_DIR is
+    // simulation crates must satisfy R1-R12. CARGO_MANIFEST_DIR is
     // crates/lint; the workspace root is two levels up.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()

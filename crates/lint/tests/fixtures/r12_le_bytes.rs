@@ -1,0 +1,33 @@
+//! R12 fixture: ad-hoc byte framing outside the persist module.
+
+fn save(version: u32, cycles: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&version.to_le_bytes());
+    buf.extend_from_slice(&cycles.to_be_bytes());
+    buf
+}
+
+fn load(buf: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[..8]);
+    u64::from_ne_bytes(b)
+}
+
+fn hashing(word: [u8; 8]) -> u64 {
+    // asm-lint: allow(R12): word assembly for hashing, not serialization
+    u64::from_le_bytes(word)
+}
+
+fn clean(cycles: u64) -> String {
+    // Serialization through the persist writer (or text formatting) is
+    // what the rule steers toward.
+    format!("cycles {cycles}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_frame_bytes() {
+        assert_eq!(u16::from_le_bytes([1, 0]), 1);
+    }
+}

@@ -64,6 +64,8 @@ impl Hasher for DetHasher {
         for chunk in bytes.chunks(8) {
             let mut word = [0u8; 8];
             word[..chunk.len()].copy_from_slice(chunk);
+            // asm-lint: allow(R12): word assembly for hashing, not
+            // serialization — explicit LE keeps digests platform-stable
             self.mix(u64::from_le_bytes(word));
         }
     }

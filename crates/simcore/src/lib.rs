@@ -22,6 +22,7 @@
 pub mod addr;
 pub mod hash;
 pub mod ids;
+pub mod persist;
 pub mod rng;
 pub mod stats;
 

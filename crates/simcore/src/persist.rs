@@ -1,0 +1,759 @@
+//! Versioned state persistence shared by every cache and checkpoint in
+//! the workspace.
+//!
+//! Three artefact families are serialized across process lifetimes: the
+//! alone-run cache (`asm-core`), the analytic reuse-profile cache
+//! (`asm-analytic`), and full `System` snapshots plus run manifests (the
+//! checkpoint layer). They all follow the same policy, implemented once
+//! here:
+//!
+//! * **Versioned headers.** Binary artefacts start with a magic string,
+//!   a format name, and a `u32` version; text artefacts start with a
+//!   `"<name> v<version>"` line. Readers reject anything else — a stale
+//!   or foreign file is never silently misinterpreted.
+//! * **Little-endian binary framing.** All multi-byte values are
+//!   little-endian; floats travel as IEEE-754 bit patterns so a
+//!   save/load round trip is bitwise-exact.
+//! * **Checksummed payloads.** Binary artefacts end with a [`DetHasher`]
+//!   digest of the payload; truncation and bit rot surface as
+//!   [`PersistError::Corrupt`], not as garbage state.
+//! * **Warn-and-rebuild.** A missing artefact is simply absent; an
+//!   unreadable, stale, or corrupt one is discarded with a warning
+//!   *string* (sim crates cannot print — lint rule R7 — so surfacing
+//!   the warning is the harness's job, see [`load_or_rebuild`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use asm_simcore::persist::{StateReader, StateWriter};
+//!
+//! let mut w = StateWriter::new("example-state", 1);
+//! w.u64(42);
+//! w.f64(2.5);
+//! w.str("hello");
+//! let bytes = w.finish();
+//!
+//! let mut r = StateReader::new(&bytes, "example-state", 1).unwrap();
+//! assert_eq!(r.u64().unwrap(), 42);
+//! assert_eq!(r.f64().unwrap(), 2.5);
+//! assert_eq!(r.str().unwrap(), "hello");
+//! r.finish().unwrap();
+//! ```
+
+use std::fmt;
+use std::hash::Hasher;
+use std::path::Path;
+
+use crate::hash::DetHasher;
+
+/// Magic prefix identifying every binary artefact written by this module.
+pub const MAGIC: &[u8; 8] = b"ASMPRST\0";
+
+/// Why a persisted artefact was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The magic or format name did not match — not one of our artefacts,
+    /// or an artefact of a different kind.
+    BadHeader(String),
+    /// Recognised format, incompatible version; the artefact predates (or
+    /// postdates) this build and must be rebuilt.
+    StaleVersion {
+        /// The format name found in the header.
+        format: String,
+        /// The version found in the header.
+        found: u32,
+        /// The version this build reads and writes.
+        expected: u32,
+    },
+    /// The payload ended before a read completed.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes remaining.
+        available: usize,
+    },
+    /// The payload is structurally invalid: checksum mismatch, trailing
+    /// garbage, an out-of-range value, or state that does not match the
+    /// structure it is being restored into.
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadHeader(what) => write!(f, "unrecognised header: {what}"),
+            PersistError::StaleVersion {
+                format,
+                found,
+                expected,
+            } => write!(f, "{format}: version {found}, this build expects v{expected}"),
+            PersistError::Truncated { needed, available } => {
+                write!(f, "truncated: needed {needed} bytes, {available} available")
+            }
+            PersistError::Corrupt(why) => write!(f, "corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Little-endian binary state writer with a versioned header and a
+/// trailing payload checksum. See the module docs for an example.
+#[derive(Debug)]
+pub struct StateWriter {
+    buf: Vec<u8>,
+    payload_start: usize,
+}
+
+impl StateWriter {
+    /// Starts an artefact of the given format name and version.
+    #[must_use]
+    pub fn new(format: &str, version: u32) -> Self {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(format.len() as u32).to_le_bytes());
+        buf.extend_from_slice(format.as_bytes());
+        buf.extend_from_slice(&version.to_le_bytes());
+        let payload_start = buf.len();
+        StateWriter { buf, payload_start }
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64` (portable across word sizes).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern (bitwise round trip,
+    /// NaN payloads included).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Writes a length-prefixed `u64` slice.
+    pub fn u64_slice(&mut self, v: &[u64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.u64(x);
+        }
+    }
+
+    /// Writes a length-prefixed `f64` slice (bit patterns).
+    pub fn f64_slice(&mut self, v: &[f64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.f64(x);
+        }
+    }
+
+    /// Writes an `Option<u64>` as a presence byte plus the value.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Appends the payload checksum and returns the finished artefact.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        let mut h = DetHasher::default();
+        h.write(&self.buf[self.payload_start..]);
+        let sum = h.finish();
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Reader for artefacts produced by [`StateWriter`]. Validates the
+/// header and checksum up front; every read is bounds-checked.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// Validates magic, format name, version, and payload checksum, and
+    /// positions the reader at the start of the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::BadHeader`] on wrong magic or format name,
+    /// [`PersistError::StaleVersion`] on a version mismatch,
+    /// [`PersistError::Truncated`] / [`PersistError::Corrupt`] on a
+    /// damaged payload.
+    pub fn new(data: &'a [u8], format: &str, version: u32) -> Result<Self, PersistError> {
+        let mut r = StateReader { data, pos: 0 };
+        let magic = r.take(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(PersistError::BadHeader("bad magic".to_owned()));
+        }
+        let name_len = r.raw_u32()? as usize;
+        if name_len > 1024 {
+            return Err(PersistError::BadHeader("format name too long".to_owned()));
+        }
+        let name = r.take(name_len)?.to_vec();
+        let found_name = String::from_utf8(name)
+            .map_err(|_| PersistError::BadHeader("format name not UTF-8".to_owned()))?;
+        if found_name != format {
+            return Err(PersistError::BadHeader(format!(
+                "format '{found_name}', expected '{format}'"
+            )));
+        }
+        let found_version = r.raw_u32()?;
+        if found_version != version {
+            return Err(PersistError::StaleVersion {
+                format: found_name,
+                found: found_version,
+                expected: version,
+            });
+        }
+        // Checksum covers everything between the header and the trailing
+        // 8-byte digest.
+        let payload_start = r.pos;
+        if data.len() < payload_start + 8 {
+            return Err(PersistError::Truncated {
+                needed: payload_start + 8,
+                available: data.len(),
+            });
+        }
+        let sum_pos = data.len() - 8;
+        let mut h = DetHasher::default();
+        h.write(&data[payload_start..sum_pos]);
+        let mut stored = [0u8; 8];
+        stored.copy_from_slice(&data[sum_pos..]);
+        if h.finish() != u64::from_le_bytes(stored) {
+            return Err(PersistError::Corrupt("checksum mismatch".to_owned()));
+        }
+        // Reads must stop short of the checksum.
+        Ok(StateReader {
+            data: &data[..sum_pos],
+            pos: payload_start,
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let available = self.data.len() - self.pos;
+        if n > available {
+            return Err(PersistError::Truncated { needed: n, available });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn raw_u32(&mut self) -> Result<u32, PersistError> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Truncated`] at end of payload.
+    pub fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `bool`, rejecting bytes other than 0/1.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Truncated`] / [`PersistError::Corrupt`].
+    pub fn bool(&mut self) -> Result<bool, PersistError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(PersistError::Corrupt(format!("bool byte {b}"))),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Truncated`] at end of payload.
+    pub fn u32(&mut self) -> Result<u32, PersistError> {
+        self.raw_u32()
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Truncated`] at end of payload.
+    pub fn u64(&mut self) -> Result<u64, PersistError> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Truncated`] at end of payload.
+    pub fn i64(&mut self) -> Result<i64, PersistError> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(i64::from_le_bytes(b))
+    }
+
+    /// Reads a `usize` written by [`StateWriter::usize`].
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Corrupt`] if the value does not fit this
+    /// platform's `usize`.
+    pub fn usize(&mut self) -> Result<usize, PersistError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| PersistError::Corrupt(format!("usize overflow: {v}")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Truncated`] at end of payload.
+    pub fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Truncated`] at end of payload.
+    pub fn bytes(&mut self) -> Result<&'a [u8], PersistError> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Corrupt`] on invalid UTF-8.
+    pub fn str(&mut self) -> Result<&'a str, PersistError> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|_| PersistError::Corrupt("string not UTF-8".to_owned()))
+    }
+
+    /// Reads a length-prefixed `u64` slice.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Truncated`] at end of payload.
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, PersistError> {
+        let n = self.checked_len(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// Reads a length-prefixed `f64` slice (bit patterns).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Truncated`] at end of payload.
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>, PersistError> {
+        let n = self.checked_len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Reads an `Option<u64>` written by [`StateWriter::opt_u64`].
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Truncated`] / [`PersistError::Corrupt`].
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, PersistError> {
+        Ok(if self.bool()? { Some(self.u64()?) } else { None })
+    }
+
+    /// Reads a sequence length, rejecting lengths that could not possibly
+    /// fit in the remaining payload (each element needs at least
+    /// `min_elem_bytes`). Use before element loops so a corrupt length
+    /// fails fast instead of attempting a huge allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Truncated`] when the declared length exceeds the
+    /// remaining payload.
+    pub fn checked_len(&mut self, min_elem_bytes: usize) -> Result<usize, PersistError> {
+        let n = self.usize()?;
+        let available = self.data.len() - self.pos;
+        if n.saturating_mul(min_elem_bytes.max(1)) > available {
+            return Err(PersistError::Truncated {
+                needed: n.saturating_mul(min_elem_bytes.max(1)),
+                available,
+            });
+        }
+        Ok(n)
+    }
+
+    /// Returns the number of unread payload bytes.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Declares the read complete; trailing payload bytes are an error.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Corrupt`] when unread payload bytes remain.
+    pub fn finish(self) -> Result<(), PersistError> {
+        if self.pos != self.data.len() {
+            return Err(PersistError::Corrupt(format!(
+                "{} trailing payload bytes",
+                self.data.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Renders the versioned first line of a text artefact:
+/// `"<name> v<version>"`.
+#[must_use]
+pub fn text_header(name: &str, version: u32) -> String {
+    format!("{name} v{version}")
+}
+
+/// Validates the versioned first line of a text artefact and returns the
+/// remainder (without the header line).
+///
+/// # Errors
+///
+/// [`PersistError::StaleVersion`] when the name matches but the version
+/// differs, [`PersistError::BadHeader`] otherwise.
+pub fn check_text_header<'a>(
+    text: &'a str,
+    name: &str,
+    version: u32,
+) -> Result<&'a str, PersistError> {
+    let (first, rest) = match text.split_once('\n') {
+        Some((f, r)) => (f, r),
+        None => (text, ""),
+    };
+    let first = first.trim_end_matches('\r');
+    if first == text_header(name, version) {
+        return Ok(rest);
+    }
+    if let Some(v) = first.strip_prefix(&format!("{name} v")) {
+        if let Ok(found) = v.trim().parse::<u32>() {
+            return Err(PersistError::StaleVersion {
+                format: name.to_owned(),
+                found,
+                expected: version,
+            });
+        }
+    }
+    Err(PersistError::BadHeader(format!(
+        "'{first}', expected '{}'",
+        text_header(name, version)
+    )))
+}
+
+/// The workspace-wide warn-and-rebuild load policy, in one place.
+///
+/// * File missing → `(None, None)`: start empty, silently.
+/// * File parses → `(Some(artefact), None)`.
+/// * File unreadable/stale/corrupt → `(None, Some(warning))`: start
+///   empty; the caller owns printing the warning (sim crates cannot
+///   print — lint rule R7 — so the harness surfaces it on stderr).
+pub fn load_or_rebuild<T>(
+    path: &Path,
+    parse: impl FnOnce(&[u8]) -> Result<T, PersistError>,
+) -> (Option<T>, Option<String>) {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return (None, None),
+        Err(e) => {
+            return (
+                None,
+                Some(format!(
+                    "could not read {}: {e}; starting empty",
+                    path.display()
+                )),
+            )
+        }
+    };
+    match parse(&bytes) {
+        Ok(t) => (Some(t), None),
+        Err(e) => (
+            None,
+            Some(format!(
+                "ignoring {}: {e}; starting empty",
+                path.display()
+            )),
+        ),
+    }
+}
+
+/// Writes `bytes` to `path` atomically: a unique sibling temp file is
+/// written and fsynced, then renamed over the target. A campaign killed
+/// mid-write leaves either the old artefact or the new one, never a
+/// torn file — the invariant `--resume` relies on.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    // Unique per process so concurrent writers of the same artefact
+    // (identical content, by determinism) cannot tear each other's temp.
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_primitives() {
+        let mut w = StateWriter::new("t", 3);
+        w.u8(7);
+        w.bool(true);
+        w.bool(false);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.i64(-42);
+        w.usize(12345);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.bytes(b"raw");
+        w.str("text");
+        w.u64_slice(&[1, 2, 3]);
+        w.f64_slice(&[0.5, 1.5]);
+        w.opt_u64(Some(9));
+        w.opt_u64(None);
+        let bytes = w.finish();
+
+        let mut r = StateReader::new(&bytes, "t", 3).unwrap();
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.bytes().unwrap(), b"raw");
+        assert_eq!(r.str().unwrap(), "text");
+        assert_eq!(r.u64_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.f64_vec().unwrap(), vec![0.5, 1.5]);
+        assert_eq!(r.opt_u64().unwrap(), Some(9));
+        assert_eq!(r.opt_u64().unwrap(), None);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn wrong_format_name_is_bad_header() {
+        let bytes = StateWriter::new("a", 1).finish();
+        assert!(matches!(
+            StateReader::new(&bytes, "b", 1),
+            Err(PersistError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_is_stale() {
+        let bytes = StateWriter::new("a", 1).finish();
+        assert_eq!(
+            StateReader::new(&bytes, "a", 2).err(),
+            Some(PersistError::StaleVersion {
+                format: "a".to_owned(),
+                found: 1,
+                expected: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = StateWriter::new("a", 1);
+        w.u64_slice(&[1, 2, 3, 4]);
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let r = StateReader::new(&bytes[..cut], "a", 1);
+            let err = match r {
+                Err(e) => e,
+                Ok(mut r) => {
+                    // Header happens to survive the cut; the payload must
+                    // not parse cleanly.
+                    let e = r.u64_vec().err();
+                    e.expect("truncated payload must not parse")
+                }
+            };
+            assert!(
+                matches!(
+                    err,
+                    PersistError::Truncated { .. }
+                        | PersistError::Corrupt(_)
+                        | PersistError::BadHeader(_)
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_corrupt() {
+        let mut w = StateWriter::new("a", 1);
+        w.u64(77);
+        w.str("payload");
+        let mut bytes = w.finish();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        let r = StateReader::new(&bytes, "a", 1);
+        assert!(r.is_err(), "flipped byte {mid} must not verify");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = StateWriter::new("a", 1);
+        w.u64(1);
+        w.u64(2);
+        let bytes = w.finish();
+        let mut r = StateReader::new(&bytes, "a", 1).unwrap();
+        assert_eq!(r.u64().unwrap(), 1);
+        assert!(matches!(r.finish(), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn absurd_length_fails_fast() {
+        // Hand-craft a payload whose declared slice length exceeds the
+        // remaining bytes by orders of magnitude.
+        let mut w = StateWriter::new("a", 1);
+        w.usize(usize::MAX / 2);
+        let bytes = w.finish();
+        let mut r = StateReader::new(&bytes, "a", 1).unwrap();
+        assert!(matches!(
+            r.u64_vec(),
+            Err(PersistError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn text_header_round_trip() {
+        let text = format!("{}\nbody line\n", text_header("asm-alone-cache", 1));
+        let rest = check_text_header(&text, "asm-alone-cache", 1).unwrap();
+        assert_eq!(rest, "body line\n");
+
+        assert!(matches!(
+            check_text_header("asm-alone-cache v2\n", "asm-alone-cache", 1),
+            Err(PersistError::StaleVersion {
+                found: 2,
+                expected: 1,
+                ..
+            })
+        ));
+        assert!(matches!(
+            check_text_header("something else\n", "asm-alone-cache", 1),
+            Err(PersistError::BadHeader(_))
+        ));
+        assert!(matches!(
+            check_text_header("", "asm-alone-cache", 1),
+            Err(PersistError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn load_or_rebuild_policy() {
+        let dir = std::env::temp_dir().join(format!("asm_persist_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Missing: silent empty start.
+        let (t, warn) = load_or_rebuild(&dir.join("missing.bin"), |_| Ok(()));
+        assert_eq!((t, warn), (None, None));
+
+        // Present and parsable.
+        let good = dir.join("good.bin");
+        write_atomic(&good, b"x").unwrap();
+        let (t, warn) = load_or_rebuild(&good, |b| Ok(b.len()));
+        assert_eq!(t, Some(1));
+        assert_eq!(warn, None);
+
+        // Present but rejected: empty start plus a warning string.
+        let (t, warn) = load_or_rebuild(&good, |_| {
+            Err::<(), _>(PersistError::Corrupt("nope".to_owned()))
+        });
+        assert_eq!(t, None);
+        let warn = warn.expect("warning expected");
+        assert!(warn.contains("good.bin") && warn.contains("nope"), "{warn}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("asm_persist_atomic_{}", std::process::id()));
+        let path = dir.join("nested").join("artefact.bin");
+        write_atomic(&path, b"one").unwrap();
+        write_atomic(&path, b"two").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two");
+        let entries: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(entries.len(), 1, "temp files must not linger: {entries:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

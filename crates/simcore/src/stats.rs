@@ -355,6 +355,46 @@ impl Histogram {
     }
 }
 
+impl Histogram {
+    /// Serializes geometry and counts for checkpointing (bitwise round
+    /// trip via [`restore_from`](Self::restore_from)).
+    pub fn save_state(&self, w: &mut crate::persist::StateWriter) {
+        w.f64(self.bucket_width);
+        w.u64_slice(&self.counts);
+        w.u64(self.overflow);
+        w.u64(self.total);
+    }
+
+    /// Reads a histogram previously written by
+    /// [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::persist::PersistError::Corrupt`] when the stored geometry
+    /// is invalid or the totals are inconsistent.
+    pub fn restore_from(
+        r: &mut crate::persist::StateReader<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::PersistError;
+        let bucket_width = r.f64()?;
+        let counts = r.u64_vec()?;
+        let overflow = r.u64()?;
+        let total = r.u64()?;
+        if !(bucket_width > 0.0) || counts.is_empty() {
+            return Err(PersistError::Corrupt("bad histogram geometry".to_owned()));
+        }
+        if counts.iter().sum::<u64>() + overflow != total {
+            return Err(PersistError::Corrupt("histogram total mismatch".to_owned()));
+        }
+        Ok(Histogram {
+            bucket_width,
+            counts,
+            overflow,
+            total,
+        })
+    }
+}
+
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "histogram (bucket width {}):", self.bucket_width)?;

@@ -153,6 +153,62 @@ impl SeriesSet {
     pub fn dropped(&self, id: SeriesId) -> u64 {
         self.series.get(id.0 as usize).map_or(0, |s| s.dropped)
     }
+
+    /// Serializes every series' ring contents for checkpointing. As with
+    /// [`crate::Registry`], names are written as a structural cross-check
+    /// against the restore target's own registrations.
+    pub fn save_state(&self, w: &mut asm_simcore::persist::StateWriter) {
+        w.bool(self.enabled);
+        w.usize(self.series.len());
+        for s in &self.series {
+            w.str(&s.name);
+            w.u64_slice(&s.cycles);
+            w.f64_slice(&s.values);
+            w.usize(s.start);
+            w.u64(s.dropped);
+        }
+    }
+
+    /// Restores ring contents captured by [`save_state`]
+    /// (Self::save_state) into a set with the same registrations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors; `Corrupt` when the enabled flag, the
+    /// registered names, or any ring shape disagrees.
+    pub fn restore_state(
+        &mut self,
+        r: &mut asm_simcore::persist::StateReader<'_>,
+    ) -> Result<(), asm_simcore::persist::PersistError> {
+        use asm_simcore::persist::PersistError;
+        let corrupt = |what: &str| PersistError::Corrupt(what.to_owned());
+        if r.bool()? != self.enabled {
+            return Err(corrupt("series enabled flag mismatch"));
+        }
+        if r.usize()? != self.series.len() {
+            return Err(corrupt("registered series count mismatch"));
+        }
+        for s in &mut self.series {
+            if r.str()? != s.name {
+                return Err(corrupt("registered series name mismatch"));
+            }
+            let cycles = r.u64_vec()?;
+            let values = r.f64_vec()?;
+            let start = r.usize()?;
+            let dropped = r.u64()?;
+            if cycles.len() != values.len() || cycles.len() > self.capacity {
+                return Err(corrupt("series ring shape mismatch"));
+            }
+            if start != 0 && start >= cycles.len() {
+                return Err(corrupt("series ring start out of range"));
+            }
+            s.cycles = cycles;
+            s.values = values;
+            s.start = start;
+            s.dropped = dropped;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

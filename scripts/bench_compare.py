@@ -6,10 +6,13 @@ only ever adds time, so the per-iteration minimum is the robust
 estimator) and exits non-zero when any named hot-path benchmark regresses
 by more than the threshold.
 
-Additionally gates the telemetry layer *within* the new snapshot: when
-the `telemetry_overhead` group is present, the idle configuration
-(counters + series enabled, the `--stats-json` path) may cost at most
---telemetry-threshold (default 1%) over the off configuration.
+Additionally gates two properties *within* the new snapshot: when the
+`telemetry_overhead` group is present, the idle configuration (counters
++ series enabled, the `--stats-json` path) may cost at most
+--telemetry-threshold (default 1%) over the off configuration; and when
+the `checkpoint_fork` group is present, prefix-shared forking must keep
+the 38-config sweep at least --fork-threshold (default 2x) faster than
+running it cold.
 
 Usage:
     scripts/bench_compare.py BENCH_pr3.json BENCH_pr4.json
@@ -73,6 +76,13 @@ def main():
         help="max tolerated idle-telemetry overhead over telemetry-off "
         "in the new snapshot, as a fraction (default 0.01)",
     )
+    parser.add_argument(
+        "--fork-threshold",
+        type=float,
+        default=2.0,
+        help="min required cold-over-forked speedup on the checkpoint_fork "
+        "sweep in the new snapshot (default 2.0)",
+    )
     args = parser.parse_args()
 
     old, new = load_raw(args.old), load_raw(args.new)
@@ -124,6 +134,25 @@ def main():
             print(
                 f"bench_compare: FAIL idle telemetry costs {overhead:.2%} over off "
                 f"(budget {args.telemetry_threshold:.0%})",
+                file=sys.stderr,
+            )
+
+    # Within-snapshot checkpoint gate: the 38-config sweep forked from one
+    # shared warmup snapshot vs the same sweep run cold.
+    fork_cold = new.get("checkpoint_fork/sweep38_cold")
+    fork_warm = new.get("checkpoint_fork/sweep38_forked")
+    if fork_cold and fork_warm:
+        speedup = fork_cold["min_ns"] / fork_warm["min_ns"]
+        print(
+            f"bench_compare: checkpoint fork speedup = {speedup:.2f}x "
+            f"(gate {args.fork_threshold:.1f}x)",
+            file=sys.stderr,
+        )
+        if speedup < args.fork_threshold:
+            failures.append(("checkpoint_fork/sweep38_forked", speedup))
+            print(
+                f"bench_compare: FAIL checkpoint forking sped the sweep up only "
+                f"{speedup:.2f}x (gate {args.fork_threshold:.1f}x)",
                 file=sys.stderr,
             )
 

@@ -11,6 +11,12 @@
 #                                             CI sweep; full 38-config
 #                                             gate lives in the asm-
 #                                             experiments test suite)
+#   5. checkpoint resume smoke               (kill a checkpointed fig11
+#                                             campaign mid-flight, resume
+#                                             it, and byte-compare against
+#                                             a cold run; then replay the
+#                                             finished campaign from its
+#                                             manifests and compare again)
 #
 # Usage:
 #   scripts/ci.sh                 # tier-1 only (~minutes)
@@ -47,17 +53,42 @@ while [[ $# -gt 0 ]]; do
     esac
 done
 
-echo "ci: [1/4] cargo build --release --all-targets" >&2
+echo "ci: [1/5] cargo build --release --all-targets" >&2
 cargo build --release --all-targets
 
-echo "ci: [2/4] cargo test -q" >&2
+echo "ci: [2/5] cargo test -q" >&2
 cargo test -q
 
-echo "ci: [3/4] cargo run -p asm-lint --release" >&2
+echo "ci: [3/5] cargo run -p asm-lint --release" >&2
 cargo run -p asm-lint --release
 
-echo "ci: [4/4] asm-experiments xval --tiny (analytic-tier smoke)" >&2
+echo "ci: [4/5] asm-experiments xval --tiny (analytic-tier smoke)" >&2
 cargo run -q -p asm-experiments --release -- xval --tiny
+
+echo "ci: [5/5] checkpoint resume smoke (kill mid-campaign, resume, byte-compare)" >&2
+EXP=target/release/asm-experiments
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+"$EXP" fig11 > "$SMOKE/cold.txt" 2>/dev/null
+# Kill the checkpointed campaign mid-flight (SIGKILL: no graceful
+# shutdown — atomic artefact writes are the only durability mechanism).
+# Wherever the kill lands — before the warmup snapshot, between
+# manifests, or after the table printed — the resumed run must emit
+# byte-identical stdout; `|| true` also covers the campaign finishing
+# early on a fast machine.
+timeout -s KILL 1.5 "$EXP" fig11 --checkpoint-dir "$SMOKE/ckpt" >/dev/null 2>&1 || true
+"$EXP" fig11 --checkpoint-dir "$SMOKE/ckpt" --resume > "$SMOKE/resumed.txt" 2>/dev/null
+cmp "$SMOKE/cold.txt" "$SMOKE/resumed.txt" || {
+    echo "ci: FAIL — resumed campaign stdout differs from the cold run" >&2
+    exit 1
+}
+# Second resume: every manifest now exists, so the whole campaign replays
+# from disk without simulating a cycle — and must still match.
+"$EXP" fig11 --checkpoint-dir "$SMOKE/ckpt" --resume > "$SMOKE/replayed.txt" 2>/dev/null
+cmp "$SMOKE/cold.txt" "$SMOKE/replayed.txt" || {
+    echo "ci: FAIL — manifest-replayed campaign stdout differs from the cold run" >&2
+    exit 1
+}
 
 if [[ -n "$BENCH_TAG" ]]; then
     baseline="$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -n1 || true)"
