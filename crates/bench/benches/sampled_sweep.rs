@@ -1,0 +1,144 @@
+//! The sampled tier's reason to exist: one 38-configuration policy
+//! sweep (19 cache policies × 2 memory policies on a fixed 4-app mix,
+//! 16M cycles of 50k-cycle quanta), full cycle-accurate vs
+//! `--tier sampled` with K = 2 representative intervals of L = 2 quanta.
+//!
+//! The sampled variant runs the real campaign driver
+//! (`asm_experiments::sampled::run_campaign`): three class fingerprints
+//! (neutral / partitioned / starved trajectories), deterministic
+//! k-means selection, and two medoid probes per non-exact member. The
+//! accuracy side of the same sweep is pinned by
+//! `crates/experiments/tests/sampled_gate.rs`; this group measures only
+//! the wall-clock side.
+//!
+//! The alone-run cache is pre-populated outside the timed region and
+//! installed process-wide, so both variants read cached alone records —
+//! the amortization `--alone-cache` gives the CLI across invocations.
+//! Both variants run serially (`jobs = 1`): the ratio isolates
+//! simulated-work savings, not thread-pool fan-out.
+//! `scripts/bench_snapshot.sh` parses this output into `BENCH_<tag>.json`
+//! and, with `scripts/bench_compare.py`, enforces the >=10x
+//! sweep-speedup gate; keep the benchmark ids stable.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use asm_core::{
+    AloneCache, CachePolicy, EstimatorSet, MemPolicy, QosConfig, Runner, SystemConfig,
+};
+use asm_cpu::AppProfile;
+use asm_experiments::plan::PlannedRun;
+use asm_experiments::{collect, sampled, Scale};
+use asm_simcore::AppId;
+use asm_workloads::suite;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Same geometry as `crates/experiments/tests/sampled_gate.rs`: 160
+/// intervals of two 50k-cycle quanta.
+const QUANTUM: u64 = 50_000;
+const CYCLES: u64 = 16_000_000;
+
+fn base_config() -> SystemConfig {
+    let mut c = SystemConfig::default();
+    c.quantum = QUANTUM;
+    c.epoch = 2_000;
+    c.estimators = EstimatorSet::asm_only();
+    c.epochs_enabled = true;
+    c
+}
+
+/// The same 38-member sweep as the accuracy gate.
+fn sweep_configs() -> Vec<SystemConfig> {
+    let target = AppId::new(0);
+    let mut cache_policies = vec![
+        CachePolicy::None,
+        CachePolicy::Ucp,
+        CachePolicy::Mcfq,
+        CachePolicy::AsmCache,
+        CachePolicy::NaiveQos(target),
+    ];
+    for k in 0..14 {
+        cache_policies.push(CachePolicy::AsmQos(QosConfig {
+            target,
+            bound: 1.5 + 0.5 * f64::from(k),
+        }));
+    }
+    let mut configs = Vec::new();
+    for &cache in &cache_policies {
+        for mem in [MemPolicy::Uniform, MemPolicy::SlowdownWeighted] {
+            let mut c = base_config();
+            c.cache_policy = cache;
+            c.mem_policy = mem;
+            configs.push(c);
+        }
+    }
+    assert_eq!(configs.len(), 38, "the sweep is sized by the PR acceptance");
+    configs
+}
+
+fn mix() -> Vec<AppProfile> {
+    ["mcf_like", "libquantum_like", "soplex_like", "h264ref_like"]
+        .iter()
+        .map(|n| suite::by_name(n).expect("suite profile exists"))
+        .collect()
+}
+
+fn bench_sampled_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampled_sweep");
+    // The full sweep takes tens of seconds per iteration; two samples
+    // inside a generous budget keep the total tractable while the
+    // min-based snapshot statistics stay meaningful.
+    g.sample_size(2);
+    g.measurement_time(Duration::from_secs(60));
+
+    let apps = mix();
+    let runs: Vec<PlannedRun> = sweep_configs()
+        .into_iter()
+        .map(|c| PlannedRun::new(c, apps.clone(), CYCLES))
+        .collect();
+
+    // Pre-populate the alone-run cache outside both timed regions and
+    // install it process-wide so the campaign driver shares it.
+    let cache = Arc::new(AloneCache::new());
+    let warm = Runner::with_cache(runs[0].config.clone(), Arc::clone(&cache));
+    for slot in 0..apps.len() {
+        let _ = warm.alone_progress(&apps, slot, CYCLES);
+    }
+    collect::install_alone_cache(Arc::clone(&cache));
+
+    g.bench_function("sweep38_full", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for run in &runs {
+                let runner = Runner::with_cache(run.config.clone(), Arc::clone(&cache));
+                let r = runner.run(&run.apps, run.cycles);
+                acc ^= r.whole_run_slowdowns[0].to_bits();
+            }
+            black_box(acc)
+        });
+    });
+
+    let mut scale = Scale::reduced();
+    scale.quantum = QUANTUM;
+    scale.cycles = CYCLES;
+    scale.sample_intervals = 2;
+    scale.sample_quanta = 2;
+    scale.jobs = 1;
+
+    g.bench_function("sweep38_sampled", |b| {
+        b.iter(|| {
+            let est = sampled::run_campaign(&runs, &scale);
+            let mut acc = 0u64;
+            for e in &est {
+                acc ^= e.slowdowns[0].value.to_bits();
+            }
+            black_box(acc)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampled_sweep);
+criterion_main!(benches);

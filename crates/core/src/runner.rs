@@ -488,6 +488,21 @@ impl Runner {
         self.alone_cache.insert_or_keep_longer(key, rec)
     }
 
+    /// The (cached) alone-run progress log for `apps[slot]` covering at
+    /// least `cycles` — the milestone table `cycles_between`/`cycle_at`
+    /// read ground-truth alone costs from. Computes and caches the alone
+    /// run on a miss, exactly like [`run`](Self::run) would. The sampled
+    /// tier reads interval-windowed alone costs through this.
+    #[must_use]
+    pub fn alone_progress(
+        &self,
+        apps: &[AppProfile],
+        slot: usize,
+        cycles: Cycle,
+    ) -> Arc<ProgressLog> {
+        self.alone_record(apps, slot, cycles).progress
+    }
+
     /// Runs `apps` together for `cycles` cycles (plus the necessary alone
     /// runs) and returns estimates and ground truth per quantum.
     ///

@@ -12,9 +12,10 @@ use asm_simcore::Cycle;
 
 use crate::pool;
 
-/// The persistent alone-run cache (`--alone-cache <path>`), shared by
-/// every runner the experiments construct once set.
-static ALONE_CACHE: OnceLock<(PathBuf, Arc<AloneCache>)> = OnceLock::new();
+/// The process-wide alone-run cache, shared by every runner the
+/// experiments construct once set: `--alone-cache <path>` installs a
+/// file-backed one, [`install_alone_cache`] an in-memory one.
+static ALONE_CACHE: OnceLock<(Option<PathBuf>, Arc<AloneCache>)> = OnceLock::new();
 
 /// Loads (or initializes) the persistent alone-run cache at `path` and
 /// routes all subsequent [`make_runner`] calls through it. A missing file
@@ -33,7 +34,18 @@ pub fn set_alone_cache_path(path: PathBuf) {
             path.display()
         );
     }
-    let _ = ALONE_CACHE.set((path, Arc::new(cache)));
+    let _ = ALONE_CACHE.set((Some(path), Arc::new(cache)));
+}
+
+/// Routes all subsequent runners and campaigns through an in-memory
+/// cache with no backing file ([`save_alone_cache`] becomes a no-op).
+/// Harnesses that compare tiers (the sampled-accuracy gate, the
+/// `sampled_sweep` bench) pre-warm one cache and install it so both
+/// tiers amortize the same alone runs — exactly what `--alone-cache`
+/// gives the CLI across invocations. First installation wins, like the
+/// CLI flag.
+pub fn install_alone_cache(cache: Arc<AloneCache>) {
+    let _ = ALONE_CACHE.set((None, cache));
 }
 
 /// A runner for `config` backed by the persistent alone-run cache when
@@ -50,7 +62,7 @@ pub fn make_runner(config: SystemConfig) -> Runner {
 /// Writes the persistent alone-run cache back to its file, if one was
 /// configured. Called once at the end of the CLI run.
 pub fn save_alone_cache() {
-    if let Some((path, cache)) = ALONE_CACHE.get() {
+    if let Some((Some(path), cache)) = ALONE_CACHE.get() {
         match cache.save_to(path) {
             Ok(()) => eprintln!(
                 "alone-cache: saved {} run(s) to {}",

@@ -63,6 +63,19 @@ pub fn run(scale: Scale) {
                     .map(|w| PlannedRun::new(config.clone(), w.clone(), scale.cycles))
             })
             .collect();
+        if scale.tier == crate::scale::Tier::Sampled {
+            let results = crate::sampled::run_campaign(&runs, &scale);
+            for ((name, _), per_scheme) in schemes.iter().zip(results.chunks(workloads.len())) {
+                let out = crate::sampled::sampled_outcome(per_scheme);
+                table.row(vec![
+                    cores.to_string(),
+                    (*name).into(),
+                    out.unfairness.cell(2),
+                    out.harmonic_speedup.cell(3),
+                ]);
+            }
+            continue;
+        }
         let results = crate::plan::run_campaign(&runs, scale.jobs);
         for ((name, _), per_scheme) in schemes.iter().zip(results.chunks(workloads.len())) {
             let out = mech_outcome(per_scheme);

@@ -128,6 +128,19 @@ pub fn run(scale: Scale) {
                     .map(move |w| PlannedRun::new(config.clone(), w.clone(), scale.cycles))
             })
             .collect();
+        if scale.tier == crate::scale::Tier::Sampled {
+            let results = crate::sampled::run_campaign(&runs, &scale);
+            for (scheme, per_scheme) in SCHEMES.iter().zip(results.chunks(workloads.len())) {
+                let out = crate::sampled::sampled_outcome(per_scheme);
+                table.row(vec![
+                    cores.to_string(),
+                    scheme.name.into(),
+                    out.unfairness.cell(2),
+                    out.harmonic_speedup.cell(3),
+                ]);
+            }
+            continue;
+        }
         let results = crate::plan::run_campaign(&runs, scale.jobs);
         for (scheme, per_scheme) in SCHEMES.iter().zip(results.chunks(workloads.len())) {
             let out = mech_outcome(per_scheme);

@@ -51,18 +51,35 @@ pub fn run(scale: Scale) {
         .iter()
         .map(|&(_, policy)| PlannedRun::new(policy_config(scale, policy), apps.clone(), scale.cycles))
         .collect();
-    let results = crate::plan::run_campaign(&runs, scale.jobs);
-    for ((name, _), r) in schemes.into_iter().zip(&results) {
-        let s = &r.whole_run_slowdowns;
-        let hs = harmonic_speedup(s).unwrap_or(f64::NAN);
-        table.row(vec![
-            name,
-            format!("{:.2}", s[0]),
-            format!("{:.2}", s[1]),
-            format!("{:.2}", s[2]),
-            format!("{:.2}", s[3]),
-            format!("{hs:.3}"),
-        ]);
+    if scale.tier == crate::scale::Tier::Sampled {
+        let results = crate::sampled::run_campaign(&runs, &scale);
+        for ((name, _), r) in schemes.into_iter().zip(&results) {
+            let s = &r.slowdowns;
+            let hs = asm_sampling::Estimate::harmonic_speedup_of(s)
+                .unwrap_or(asm_sampling::Estimate::exact(f64::NAN));
+            table.row(vec![
+                name,
+                s[0].cell(2),
+                s[1].cell(2),
+                s[2].cell(2),
+                s[3].cell(2),
+                hs.cell(3),
+            ]);
+        }
+    } else {
+        let results = crate::plan::run_campaign(&runs, scale.jobs);
+        for ((name, _), r) in schemes.into_iter().zip(&results) {
+            let s = &r.whole_run_slowdowns;
+            let hs = harmonic_speedup(s).unwrap_or(f64::NAN);
+            table.row(vec![
+                name,
+                format!("{:.2}", s[0]),
+                format!("{:.2}", s[1]),
+                format!("{:.2}", s[2]),
+                format!("{:.2}", s[3]),
+                format!("{hs:.3}"),
+            ]);
+        }
     }
     crate::output::emit("fig11", &table);
     println!("Expected shape: Naive-QoS minimises the target's slowdown but punishes the");

@@ -69,6 +69,19 @@ pub fn run(scale: Scale) {
                     .map(move |w| PlannedRun::new(config.clone(), w.clone(), scale.cycles))
             })
             .collect();
+        if scale.tier == crate::scale::Tier::Sampled {
+            let results = crate::sampled::run_campaign(&runs, &scale);
+            for ((name, _), per_policy) in policies.iter().zip(results.chunks(workloads.len())) {
+                let out = crate::sampled::sampled_outcome(per_policy);
+                table.row(vec![
+                    cores.to_string(),
+                    (*name).into(),
+                    out.unfairness.cell(2),
+                    out.harmonic_speedup.cell(3),
+                ]);
+            }
+            continue;
+        }
         let results = crate::plan::run_campaign(&runs, scale.jobs);
         for ((name, _), per_policy) in policies.iter().zip(results.chunks(workloads.len())) {
             let out = mech_outcome(per_policy);

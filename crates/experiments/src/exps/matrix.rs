@@ -47,7 +47,9 @@ pub fn run(scale: Scale) {
     println!("\n=== Pairwise interference matrix (victim slowdown under one aggressor) ===");
     let pairs = ordered_pairs();
     let slowdowns: Vec<f64> = match scale.tier {
-        Tier::Cycle => {
+        // The CLI rejects `--tier sampled` for this experiment; a direct
+        // library caller gets the cycle-accurate path.
+        Tier::Cycle | Tier::Sampled => {
             let mut config = scale.base_config();
             config.estimators = EstimatorSet::none();
             config.epochs_enabled = false;

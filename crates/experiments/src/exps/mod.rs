@@ -39,6 +39,18 @@ pub fn supports_analytic(name: &str) -> bool {
     ANALYTIC_CAPABLE.contains(&name)
 }
 
+/// Experiments that accept `--tier sampled`. These are the sweep-shaped
+/// figures whose runs share prefix configurations, so one fingerprint
+/// pass amortises over many policy variants (DESIGN.md §12). Everything
+/// else is rejected up front (exit 2).
+pub const SAMPLED_CAPABLE: &[&str] = &["fig9", "fig10", "fig11", "combined"];
+
+/// Whether `name` can run on the sampled tier.
+#[must_use]
+pub fn supports_sampled(name: &str) -> bool {
+    SAMPLED_CAPABLE.contains(&name)
+}
+
 /// Dispatches one experiment by name. Returns `false` for unknown names.
 pub fn run(name: &str, scale: Scale) -> bool {
     match name {

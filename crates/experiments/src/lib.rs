@@ -26,6 +26,7 @@ pub mod exps;
 pub mod output;
 pub mod plan;
 pub mod pool;
+pub mod sampled;
 pub mod scale;
 pub mod sink;
 

@@ -40,9 +40,16 @@ OPTIONS:
                      every cycle (slower; output is byte-identical —
                      this flag exists for benchmarking and differential
                      testing, see DESIGN.md §8)
-    --tier T         simulation tier: `cycle` (event-driven, default) or
+    --tier T         simulation tier: `cycle` (event-driven, default),
                      `analytic` (reuse-distance model, ~1000x faster;
-                     supported by: matrix, xval — see DESIGN.md §10)
+                     supported by: matrix, xval — see DESIGN.md §10), or
+                     `sampled` (representative-interval sampling with
+                     confidence intervals, 10x+ faster sweeps; supported
+                     by: fig9, fig10, fig11, combined — DESIGN.md §12)
+    --sample-intervals K  representative intervals simulated per run on
+                     the sampled tier (default 4; 2 at --tiny)
+    --sample-quanta L  quanta per sampling interval on the sampled tier
+                     (default 1; cycles must divide into Q*L intervals)
     --alone-cache F  persist alone-run profiles in F and reuse them on
                      later invocations with the same scale (stale or
                      corrupt entries are ignored with a warning)
@@ -103,7 +110,7 @@ fn main() {
             }
             "--tier" => {
                 let Some(t) = args.get(i + 1).and_then(|v| Tier::parse(v)) else {
-                    eprintln!("error: --tier needs `cycle` or `analytic`");
+                    eprintln!("error: --tier needs `cycle`, `analytic`, or `sampled`");
                     std::process::exit(2);
                 };
                 // Applied after the loop: `--full`/`--tiny` replace the
@@ -144,7 +151,8 @@ fn main() {
                 asm_experiments::output::set_csv_dir(dir.into());
                 i += 1;
             }
-            "--workloads" | "--cycles" | "--seed" | "--jobs" => {
+            "--workloads" | "--cycles" | "--seed" | "--jobs" | "--sample-intervals"
+            | "--sample-quanta" => {
                 let Some(value) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
                     eprintln!("error: {} needs a numeric value", args[i]);
                     std::process::exit(2);
@@ -153,6 +161,8 @@ fn main() {
                     "--workloads" => scale.workloads = value as usize,
                     "--cycles" => scale.cycles = value,
                     "--jobs" => scale.jobs = (value as usize).max(1),
+                    "--sample-intervals" => scale.sample_intervals = (value as usize).max(1),
+                    "--sample-quanta" => scale.sample_quanta = value.max(1),
                     _ => scale.seed = value,
                 }
                 i += 1;
@@ -178,6 +188,25 @@ fn main() {
         );
         std::process::exit(2);
     }
+    if scale.tier == Tier::Sampled {
+        if !exps::supports_sampled(experiment) {
+            eprintln!(
+                "error: experiment '{experiment}' does not support --tier sampled \
+                 (supported: {})",
+                exps::SAMPLED_CAPABLE.join(", ")
+            );
+            std::process::exit(2);
+        }
+        let interval = scale.quantum * scale.sample_quanta;
+        if interval == 0 || !scale.cycles.is_multiple_of(interval) {
+            eprintln!(
+                "error: --tier sampled needs cycles ({}) to be a multiple of \
+                 quantum*L ({} * {})",
+                scale.cycles, scale.quantum, scale.sample_quanta
+            );
+            std::process::exit(2);
+        }
+    }
     asm_experiments::sink::configure(sink_cfg);
     match checkpoint_dir {
         Some(dir) => asm_experiments::plan::set_checkpoint_dir(dir, resume),
@@ -190,6 +219,12 @@ fn main() {
 
     if scale.tier == Tier::Analytic {
         println!("tier: analytic (reuse-distance model, no cycle loop)");
+    }
+    if scale.tier == Tier::Sampled {
+        println!(
+            "tier: sampled ({} intervals x {} quanta, 95% CIs)",
+            scale.sample_intervals, scale.sample_quanta
+        );
     }
     println!(
         "scale: {} workloads x {} cycles (Q={}, E={}, warmup {} quanta, seed {})",

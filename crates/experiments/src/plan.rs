@@ -60,6 +60,13 @@ pub fn set_checkpoint_dir(dir: PathBuf, resume: bool) {
     let _ = CHECKPOINT.set(CheckpointCfg { dir, resume });
 }
 
+/// The configured checkpoint directory and whether `--resume` is on.
+/// The sampled tier stores its estimate manifests under
+/// `<dir>/sampled/<key>.bin` alongside this module's artefacts.
+pub(crate) fn checkpoint_cfg() -> Option<(&'static std::path::Path, bool)> {
+    CHECKPOINT.get().map(|c| (c.dir.as_path(), c.resume))
+}
+
 /// One run of a sweep campaign.
 #[derive(Debug, Clone)]
 pub struct PlannedRun {

@@ -1,0 +1,651 @@
+//! The sampled-tier campaign driver: representative-interval simulation
+//! with confidence intervals (`--tier sampled`, DESIGN.md §12).
+//!
+//! Like [`crate::plan::run_campaign`], this evaluates a flat list of
+//! [`PlannedRun`]s and returns results **in submission order**, so every
+//! sequential fold over them is byte-identical for any `--jobs` value.
+//! Unlike the planner, members of a sweep group (runs sharing a
+//! prefix-relevant configuration, mix and horizon) are not simulated in
+//! full: one *fingerprint* pass per group slices the run into intervals,
+//! clusters them ([`asm_sampling::fingerprint`]), and every member then
+//! simulates only the `K` medoid intervals, reconstructing its whole-run
+//! slowdowns as weighted estimates with 95% confidence intervals.
+//!
+//! Runs that cannot be sampled run in full and report exact values
+//! (`ci = 0`): groups of one (the fingerprint would cost more than it
+//! saves), horizons that do not divide into intervals, and `K ≥ N`
+//! (sampling every interval is not cheaper than the run, and summing
+//! member intervals warmed from *neutral-prefix* snapshots is not
+//! bitwise the member's full run — the §12 blind spot).
+//!
+//! ## Trajectory classes
+//!
+//! A one-interval fork is only accurate from snapshots whose *policy
+//! equilibrium* matches the member's: partitioning policies spend many
+//! quanta granting victims their hot set back, and a binding QoS bound
+//! starves non-targets from the first boundary on, so forks across
+//! those classes inherit the wrong compounded cache state. Members are
+//! therefore classified ([`TrajectoryClass`]) against the neutral
+//! proxy's slowdowns, and each anchor class (neutral, partitioned,
+//! starved) gets its own fingerprint pass, run under a deterministic
+//! class representative's full configuration; the representative itself
+//! reads its exact result straight off the pass
+//! ([`IntervalPlan::proxy_slowdowns`]). Borderline QoS bounds — inside
+//! the margin band, where the trajectory sits between the partitioned
+//! and starved equilibria — are measured from *both* anchor plans and
+//! blended ([`blend`]), with the anchor spread folded into the CI. The
+//! bind rule and its margin are documented in DESIGN.md §12.
+//!
+//! With `--checkpoint-dir` each run's estimates are persisted as a
+//! manifest (`<dir>/sampled/<key>.bin`, values and CIs as bit patterns);
+//! `--resume` replays them byte-identically and skips the fingerprints
+//! of fully-replayed groups.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use asm_core::checkpoint;
+use asm_core::{config_hash, CachePolicy, RunOptions, Runner, SystemConfig};
+use asm_cpu::ProgressLog;
+use asm_sampling::{estimate_slowdowns, fingerprint, measure_interval, Estimate, IntervalPlan};
+use asm_sampling::SampleSpec;
+use asm_simcore::hash::DetHasher;
+use asm_simcore::persist::{self, PersistError, StateReader, StateWriter};
+
+use crate::plan::PlannedRun;
+use crate::scale::Scale;
+use crate::{collect, pool};
+
+const MANIFEST_FORMAT: &str = "asm-sampled-manifest";
+const MANIFEST_VERSION: u32 = 1;
+
+/// One run's sampled outcome: per-app whole-run slowdown estimates.
+/// Exact (fully-simulated) runs carry `ci = 0`.
+#[derive(Debug, Clone)]
+pub struct SampledResult {
+    /// Benchmark names, in slot order.
+    pub app_names: Vec<String>,
+    /// Per-app whole-run slowdown estimates with 95% CIs.
+    pub slowdowns: Vec<Estimate>,
+}
+
+/// Averaged fairness/performance outcome across a scheme's workloads —
+/// the CI-carrying analogue of [`crate::collect::MechOutcome`].
+#[derive(Debug, Clone, Copy)]
+pub struct SampledOutcome {
+    /// Mean of per-workload maximum slowdown (lower is better).
+    pub unfairness: Estimate,
+    /// Mean harmonic speedup (higher is better).
+    pub harmonic_speedup: Estimate,
+}
+
+/// Folds per-workload sampled results into the averaged outcome, the way
+/// [`crate::collect::mech_outcome`] folds [`asm_core::RunResult`]s.
+#[must_use]
+pub fn sampled_outcome(results: &[SampledResult]) -> SampledOutcome {
+    let nan = Estimate::exact(f64::NAN);
+    let maxes: Vec<Estimate> = results
+        .iter()
+        .filter_map(|r| Estimate::max_of(&r.slowdowns))
+        .collect();
+    let hspeeds: Vec<Estimate> = results
+        .iter()
+        .filter_map(|r| Estimate::harmonic_speedup_of(&r.slowdowns))
+        .collect();
+    SampledOutcome {
+        unfairness: Estimate::mean_of(&maxes).unwrap_or(nan),
+        harmonic_speedup: Estimate::mean_of(&hspeeds).unwrap_or(nan),
+    }
+}
+
+/// The key a run's sampled manifest is stored under: everything the
+/// estimates are a pure function of — the *full* configuration, the mix,
+/// the horizon, and the sampling spec.
+fn manifest_key(run: &PlannedRun, spec: SampleSpec) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = DetHasher::default();
+    h.write_u64(config_hash(&run.config));
+    h.write(checkpoint::mix_signature(&run.apps).as_bytes());
+    h.write_u64(run.cycles);
+    h.write_u64(spec.intervals as u64);
+    h.write_u64(spec.quanta);
+    h.finish()
+}
+
+fn manifest_path(dir: &std::path::Path, key: u64) -> std::path::PathBuf {
+    dir.join("sampled").join(format!("{key:016x}.bin"))
+}
+
+fn save_manifest(result: &SampledResult, key: u64) -> Vec<u8> {
+    let mut w = StateWriter::new(MANIFEST_FORMAT, MANIFEST_VERSION);
+    w.u64(key);
+    w.usize(result.app_names.len());
+    for (name, est) in result.app_names.iter().zip(&result.slowdowns) {
+        w.str(name);
+        w.f64(est.value);
+        w.f64(est.ci);
+    }
+    w.finish()
+}
+
+fn load_manifest(bytes: &[u8], key: u64) -> Result<SampledResult, PersistError> {
+    let mut r = StateReader::new(bytes, MANIFEST_FORMAT, MANIFEST_VERSION)?;
+    let found = r.u64()?;
+    if found != key {
+        return Err(PersistError::Corrupt(format!(
+            "manifest key {found:016x}, expected {key:016x}"
+        )));
+    }
+    let n = r.checked_len(1)?;
+    let mut app_names = Vec::with_capacity(n);
+    let mut slowdowns = Vec::with_capacity(n);
+    for _ in 0..n {
+        app_names.push(r.str()?.to_owned());
+        let value = r.f64()?;
+        let ci = r.f64()?;
+        slowdowns.push(Estimate { value, ci });
+    }
+    r.finish()?;
+    Ok(SampledResult {
+        app_names,
+        slowdowns,
+    })
+}
+
+/// A targeted-QoS member forks from the starved fingerprint when its
+/// bound sits at least this far (relatively) below the neutral proxy's
+/// slowdown of the target — i.e. when holding the bound requires
+/// starving the other applications for most of the run. Bounds inside
+/// the margin intervene only sporadically and stay on the neutral plan.
+const QOS_BIND_MARGIN: f64 = 0.15;
+
+/// The `(target slot, effective bound)` a targeted-QoS cache policy
+/// imposes: NaiveQos grants the target everything unconditionally
+/// (bound 0); other policies impose none.
+fn qos_pressure(config: &SystemConfig) -> Option<(usize, f64)> {
+    match config.cache_policy {
+        CachePolicy::NaiveQos(target) => Some((target.index(), 0.0)),
+        CachePolicy::AsmQos(q) => Some((q.target.index(), q.bound)),
+        _ => None,
+    }
+}
+
+/// The policy-equilibrium class a member's trajectory converges to. Each
+/// class walks a qualitatively different trajectory (DESIGN.md §12), so
+/// each gets its own fingerprint; forks are only accurate within class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum TrajectoryClass {
+    /// Free-for-all shared cache — the neutral prefix's own trajectory.
+    Neutral,
+    /// A partitioning policy at its fairness equilibrium (UCP, MCFQ,
+    /// ASM-Cache, or a QoS bound loose enough not to bind): victims
+    /// eventually win back their hot set, which a neutral fork cannot
+    /// reproduce.
+    Partitioned,
+    /// A targeted-QoS bound inside the margin band — tight enough to
+    /// intervene, too loose to starve outright. The trajectory sits
+    /// *between* the partitioned and starved equilibria, so the member
+    /// is estimated from both anchor plans and blended ([`blend`]).
+    Borderline,
+    /// A binding targeted-QoS bound: non-target applications are starved
+    /// from the first boundary on.
+    Starved,
+}
+
+/// The class assignment rule of DESIGN.md §12, against the neutral
+/// proxy's slowdowns: a QoS bound at least the margin below the target's
+/// unconstrained slowdown is starved, one merely below it is borderline.
+fn trajectory_class(config: &SystemConfig, neutral_slowdowns: &[f64]) -> TrajectoryClass {
+    if let Some((slot, bound)) = qos_pressure(config) {
+        if let Some(&unconstrained) = neutral_slowdowns.get(slot) {
+            if unconstrained.is_finite() {
+                if bound * (1.0 + QOS_BIND_MARGIN) < unconstrained {
+                    return TrajectoryClass::Starved;
+                }
+                if bound < unconstrained {
+                    return TrajectoryClass::Borderline;
+                }
+            }
+        }
+    }
+    if matches!(config.cache_policy, CachePolicy::None) {
+        TrajectoryClass::Neutral
+    } else {
+        TrajectoryClass::Partitioned
+    }
+}
+
+/// Geometric midpoint of the two anchor-class estimates for a borderline
+/// member. Its true trajectory lies between the starved and partitioned
+/// equilibria, and the spread between the anchor estimates dominates the
+/// within-plan sampling noise, so half that spread is folded into the
+/// reported CI.
+fn blend(a: Estimate, b: Estimate) -> Estimate {
+    if !a.value.is_finite() {
+        return b;
+    }
+    if !b.value.is_finite() {
+        return a;
+    }
+    Estimate {
+        value: (a.value * b.value).sqrt(),
+        ci: 0.5 * (a.ci + b.ci) + 0.5 * (a.value - b.value).abs(),
+    }
+}
+
+/// A sweep group's shared fingerprint artefacts.
+struct GroupPlan {
+    /// The neutral-prefix fingerprint every group has.
+    plan: IntervalPlan,
+    /// `plan`'s own whole-run slowdowns — the class rule's reference.
+    neutral_slowdowns: Vec<f64>,
+    /// Per-class fingerprints for the non-neutral classes that have at
+    /// least two unfinished members (a class of one just runs in full).
+    class_plans: BTreeMap<TrajectoryClass, IntervalPlan>,
+    alone: Vec<Arc<ProgressLog>>,
+}
+
+/// Evaluates every planned run on the sampled tier and returns the
+/// results in submission order (byte-identical for every `--jobs` value
+/// and across `--resume`, pinned by tests).
+#[must_use]
+pub fn run_campaign(runs: &[PlannedRun], scale: &Scale) -> Vec<SampledResult> {
+    let spec = scale.sample_spec();
+    let cache = collect::campaign_cache();
+    let cfg = crate::plan::checkpoint_cfg();
+
+    // Group runs by (prefix configuration, mix, horizon): members share
+    // bitwise-identical fingerprint passes and boundary snapshots.
+    let mut group_of: Vec<(u64, String, u64)> = Vec::with_capacity(runs.len());
+    let mut groups: BTreeMap<(u64, String, u64), Vec<usize>> = BTreeMap::new();
+    for (i, run) in runs.iter().enumerate() {
+        let prefix = checkpoint::prefix_config(&run.config);
+        let key = (
+            config_hash(&prefix),
+            checkpoint::mix_signature(&run.apps),
+            run.cycles,
+        );
+        group_of.push(key.clone());
+        groups.entry(key).or_default().push(i);
+    }
+
+    // A group samples only when the fingerprint amortises (≥ 2 members)
+    // and sampling is actually cheaper than running (K < N intervals).
+    let samples: BTreeMap<&(u64, String, u64), bool> = groups
+        .iter()
+        .map(|(key, members)| {
+            let rep = &runs[members[0]];
+            let n = spec.interval_count(rep.config.quantum, rep.cycles);
+            (key, members.len() >= 2 && n > 0 && spec.intervals < n)
+        })
+        .collect();
+
+    // Resume: replay finished runs from their manifests before paying
+    // for any fingerprint.
+    let preloaded: Vec<Option<SampledResult>> = runs
+        .iter()
+        .map(|run| {
+            let (dir, resume) = cfg?;
+            if !resume {
+                return None;
+            }
+            let key = manifest_key(run, spec);
+            let bytes = std::fs::read(manifest_path(dir, key)).ok()?;
+            match load_manifest(&bytes, key) {
+                Ok(r) => Some(r),
+                Err(e) => {
+                    eprintln!("checkpoint: ignoring sampled manifest ({e})");
+                    None
+                }
+            }
+        })
+        .collect();
+
+    // Phase A: fingerprint each sampled group with unfinished members,
+    // in parallel. The pass runs under the group's *neutral prefix*
+    // configuration, so its features, clustering and snapshots are a
+    // pure function of the group key — identical for every member.
+    let want: Vec<&(u64, String, u64)> = groups
+        .iter()
+        .filter(|(key, members)| {
+            samples[*key] && members.iter().any(|&i| preloaded[i].is_none())
+        })
+        .map(|(key, _)| key)
+        .collect();
+    let mut plans: BTreeMap<&(u64, String, u64), GroupPlan> =
+        pool::run_ordered(scale.jobs, &want, |_, key| {
+            let rep = &runs[groups[*key][0]];
+            let prefix = checkpoint::prefix_config(&rep.config);
+            let runner = Runner::with_cache(prefix.clone(), Arc::clone(&cache));
+            let alone: Vec<Arc<ProgressLog>> = (0..rep.apps.len())
+                .map(|slot| runner.alone_progress(&rep.apps, slot, rep.cycles))
+                .collect();
+            let plan = fingerprint(&rep.apps, &prefix, rep.cycles, spec, &alone);
+            let neutral_slowdowns = plan.proxy_slowdowns();
+            eprint!(".");
+            (
+                *key,
+                GroupPlan {
+                    plan,
+                    neutral_slowdowns,
+                    class_plans: BTreeMap::new(),
+                    alone,
+                },
+            )
+        })
+        .into_iter()
+        .collect();
+
+    // Phase A2: the starved and partitioned anchor classes get their own
+    // fingerprints, run under a deterministic class representative's
+    // full configuration: the smallest effective bound for the starved
+    // class (NaiveQos counts as 0), the first unfinished member in
+    // submission order otherwise — never a function of `--jobs`.
+    // Borderline members add demand for *both* anchor plans (they blend
+    // the two) but never stand in as representatives; a plan is only
+    // fingerprinted when a pure member anchors it and at least two
+    // members in total draw on it.
+    struct RepTally {
+        sel: (bool, f64), // (not-pure?, bound): pure members always win
+        idx: usize,
+        pure: usize,
+        demand: usize,
+    }
+    let want_class: Vec<(&(u64, String, u64), TrajectoryClass, usize)> = plans
+        .iter()
+        .flat_map(|(key, group)| {
+            let mut reps: BTreeMap<TrajectoryClass, RepTally> = BTreeMap::new();
+            let mut tally = |class: TrajectoryClass, sel: (bool, f64), idx: usize, pure: bool| {
+                let entry = reps.entry(class).or_insert(RepTally {
+                    sel: (true, f64::INFINITY),
+                    idx,
+                    pure: 0,
+                    demand: 0,
+                });
+                if sel < entry.sel {
+                    (entry.sel, entry.idx) = (sel, idx);
+                }
+                if pure {
+                    entry.pure += 1;
+                }
+                entry.demand += 1;
+            };
+            for &i in &groups[*key] {
+                if preloaded[i].is_some() {
+                    continue;
+                }
+                let config = &runs[i].config;
+                let bound = qos_pressure(config).map_or(f64::INFINITY, |(_, b)| b);
+                match trajectory_class(config, &group.neutral_slowdowns) {
+                    TrajectoryClass::Neutral => {}
+                    TrajectoryClass::Starved => {
+                        tally(TrajectoryClass::Starved, (false, bound), i, true);
+                    }
+                    TrajectoryClass::Partitioned => {
+                        tally(TrajectoryClass::Partitioned, (false, 0.0), i, true);
+                    }
+                    TrajectoryClass::Borderline => {
+                        tally(TrajectoryClass::Starved, (true, bound), i, false);
+                        tally(TrajectoryClass::Partitioned, (true, 0.0), i, false);
+                    }
+                }
+            }
+            reps.into_iter()
+                .filter(|(_, t)| t.pure >= 1 && t.demand >= 2)
+                .map(|(class, t)| (*key, class, t.idx))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let class_plans: Vec<(&(u64, String, u64), TrajectoryClass, IntervalPlan)> =
+        pool::run_ordered(scale.jobs, &want_class, |_, (key, class, rep_idx)| {
+            let rep = &runs[*rep_idx];
+            let group = &plans[*key];
+            let plan = fingerprint(&rep.apps, &rep.config, rep.cycles, spec, &group.alone);
+            eprint!(".");
+            (*key, *class, plan)
+        });
+    for (key, class, plan) in class_plans {
+        plans
+            .get_mut(key)
+            .expect("phase A made this group")
+            .class_plans
+            .insert(class, plan);
+    }
+
+    for group in plans.values() {
+        let fingerprints = std::iter::once(&group.plan).chain(group.class_plans.values());
+        for name in fingerprints.flat_map(|p| &p.wrapped) {
+            eprintln!(
+                "warning: sampled: telemetry series '{name}' wrapped its ring during \
+                 fingerprinting; early-interval features may be degraded"
+            );
+        }
+    }
+    let plans = plans;
+
+    // Phase B: every run, in parallel. Sampled members measure the K
+    // medoid intervals under their own policies; everything else (and
+    // any member whose snapshot fails to restore) runs in full.
+    let results = pool::run_ordered(scale.jobs, runs, |i, run| {
+        if let Some(r) = &preloaded[i] {
+            eprint!(".");
+            return r.clone();
+        }
+        let app_names: Vec<String> = run.apps.iter().map(|a| a.name().to_owned()).collect();
+        let result = match plans.get(&group_of[i]) {
+            Some(group) if samples[&group_of[i]] => {
+                // Estimate the member from one plan: exact when the
+                // member *is* the fingerprint configuration (the pass
+                // already simulated its whole run — the telescoped
+                // per-interval alone sum), otherwise measure the K
+                // medoid intervals under the member's own policies.
+                let estimate_with = |plan: &IntervalPlan| -> Result<Vec<Estimate>, PersistError> {
+                    if config_hash(&run.config) == plan.prefix_hash {
+                        return Ok(plan
+                            .proxy_slowdowns()
+                            .iter()
+                            .map(|&s| Estimate::exact(s))
+                            .collect());
+                    }
+                    let member_alone: Vec<Vec<f64>> = plan
+                        .clustering
+                        .medoids
+                        .iter()
+                        .map(|&m| measure_interval(&run.apps, &run.config, plan, m, &group.alone))
+                        .collect::<Result<_, _>>()?;
+                    Ok(estimate_slowdowns(plan, &member_alone))
+                };
+                let class = trajectory_class(&run.config, &group.neutral_slowdowns);
+                let estimated: Option<Result<Vec<Estimate>, PersistError>> = match class {
+                    TrajectoryClass::Neutral => Some(estimate_with(&group.plan)),
+                    TrajectoryClass::Borderline => {
+                        let starved = group.class_plans.get(&TrajectoryClass::Starved);
+                        let parted = group.class_plans.get(&TrajectoryClass::Partitioned);
+                        match (starved, parted) {
+                            (Some(s), Some(p)) => Some(estimate_with(s).and_then(|a| {
+                                let b = estimate_with(p)?;
+                                Ok(a.into_iter().zip(b).map(|(x, y)| blend(x, y)).collect())
+                            })),
+                            (Some(only), None) | (None, Some(only)) => Some(estimate_with(only)),
+                            (None, None) => None,
+                        }
+                    }
+                    class => group.class_plans.get(&class).map(&estimate_with),
+                };
+                match estimated {
+                    // A class with no plan (no fingerprint amortises):
+                    // a neutral fork would cross trajectory classes, so
+                    // run it in full instead.
+                    None => full_run(run, &cache),
+                    Some(Ok(slowdowns)) => SampledResult {
+                        app_names,
+                        slowdowns,
+                    },
+                    Some(Err(e)) => {
+                        eprintln!("warning: sampled: interval restore failed ({e}); running full");
+                        full_run(run, &cache)
+                    }
+                }
+            }
+            _ => full_run(run, &cache),
+        };
+        if let Some((dir, _)) = cfg {
+            let key = manifest_key(run, spec);
+            let path = manifest_path(dir, key);
+            if let Err(e) = persist::write_atomic(&path, &save_manifest(&result, key)) {
+                eprintln!("warning: checkpoint: could not save {}: {e}", path.display());
+            }
+        }
+        eprint!(".");
+        result
+    });
+    eprintln!();
+    results
+}
+
+/// Simulates one run in full and wraps its slowdowns as exact estimates.
+fn full_run(run: &PlannedRun, cache: &Arc<asm_core::AloneCache>) -> SampledResult {
+    let runner = Runner::with_cache(run.config.clone(), Arc::clone(cache));
+    let r = runner.run_with(&run.apps, run.cycles, RunOptions::default());
+    SampledResult {
+        app_names: r.app_names,
+        slowdowns: r
+            .whole_run_slowdowns
+            .iter()
+            .map(|&s| Estimate::exact(s))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm_core::{CachePolicy, EstimatorSet, SystemConfig};
+    use asm_workloads::suite;
+
+    fn base_config() -> SystemConfig {
+        let mut c = SystemConfig::default();
+        c.quantum = 50_000;
+        c.epoch = 1_000;
+        c.estimators = EstimatorSet::asm_only();
+        c
+    }
+
+    fn mix() -> Vec<asm_cpu::AppProfile> {
+        vec![
+            suite::by_name("mcf_like").unwrap(),
+            suite::by_name("h264ref_like").unwrap(),
+        ]
+    }
+
+    fn sweep(cycles: u64) -> Vec<PlannedRun> {
+        [CachePolicy::None, CachePolicy::Ucp, CachePolicy::AsmCache]
+            .into_iter()
+            .map(|policy| {
+                let mut c = base_config();
+                c.cache_policy = policy;
+                PlannedRun::new(c, mix(), cycles)
+            })
+            .collect()
+    }
+
+    fn scale_with(jobs: usize, intervals: usize) -> Scale {
+        let mut s = Scale::tiny();
+        s.jobs = jobs;
+        s.quantum = 50_000;
+        s.sample_intervals = intervals;
+        s.sample_quanta = 1;
+        s
+    }
+
+    fn assert_bitwise_equal(a: &[SampledResult], b: &[SampledResult]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.app_names, y.app_names);
+            let xb: Vec<(u64, u64)> = x
+                .slowdowns
+                .iter()
+                .map(|e| (e.value.to_bits(), e.ci.to_bits()))
+                .collect();
+            let yb: Vec<(u64, u64)> = y
+                .slowdowns
+                .iter()
+                .map(|e| (e.value.to_bits(), e.ci.to_bits()))
+                .collect();
+            assert_eq!(xb, yb, "estimates differ");
+        }
+    }
+
+    #[test]
+    fn sampled_campaign_is_bitwise_identical_across_jobs() {
+        let runs = sweep(400_000);
+        let reference = run_campaign(&runs, &scale_with(1, 2));
+        for jobs in [2, 4] {
+            assert_bitwise_equal(&run_campaign(&runs, &scale_with(jobs, 2)), &reference);
+        }
+        // Sampled estimates carry a nonzero CI somewhere: the sweep has
+        // ≥2 members per group and 8 intervals for K=2.
+        assert!(reference
+            .iter()
+            .any(|r| r.slowdowns.iter().any(|e| e.ci > 0.0)));
+    }
+
+    #[test]
+    fn k_at_least_n_degrades_to_exact_full_runs() {
+        let runs = sweep(150_000); // 3 intervals
+        let results = run_campaign(&runs, &scale_with(1, 3));
+        let reference: Vec<SampledResult> = runs
+            .iter()
+            .map(|r| full_run(r, &Arc::new(asm_core::AloneCache::new())))
+            .collect();
+        assert_bitwise_equal(&results, &reference);
+        for r in &results {
+            assert!(
+                r.slowdowns.iter().all(|e| e.ci.to_bits() == 0),
+                "exact runs: ci 0"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_groups_run_in_full() {
+        let runs = vec![PlannedRun::new(base_config(), mix(), 400_000)];
+        let results = run_campaign(&runs, &scale_with(1, 2));
+        assert_eq!(results.len(), 1);
+        assert!(results[0].slowdowns.iter().all(|e| e.ci.to_bits() == 0));
+    }
+
+    #[test]
+    fn indivisible_horizons_run_in_full() {
+        let runs = sweep(430_000); // not a multiple of 50k
+        let results = run_campaign(&runs, &scale_with(2, 2));
+        for r in &results {
+            assert!(r.slowdowns.iter().all(|e| e.ci.to_bits() == 0));
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_bitwise() {
+        let r = SampledResult {
+            app_names: vec!["a".into(), "b".into()],
+            slowdowns: vec![
+                Estimate {
+                    value: 2.5,
+                    ci: 0.125,
+                },
+                Estimate {
+                    value: f64::NAN,
+                    ci: 0.0,
+                },
+            ],
+        };
+        let bytes = save_manifest(&r, 77);
+        let back = load_manifest(&bytes, 77).unwrap();
+        assert_eq!(back.app_names, r.app_names);
+        for (x, y) in back.slowdowns.iter().zip(&r.slowdowns) {
+            assert_eq!(x.value.to_bits(), y.value.to_bits());
+            assert_eq!(x.ci.to_bits(), y.ci.to_bits());
+        }
+        assert!(load_manifest(&bytes, 78).is_err(), "key mismatch rejected");
+    }
+}

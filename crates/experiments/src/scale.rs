@@ -11,7 +11,10 @@ use asm_simcore::Cycle;
 /// tier is the reuse-distance model in `asm-analytic`, which trades
 /// per-cycle fidelity for mix throughput measured in microseconds (see
 /// DESIGN.md §10). Only experiments listed in
-/// [`crate::exps::ANALYTIC_CAPABLE`] accept the analytic tier.
+/// [`crate::exps::ANALYTIC_CAPABLE`] accept the analytic tier. The
+/// sampled tier simulates only `K` representative intervals per run and
+/// reports every metric with a confidence interval (DESIGN.md §12);
+/// only experiments in [`crate::exps::SAMPLED_CAPABLE`] accept it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Tier {
     /// Cycle-accurate event-driven simulation (the default).
@@ -19,6 +22,8 @@ pub enum Tier {
     Cycle,
     /// Analytical reuse-distance slowdown model.
     Analytic,
+    /// Representative-interval sampling with confidence intervals.
+    Sampled,
 }
 
 impl Tier {
@@ -28,6 +33,7 @@ impl Tier {
         match self {
             Tier::Cycle => "cycle",
             Tier::Analytic => "analytic",
+            Tier::Sampled => "sampled",
         }
     }
 
@@ -37,6 +43,7 @@ impl Tier {
         match s {
             "cycle" => Some(Tier::Cycle),
             "analytic" => Some(Tier::Analytic),
+            "sampled" => Some(Tier::Sampled),
             _ => None,
         }
     }
@@ -65,8 +72,14 @@ pub struct Scale {
     /// this may never change what a run computes — outputs are
     /// byte-identical either way (see DESIGN.md §8).
     pub skip: bool,
-    /// Simulation tier (`--tier cycle|analytic`).
+    /// Simulation tier (`--tier cycle|analytic|sampled`).
     pub tier: Tier,
+    /// Representative intervals simulated per run on the sampled tier
+    /// (`--sample-intervals`, the clustering's `K`). Ignored elsewhere.
+    pub sample_intervals: usize,
+    /// Quanta per sampling interval (`--sample-quanta`, the interval
+    /// length `L` in units of Q). Ignored outside the sampled tier.
+    pub sample_quanta: u64,
 }
 
 impl Scale {
@@ -83,6 +96,8 @@ impl Scale {
             jobs: crate::pool::default_jobs(),
             skip: true,
             tier: Tier::default(),
+            sample_intervals: 4,
+            sample_quanta: 1,
         }
     }
 
@@ -100,6 +115,8 @@ impl Scale {
             jobs: crate::pool::default_jobs(),
             skip: true,
             tier: Tier::default(),
+            sample_intervals: 4,
+            sample_quanta: 1,
         }
     }
 
@@ -117,6 +134,17 @@ impl Scale {
             jobs: 1,
             skip: true,
             tier: Tier::default(),
+            sample_intervals: 2,
+            sample_quanta: 1,
+        }
+    }
+
+    /// The sampled tier's interval geometry at this scale.
+    #[must_use]
+    pub fn sample_spec(&self) -> asm_sampling::SampleSpec {
+        asm_sampling::SampleSpec {
+            intervals: self.sample_intervals,
+            quanta: self.sample_quanta,
         }
     }
 

@@ -17,6 +17,8 @@ fn micro() -> Scale {
         jobs: 2,
         skip: true,
         tier: Tier::Cycle,
+        sample_intervals: 2,
+        sample_quanta: 1,
     }
 }
 

@@ -199,6 +199,7 @@ pub const SIM_CRATES: &[&str] = &[
     "metrics",
     "telemetry",
     "analytic",
+    "sampling",
 ];
 
 /// The harness crates, linted only for lock discipline (R11): they are
@@ -443,7 +444,7 @@ mod tests {
 
     #[test]
     fn sim_crates_list_matches_roadmap() {
-        assert_eq!(SIM_CRATES.len(), 9);
+        assert_eq!(SIM_CRATES.len(), 10);
     }
 
     #[test]

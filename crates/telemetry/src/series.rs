@@ -154,6 +154,21 @@ impl SeriesSet {
         self.series.get(id.0 as usize).map_or(0, |s| s.dropped)
     }
 
+    /// Names of series whose rings have wrapped (evicted at least one
+    /// sample), in registration order. A wrapped ring silently loses its
+    /// oldest samples, so any consumer reconstructing a whole-run
+    /// aggregate from `samples` — the sampling tier's per-interval
+    /// fingerprint features, say — is reading a truncated history;
+    /// callers surface these names as a warning.
+    #[must_use]
+    pub fn wrapped_names(&self) -> Vec<&str> {
+        self.series
+            .iter()
+            .filter(|s| s.dropped > 0)
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+
     /// Serializes every series' ring contents for checkpointing. As with
     /// [`crate::Registry`], names are written as a structural cross-check
     /// against the restore target's own registrations.
@@ -235,6 +250,42 @@ mod tests {
         }
         assert_eq!(s.samples(id), vec![(2, 2.0), (3, 3.0), (4, 4.0)]);
         assert_eq!(s.dropped(id), 2);
+    }
+
+    #[test]
+    fn wrapped_names_lists_only_wrapped_rings() {
+        let mut s = SeriesSet::enabled(2);
+        let a = s.register("a");
+        let b = s.register("b");
+        for k in 0..3u64 {
+            s.push(a, k, k as f64);
+        }
+        s.push(b, 0, 0.0);
+        assert_eq!(s.wrapped_names(), vec!["a"]);
+        // Exactly at capacity is not a wrap: no sample was lost.
+        s.push(b, 1, 1.0);
+        assert_eq!(s.wrapped_names(), vec!["a"]);
+    }
+
+    #[test]
+    fn wrap_state_survives_save_restore() {
+        let mut s = SeriesSet::enabled(2);
+        let id = s.register("x");
+        for k in 0..4u64 {
+            s.push(id, k, k as f64);
+        }
+        let mut w = asm_simcore::persist::StateWriter::new("series-test", 1);
+        s.save_state(&mut w);
+        let bytes = w.finish();
+
+        let mut t = SeriesSet::enabled(2);
+        let tid = t.register("x");
+        let mut r = asm_simcore::persist::StateReader::new(&bytes, "series-test", 1)
+            .expect("fresh artefact parses");
+        t.restore_state(&mut r).expect("same registrations restore");
+        assert_eq!(t.dropped(tid), 2);
+        assert_eq!(t.wrapped_names(), vec!["x"]);
+        assert_eq!(t.samples(tid), s.samples(id));
     }
 
     #[test]

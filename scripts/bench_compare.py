@@ -12,7 +12,9 @@ Additionally gates two properties *within* the new snapshot: when the
 --telemetry-threshold (default 1%) over the off configuration; and when
 the `checkpoint_fork` group is present, prefix-shared forking must keep
 the 38-config sweep at least --fork-threshold (default 2x) faster than
-running it cold.
+running it cold; and when the `sampled_sweep` group is present,
+representative-interval sampling must keep the same sweep at least
+--sampled-threshold (default 10x) faster than running it full.
 
 Usage:
     scripts/bench_compare.py BENCH_pr3.json BENCH_pr4.json
@@ -82,6 +84,13 @@ def main():
         default=2.0,
         help="min required cold-over-forked speedup on the checkpoint_fork "
         "sweep in the new snapshot (default 2.0)",
+    )
+    parser.add_argument(
+        "--sampled-threshold",
+        type=float,
+        default=10.0,
+        help="min required full-over-sampled speedup on the sampled_sweep "
+        "sweep in the new snapshot (default 10.0)",
     )
     args = parser.parse_args()
 
@@ -153,6 +162,25 @@ def main():
             print(
                 f"bench_compare: FAIL checkpoint forking sped the sweep up only "
                 f"{speedup:.2f}x (gate {args.fork_threshold:.1f}x)",
+                file=sys.stderr,
+            )
+
+    # Within-snapshot sampled-tier gate: the 38-config sweep estimated
+    # from representative intervals vs the same sweep run full.
+    smp_full = new.get("sampled_sweep/sweep38_full")
+    smp_fast = new.get("sampled_sweep/sweep38_sampled")
+    if smp_full and smp_fast:
+        speedup = smp_full["min_ns"] / smp_fast["min_ns"]
+        print(
+            f"bench_compare: sampled-tier speedup = {speedup:.2f}x "
+            f"(gate {args.sampled_threshold:.1f}x)",
+            file=sys.stderr,
+        )
+        if speedup < args.sampled_threshold:
+            failures.append(("sampled_sweep/sweep38_sampled", speedup))
+            print(
+                f"bench_compare: FAIL interval sampling sped the sweep up only "
+                f"{speedup:.2f}x (gate {args.sampled_threshold:.1f}x)",
                 file=sys.stderr,
             )
 

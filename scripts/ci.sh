@@ -20,6 +20,9 @@
 #
 # Usage:
 #   scripts/ci.sh                 # tier-1 only (~minutes)
+#   CI_FULL=1 scripts/ci.sh       # also runs the enforced xval accuracy
+#                                 # gate at --reduced scale (15 workloads,
+#                                 # 8M cycles); a FAIL verdict fails CI
 #   scripts/ci.sh --bench TAG     # tier-1, then a bench snapshot named
 #                                 # BENCH_TAG.json compared against the
 #                                 # newest committed BENCH_*.json with
@@ -64,6 +67,21 @@ cargo run -p asm-lint --release
 
 echo "ci: [4/5] asm-experiments xval --tiny (analytic-tier smoke)" >&2
 cargo run -q -p asm-experiments --release -- xval --tiny
+
+# CI_FULL=1 promotes the xval smoke to an enforced accuracy gate at a
+# suite scale (15 workloads, 8M cycles): the run prints PASS/FAIL
+# against the 10% sweep-geomean threshold, and FAIL fails the chain.
+# Opt-in because the cycle-accurate side of the sweep needs several
+# quiet minutes.
+if [[ "${CI_FULL:-0}" == "1" ]]; then
+    echo "ci: [4/5] CI_FULL=1 — enforced xval gate (--reduced)" >&2
+    XVAL_OUT="$(cargo run -q -p asm-experiments --release -- xval --reduced)"
+    printf '%s\n' "$XVAL_OUT"
+    if ! grep -q "PASS$" <<<"$XVAL_OUT"; then
+        echo "ci: FAIL — full xval gate did not pass" >&2
+        exit 1
+    fi
+fi
 
 echo "ci: [5/5] checkpoint resume smoke (kill mid-campaign, resume, byte-compare)" >&2
 EXP=target/release/asm-experiments
