@@ -1,0 +1,79 @@
+//! Cost of the cycle-attribution ledger on the hot simulation path.
+//!
+//! Two variants of the same 10M-cycle memory-intensive run
+//! (`telemetry_overhead.rs`'s configuration, so the off-variant lines
+//! up with pre-attribution snapshots):
+//!
+//! - `mcf_mix_10m_off` — attribution compiled in but disabled (the
+//!   production configuration every experiment runs in by default). The
+//!   per-tick and per-completion hooks still test the disabled state, so
+//!   this measures the always-on cost of having the ledger in the
+//!   binary. The acceptance gate lives in `scripts/bench_compare.py`:
+//!   off may cost at most 1% over the *previous* snapshot's off run
+//!   (`attrib_overhead/mcf_mix_10m_off`, or
+//!   `telemetry_overhead/mcf_mix_10m_off` in snapshots that predate the
+//!   ledger — the identical run before the hooks existed).
+//! - `mcf_mix_10m_on` — ledger enabled (`--attrib`-equivalent, no
+//!   telemetry). Informational; reported but not gated.
+//!
+//! `scripts/bench_snapshot.sh` parses this output; keep the ids stable.
+
+use std::time::Duration;
+
+use asm_core::{EstimatorSet, System, SystemConfig};
+use asm_cpu::AppProfile;
+use asm_workloads::suite;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Same horizon as `telemetry_overhead.rs` so the off variants line up.
+pub const SIM_CYCLES: u64 = 10_000_000;
+
+fn config() -> SystemConfig {
+    let mut c = SystemConfig::default();
+    c.quantum = 1_000_000;
+    c.epoch = 10_000;
+    c.estimators = EstimatorSet::asm_only();
+    c.skip_mode = true;
+    c
+}
+
+fn mcf_mix() -> Vec<AppProfile> {
+    ["mcf_like", "mcf_like", "mcf_like", "mcf_like"]
+        .iter()
+        .map(|n| suite::by_name(n).expect("suite profile exists"))
+        .collect()
+}
+
+fn run(profiles: &[AppProfile], attrib: bool) -> u64 {
+    let mut sys = System::new(profiles, config());
+    if attrib {
+        sys.enable_attribution();
+    }
+    sys.run_for(SIM_CYCLES);
+    if attrib {
+        black_box(sys.attrib_totals());
+    }
+    sys.executed_cycles()
+}
+
+fn bench_attrib_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attrib_overhead");
+    // The compare gate on off-vs-previous-snapshot is 1%, well below the
+    // container's run-to-run noise at 10 samples — the min needs many
+    // draws to reach the floor on both sides.
+    g.sample_size(80);
+    g.measurement_time(Duration::from_secs(30));
+
+    let mix = mcf_mix();
+    g.bench_function("mcf_mix_10m_off", |b| {
+        b.iter(|| black_box(run(&mix, false)));
+    });
+    g.bench_function("mcf_mix_10m_on", |b| {
+        b.iter(|| black_box(run(&mix, true)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_attrib_overhead);
+criterion_main!(benches);

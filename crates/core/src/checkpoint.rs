@@ -41,7 +41,9 @@ use crate::system::System;
 /// any change to [`System::save_state`]'s layout.
 pub const SNAPSHOT_FORMAT: &str = "asm-snapshot";
 /// Version of [`SNAPSHOT_FORMAT`].
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// v2: appended the attribution presence flag (and ledger state when on)
+/// after the telemetry section.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Format name of a binary per-run result manifest.
 pub const MANIFEST_FORMAT: &str = "asm-run-manifest";
@@ -154,6 +156,11 @@ pub fn save_manifest(result: &RunResult, key: u64) -> Result<Vec<u8>, PersistErr
             "telemetry runs are not manifest-eligible".to_owned(),
         ));
     }
+    if result.attribution.is_some() {
+        return Err(PersistError::Corrupt(
+            "attribution runs are not manifest-eligible".to_owned(),
+        ));
+    }
     let mut w = StateWriter::new(MANIFEST_FORMAT, MANIFEST_VERSION);
     w.u64(key);
     w.usize(result.app_names.len());
@@ -254,6 +261,7 @@ pub fn load_manifest(bytes: &[u8], key: u64) -> Result<RunResult, PersistError> 
         alone_latency_hist,
         estimator_latency_hists,
         telemetry: None,
+        attribution: None,
     })
 }
 
@@ -397,8 +405,51 @@ mod tests {
         let telem = RunOptions {
             telemetry: true,
             trace_sample: None,
+            attrib: false,
         };
         assert_ne!(Runner::new(config()).warmup_key(&apps, telem), base);
+        let attrib = RunOptions {
+            telemetry: false,
+            trace_sample: None,
+            attrib: true,
+        };
+        assert_ne!(Runner::new(config()).warmup_key(&apps, attrib), base);
+    }
+
+    #[test]
+    fn snapshot_attrib_flag_must_match_and_ledger_rides_the_fork() {
+        use crate::runner::RunOptions;
+        let runner = Runner::new(config());
+        let on = RunOptions {
+            telemetry: false,
+            trace_sample: None,
+            attrib: true,
+        };
+        let snap_on = runner.warm_snapshot(&apps(), on);
+        let snap_off = runner.warm_snapshot(&apps(), RunOptions::default());
+        // Mismatched attribution state can never restore (the warmup key
+        // embeds the flag, and the snapshot body double-checks it).
+        assert!(runner
+            .run_with_snapshot(&apps(), 150_000, RunOptions::default(), &snap_on)
+            .is_err());
+        assert!(runner
+            .run_with_snapshot(&apps(), 150_000, on, &snap_off)
+            .is_err());
+        // Matching flags fork fine; the warm quantum's ledger rides along
+        // and the forked run's attribution is bit-identical to a cold one.
+        let forked = runner
+            .run_with_snapshot(&apps(), 150_000, on, &snap_on)
+            .expect("matching flags restore");
+        let cold = runner.run_with(&apps(), 150_000, on);
+        let fa = forked.attribution.expect("attribution attached");
+        let ca = cold.attribution.expect("attribution attached");
+        assert_eq!(fa.quanta.len(), 3);
+        assert_eq!(fa.totals, ca.totals);
+        assert_eq!(fa.blame, ca.blame);
+        for (f, c) in fa.quanta.iter().zip(&ca.quanta) {
+            assert_eq!(f.ledger, c.ledger);
+            assert_eq!(f.blame, c.blame);
+        }
     }
 
     #[test]
@@ -444,6 +495,7 @@ mod tests {
         let opts = crate::runner::RunOptions {
             telemetry: true,
             trace_sample: None,
+            attrib: false,
         };
         let result = runner.run_with(&apps(), 100_000, opts);
         assert!(matches!(

@@ -60,5 +60,8 @@ pub use config::{
     CachePolicy, EpochAssignment, EstimatorSet, MemPolicy, PrefetchConfig, QosConfig, SystemConfig,
     ThrottlePolicy,
 };
-pub use runner::{config_hash, AloneCache, QuantumResult, RunOptions, RunResult, Runner};
+pub use asm_attrib::{Component, QuantumLedger, COMPONENTS};
+pub use runner::{
+    config_hash, AloneCache, QuantumResult, RunAttribution, RunOptions, RunResult, Runner,
+};
 pub use system::{AppSpec, AppSummary, QuantumRecord, RunTelemetry, System};

@@ -19,11 +19,13 @@ use std::sync::Arc;
 // simulation code; see `AloneCache` for why it cannot leak nondeterminism
 use std::sync::Mutex;
 
+use asm_attrib::QuantumLedger;
 use asm_cpu::{AppProfile, ProgressLog};
 use asm_metrics::SlowdownSample;
 use asm_simcore::hash::DetHasher;
 use asm_simcore::persist::{self, PersistError};
 use asm_simcore::{AppId, Cycle, Histogram};
+use asm_telemetry::names;
 
 use crate::checkpoint;
 use crate::config::{CachePolicy, EstimatorSet, MemPolicy, SystemConfig};
@@ -62,6 +64,24 @@ pub struct RunResult {
     /// Counter/series/trace artefacts (`Some` only when the run was made
     /// with [`RunOptions::telemetry`]; alone runs are never instrumented).
     pub telemetry: Option<RunTelemetry>,
+    /// Ground-truth cycle attribution (`Some` only when the run was made
+    /// with [`RunOptions::attrib`]; alone runs never attribute — there is
+    /// no co-runner to blame).
+    pub attribution: Option<RunAttribution>,
+}
+
+/// The ground-truth attribution artefacts of one shared run: every
+/// finalized quantum's ledger/blame matrix plus whole-run totals.
+#[derive(Debug, Clone)]
+pub struct RunAttribution {
+    /// Per-quantum ledgers, oldest first; each row sums exactly to the
+    /// quantum length.
+    pub quanta: Vec<QuantumLedger>,
+    /// Whole-run component totals, app-major
+    /// (`app_count × asm_attrib::COMPONENTS`).
+    pub totals: Vec<Cycle>,
+    /// Whole-run app×app blame totals, victim-major.
+    pub blame: Vec<Cycle>,
 }
 
 impl RunResult {
@@ -379,6 +399,10 @@ pub struct RunOptions {
     /// lifecycles (`Some(1)` keeps every request). Implies `telemetry`
     /// plumbing on the shared system.
     pub trace_sample: Option<u64>,
+    /// Maintain the ground-truth cycle-attribution ledger on the shared
+    /// run and attach [`RunResult::attribution`]. Guaranteed not to
+    /// change simulated behaviour (pinned by differential tests).
+    pub attrib: bool,
 }
 
 /// Runs workloads against a fixed [`SystemConfig`], caching alone runs.
@@ -531,6 +555,9 @@ impl Runner {
         if opts.telemetry || opts.trace_sample.is_some() {
             sys.enable_telemetry(opts.trace_sample);
         }
+        if opts.attrib {
+            sys.enable_attribution();
+        }
         sys.run_for(cycles);
         self.finish_run(apps, cycles, opts, sys)
     }
@@ -548,6 +575,7 @@ impl Runner {
         h.write_u64(config_hash(&checkpoint::prefix_config(&self.config)));
         h.write(checkpoint::mix_signature(apps).as_bytes());
         h.write_u8(u8::from(opts.telemetry));
+        h.write_u8(u8::from(opts.attrib));
         h.finish()
     }
 
@@ -572,6 +600,9 @@ impl Runner {
         let mut sys = System::new(apps, checkpoint::prefix_config(&self.config));
         if opts.telemetry {
             sys.enable_telemetry(None);
+        }
+        if opts.attrib {
+            sys.enable_attribution();
         }
         sys.run_prefix(warm);
         checkpoint::capture(&sys, self.warmup_key(apps, opts), warm)
@@ -610,6 +641,9 @@ impl Runner {
         let mut sys = System::new(apps, self.config.clone());
         if opts.telemetry {
             sys.enable_telemetry(None);
+        }
+        if opts.attrib {
+            sys.enable_attribution();
         }
         let warm = checkpoint::resume(snapshot, self.warmup_key(apps, opts), &mut sys)?;
         if warm > cycles {
@@ -704,7 +738,7 @@ impl Runner {
             // Ground truth per quantum as a series, sampled at the same
             // boundary cycles as the estimator series so the two line up.
             let ids: Vec<_> = (0..n)
-                .map(|i| t.series.register(&format!("app{i}.actual_slowdown")))
+                .map(|i| t.series.register(&names::app_actual_slowdown(i)))
                 .collect();
             for (r, q) in sys.records().iter().zip(&quanta) {
                 for (i, &id) in ids.iter().enumerate() {
@@ -718,6 +752,12 @@ impl Runner {
             None
         };
 
+        let attribution = sys.attrib_quanta().map(|q| RunAttribution {
+            quanta: q.to_vec(),
+            totals: sys.attrib_totals().expect("attribution enabled"),
+            blame: sys.attrib_blame_totals().expect("attribution enabled"),
+        });
+
         RunResult {
             app_names: sys.app_names().to_vec(),
             quanta,
@@ -725,6 +765,7 @@ impl Runner {
             alone_latency_hist,
             estimator_latency_hists,
             telemetry,
+            attribution,
         }
     }
 }
@@ -810,6 +851,7 @@ mod tests {
         let opts = RunOptions {
             telemetry: true,
             trace_sample: Some(1),
+            attrib: false,
         };
         let traced = runner.run_with(&apps(), 100_000, opts);
         let t = traced.telemetry.as_ref().expect("telemetry attached");

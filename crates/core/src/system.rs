@@ -17,11 +17,12 @@
 //!    [`AccessEvent`]s along the way.
 
 
+use asm_attrib::{Component, MemEpisode, QuantumLedger, RunAttrib, StallKind, COMPONENTS};
 use asm_cache::{AuxiliaryTagStore, PollutionFilter, SetAssocCache, WayPartition};
-use asm_cpu::{AppProfile, Core, MemIssueResult, ProgressLog, StridePrefetcher};
+use asm_cpu::{AppProfile, Core, HeadStall, MemIssueResult, ProgressLog, StridePrefetcher};
 use asm_dram::{Completion, MemRequest, MemorySystem};
 use asm_simcore::{AppId, Cycle, DetHashMap, Histogram, LineAddr, SimRng};
-use asm_telemetry::{CounterId, JsonValue, Registry, SeriesId, SeriesSet, Tracer};
+use asm_telemetry::{names, CounterId, JsonValue, Registry, SeriesId, SeriesSet, Tracer};
 
 use crate::config::SystemConfig;
 use crate::estimator::{
@@ -498,23 +499,17 @@ impl SysTelemetry {
             |s: &mut SeriesSet, names: &[String]| names.iter().map(|n| s.register(n)).collect();
         SysTelemetry {
             enabled,
-            llc_hits: reg(&mut registry, &per_app(&mut |i| format!("llc.app{i}.hits"))),
-            llc_misses: reg(&mut registry, &per_app(&mut |i| format!("llc.app{i}.misses"))),
+            llc_hits: reg(&mut registry, &per_app(&mut names::llc_app_hits)),
+            llc_misses: reg(&mut registry, &per_app(&mut names::llc_app_misses)),
             llc_evictions_caused: reg(
                 &mut registry,
-                &per_app(&mut |i| format!("llc.app{i}.evictions_caused")),
+                &per_app(&mut names::llc_app_evictions_caused),
             ),
-            s_est: ser(&mut series, &per_app(&mut |i| format!("app{i}.est_slowdown"))),
-            s_car_shared: ser(&mut series, &per_app(&mut |i| format!("app{i}.car_shared"))),
-            s_car_alone: ser(&mut series, &per_app(&mut |i| format!("app{i}.car_alone"))),
-            s_ats_miss_rate: ser(
-                &mut series,
-                &per_app(&mut |i| format!("app{i}.ats_miss_rate")),
-            ),
-            s_interference: ser(
-                &mut series,
-                &per_app(&mut |i| format!("app{i}.interference_cycles")),
-            ),
+            s_est: ser(&mut series, &per_app(&mut names::app_est_slowdown)),
+            s_car_shared: ser(&mut series, &per_app(&mut names::app_car_shared)),
+            s_car_alone: ser(&mut series, &per_app(&mut names::app_car_alone)),
+            s_ats_miss_rate: ser(&mut series, &per_app(&mut names::app_ats_miss_rate)),
+            s_interference: ser(&mut series, &per_app(&mut names::app_interference_cycles)),
             registry,
             series,
             tracer,
@@ -567,6 +562,35 @@ impl SysTelemetry {
         self.mem_lat_counts = counts;
         self.mem_lat_overflow = r.u64()?;
         Ok(())
+    }
+}
+
+/// Ground-truth cycle-attribution state: the [`RunAttrib`] ledger plus the
+/// telemetry handles its per-quantum results are published through.
+///
+/// Boxed behind an `Option` on [`System`]: when attribution is off every
+/// probe site is a single predictable `None` branch and no ledger memory
+/// exists, so the attrib-off configuration stays byte-identical to builds
+/// that predate the subsystem (pinned by the experiment differential
+/// tests and the `attrib_overhead` bench).
+#[derive(Debug)]
+struct SysAttrib {
+    run: RunAttrib,
+    /// Cumulative per-component counters, app-major
+    /// (`app_count × COMPONENTS`), registered as `attrib.app{i}.{name}`.
+    c_components: Vec<CounterId>,
+    /// Per-quantum blame series, victim-major (`app_count²`), registered
+    /// as `attrib.app{v}.blame.app{o}`.
+    s_blame: Vec<SeriesId>,
+}
+
+/// Maps the core's reported head state onto the ledger's stall taxonomy.
+fn stall_kind(h: HeadStall) -> StallKind {
+    match h {
+        HeadStall::Progress => StallKind::Progress,
+        HeadStall::HitWait => StallKind::HitWait,
+        HeadStall::Backpressure => StallKind::Backpressure,
+        HeadStall::MemStall => StallKind::MemStall,
     }
 }
 
@@ -658,6 +682,9 @@ pub struct System {
     /// this quantum (always on; folded into each [`QuantumRecord`]).
     quantum_interference: Vec<Cycle>,
     telemetry: SysTelemetry,
+    /// Ground-truth cycle attribution; `None` (the default) keeps every
+    /// probe site a single predictable branch.
+    attrib: Option<Box<SysAttrib>>,
 }
 
 impl System {
@@ -833,6 +860,7 @@ impl System {
             completion_buf: Vec::new(),
             quantum_interference: vec![0; n],
             telemetry: SysTelemetry::new(n, false, None),
+            attrib: None,
             config,
         }
     }
@@ -845,6 +873,67 @@ impl System {
         self.telemetry = SysTelemetry::new(self.cores.len(), true, trace_sample);
     }
 
+    /// Turns on ground-truth cycle attribution: every core cycle is
+    /// classified into the [`Component`] ledger and interference cycles
+    /// are blamed on their offender, per quantum (DESIGN.md §13).
+    ///
+    /// Call *after* [`enable_telemetry`](Self::enable_telemetry) if both
+    /// are wanted — enabling telemetry replaces the registry, and this
+    /// method registers the `attrib.*` counter/series families into the
+    /// current one. Attribution alone (telemetry off) still maintains the
+    /// ledger; the registrations then alias the disabled registry's
+    /// scratch slot.
+    pub fn enable_attribution(&mut self) {
+        let n = self.cores.len();
+        let reg = &mut self.telemetry.registry;
+        let mut c_components = Vec::with_capacity(n * COMPONENTS);
+        for i in 0..n {
+            for comp in Component::ALL {
+                c_components.push(reg.register(&names::attrib_component(i, comp.name())));
+            }
+        }
+        let ser = &mut self.telemetry.series;
+        let mut s_blame = Vec::with_capacity(n * n);
+        for v in 0..n {
+            for o in 0..n {
+                s_blame.push(ser.register(&names::attrib_blame(v, o)));
+            }
+        }
+        self.mem.enable_attribution();
+        self.attrib = Some(Box::new(SysAttrib {
+            run: RunAttrib::new(n),
+            c_components,
+            s_blame,
+        }));
+    }
+
+    /// Whether ground-truth cycle attribution is being maintained.
+    #[must_use]
+    pub fn attribution_enabled(&self) -> bool {
+        self.attrib.is_some()
+    }
+
+    /// The finalized per-quantum attribution ledgers (oldest first), or
+    /// `None` when attribution was never enabled.
+    #[must_use]
+    pub fn attrib_quanta(&self) -> Option<&[QuantumLedger]> {
+        self.attrib.as_deref().map(|a| a.run.quanta())
+    }
+
+    /// Whole-run component totals (`app_count × COMPONENTS`, app-major)
+    /// over finalized quanta, or `None` when attribution is off.
+    #[must_use]
+    pub fn attrib_totals(&self) -> Option<Vec<Cycle>> {
+        self.attrib.as_deref().map(|a| a.run.totals())
+    }
+
+    /// Whole-run app×app blame totals (victim-major) over finalized
+    /// quanta, or `None` when attribution is off.
+    #[must_use]
+    pub fn attrib_blame_totals(&self) -> Option<Vec<Cycle>> {
+        self.attrib.as_deref().map(|a| a.run.blame_totals())
+    }
+
     /// Detaches everything telemetry collected, pulling end-of-run gauges
     /// (per-core retire/stall counts, per-bank DRAM row outcomes) into the
     /// counter snapshot first. Returns empty artefacts when telemetry was
@@ -853,18 +942,18 @@ impl System {
         if self.telemetry.enabled {
             let reg = &mut self.telemetry.registry;
             for (i, core) in self.cores.iter().enumerate() {
-                reg.set_named(&format!("core{i}.rob_stalls"), core.stall_episodes());
-                reg.set_named(&format!("core{i}.retired"), core.retired());
-                reg.set_named(&format!("core{i}.mem_ops"), core.mem_ops_issued());
+                reg.set_named(&names::core_rob_stalls(i), core.stall_episodes());
+                reg.set_named(&names::core_retired(i), core.retired());
+                reg.set_named(&names::core_mem_ops(i), core.mem_ops_issued());
             }
             let banks = self.config.dram.banks;
             for (flat, (hits, misses)) in self.mem.bank_row_outcomes().into_iter().enumerate() {
                 let (ch, b) = (flat / banks, flat % banks);
-                reg.set_named(&format!("dram.ch{ch}.bank{b}.row_hits"), hits);
-                reg.set_named(&format!("dram.ch{ch}.bank{b}.row_misses"), misses);
+                reg.set_named(&names::dram_bank_row_hits(ch, b), hits);
+                reg.set_named(&names::dram_bank_row_misses(ch, b), misses);
             }
-            reg.set_named("sys.executed_cycles", self.executed_cycles);
-            reg.set_named("sys.dropped_writebacks", self.dropped_writebacks);
+            reg.set_named(names::SYS_EXECUTED_CYCLES, self.executed_cycles);
+            reg.set_named(names::SYS_DROPPED_WRITEBACKS, self.dropped_writebacks);
         }
         let tele = std::mem::replace(
             &mut self.telemetry,
@@ -1308,6 +1397,36 @@ impl System {
         });
         self.retired_at_quantum_start = retired_end;
 
+        // Ground-truth attribution: close the ledger quantum and publish
+        // it through telemetry. The DRAM blame counters are read *without*
+        // advancing the lazy channel accounting — advancing here would
+        // split the §4.3 fractional-queueing f64 accruals at different
+        // points than an attrib-off run (float addition is not
+        // associative), breaking the attrib-on-vs-off byte-identity of
+        // estimator output. The deterministic staleness only smears blame
+        // *weights* into the next quantum; ledger totals are exact.
+        if let Some(att) = self.attrib.as_deref_mut() {
+            let mut cum = vec![0; n * n * 3];
+            self.mem.attrib_blame_into(n, &mut cum);
+            let ql = att.run.end_quantum(now, &cum);
+            for v in 0..n {
+                for (k, comp) in Component::ALL.iter().enumerate() {
+                    self.telemetry
+                        .registry
+                        .add(att.c_components[v * COMPONENTS + k], ql.component(v, *comp));
+                }
+                if self.telemetry.series.is_enabled() {
+                    for o in 0..n {
+                        self.telemetry.series.push(
+                            att.s_blame[v * n + o],
+                            now,
+                            ql.blamed(v, o) as f64,
+                        );
+                    }
+                }
+            }
+        }
+
         // Reset per-quantum state (folding it into lifetime totals first).
         for (life, s) in self.lifetime.iter_mut().zip(&self.qstats) {
             life.0 += s.accesses;
@@ -1425,6 +1544,10 @@ impl System {
         w.u64(self.dropped_writebacks);
         w.u64_slice(&self.quantum_interference);
         self.telemetry.save_state(w);
+        w.bool(self.attrib.is_some());
+        if let Some(att) = &self.attrib {
+            att.run.save_state(w);
+        }
     }
 
     /// Restores state captured by [`save_state`](Self::save_state) into a
@@ -1563,6 +1686,12 @@ impl System {
             return Err(corrupt("interference length mismatch"));
         }
         self.telemetry.restore_state(r)?;
+        if r.bool()? != self.attrib.is_some() {
+            return Err(corrupt("attribution enabled flag mismatch"));
+        }
+        if let Some(att) = self.attrib.as_deref_mut() {
+            att.run.restore_state(r)?;
+        }
         self.mshr = mshr;
         self.qstats = qstats;
         self.records = records;
@@ -1610,6 +1739,7 @@ impl System {
             core_wake,
             quantum_interference,
             telemetry,
+            attrib,
             ..
         } = self;
 
@@ -1631,6 +1761,7 @@ impl System {
             version: hier_version,
             quantum_interference,
             telemetry,
+            attrib,
         };
 
         // Memory tick + completions.
@@ -1667,6 +1798,11 @@ impl System {
                     Some(_) => {}
                 }
             }
+            let retired_before = if hier.attrib.is_some() {
+                core.retired()
+            } else {
+                0
+            };
             let mut stalled_at = None;
             core.tick(now, &mut |line, is_write| {
                 let r = hier.issue(now, app, line, is_write);
@@ -1676,6 +1812,11 @@ impl System {
                 r
             });
             stall_memo[idx] = stalled_at;
+            if let Some(att) = hier.attrib.as_deref_mut() {
+                let progressed = core.retired() > retired_before;
+                let head = stall_kind(core.head_stall(now));
+                att.run.on_tick(idx, now, progressed, head);
+            }
             if hier.config.skip_mode {
                 core_wake[idx] = core.next_event(now).unwrap_or(NEVER);
             }
@@ -1706,6 +1847,7 @@ struct Hier<'a> {
     version: &'a mut u64,
     quantum_interference: &'a mut Vec<Cycle>,
     telemetry: &'a mut SysTelemetry,
+    attrib: &'a mut Option<Box<SysAttrib>>,
 }
 
 impl Hier<'_> {
@@ -1727,6 +1869,33 @@ impl Hier<'_> {
             return; // e.g. a dropped-writeback artefact; cannot happen for reads
         };
         *self.version += 1;
+        // Ground-truth attribution: if this completion unblocks the waiting
+        // core's reorder-buffer head, close the pending memory-stall episode
+        // with this request's cause accounting — before delivery below
+        // retires the head and the blocking token disappears.
+        let mut stall_span = None;
+        if let Some(att) = self.attrib.as_deref_mut() {
+            if let Some(bt) = cores[entry.app.index()].blocking_token() {
+                if entry.tokens.iter().any(|&t| t == bt) {
+                    let pollution = if entry.prefetch {
+                        entry.demand_merge.as_ref().is_some_and(|m| m.pollution_hit)
+                    } else {
+                        entry.pollution_hit
+                    };
+                    let ep = MemEpisode {
+                        service: c.finish - c.service_start,
+                        cause: c.cause,
+                        induced: c.induced,
+                        induced_by: c.induced_by.map(|a| a.index()),
+                        pollution,
+                    };
+                    stall_span = att.run.on_blocking_completion(entry.app.index(), now, &ep);
+                }
+            }
+        }
+        if let Some((start, len)) = stall_span {
+            self.trace_stall(entry.app, c, start, len);
+        }
         for token in entry.tokens.iter() {
             cores[entry.app.index()].complete(*token, c.finish);
         }
@@ -1833,6 +2002,31 @@ impl Hier<'_> {
         }
     }
 
+    /// Emits the sampled starvation span for a resolved memory-stall
+    /// episode (attribution runs only): the interval the app's head was
+    /// pinned on one request, with the request's interference context.
+    // asm-lint: allow(R9): sampled-trace emission — gated on
+    // `sample_request`, so it allocates only for traced requests when
+    // the opt-in tracer is attached
+    fn trace_stall(&mut self, app: AppId, c: &Completion, start: Cycle, len: Cycle) {
+        if self.telemetry.tracer.sample_request(c.id) {
+            self.telemetry.tracer.complete(
+                "mem_stall",
+                "attrib",
+                start,
+                len,
+                app.index() as u64,
+                vec![
+                    (
+                        "interference".to_owned(),
+                        JsonValue::num_u64(c.interference_cycles),
+                    ),
+                    ("row_hit".to_owned(), JsonValue::Bool(c.row_hit)),
+                ],
+            );
+        }
+    }
+
     /// Side effects of an LLC insertion's eviction: pollution-filter update
     /// when another application caused the eviction, and a writeback when
     /// the line was dirty.
@@ -1848,6 +2042,9 @@ impl Hier<'_> {
             self.telemetry
                 .registry
                 .add(self.telemetry.llc_evictions_caused[inserter.index()], 1);
+            if let Some(att) = self.attrib.as_deref_mut() {
+                att.run.on_eviction(ev.owner.index(), inserter.index());
+            }
         }
         if ev.dirty {
             let id = self.fresh_id();
@@ -2134,6 +2331,134 @@ mod tests {
 
         // A second take returns empty artefacts.
         assert!(sys.take_telemetry().counters.is_empty());
+    }
+
+    #[test]
+    fn attribution_does_not_change_simulation() {
+        let run = |attrib: bool| {
+            let mut sys = System::new(&two_apps(), small_config());
+            if attrib {
+                sys.enable_attribution();
+            }
+            sys.run_for(100_000);
+            (
+                sys.retired(AppId::new(0)),
+                sys.retired(AppId::new(1)),
+                sys.records()
+                    .iter()
+                    .flat_map(|r| r.car_shared.iter().map(|c| c.to_bits()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn attribution_conserves_and_blames_offenders() {
+        let mut sys = System::new(&two_apps(), small_config());
+        sys.enable_telemetry(None);
+        sys.enable_attribution();
+        sys.run_for(150_000);
+
+        let quanta = sys.attrib_quanta().expect("attribution on").to_vec();
+        assert_eq!(quanta.len(), 3);
+        for q in &quanta {
+            assert!(q.conserved(), "ledger violates conservation");
+            let quantum = q.end - q.start;
+            for v in 0..2 {
+                let ledger_row: Cycle = Component::ALL.iter().map(|&c| q.component(v, c)).sum();
+                assert_eq!(ledger_row, quantum, "ledger row {v} != quantum length");
+                let blame_row: Cycle = (0..2).map(|o| q.blamed(v, o)).sum();
+                assert_eq!(blame_row, quantum, "blame row {v} != quantum length");
+            }
+        }
+
+        // Two memory-hungry co-runners interfere: some cycles land in an
+        // interference component and the blame matrix names the offender.
+        let totals = sys.attrib_totals().expect("attribution on");
+        let mut interference: Cycle = 0;
+        for v in 0..2 {
+            for c in Component::ALL.iter().filter(|c| c.is_interference()) {
+                interference += totals[v * COMPONENTS + c.index()];
+            }
+        }
+        assert!(interference > 0, "no interference attributed");
+        let blame = sys.attrib_blame_totals().expect("attribution on");
+        let off_diag: Cycle = blame[0 * 2 + 1] + blame[1 * 2 + 0];
+        assert_eq!(off_diag, interference, "blame off-diagonal != interference cycles");
+
+        // Reconciliation with the per-request interference charges (the
+        // FST/PTCA signal): an episode's DRAM-cause components are clipped
+        // from its request's charge split, so the ledger's DRAM-cause
+        // interference can never exceed the charges the quantum records
+        // accumulated.
+        for v in 0..2 {
+            let dram_cause: Cycle = [
+                Component::DramWriteDrain,
+                Component::DramFrfcfs,
+                Component::DramBankConflict,
+            ]
+            .iter()
+            .map(|&c| totals[v * COMPONENTS + c.index()])
+            .sum();
+            let charged: Cycle = sys.records().iter().map(|r| r.interference_cycles[v]).sum();
+            assert!(
+                dram_cause <= charged,
+                "app{v}: ledger DRAM-cause interference {dram_cause} exceeds charges {charged}"
+            );
+        }
+
+        // The ledger is republished through telemetry: per-component
+        // counters match the totals and every blame series is sampled at
+        // each quantum boundary.
+        let t = sys.take_telemetry();
+        let get = |name: &str| {
+            t.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        for v in 0..2 {
+            for comp in Component::ALL {
+                assert_eq!(
+                    get(&names::attrib_component(v, comp.name())),
+                    totals[v * COMPONENTS + comp.index()],
+                );
+            }
+        }
+        let s = t
+            .series
+            .id_of("attrib.app0.blame.app1")
+            .expect("blame series registered");
+        assert_eq!(t.series.samples(s).len(), 3);
+    }
+
+    #[test]
+    fn attribution_alone_run_blames_nobody() {
+        let mut sys = System::new(&[two_apps().remove(0)], small_config());
+        sys.enable_attribution();
+        sys.run_for(100_000);
+        let totals = sys.attrib_totals().expect("attribution on");
+        for comp in Component::ALL {
+            if comp.is_interference() {
+                assert_eq!(
+                    totals[comp.index()],
+                    0,
+                    "{} attributed with no co-runner",
+                    comp.name()
+                );
+            }
+        }
+        let blame = sys.attrib_blame_totals().expect("attribution on");
+        assert_eq!(blame.len(), 1);
+        let attributed: Cycle = sys
+            .attrib_quanta()
+            .expect("attribution on")
+            .iter()
+            .map(|q| q.end - q.start)
+            .sum();
+        assert_eq!(blame[0], attributed);
     }
 
     #[test]

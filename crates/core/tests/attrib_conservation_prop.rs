@@ -1,0 +1,188 @@
+//! Property test backing the attribution guarantee of DESIGN.md §13: for
+//! *randomized* valid `SystemConfig`s — schedulers, cache/memory
+//! partitioning policies, prefetchers, skip mode, workload mixes spanning
+//! the suite's intensity range — every finalized quantum's ledger must
+//! conserve cycles *exactly* (integer equality, no epsilon): each app's
+//! component row and each blame-matrix row sums to the quantum length,
+//! the blame off-diagonal equals the interference components, and the
+//! ledger's DRAM-cause interference never exceeds the per-request
+//! charges the quantum records accumulated (the FST/PTCA signal it is a
+//! stall-clipped refinement of). A final comparison run pins the
+//! observer guarantee: attribution on/off never changes the simulation.
+
+use asm_core::{
+    CachePolicy, Component, EpochAssignment, EstimatorSet, MemPolicy, PrefetchConfig, QosConfig,
+    System, SystemConfig, ThrottlePolicy, COMPONENTS,
+};
+use asm_dram::SchedulerKind;
+use asm_simcore::AppId;
+use asm_workloads::suite;
+use proptest::prelude::*;
+
+/// A pool spanning the suite's intensity range (same as the skip sweep).
+const POOL: &[&str] = &[
+    "mcf_like",
+    "libquantum_like",
+    "soplex_like",
+    "gcc_like",
+    "h264ref_like",
+    "povray_like",
+];
+
+const QUANTA: &[u64] = &[20_000, 60_000];
+const EPOCHS: &[u64] = &[500, 1_000, 2_500];
+
+fn profiles(app_ix: &[usize]) -> Vec<asm_cpu::AppProfile> {
+    app_ix
+        .iter()
+        .map(|&i| suite::by_name(POOL[i]).expect("pool name exists in suite"))
+        .collect()
+}
+
+/// Everything the shared simulation observes, floats as bit patterns.
+/// The attribution artefacts are deliberately excluded: the on/off
+/// comparison digests the *simulation*, which attribution must never
+/// perturb.
+fn digest(sys: &System, n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        out.push_str(&format!("ret{i}={} ", sys.retired(AppId::new(i))));
+    }
+    for r in sys.records() {
+        let car: Vec<u64> = r.car_shared.iter().map(|v| v.to_bits()).collect();
+        out.push_str(&format!("[car={car:?}"));
+        for (name, est) in &r.estimates {
+            let bits: Vec<u64> = est.iter().map(|v| v.to_bits()).collect();
+            out.push_str(&format!(" {name}={bits:?}"));
+        }
+        out.push_str(&format!(
+            " part={:?} intf={:?}]",
+            r.partition, r.interference_cycles
+        ));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_quantum_conserves_cycles_exactly(
+        app_ix in prop::collection::vec(0usize..6, 2..4),
+        q_ix in 0usize..2,
+        e_ix in 0usize..3,
+        est_ix in 0usize..3,
+        cache_ix in 0usize..5,
+        mem_ix in 0usize..2,
+        sched_ix in 0usize..3,
+        assign_ix in 0usize..2,
+        throttle in 0u8..2,
+        prefetch in 0u8..2,
+        skip in 0u8..2,
+        seed in 0u64..1_000_000,
+        extra_thirds in 1u64..7,
+    ) {
+        let mut config = SystemConfig::default();
+        config.quantum = QUANTA[q_ix];
+        config.epoch = EPOCHS[e_ix];
+        config.estimators =
+            [EstimatorSet::asm_only(), EstimatorSet::all(), EstimatorSet::none()][est_ix].clone();
+        config.cache_policy = [
+            CachePolicy::None,
+            CachePolicy::AsmCache,
+            CachePolicy::Ucp,
+            CachePolicy::NaiveQos(AppId::new(0)),
+            CachePolicy::AsmQos(QosConfig { target: AppId::new(0), bound: 3.0 }),
+        ][cache_ix];
+        config.mem_policy = [MemPolicy::Uniform, MemPolicy::SlowdownWeighted][mem_ix];
+        config.scheduler =
+            [SchedulerKind::FrFcfs, SchedulerKind::Tcm, SchedulerKind::Bliss][sched_ix];
+        config.epoch_assignment =
+            [EpochAssignment::Probabilistic, EpochAssignment::RoundRobin][assign_ix];
+        if throttle == 1 {
+            config.throttle_policy = ThrottlePolicy::Fst { unfairness_threshold: 1.4 };
+        }
+        if prefetch == 1 {
+            config.prefetcher = Some(PrefetchConfig::default());
+        }
+        config.skip_mode = skip == 1;
+        config.seed = seed;
+        config.validate();
+
+        let n = app_ix.len();
+        let apps = profiles(&app_ix);
+        let cycles = config.quantum + extra_thirds * config.quantum / 3;
+
+        let mut sys = System::new(&apps, config.clone());
+        sys.enable_attribution();
+        sys.run_for(cycles);
+
+        let quanta = sys.attrib_quanta().expect("attribution on").to_vec();
+        prop_assert!(!quanta.is_empty(), "no quantum finalized");
+        for (qi, q) in quanta.iter().enumerate() {
+            prop_assert!(q.conserved(), "quantum {} violates conservation", qi);
+            let quantum = q.end - q.start;
+            for v in 0..n {
+                let ledger_row: u64 =
+                    Component::ALL.iter().map(|&c| q.component(v, c)).sum();
+                prop_assert_eq!(
+                    ledger_row, quantum,
+                    "quantum {} app {}: ledger row {} != quantum {}",
+                    qi, v, ledger_row, quantum
+                );
+                let blame_row: u64 = (0..n).map(|o| q.blamed(v, o)).sum();
+                prop_assert_eq!(
+                    blame_row, quantum,
+                    "quantum {} app {}: blame row {} != quantum {}",
+                    qi, v, blame_row, quantum
+                );
+                let interference: u64 = Component::ALL
+                    .iter()
+                    .filter(|c| c.is_interference())
+                    .map(|&c| q.component(v, c))
+                    .sum();
+                let off_diag: u64 =
+                    (0..n).filter(|&o| o != v).map(|o| q.blamed(v, o)).sum();
+                prop_assert_eq!(
+                    off_diag, interference,
+                    "quantum {} app {}: blame off-diagonal {} != interference {}",
+                    qi, v, off_diag, interference
+                );
+                prop_assert_eq!(q.blamed(v, v), quantum - interference);
+            }
+        }
+
+        // Whole-run reconciliation with the per-request charge counters.
+        let totals = sys.attrib_totals().expect("attribution on");
+        for v in 0..n {
+            let dram_cause: u64 = [
+                Component::DramWriteDrain,
+                Component::DramFrfcfs,
+                Component::DramBankConflict,
+            ]
+            .iter()
+            .map(|&c| totals[v * COMPONENTS + c.index()])
+            .sum();
+            let charged: u64 = sys
+                .records()
+                .iter()
+                .map(|r| r.interference_cycles[v])
+                .sum();
+            prop_assert!(
+                dram_cause <= charged,
+                "app {}: ledger DRAM-cause interference {} exceeds charges {}",
+                v, dram_cause, charged
+            );
+        }
+
+        // The observer guarantee: the same run without attribution is
+        // bitwise identical.
+        let mut plain = System::new(&apps, config);
+        plain.run_for(cycles);
+        prop_assert_eq!(
+            digest(&sys, n), digest(&plain, n),
+            "attribution changed the simulation (apps {:?}, seed {})",
+            app_ix, seed
+        );
+    }
+}

@@ -107,7 +107,11 @@ proptest! {
         config.seed = seed;
         config.validate();
 
-        let opts = RunOptions { telemetry: telemetry == 1, trace_sample: None };
+        let opts = RunOptions {
+            telemetry: telemetry == 1,
+            trace_sample: None,
+            attrib: telemetry == 1,
+        };
         let apps = profiles(&app_ix);
         // At least one full quantum (the warm prefix) plus a ragged tail.
         let cycles = config.quantum + extra_thirds * config.quantum / 3;

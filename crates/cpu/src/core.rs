@@ -33,6 +33,20 @@ pub enum MemIssueResult {
     Stall,
 }
 
+/// What the reorder-buffer head is blocked on (see [`Core::head_stall`]).
+/// Mirrors `asm-attrib`'s stall taxonomy without depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadStall {
+    /// Retiring/fetching/issuing normally.
+    Progress,
+    /// Head completes in the future: cache-hit latency.
+    HitWait,
+    /// Head wants to issue but the memory system refused the access.
+    Backpressure,
+    /// Head is an outstanding memory request.
+    MemStall,
+}
+
 #[derive(Debug, Clone, Copy)]
 enum SlotState {
     /// Completes (and may retire) at the given cycle.
@@ -395,6 +409,44 @@ impl Core {
             self.rob[idx] = SlotState::Done(finish);
             self.outstanding -= 1;
         }
+    }
+
+    /// What the reorder-buffer head is blocked on at `now` (post-tick) —
+    /// the per-cycle fact driving ground-truth cycle attribution. The
+    /// mapping is exhaustive: a `Done` head that is ready (or an empty /
+    /// non-full window) is progress; a future `Done` is hit latency; a
+    /// `WaitIssue` head is memory backpressure (a head waiting to issue
+    /// implies program-order issue already drained every older op, so the
+    /// core has zero outstanding requests and the only obstacle is the
+    /// memory system refusing the access); an `Outstanding` head is a
+    /// memory stall whose component is decided when its data returns.
+    #[must_use]
+    #[inline]
+    pub fn head_stall(&self, now: Cycle) -> HeadStall {
+        match self.rob.front() {
+            Some(SlotState::Done(c)) if *c > now => HeadStall::HitWait,
+            Some(SlotState::WaitIssue(_)) => HeadStall::Backpressure,
+            Some(SlotState::Outstanding) => HeadStall::MemStall,
+            _ => HeadStall::Progress,
+        }
+    }
+
+    /// The memory-system token the reorder-buffer head is waiting on, when
+    /// the head is an outstanding memory request (i.e. [`head_stall`]
+    /// reports `MemStall`). This is the completion whose delivery ends the
+    /// current stall episode.
+    ///
+    /// [`head_stall`]: Self::head_stall
+    #[must_use]
+    #[inline]
+    pub fn blocking_token(&self) -> Option<u64> {
+        if !matches!(self.rob.front(), Some(SlotState::Outstanding)) {
+            return None;
+        }
+        self.tokens
+            .iter()
+            .find(|&&(_, id)| id == self.first_id)
+            .map(|&(t, _)| t)
     }
 
     /// Serializes the core's dynamic state — ROB contents, issue/waiting

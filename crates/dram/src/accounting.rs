@@ -42,6 +42,12 @@ pub struct InterferenceSnapshot {
     total: Cycle,
     /// The requesting application's share of it at snapshot time.
     own: Cycle,
+    /// Busy-kind split of `total` at snapshot time (attribution only;
+    /// zeros when attribution is off). Indexed by the bank busy-kind
+    /// taxonomy: 0 = write, 1 = read row hit, 2 = read row miss.
+    cause_total: [Cycle; 3],
+    /// Busy-kind split of `own` at snapshot time (attribution only).
+    cause_own: [Cycle; 3],
 }
 
 impl InterferenceSnapshot {
@@ -49,6 +55,10 @@ impl InterferenceSnapshot {
     pub fn save_state(&self, w: &mut asm_simcore::persist::StateWriter) {
         w.u64(self.total);
         w.u64(self.own);
+        for k in 0..3 {
+            w.u64(self.cause_total[k]);
+            w.u64(self.cause_own[k]);
+        }
     }
 
     /// Reads a snapshot previously written by
@@ -60,10 +70,17 @@ impl InterferenceSnapshot {
     pub fn restore_from(
         r: &mut asm_simcore::persist::StateReader<'_>,
     ) -> Result<Self, asm_simcore::persist::PersistError> {
-        Ok(InterferenceSnapshot {
+        let mut snap = InterferenceSnapshot {
             total: r.u64()?,
             own: r.u64()?,
-        })
+            cause_total: [0; 3],
+            cause_own: [0; 3],
+        };
+        for k in 0..3 {
+            snap.cause_total[k] = r.u64()?;
+            snap.cause_own[k] = r.u64()?;
+        }
+        Ok(snap)
     }
 }
 
@@ -92,6 +109,28 @@ pub struct ChannelAccounting {
     queueing_cycles: Vec<f64>,
     priority_app: Option<AppId>,
     last_issued_app: Option<AppId>,
+    /// Whether ground-truth attribution counters are maintained. Off by
+    /// default; when off, none of the fields below are touched and the
+    /// simulation trajectory is bit-identical to a build without them.
+    attrib: bool,
+    /// Busy-kind split of `bank_charge`, flattened as `bank * 3 + kind`
+    /// (kind: 0 = write, 1 = read row hit, 2 = read row miss).
+    cause_total: Vec<Cycle>,
+    /// Busy-kind split of `bank_charge_by_app`, flattened as
+    /// `(bank * app_count + app) * 3 + kind`.
+    cause_own: Vec<Cycle>,
+    /// Demand reads currently waiting (enqueued, not yet issued) per bank
+    /// and application, flattened as `bank * app_count + app`.
+    bank_waiting: Vec<u64>,
+    /// Cumulative request-weighted blame: for each victim × offender ×
+    /// busy-kind, the interference cycles the offender's bank occupancy
+    /// cost the victim's waiting demand reads, flattened as
+    /// `(victim * app_count + offender) * 3 + kind`. Reconciles exactly
+    /// with the per-request snapshots (see `attrib_reconciles` test).
+    blame: Vec<Cycle>,
+    /// Per-victim demand-read interference materialized at issue time —
+    /// the already-settled half of the reconciliation identity.
+    materialized: Vec<Cycle>,
 }
 
 impl ChannelAccounting {
@@ -108,6 +147,35 @@ impl ChannelAccounting {
             queueing_cycles: vec![0.0; app_count],
             priority_app: None,
             last_issued_app: None,
+            attrib: false,
+            cause_total: Vec::new(),
+            cause_own: Vec::new(),
+            bank_waiting: Vec::new(),
+            blame: Vec::new(),
+            materialized: Vec::new(),
+        }
+    }
+
+    /// Turns on ground-truth attribution counters. Call once, before any
+    /// simulation; the per-bank vectors grow lazily alongside
+    /// `bank_charge`.
+    pub fn enable_attrib(&mut self) {
+        self.attrib = true;
+        self.blame = vec![0; self.app_count * self.app_count * 3];
+        self.materialized = vec![0; self.app_count];
+    }
+
+    /// Whether attribution counters are being maintained.
+    #[must_use]
+    pub fn attrib_enabled(&self) -> bool {
+        self.attrib
+    }
+
+    fn ensure_bank_capacity(&mut self, banks: usize) {
+        if self.bank_waiting.len() < banks * self.app_count {
+            self.bank_waiting.resize(banks * self.app_count, 0);
+            self.cause_total.resize(banks * 3, 0);
+            self.cause_own.resize(banks * self.app_count * 3, 0);
         }
     }
 
@@ -131,12 +199,34 @@ impl ChannelAccounting {
             self.bank_charge.resize(banks.len(), 0);
             self.bank_charge_by_app.resize(banks.len() * self.app_count, 0);
         }
+        if self.attrib {
+            self.ensure_bank_capacity(banks.len());
+        }
         for (b, bank) in banks.iter().enumerate() {
             if let Some(owner) = bank.busy_owner(span_start) {
                 let busy_until = bank.ready_at().min(now);
                 let charge = busy_until.saturating_sub(span_start);
                 self.bank_charge[b] += charge;
                 self.bank_charge_by_app[b * self.app_count + owner.index()] += charge;
+                if self.attrib && charge > 0 {
+                    // Cause split: the same charge, keyed by what the bank
+                    // was busy with — and request-weighted central blame,
+                    // mirroring the per-request snapshot accrual (each of a
+                    // victim's waiting demand reads accrues this charge).
+                    let o = owner.index();
+                    let k = bank.busy_kind_index();
+                    self.cause_total[b * 3 + k] += charge;
+                    self.cause_own[(b * self.app_count + o) * 3 + k] += charge;
+                    for v in 0..self.app_count {
+                        if v != o {
+                            let waiting = self.bank_waiting[b * self.app_count + v];
+                            if waiting > 0 {
+                                self.blame[(v * self.app_count + o) * 3 + k] +=
+                                    charge * waiting;
+                            }
+                        }
+                    }
+                }
             }
         }
 
@@ -177,14 +267,27 @@ impl ChannelAccounting {
     /// correct, since nothing has been charged to it yet.
     #[must_use]
     pub fn interference_snapshot(&self, bank: usize, app: AppId) -> InterferenceSnapshot {
-        InterferenceSnapshot {
+        let mut snap = InterferenceSnapshot {
             total: self.bank_charge.get(bank).copied().unwrap_or(0),
             own: self
                 .bank_charge_by_app
                 .get(bank * self.app_count + app.index())
                 .copied()
                 .unwrap_or(0),
+            cause_total: [0; 3],
+            cause_own: [0; 3],
+        };
+        if self.attrib {
+            for k in 0..3 {
+                snap.cause_total[k] = self.cause_total.get(bank * 3 + k).copied().unwrap_or(0);
+                snap.cause_own[k] = self
+                    .cause_own
+                    .get((bank * self.app_count + app.index()) * 3 + k)
+                    .copied()
+                    .unwrap_or(0);
+            }
         }
+        snap
     }
 
     /// Interference cycles a request of `app` in `bank` accrued since
@@ -203,20 +306,70 @@ impl ChannelAccounting {
         total - own
     }
 
-    /// Records a read entering the request buffer.
-    pub fn on_read_enqueued(&mut self, app: AppId) {
-        self.outstanding_reads[app.index()] += 1;
-        self.waiting_reads[app.index()] += 1;
+    /// Busy-kind split of [`interference_since`](Self::interference_since)
+    /// for the same request: how much of the interference accrued while
+    /// the bank was busy with a write / a foreign row hit / a foreign row
+    /// miss. Zeros when attribution is off; the three parts sum to at most
+    /// the undifferentiated interference (exactly, when both snapshots
+    /// were taken with attribution on).
+    #[must_use]
+    pub fn interference_causes_since(
+        &self,
+        snap: InterferenceSnapshot,
+        bank: usize,
+        app: AppId,
+    ) -> [Cycle; 3] {
+        if !self.attrib {
+            return [0; 3];
+        }
+        let mut out = [0; 3];
+        for (k, slot) in out.iter_mut().enumerate() {
+            let total = self.cause_total.get(bank * 3 + k).copied().unwrap_or(0)
+                - snap.cause_total[k];
+            let own = self
+                .cause_own
+                .get((bank * self.app_count + app.index()) * 3 + k)
+                .copied()
+                .unwrap_or(0)
+                - snap.cause_own[k];
+            *slot = total - own;
+        }
+        out
     }
 
-    /// Records a command issue for `app`; `is_read` distinguishes reads
-    /// (which leave the waiting pool) from writebacks.
-    pub fn on_issue(&mut self, app: AppId, is_read: bool) {
+    /// Records a demand read's interference being materialized at issue
+    /// time (the settled half of the blame reconciliation identity).
+    pub fn note_materialized(&mut self, app: AppId, cycles: Cycle) {
+        if self.attrib {
+            self.materialized[app.index()] += cycles;
+        }
+    }
+
+    /// Records a read entering the request buffer of `bank`.
+    pub fn on_read_enqueued(&mut self, app: AppId, bank: usize) {
+        self.outstanding_reads[app.index()] += 1;
+        self.waiting_reads[app.index()] += 1;
+        if self.attrib {
+            self.ensure_bank_capacity(bank + 1);
+            self.bank_waiting[bank * self.app_count + app.index()] += 1;
+        }
+    }
+
+    /// Records a command issue for `app` at `bank`; `is_read`
+    /// distinguishes demand reads (which leave the waiting pool) from
+    /// prefetches and writebacks.
+    pub fn on_issue(&mut self, app: AppId, is_read: bool, bank: usize) {
         self.last_issued_app = Some(app);
         if is_read {
             let w = &mut self.waiting_reads[app.index()];
             debug_assert!(*w > 0, "read issue without waiting read");
             *w = w.saturating_sub(1);
+            if self.attrib {
+                self.ensure_bank_capacity(bank + 1);
+                let bw = &mut self.bank_waiting[bank * self.app_count + app.index()];
+                debug_assert!(*bw > 0, "bank issue without waiting read");
+                *bw = bw.saturating_sub(1);
+            }
         }
     }
 
@@ -264,6 +417,23 @@ impl ChannelAccounting {
             .unwrap_or(0)
     }
 
+    /// Cumulative victim × offender × busy-kind blame counters (empty when
+    /// attribution is off). Flattened `(victim * app_count + offender) * 3
+    /// + kind`; the counters are lazily advanced, so a reader wanting
+    /// totals up to `now` must have called [`advance`](Self::advance) —
+    /// or, like the quantum finalizer, tolerate the (deterministic) smear
+    /// of the not-yet-accrued tail into the next reading.
+    #[must_use]
+    pub fn blame(&self) -> &[Cycle] {
+        &self.blame
+    }
+
+    /// Per-victim demand-read interference already materialized at issue.
+    #[must_use]
+    pub fn materialized(&self) -> &[Cycle] {
+        &self.materialized
+    }
+
     /// Serializes the accounting counters for checkpointing. `app_count`
     /// is structural; the lazily-sized per-bank charge vectors keep
     /// whatever length they have grown to.
@@ -278,6 +448,12 @@ impl ChannelAccounting {
         w.opt_u64(self.priority_app.map(|a| a.index() as u64));
         // asm-lint: allow(R5): AppId slot indices widen losslessly to u64
         w.opt_u64(self.last_issued_app.map(|a| a.index() as u64));
+        w.bool(self.attrib);
+        w.u64_slice(&self.cause_total);
+        w.u64_slice(&self.cause_own);
+        w.u64_slice(&self.bank_waiting);
+        w.u64_slice(&self.blame);
+        w.u64_slice(&self.materialized);
     }
 
     /// Restores counters captured by [`save_state`](Self::save_state) into
@@ -322,6 +498,27 @@ impl ChannelAccounting {
         };
         let priority_app = read_app(r)?;
         let last_issued_app = read_app(r)?;
+        if r.bool()? != self.attrib {
+            return Err(corrupt("attribution flag mismatch"));
+        }
+        let cause_total = r.u64_vec()?;
+        let cause_own = r.u64_vec()?;
+        let bank_waiting = r.u64_vec()?;
+        let blame = r.u64_vec()?;
+        let materialized = r.u64_vec()?;
+        if cause_total.len() % 3 != 0
+            || cause_own.len() != cause_total.len() * app_count
+            || bank_waiting.len() * 3 != cause_total.len() * app_count
+            || !(blame.len() == app_count * app_count * 3 || blame.is_empty())
+            || !(materialized.len() == app_count || materialized.is_empty())
+        {
+            return Err(corrupt("attribution counter shape mismatch"));
+        }
+        self.cause_total = cause_total;
+        self.cause_own = cause_own;
+        self.bank_waiting = bank_waiting;
+        self.blame = blame;
+        self.materialized = materialized;
         self.last_event = last_event;
         self.bank_charge = bank_charge;
         self.bank_charge_by_app = bank_charge_by_app;
@@ -398,13 +595,13 @@ mod tests {
         assert_eq!(acct.queueing_cycles(p), 0);
 
         // Outstanding, last issue by another app: accrues.
-        acct.on_read_enqueued(p);
-        acct.on_issue(AppId::new(1), false);
+        acct.on_read_enqueued(p, 0);
+        acct.on_issue(AppId::new(1), false, 0);
         acct.advance(30, &banks);
         assert_eq!(acct.queueing_cycles(p), 20);
 
         // Last issue by the priority app itself: stops accruing.
-        acct.on_issue(p, true);
+        acct.on_issue(p, true, 0);
         acct.advance(50, &banks);
         assert_eq!(acct.queueing_cycles(p), 20);
     }
@@ -415,8 +612,8 @@ mod tests {
         let mut acct = ChannelAccounting::new(1);
         let p = AppId::new(0);
         acct.set_priority_app(Some(p));
-        acct.on_read_enqueued(p);
-        acct.on_issue(AppId::new(0), true);
+        acct.on_read_enqueued(p, 0);
+        acct.on_issue(AppId::new(0), true, 0);
         acct.set_priority_app(Some(p));
         acct.advance(10, &banks);
         acct.reset_queueing_cycles();
@@ -428,8 +625,8 @@ mod tests {
         let banks = vec![Bank::new()];
         let mut acct = ChannelAccounting::new(1);
         acct.set_priority_app(Some(AppId::new(0)));
-        acct.on_read_enqueued(AppId::new(0));
-        acct.on_issue(AppId::new(0), true);
+        acct.on_read_enqueued(AppId::new(0), 0);
+        acct.on_issue(AppId::new(0), true, 0);
         acct.advance(10, &banks);
         let before = acct.queueing_cycles(AppId::new(0));
         acct.advance(10, &banks);

@@ -45,6 +45,16 @@ pub struct Bank {
     /// Application whose request the bank is currently servicing (until
     /// `ready_at`).
     owner: Option<AppId>,
+    /// What kind of access the current reservation is (attribution
+    /// taxonomy: 0 = write, 1 = read row hit, 2 = read row miss). Never
+    /// read by scheduling decisions — only by the interference cause
+    /// accounting.
+    busy_kind: u8,
+    /// Application that (re)opened the currently open row, if any. Lets
+    /// the attribution layer charge a row conflict to the co-runner that
+    /// replaced the victim's row. Cleared on refresh and under the
+    /// closed-page policy.
+    row_opener: Option<AppId>,
 }
 
 impl Bank {
@@ -55,7 +65,22 @@ impl Bank {
             open_row: None,
             ready_at: 0,
             owner: None,
+            busy_kind: 2,
+            row_opener: None,
         }
+    }
+
+    /// Busy-kind index of the current reservation (0 = write, 1 = read row
+    /// hit, 2 = read row miss) — the attribution taxonomy's cause axis.
+    #[must_use]
+    pub fn busy_kind_index(&self) -> usize {
+        self.busy_kind as usize
+    }
+
+    /// Application that (re)opened the currently open row, if known.
+    #[must_use]
+    pub fn row_opener(&self) -> Option<AppId> {
+        self.row_opener
     }
 
     /// The row currently open, if any.
@@ -142,15 +167,28 @@ impl Bank {
             finish += timing.twr;
         }
         match policy {
-            RowPolicy::Open => self.open_row = Some(row),
+            RowPolicy::Open => {
+                self.open_row = Some(row);
+                if outcome != RowOutcome::Hit {
+                    self.row_opener = Some(app);
+                }
+            }
             RowPolicy::Closed => {
                 // Auto-precharge: the row closes with the access; the
                 // precharge overlaps the tail of the reservation.
                 self.open_row = None;
+                self.row_opener = None;
             }
         }
         self.ready_at = finish;
         self.owner = Some(app);
+        self.busy_kind = if is_write {
+            0
+        } else if outcome == RowOutcome::Hit {
+            1
+        } else {
+            2
+        };
         (outcome, finish)
     }
 
@@ -168,6 +206,7 @@ impl Bank {
         self.ready_at = self.ready_at.max(until);
         self.open_row = None;
         self.owner = None;
+        self.row_opener = None;
     }
 
     /// Serializes the bank's timing state for checkpointing.
@@ -175,6 +214,8 @@ impl Bank {
         w.opt_u64(self.open_row);
         w.u64(self.ready_at);
         w.opt_u64(self.owner.map(|a| a.index() as u64));
+        w.u8(self.busy_kind);
+        w.opt_u64(self.row_opener.map(|a| a.index() as u64));
     }
 
     /// Restores state captured by [`save_state`](Self::save_state).
@@ -200,6 +241,27 @@ impl Bank {
                     .ok_or_else(|| {
                         asm_simcore::persist::PersistError::Corrupt(
                             "bank owner index out of range".to_owned(),
+                        )
+                    })
+            })
+            .transpose()?;
+        let kind = r.u8()?;
+        if kind > 2 {
+            return Err(asm_simcore::persist::PersistError::Corrupt(
+                "bank busy-kind out of range".to_owned(),
+            ));
+        }
+        self.busy_kind = kind;
+        self.row_opener = r
+            .opt_u64()?
+            .map(|i| {
+                usize::try_from(i)
+                    .ok()
+                    .filter(|&i| i < app_count)
+                    .map(AppId::new)
+                    .ok_or_else(|| {
+                        asm_simcore::persist::PersistError::Corrupt(
+                            "bank row-opener index out of range".to_owned(),
                         )
                     })
             })
@@ -257,6 +319,38 @@ mod tests {
         let (_, finish) = b.schedule(&t, 0, 1, app, false);
         assert_eq!(b.busy_owner(finish - 1), Some(app));
         assert_eq!(b.busy_owner(finish), None);
+    }
+
+    #[test]
+    fn busy_kind_and_row_opener_track_the_taxonomy() {
+        let t = timing();
+        let mut b = Bank::new();
+        let a0 = AppId::new(0);
+        let a1 = AppId::new(1);
+        // Closed bank: read row miss, opener recorded.
+        b.schedule(&t, 0, 5, a0, false);
+        assert_eq!(b.busy_kind_index(), 2);
+        assert_eq!(b.row_opener(), Some(a0));
+        // Row hit by another app: kind 1, opener unchanged.
+        let s = b.ready_at();
+        b.schedule(&t, s, 5, a1, false);
+        assert_eq!(b.busy_kind_index(), 1);
+        assert_eq!(b.row_opener(), Some(a0));
+        // Conflict by a1: kind 2, a1 becomes the opener.
+        let s = b.ready_at();
+        b.schedule(&t, s, 9, a1, false);
+        assert_eq!(b.busy_kind_index(), 2);
+        assert_eq!(b.row_opener(), Some(a1));
+        // Write: kind 0. Refresh clears the opener.
+        let s = b.ready_at();
+        b.schedule(&t, s, 9, a0, true);
+        assert_eq!(b.busy_kind_index(), 0);
+        b.refresh_until(b.ready_at() + 10);
+        assert_eq!(b.row_opener(), None);
+        // Closed-page policy never records an opener.
+        let mut c = Bank::new();
+        c.schedule_with_policy(&t, 0, 7, a1, false, RowPolicy::Closed);
+        assert_eq!(c.row_opener(), None);
     }
 
     #[test]

@@ -347,6 +347,12 @@ impl Channel {
             w.u64(f.completion.finish);
             w.u64(f.completion.interference_cycles);
             w.bool(f.completion.row_hit);
+            for k in 0..3 {
+                w.u64(f.completion.cause[k]);
+            }
+            w.u64(f.completion.induced);
+            // asm-lint: allow(R5): AppId slot indices widen losslessly to u64
+            w.opt_u64(f.completion.induced_by.map(|a| a.index() as u64));
             w.bool(f.is_write);
             w.bool(f.is_demand);
         }
@@ -427,7 +433,7 @@ impl Channel {
         for _ in 0..n_flight {
             let finish = r.u64()?;
             let seq = r.u64()?;
-            let completion = Completion {
+            let mut completion = Completion {
                 id: r.u64()?,
                 line: asm_simcore::LineAddr::new(r.u64()?),
                 app: read_app(r.u64()?)?,
@@ -436,7 +442,15 @@ impl Channel {
                 finish: r.u64()?,
                 interference_cycles: r.u64()?,
                 row_hit: r.bool()?,
+                cause: [0; 3],
+                induced: 0,
+                induced_by: None,
             };
+            for k in 0..3 {
+                completion.cause[k] = r.u64()?;
+            }
+            completion.induced = r.u64()?;
+            completion.induced_by = r.opt_u64()?.map(|i| read_app(i)).transpose()?;
             if completion.finish != finish {
                 return Err(corrupt("in-flight completion finish mismatch"));
             }
@@ -653,7 +667,7 @@ impl MemorySystem {
             }
             ch.push_read(entry);
             if req.is_demand_read() {
-                ch.accounting.on_read_enqueued(req.app);
+                ch.accounting.on_read_enqueued(req.app, loc.bank);
             }
         }
         ch.next_try = ch.next_try.min(req.arrival);
@@ -699,6 +713,71 @@ impl MemorySystem {
     /// command; intended for tests and validation runs.
     pub fn enable_audit(&mut self) {
         self.audit = Some(crate::audit::TimingAudit::new());
+    }
+
+    /// Turns on ground-truth attribution counters on every channel. Call
+    /// once, before simulation starts (and before restoring a snapshot
+    /// that was captured with attribution on).
+    pub fn enable_attribution(&mut self) {
+        for ch in &mut self.channels {
+            ch.accounting.enable_attrib();
+        }
+    }
+
+    /// Whether attribution counters are being maintained.
+    #[must_use]
+    pub fn attribution_enabled(&self) -> bool {
+        self.channels
+            .first()
+            .is_some_and(|ch| ch.accounting.attrib_enabled())
+    }
+
+    /// Sums the cumulative victim × offender × busy-kind blame counters
+    /// across channels into `out` (length `app_count² × 3`, flattened
+    /// `(victim * app_count + offender) * 3 + kind`). Deliberately does
+    /// *not* advance the lazy accounting: advancing here would split the
+    /// §4.3 queueing-cycle accrual intervals differently from an
+    /// attribution-off run and perturb its floating-point sums. The
+    /// not-yet-accrued tail simply lands in the next reading — a
+    /// deterministic, documented smear (DESIGN.md §13).
+    pub fn attrib_blame_into(&self, app_count: usize, out: &mut [Cycle]) {
+        debug_assert_eq!(out.len(), app_count * app_count * 3);
+        out.fill(0);
+        for ch in &self.channels {
+            let blame = ch.accounting.blame();
+            for (slot, v) in out.iter_mut().zip(blame.iter()) {
+                *slot += v;
+            }
+        }
+    }
+
+    /// Reconciliation check between the central blame counters and the
+    /// per-request snapshot accounting (test/debug API — this *does*
+    /// advance the lazy accounting to `now`). Returns, per application,
+    /// `(blame_row_total, materialized + pending)`: the two sides of the
+    /// identity "every blamed cycle is a demand read's interference,
+    /// settled at issue or still accruing in the queue". Equal whenever
+    /// attribution was enabled from cycle 0.
+    pub fn attrib_reconciliation(&mut self, now: Cycle) -> Vec<(Cycle, Cycle)> {
+        let n = self.app_stats.len();
+        let mut out = vec![(0, 0); n];
+        for ch in &mut self.channels {
+            ch.advance_accounting(now);
+            let blame = ch.accounting.blame();
+            for v in 0..n {
+                let row: Cycle = (0..n).map(|o| (0..3).map(|k| blame[(v * n + o) * 3 + k]).sum::<Cycle>()).sum();
+                out[v].0 += row;
+                out[v].1 += ch.accounting.materialized().get(v).copied().unwrap_or(0);
+            }
+            for q in &ch.read_queue {
+                if q.req.is_demand_read() {
+                    out[q.req.app.index()].1 += ch
+                        .accounting
+                        .interference_since(q.interference_snap, q.loc.bank, q.req.app);
+                }
+            }
+        }
+        out
     }
 
     /// The audit log, when auditing is enabled.
@@ -1168,14 +1247,32 @@ impl MemorySystem {
     ) {
         // Materialise the request's interference before the bank mutates:
         // writes never accrue any (only the read queue is accounted).
-        let interference_cycles = if is_write {
-            0
+        let (interference_cycles, cause) = if is_write {
+            (0, [0; 3])
         } else {
-            ch.accounting
-                .interference_since(q.interference_snap, q.loc.bank, q.req.app)
+            (
+                ch.accounting
+                    .interference_since(q.interference_snap, q.loc.bank, q.req.app),
+                ch.accounting
+                    .interference_causes_since(q.interference_snap, q.loc.bank, q.req.app),
+            )
         };
         let bank = &mut ch.banks[q.loc.bank];
         let needs_activate = bank.needs_activate(q.loc.row);
+        // A conflict whose open row was (re)opened by *another* application
+        // carries an induced penalty: the precharge+activate this request
+        // would not have paid had its own row survived. Computed before the
+        // bank mutates (scheduling replaces the opener).
+        let (induced, induced_by) = if !is_write
+            && matches!(bank.classify(q.loc.row), crate::bank::RowOutcome::Conflict)
+        {
+            match bank.row_opener() {
+                Some(opener) if opener != q.req.app => (timing.trp + timing.trcd, Some(opener)),
+                _ => (0, None),
+            }
+        } else {
+            (0, None)
+        };
         let (outcome, bank_finish) =
             bank.schedule_with_policy(timing, now, q.loc.row, q.req.app, is_write, row_policy);
         // Serialise data bursts on the channel bus.
@@ -1202,7 +1299,11 @@ impl MemorySystem {
                 activated: needs_activate,
             });
         }
-        ch.accounting.on_issue(q.req.app, q.req.is_demand_read());
+        ch.accounting
+            .on_issue(q.req.app, q.req.is_demand_read(), q.loc.bank);
+        if q.req.is_demand_read() {
+            ch.accounting.note_materialized(q.req.app, interference_cycles);
+        }
         *seq += 1;
         ch.in_flight.push(InFlight {
             finish,
@@ -1217,6 +1318,9 @@ impl MemorySystem {
                 finish,
                 interference_cycles,
                 row_hit,
+                cause,
+                induced,
+                induced_by,
             },
             is_write,
         });
@@ -1412,6 +1516,111 @@ mod tests {
             pos_app0 <= 1,
             "priority request finished at position {pos_app0}"
         );
+    }
+
+    #[test]
+    fn attrib_blame_reconciles_with_request_snapshots() {
+        use asm_simcore::SimRng;
+        // Randomized multi-app traffic: the central victim×offender×kind
+        // blame counters must equal, per victim, the sum of materialized
+        // demand-read interference plus what is still accruing in the
+        // queue — and every completion's cause split must sum exactly to
+        // its undifferentiated interference.
+        let mut mem = system(2);
+        mem.enable_attribution();
+        let mut rng = SimRng::seed_from(0xB1A3E);
+        let mut out = Vec::new();
+        let mut id = 0u64;
+        let mut total_interference = 0u64;
+        let mut cause_sum = 0u64;
+        for now in 0..30_000u64 {
+            if rng.next_u64() % 7 == 0 {
+                let app = AppId::new((rng.next_u64() % 4) as usize);
+                let line = LineAddr::new(rng.next_u64() % (1 << 18));
+                id += 1;
+                let req = match rng.next_u64() % 4 {
+                    0 => MemRequest::write(id, line, app, now),
+                    1 => MemRequest::prefetch(id, line, app, now),
+                    _ => MemRequest::read(id, line, app, now),
+                };
+                let _ = mem.enqueue(req);
+            }
+            mem.tick(now, &mut out);
+        }
+        for c in &out {
+            total_interference += c.interference_cycles;
+            cause_sum += c.cause.iter().sum::<u64>();
+        }
+        assert!(total_interference > 0, "traffic produced no interference");
+        assert_eq!(
+            cause_sum, total_interference,
+            "busy-kind cause split must sum to the undifferentiated interference"
+        );
+        for (app, (blamed, settled)) in mem.attrib_reconciliation(30_000).iter().enumerate() {
+            assert_eq!(
+                blamed, settled,
+                "app {app}: central blame diverged from per-request accounting"
+            );
+        }
+    }
+
+    #[test]
+    fn attrib_off_reports_zero_causes() {
+        let mut mem = system(1);
+        let m = mem.mapping();
+        let l0 = LineAddr::new(0);
+        let bank0 = m.decode(l0).bank;
+        let l1 = (1..2_000_000u64)
+            .map(LineAddr::new)
+            .find(|&l| m.decode(l).bank == bank0 && m.decode(l).row != m.decode(l0).row)
+            .expect("scan range holds a same-bank different-row line");
+        mem.enqueue(MemRequest::read(1, l0, AppId::new(0), 0))
+            .expect("queue has free capacity in this test");
+        mem.enqueue(MemRequest::read(2, l1, AppId::new(1), 0))
+            .expect("queue has free capacity in this test");
+        let done = run_until(&mut mem, 0, 10_000);
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().any(|c| c.interference_cycles > 0));
+        // The cause split is attribution-gated; the induced-penalty fields
+        // are cheap pure functions of bank state and stay populated either
+        // way (they are simply never read when attribution is off).
+        for c in &done {
+            assert_eq!(c.cause, [0; 3], "cause split must stay zero when attribution is off");
+        }
+    }
+
+    #[test]
+    fn induced_penalty_names_the_row_replacer() {
+        // app0 opens a row; app1 conflicts it; app0's next access to its
+        // original row pays a conflict induced by app1.
+        let mut mem = system(1);
+        mem.enable_attribution();
+        let m = mem.mapping();
+        let l0 = LineAddr::new(0);
+        let bank0 = m.decode(l0).bank;
+        let l1 = (1..2_000_000u64)
+            .map(LineAddr::new)
+            .find(|&l| m.decode(l).bank == bank0 && m.decode(l).row != m.decode(l0).row)
+            .expect("scan range holds a same-bank different-row line");
+        let a0 = AppId::new(0);
+        let a1 = AppId::new(1);
+        mem.enqueue(MemRequest::read(1, l0, a0, 0))
+            .expect("queue has free capacity in this test");
+        let mut done = run_until(&mut mem, 0, 5_000);
+        mem.enqueue(MemRequest::read(2, l1, a1, 5_000))
+            .expect("queue has free capacity in this test");
+        done.extend(run_until(&mut mem, 5_000, 10_000));
+        mem.enqueue(MemRequest::read(3, l0, a0, 10_000))
+            .expect("queue has free capacity in this test");
+        done.extend(run_until(&mut mem, 10_000, 15_000));
+        assert_eq!(done.len(), 3);
+        let t = mem.config().timing;
+        let c3 = done.iter().find(|c| c.id == 3).expect("request 3 completed");
+        assert_eq!(c3.induced, t.trp + t.trcd);
+        assert_eq!(c3.induced_by, Some(a1));
+        // app1's own conflict against app0's row is induced by app0.
+        let c2 = done.iter().find(|c| c.id == 2).expect("request 2 completed");
+        assert_eq!(c2.induced_by, Some(a0));
     }
 
     #[test]

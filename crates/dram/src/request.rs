@@ -91,6 +91,17 @@ pub struct Completion {
     pub interference_cycles: Cycle,
     /// Whether the request hit the open row.
     pub row_hit: bool,
+    /// Busy-kind split of `interference_cycles` for ground-truth
+    /// attribution (0 = write drain, 1 = foreign row hit, 2 = foreign row
+    /// miss). All zeros unless the controller's attribution counters are
+    /// enabled; the parts then sum exactly to `interference_cycles`.
+    pub cause: [Cycle; 3],
+    /// Extra activate+precharge latency this request paid because another
+    /// application replaced the row its application had open (zero when
+    /// the conflict was self-inflicted or the bank was closed/refreshed).
+    pub induced: Cycle,
+    /// The application that replaced the row, when `induced > 0`.
+    pub induced_by: Option<AppId>,
 }
 
 impl Completion {
@@ -130,6 +141,9 @@ mod tests {
             finish: 250,
             interference_cycles: 30,
             row_hit: false,
+            cause: [0; 3],
+            induced: 0,
+            induced_by: None,
         };
         assert_eq!(c.total_latency(), 150);
         assert_eq!(c.service_latency(), 100);

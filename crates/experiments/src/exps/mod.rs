@@ -1,6 +1,7 @@
 //! One module per paper table/figure.
 
 pub mod ablation;
+pub mod accuracy;
 pub mod channels;
 pub mod combined;
 pub mod db;
@@ -74,6 +75,7 @@ pub fn run(name: &str, scale: Scale) -> bool {
         "matrix" => matrix::run(scale),
         "workloads" => workloads::run(scale),
         "xval" => xval::run(scale),
+        "accuracy" => accuracy::run(scale),
         "all" => {
             for n in ALL {
                 run(n, scale);

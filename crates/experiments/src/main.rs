@@ -25,7 +25,9 @@ EXPERIMENTS:
     combined  ASM-Cache-Mem vs PARBS+UCP
     fig11     ASM-QoS slowdown guarantees
     xval      cross-validate the analytic tier against cycle-accurate
-    all       everything above, in order (excluding xval)
+    accuracy  cross-tier accuracy dashboard: ledger ground truth vs the
+              ASM estimator and the analytic/sampled tiers
+    all       everything above, in order (excluding xval and accuracy)
 
 OPTIONS:
     --full           paper scale (100 workloads, 100M cycles, Q=5M) — hours
@@ -74,6 +76,15 @@ byte-identical for any --jobs value):
                      (series,cycle,value) to D
     --series-summary print a sparkline summary of every per-quantum
                      series after the tables
+
+ATTRIBUTION (any of these enables the conservation-checked cycle ledger
+of DESIGN.md §13 on every simulated run; tables stay byte-identical):
+    --attrib         print each workload's per-app stall decomposition
+                     and app×app blame matrix after the tables
+    --attrib-csv F   write the per-quantum ledger to F
+                     (workload,quantum_end,app,component,cycles)
+    --blame-json F   write per-workload blame matrices and component
+                     totals to F (schema \"asm-attrib v1\")
 ";
 
 fn main() {
@@ -96,7 +107,8 @@ fn main() {
             "--tiny" => scale = Scale::tiny(),
             "--no-skip" => no_skip = true,
             "--series-summary" => sink_cfg.series_summary = true,
-            "--stats-json" | "--trace" | "--series-csv" => {
+            "--attrib" => sink_cfg.attrib = true,
+            "--stats-json" | "--trace" | "--series-csv" | "--attrib-csv" | "--blame-json" => {
                 let Some(path) = args.get(i + 1) else {
                     eprintln!("error: {} needs a path", args[i]);
                     std::process::exit(2);
@@ -104,6 +116,8 @@ fn main() {
                 match args[i].as_str() {
                     "--stats-json" => sink_cfg.stats_json = Some(path.into()),
                     "--trace" => sink_cfg.trace = Some(path.into()),
+                    "--attrib-csv" => sink_cfg.attrib_csv = Some(path.into()),
+                    "--blame-json" => sink_cfg.blame_json = Some(path.into()),
                     _ => sink_cfg.series_csv = Some(path.into()),
                 }
                 i += 1;

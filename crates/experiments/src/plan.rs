@@ -178,8 +178,9 @@ pub fn run_campaign(runs: &[PlannedRun], jobs: usize) -> Vec<RunResult> {
     .collect();
 
     // Phase B: every run, in parallel, forking its group's snapshot when
-    // one exists. Manifests only make sense for uninstrumented runs.
-    let manifests = opts.trace_sample.is_none() && !opts.telemetry;
+    // one exists. Manifests only make sense for uninstrumented runs
+    // (attribution artefacts, like telemetry, are not stored in them).
+    let manifests = opts.trace_sample.is_none() && !opts.telemetry && !opts.attrib;
     let results = pool::run_ordered(jobs, runs, |i, run| {
         let mkey = manifest_key(run);
         if manifests {

@@ -1,12 +1,15 @@
-//! Telemetry sink for the experiment harness.
+//! Telemetry and attribution sink for the experiment harness.
 //!
 //! When any of `--stats-json`, `--trace`, `--series-csv` or
 //! `--series-summary` is passed to `asm-experiments`, every workload run
 //! is instrumented (see [`asm_core::RunOptions`]) and its
-//! [`RunTelemetry`] snapshot is collected here. Recording happens on the
-//! caller's thread **after** the parallel pool returns, in submission
-//! order, so every artefact this module writes is byte-identical for any
-//! `--jobs` value — the same invariant the tables already satisfy.
+//! [`RunTelemetry`] snapshot is collected here. Likewise `--attrib`,
+//! `--attrib-csv` and `--blame-json` turn on the ground-truth
+//! cycle-attribution ledger (DESIGN.md §13) and collect each run's
+//! [`RunAttribution`]. Recording happens on the caller's thread
+//! **after** the parallel pool returns, in submission order, so every
+//! artefact this module writes is byte-identical for any `--jobs` value
+//! — the same invariant the tables already satisfy.
 //!
 //! Like the alone-cache and CSV plumbing, this module is process-global
 //! state behind `OnceLock`/`Mutex`; that is fine here because the
@@ -16,14 +19,14 @@
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, OnceLock};
 
-use asm_core::{RunOptions, RunResult, RunTelemetry};
+use asm_core::{Component, RunAttribution, RunOptions, RunResult, RunTelemetry, COMPONENTS};
 use asm_telemetry::JsonValue;
 
 /// 1-in-N request sampling for `--trace` memory-lifecycle events.
 /// Scheduler events (epochs, quanta, repartitions) are never sampled out.
 pub const TRACE_SAMPLE: u64 = 64;
 
-/// Which telemetry artefacts the CLI asked for.
+/// Which telemetry/attribution artefacts the CLI asked for.
 #[derive(Debug, Clone, Default)]
 pub struct SinkConfig {
     /// `--stats-json FILE`: merged counter/series/latency snapshot.
@@ -34,21 +37,50 @@ pub struct SinkConfig {
     pub series_csv: Option<PathBuf>,
     /// `--series-summary`: print per-series sparklines to stdout.
     pub series_summary: bool,
+    /// `--attrib`: print per-workload attribution summaries to stdout.
+    pub attrib: bool,
+    /// `--attrib-csv FILE`: long-format per-quantum ledger CSV.
+    pub attrib_csv: Option<PathBuf>,
+    /// `--blame-json FILE`: per-workload blame matrices and totals.
+    pub blame_json: Option<PathBuf>,
 }
 
 impl SinkConfig {
     /// Whether any artefact was requested.
     #[must_use]
     pub fn any(&self) -> bool {
+        self.telemetry() || self.attribution()
+    }
+
+    /// Whether any *telemetry* artefact was requested (instruments runs
+    /// with counters/series/traces).
+    #[must_use]
+    pub fn telemetry(&self) -> bool {
         self.stats_json.is_some()
             || self.trace.is_some()
             || self.series_csv.is_some()
             || self.series_summary
     }
+
+    /// Whether any *attribution* artefact was requested (turns on the
+    /// conservation-checked cycle ledger).
+    #[must_use]
+    pub fn attribution(&self) -> bool {
+        self.attrib || self.attrib_csv.is_some() || self.blame_json.is_some()
+    }
+}
+
+/// One recorded attribution artefact, in submission order.
+#[derive(Debug)]
+struct AttribRecord {
+    label: String,
+    apps: Vec<String>,
+    attrib: RunAttribution,
 }
 
 static CONFIG: OnceLock<SinkConfig> = OnceLock::new();
 static RECORDS: Mutex<Vec<(String, RunTelemetry)>> = Mutex::new(Vec::new());
+static ATTRIBS: Mutex<Vec<AttribRecord>> = Mutex::new(Vec::new());
 
 /// Activates the sink (once per process; later calls are ignored). A
 /// config requesting nothing leaves the sink inactive and every run
@@ -59,34 +91,46 @@ pub fn configure(cfg: SinkConfig) {
     }
 }
 
-/// Whether any telemetry artefact was requested.
+/// Whether any telemetry or attribution artefact was requested.
 #[must_use]
 pub fn active() -> bool {
     CONFIG.get().is_some()
 }
 
 /// The run options every experiment should simulate under: telemetry on
-/// exactly when the sink is active, request tracing only under `--trace`.
+/// exactly when a telemetry artefact was requested, request tracing only
+/// under `--trace`, attribution exactly when an attribution artefact was
+/// requested.
 #[must_use]
 pub fn options() -> RunOptions {
     match CONFIG.get() {
         Some(cfg) => RunOptions {
-            telemetry: true,
+            telemetry: cfg.telemetry(),
             trace_sample: cfg.trace.is_some().then_some(TRACE_SAMPLE),
+            attrib: cfg.attribution(),
         },
         None => RunOptions::default(),
     }
 }
 
-/// Collects one run's telemetry. Call in workload-submission order (the
-/// label embeds the arrival index); a run without telemetry is a no-op.
+/// Collects one run's telemetry and/or attribution. Call in
+/// workload-submission order (the label embeds the arrival index); a run
+/// carrying neither artefact is a no-op.
 pub fn record(result: &RunResult) {
-    let Some(t) = &result.telemetry else {
-        return;
-    };
-    let mut records = RECORDS.lock().expect("telemetry sink poisoned");
-    let label = format!("w{:03} {}", records.len(), result.app_names.join("+"));
-    records.push((label, t.clone()));
+    if let Some(t) = &result.telemetry {
+        let mut records = RECORDS.lock().expect("telemetry sink poisoned");
+        let label = format!("w{:03} {}", records.len(), result.app_names.join("+"));
+        records.push((label, t.clone()));
+    }
+    if let Some(a) = &result.attribution {
+        let mut records = ATTRIBS.lock().expect("attribution sink poisoned");
+        let label = format!("w{:03} {}", records.len(), result.app_names.join("+"));
+        records.push(AttribRecord {
+            label,
+            apps: result.app_names.clone(),
+            attrib: a.clone(),
+        });
+    }
 }
 
 /// Writes every requested artefact. Called once at the end of the CLI
@@ -97,7 +141,8 @@ pub fn finalize() {
         return;
     };
     let records = std::mem::take(&mut *RECORDS.lock().expect("telemetry sink poisoned"));
-    if records.is_empty() {
+    let attribs = std::mem::take(&mut *ATTRIBS.lock().expect("attribution sink poisoned"));
+    if cfg.telemetry() && records.is_empty() || cfg.attribution() && attribs.is_empty() {
         // Some experiments (fig1, workloads) never route a run through
         // the Runner; the artefacts are still written, just empty.
         eprintln!("[telemetry] no instrumented runs recorded");
@@ -129,6 +174,17 @@ pub fn finalize() {
             Ok(())
         };
         report(dir, write_all());
+    }
+    if cfg.attrib {
+        for r in &attribs {
+            print_attrib_summary(r);
+        }
+    }
+    if let Some(path) = &cfg.attrib_csv {
+        report(path, std::fs::write(path, attrib_csv(&attribs)));
+    }
+    if let Some(path) = &cfg.blame_json {
+        report(path, std::fs::write(path, blame_json(&attribs).to_json_pretty()));
     }
 }
 
@@ -244,6 +300,130 @@ fn print_series_summary(label: &str, t: &RunTelemetry) {
     }
 }
 
+/// One stdout block per workload under `--attrib`: each app's whole-run
+/// component decomposition (percent of run cycles) and its blame row.
+/// Deterministic for any `--jobs` (records arrive in submission order).
+fn print_attrib_summary(r: &AttribRecord) {
+    let n = r.apps.len();
+    println!("\ncycle attribution ({}):", r.label);
+    let run_cycles: u64 = r.attrib.quanta.iter().map(|q| q.end - q.start).sum();
+    if run_cycles == 0 {
+        println!("  (no finalized quanta)");
+        return;
+    }
+    let pct = |c: u64| 100.0 * c as f64 / run_cycles as f64;
+    for (v, app) in r.apps.iter().enumerate() {
+        println!("  app{v} {app} ({} quanta, {run_cycles} cycles):", r.attrib.quanta.len());
+        for (k, comp) in Component::ALL.iter().enumerate() {
+            let c = r.attrib.totals[v * COMPONENTS + k];
+            if c > 0 {
+                let tag = if comp.is_interference() { " [interference]" } else { "" };
+                println!("    {:<18} {c:>12}  {:6.2}%{tag}", comp.name(), pct(c));
+            }
+        }
+        let row: Vec<String> = (0..n)
+            .map(|o| format!("app{o}={}", r.attrib.blame[v * n + o]))
+            .collect();
+        println!("    blame row: {}", row.join(" "));
+    }
+}
+
+/// The `--attrib-csv` document: one long-format row per
+/// (workload, quantum, app, component) with non-zero cycles, followed by
+/// `blame.appN` pseudo-components carrying the off-diagonal blame matrix.
+/// Quanta are identified by their end cycle.
+fn attrib_csv(records: &[AttribRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("workload,quantum_end,app,component,cycles\n");
+    for r in records {
+        let n = r.apps.len();
+        for q in &r.attrib.quanta {
+            for v in 0..n {
+                for comp in Component::ALL {
+                    let c = q.component(v, comp);
+                    if c > 0 {
+                        let _ = writeln!(out, "{},{},app{v},{},{c}", r.label, q.end, comp.name());
+                    }
+                }
+                for o in 0..n {
+                    let c = q.blamed(v, o);
+                    if o != v && c > 0 {
+                        let _ = writeln!(out, "{},{},app{v},blame.app{o},{c}", r.label, q.end);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The `--blame-json` document: schema tag plus one object per workload
+/// with the app list, whole-run component totals, the whole-run blame
+/// matrix, and every quantum's blame matrix (victim-major rows).
+fn blame_json(records: &[AttribRecord]) -> JsonValue {
+    let matrix = |blame: &[u64], n: usize| {
+        JsonValue::Arr(
+            (0..n)
+                .map(|v| {
+                    JsonValue::Arr(
+                        blame[v * n..(v + 1) * n]
+                            .iter()
+                            .map(|&c| JsonValue::num_u64(c))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    };
+    let workloads = records
+        .iter()
+        .map(|r| {
+            let n = r.apps.len();
+            let apps = JsonValue::Arr(r.apps.iter().map(|a| JsonValue::str(a)).collect());
+            let totals = JsonValue::Arr(
+                (0..n)
+                    .map(|v| {
+                        JsonValue::Obj(
+                            Component::ALL
+                                .iter()
+                                .enumerate()
+                                .map(|(k, comp)| {
+                                    let c = r.attrib.totals[v * COMPONENTS + k];
+                                    (comp.name().to_owned(), JsonValue::num_u64(c))
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            );
+            let quanta = JsonValue::Arr(
+                r.attrib
+                    .quanta
+                    .iter()
+                    .map(|q| {
+                        JsonValue::Obj(vec![
+                            ("start".into(), JsonValue::num_u64(q.start)),
+                            ("end".into(), JsonValue::num_u64(q.end)),
+                            ("blame".into(), matrix(&q.blame, n)),
+                        ])
+                    })
+                    .collect(),
+            );
+            JsonValue::Obj(vec![
+                ("label".into(), JsonValue::str(&r.label)),
+                ("apps".into(), apps),
+                ("component_totals".into(), totals),
+                ("blame_totals".into(), matrix(&r.attrib.blame, n)),
+                ("quanta".into(), quanta),
+            ])
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        ("schema".into(), JsonValue::str("asm-attrib v1")),
+        ("workloads".into(), JsonValue::Arr(workloads)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +442,7 @@ mod tests {
             let o = options();
             assert!(!o.telemetry);
             assert!(o.trace_sample.is_none());
+            assert!(!o.attrib);
         }
     }
 
@@ -280,6 +461,7 @@ mod tests {
         let opts = RunOptions {
             telemetry: true,
             trace_sample: Some(TRACE_SAMPLE),
+            attrib: false,
         };
         let r = runner.run_with(&apps, 100_000, opts);
         let t = r.telemetry.clone().expect("telemetry");
@@ -306,5 +488,63 @@ mod tests {
         let csv = series_csv(&records[0].1);
         assert!(csv.starts_with("series,cycle,value\n"));
         assert!(csv.contains("app0.est_slowdown,50000,"));
+    }
+
+    #[test]
+    fn attrib_artefacts_round_trip() {
+        let runner = asm_core::Runner::new({
+            let mut c = asm_core::SystemConfig::default();
+            c.quantum = 50_000;
+            c.epoch = 1_000;
+            c
+        });
+        let apps = vec![
+            asm_workloads::suite::by_name("mcf_like").unwrap(),
+            asm_workloads::suite::by_name("h264ref_like").unwrap(),
+        ];
+        let opts = RunOptions {
+            telemetry: false,
+            trace_sample: None,
+            attrib: true,
+        };
+        let r = runner.run_with(&apps, 100_000, opts);
+        let a = r.attribution.clone().expect("attribution");
+        let records = vec![AttribRecord {
+            label: "w000 mcf_like+h264ref_like".to_owned(),
+            apps: r.app_names.clone(),
+            attrib: a,
+        }];
+
+        let csv = attrib_csv(&records);
+        assert!(csv.starts_with("workload,quantum_end,app,component,cycles\n"));
+        assert!(csv.contains(",50000,app0,compute,"));
+
+        let text = blame_json(&records).to_json_pretty();
+        let parsed = asm_telemetry::json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(JsonValue::as_str),
+            Some("asm-attrib v1")
+        );
+        let w = parsed
+            .get("workloads")
+            .and_then(JsonValue::as_arr)
+            .expect("workloads array");
+        assert_eq!(w.len(), 1);
+        let blame = w[0]
+            .get("blame_totals")
+            .and_then(JsonValue::as_arr)
+            .expect("blame matrix");
+        assert_eq!(blame.len(), 2);
+        // Each whole-run blame row sums to the run's attributed cycles.
+        let run_cycles: u64 = records[0]
+            .attrib
+            .quanta
+            .iter()
+            .map(|q| q.end - q.start)
+            .sum();
+        for v in 0..2 {
+            let row: u64 = (0..2).map(|o| records[0].attrib.blame[v * 2 + o]).sum();
+            assert_eq!(row, run_cycles, "blame row {v} does not conserve");
+        }
     }
 }

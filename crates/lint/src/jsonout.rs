@@ -8,7 +8,7 @@
 //! ```json
 //! {
 //!   "schema": "asm-lint/2",
-//!   "rules": ["R1", …, "R12"],
+//!   "rules": ["R1", …, "R13"],
 //!   "files": 42,
 //!   "diagnostics":     [{"rule", "path", "line", "col", "message", "allowed"}…],
 //!   "suppressed":      [same shape, allowed = true…],

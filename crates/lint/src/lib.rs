@@ -1,9 +1,9 @@
 //! `asm-lint`: a workspace determinism & simulation-safety linter.
 //!
-//! A repo-specific static-analysis pass over the eight simulation crates
-//! (`simcore`, `cache`, `dram`, `cpu`, `core`, `workloads`, `metrics`,
-//! `telemetry`) plus the harness crates (`experiments`, `bench`). It
-//! enforces eleven rules that `rustc`/`clippy` cannot express for us.
+//! A repo-specific static-analysis pass over the simulation crates
+//! ([`SIM_CRATES`]: `simcore` through `attrib`) plus the harness crates
+//! (`experiments`, `bench`). It enforces thirteen rules that
+//! `rustc`/`clippy` cannot express for us.
 //!
 //! Per-file rules (token-stream analysis):
 //!
@@ -34,6 +34,12 @@
 //!   `to_le_bytes`/`from_le_bytes` framing outside the persist module
 //!   itself. Hand-rolled framing skips the magic/version/checksum
 //!   envelope that makes every artefact warn-and-rebuild safe.
+//! - **R13** — telemetry and attribution metric names come from the
+//!   central registry (`crates/telemetry/src/names.rs`): no inline
+//!   dotted metric-name string literals (`"llc.app0.hits"`,
+//!   `"attrib.app{i}.{component}"`) in non-test simulation code. Inline
+//!   spellings drift out of sync with the registry the telemetry sinks
+//!   and the accuracy dashboard join on.
 //!
 //! Workspace rules (symbol table + call graph, see [`resolve`] and
 //! [`callgraph`]):
@@ -108,11 +114,13 @@ pub enum RuleId {
     R11,
     /// Ad-hoc byte framing outside `simcore/src/persist.rs`.
     R12,
+    /// Inline dotted metric-name literals outside the names registry.
+    R13,
 }
 
 impl RuleId {
     /// All rules, in order.
-    pub const ALL: [RuleId; 12] = [
+    pub const ALL: [RuleId; 13] = [
         RuleId::R1,
         RuleId::R2,
         RuleId::R3,
@@ -125,6 +133,7 @@ impl RuleId {
         RuleId::R10,
         RuleId::R11,
         RuleId::R12,
+        RuleId::R13,
     ];
 
     /// Canonical name (`"R1"`).
@@ -143,6 +152,7 @@ impl RuleId {
             RuleId::R10 => "R10",
             RuleId::R11 => "R11",
             RuleId::R12 => "R12",
+            RuleId::R13 => "R13",
         }
     }
 
@@ -162,6 +172,7 @@ impl RuleId {
             RuleId::R10 => "every unsafe site carries an adjacent // SAFETY: comment",
             RuleId::R11 => "no MutexGuard held across Runner::run*/run_with dispatch",
             RuleId::R12 => "state serialization goes through asm_simcore::persist (no ad-hoc to_le_bytes framing)",
+            RuleId::R13 => "metric names come from asm_telemetry::names (no inline dotted-name string literals)",
         }
     }
 
@@ -181,6 +192,7 @@ impl RuleId {
             "R10" => Some(RuleId::R10),
             "R11" => Some(RuleId::R11),
             "R12" => Some(RuleId::R12),
+            "R13" => Some(RuleId::R13),
         _ => None,
         }
     }
@@ -200,6 +212,7 @@ pub const SIM_CRATES: &[&str] = &[
     "telemetry",
     "analytic",
     "sampling",
+    "attrib",
 ];
 
 /// The harness crates, linted only for lock discipline (R11): they are
@@ -444,7 +457,7 @@ mod tests {
 
     #[test]
     fn sim_crates_list_matches_roadmap() {
-        assert_eq!(SIM_CRATES.len(), 10);
+        assert_eq!(SIM_CRATES.len(), 11);
     }
 
     #[test]
@@ -455,12 +468,12 @@ mod tests {
     }
 
     #[test]
-    fn rule_parse_covers_all_twelve() {
+    fn rule_parse_covers_all_thirteen() {
         for r in RuleId::ALL {
             assert_eq!(RuleId::parse(r.name()), Some(r));
         }
-        assert_eq!(RuleId::ALL.len(), 12);
+        assert_eq!(RuleId::ALL.len(), 13);
         assert_eq!(RuleId::parse("r10"), Some(RuleId::R10));
-        assert_eq!(RuleId::parse("R13"), None);
+        assert_eq!(RuleId::parse("R14"), None);
     }
 }

@@ -81,7 +81,7 @@ fn main() -> ExitCode {
     if analysis.diagnostics.is_empty() {
         println!(
             "asm-lint: clean — {} files across {} simulation + {} harness crates \
-             satisfy R1-R12 ({} unsafe sites justified, {} hot-path fns audited, \
+             satisfy R1-R13 ({} unsafe sites justified, {} hot-path fns audited, \
              {} reasoned suppressions)",
             analysis.files,
             asm_lint::SIM_CRATES.len(),

@@ -1,4 +1,4 @@
-//! The per-file rules (R1–R7, R10, R11), re-implemented on the token
+//! The per-file rules (R1–R7, R10–R13), re-implemented on the token
 //! stream.
 //!
 //! Each rule walks a [`FileModel`]'s tokens — comments and literal
@@ -65,6 +65,7 @@ pub fn check(
             rule_r7_print(model, &mut sink);
             rule_r10_safety_comments(model, &mut sink);
             rule_r12_persist_framing(model, &mut sink);
+            rule_r13_metric_names(model, &mut sink);
         }
         FileRole::Harness => {
             rule_r10_safety_comments(model, &mut sink);
@@ -584,6 +585,76 @@ fn rule_r12_persist_framing(model: &FileModel, sink: &mut Sink) {
     }
 }
 
+/// R13: telemetry/attribution metric names come from the central
+/// registry (`asm_telemetry::names`) — no inline dotted-name string
+/// literals in non-test simulation code. Counter and series names like
+/// `"llc.app0.hits"` or `"attrib.app{i}.{component}"` are join keys:
+/// the sinks, the accuracy dashboard, and external trace consumers all
+/// match on the exact spelling, so a literal typed at the emit site
+/// drifts silently when the registry changes. The registry file itself
+/// is the one place allowed to spell names out; dotted non-metric
+/// strings (temp-file suffixes, version strings with identifiers)
+/// carry a reasoned allow directive.
+fn rule_r13_metric_names(model: &FileModel, sink: &mut Sink) {
+    if model.path.ends_with("telemetry/src/names.rs") {
+        return;
+    }
+    for i in 0..model.tokens.len() {
+        if model.tokens[i].kind != TokKind::Str || model.is_test_token(i) {
+            continue;
+        }
+        let Some(body) = str_literal_content(model.text(i)) else {
+            continue;
+        };
+        if is_metric_name(&body) {
+            sink.emit_at(
+                model,
+                i,
+                RuleId::R13,
+                format!(
+                    "inline metric-name literal `\"{body}\"` — spell telemetry/\
+                     attribution names once in `asm_telemetry::names` and call \
+                     the registry helper here, so emit sites cannot drift from \
+                     the names the sinks and dashboards join on"
+                ),
+            );
+        }
+    }
+}
+
+/// Whether a string-literal body looks like a dotted metric name:
+/// after collapsing format holes (`{…}` → `x`), two or more
+/// `.`-separated segments, each `[a-z][a-z0-9_]*`. `"llc.app0.hits"`
+/// and `"app{i}.{series}"` match; paths, prose, and version numbers
+/// do not (slashes, spaces, and digit-led segments all fail).
+fn is_metric_name(body: &str) -> bool {
+    let mut collapsed = String::with_capacity(body.len());
+    let mut depth = 0usize;
+    for c in body.chars() {
+        match c {
+            '{' => {
+                depth += 1;
+                if depth == 1 {
+                    collapsed.push('x');
+                }
+            }
+            '}' => depth = depth.saturating_sub(1),
+            _ if depth == 0 => collapsed.push(c),
+            _ => {}
+        }
+    }
+    let mut segments = 0usize;
+    for seg in collapsed.split('.') {
+        let mut chars = seg.chars();
+        let lead_ok = matches!(chars.next(), Some(c) if c.is_ascii_lowercase());
+        if !lead_ok || !chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_') {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 2
+}
+
 /// R10: every non-test `unsafe` site needs an adjacent `// SAFETY:`
 /// comment — trailing on the same line or a contiguous comment block
 /// ending directly above — stating the invariant that makes it sound.
@@ -909,6 +980,38 @@ fn dropped(state: &std::sync::Mutex<u64>, runner: &Runner) {
         let d = diag("crates/experiments/src/x.rs", src);
         let r11: Vec<usize> = d.iter().filter(|d| d.rule == RuleId::R11).map(|d| d.line).collect();
         assert_eq!(r11, vec![3], "{d:#?}");
+    }
+
+    #[test]
+    fn r13_flags_inline_metric_names_only() {
+        let src = "\
+fn f(t: &mut Telemetry, i: usize) {
+    t.incr(\"llc.app0.hits\");
+    t.series(&format!(\"app{i}.slowdown\"), 1.0);
+    let path = \"out/results.csv\";
+    let prose = \"two words. not a name\";
+    let version = \"1.2\";
+    let single = \"slowdown\";
+    let _ = (path, prose, version, single);
+}
+";
+        let d = diag("crates/cache/src/x.rs", src);
+        let r13: Vec<usize> = d.iter().filter(|d| d.rule == RuleId::R13).map(|d| d.line).collect();
+        assert_eq!(r13, vec![2, 3], "{d:#?}");
+    }
+
+    #[test]
+    fn r13_exempts_the_names_registry_and_test_code() {
+        let src = "pub fn hits(i: usize) -> String { format!(\"llc.app{i}.hits\") }\n";
+        assert!(diag("crates/telemetry/src/names.rs", src).is_empty());
+        assert_eq!(diag("crates/telemetry/src/sink.rs", src).len(), 1);
+        let test_src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { assert_eq!(n, \"llc.app0.hits\"); }
+}
+";
+        assert!(diag("crates/cache/src/x.rs", test_src).is_empty());
     }
 
     #[test]

@@ -154,6 +154,21 @@ fn r12_le_bytes_fixture() {
 }
 
 #[test]
+fn r13_metric_names_fixture() {
+    let src = include_str!("fixtures/r13_metric_names.rs");
+    // Inline literal (4) and format-hole literal (5); the allow-directive
+    // site, registry call, path/prose/version/single-segment strings, and
+    // the test module are all clean.
+    let got = lines_of("crates/cache/src/fixture.rs", src);
+    assert_eq!(got, vec![(4, RuleId::R13), (5, RuleId::R13)]);
+    // The names registry itself is the one place allowed to spell names.
+    assert!(
+        lint_source("crates/telemetry/src/names.rs", src).is_empty(),
+        "names.rs owns the metric-name spellings"
+    );
+}
+
+#[test]
 fn allow_directives_suppress_every_rule_form() {
     let src = include_str!("fixtures/allow_suppression.rs");
     let diags = lint_source("crates/core/src/fixture.rs", src);
@@ -186,7 +201,7 @@ fn stripping_the_directive_resurfaces_the_violation() {
 #[test]
 fn workspace_is_clean() {
     // The sweep half of the tentpole, pinned as a test: the real
-    // simulation crates must satisfy R1-R12. CARGO_MANIFEST_DIR is
+    // simulation crates must satisfy R1-R13. CARGO_MANIFEST_DIR is
     // crates/lint; the workspace root is two levels up.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()

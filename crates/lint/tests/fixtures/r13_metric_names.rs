@@ -1,0 +1,28 @@
+//! R13 fixture: inline dotted metric-name literals outside the registry.
+
+fn emit(t: &mut Telemetry, i: usize) {
+    t.incr("llc.app0.hits");
+    t.series(&format!("app{i}.slowdown"), 1.0);
+}
+
+fn allowed(path: &std::path::Path) -> std::path::PathBuf {
+    // asm-lint: allow(R13): temp-file suffix, not a metric name
+    path.with_extension(format!("tmp.{}", 7))
+}
+
+fn clean(t: &mut Telemetry, i: usize) {
+    // The registry helper is what the rule steers toward.
+    t.incr(&asm_telemetry::names::app_series(i, "hits"));
+    let _path = "out/results.csv";
+    let _prose = "two words. not a name";
+    let _version = "1.2";
+    let _single = "slowdown";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spell_names_inline() {
+        assert_eq!(super::name(0), "llc.app0.hits");
+    }
+}

@@ -56,8 +56,8 @@ fn fixture_report_round_trips_with_every_array_populated() {
     assert_eq!(field(&doc, "schema").as_str(), Some("asm-lint/2"));
     let rules: Vec<&str> = arr(&doc, "rules").iter().filter_map(JsonValue::as_str).collect();
     assert_eq!(rules.first().copied(), Some("R1"));
-    assert_eq!(rules.last().copied(), Some("R12"));
-    assert_eq!(rules.len(), 12);
+    assert_eq!(rules.last().copied(), Some("R13"));
+    assert_eq!(rules.len(), 13);
     assert_eq!(field(&doc, "files").as_num(), Some(files.len() as f64));
 
     let diags = arr(&doc, "diagnostics");

@@ -158,6 +158,19 @@ mod tests {
     }
 
     #[test]
+    fn sparkline_constant_series_renders_mid_level_at_any_value() {
+        // Zero span: every point renders the mid glyph regardless of the
+        // constant's sign or magnitude, one glyph per input point.
+        for v in [-7.5, 0.0, 1e9] {
+            let s = sparkline(&[v; 5]);
+            assert_eq!(s.chars().count(), 5, "value {v}: {s}");
+            assert!(s.chars().all(|c| c == '▄'), "value {v}: {s}");
+        }
+        // And the empty series stays empty — no placeholder glyphs.
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
     fn sparkline_extremes_map_to_end_levels() {
         let s = sparkline(&[-10.0, 0.0, 10.0]);
         assert!(s.starts_with('▁') && s.ends_with('█'));

@@ -264,7 +264,7 @@ pub fn fingerprint(
         for series in FEATURE_SERIES {
             let mut sums = vec![0.0f64; n];
             let mut counts = vec![0u64; n];
-            if let Some(id) = telemetry.series.id_of(&format!("app{i}.{series}")) {
+            if let Some(id) = telemetry.series.id_of(&asm_telemetry::names::app_series(i, series)) {
                 for (cycle, value) in telemetry.series.samples(id) {
                     // A quantum-boundary sample at cycle c belongs to the
                     // interval containing cycle c (boundaries land on

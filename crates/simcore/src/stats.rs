@@ -536,6 +536,50 @@ mod tests {
     }
 
     #[test]
+    fn quantile_empty_histogram_is_none_at_every_q() {
+        let empty = Histogram::new(2.0, 3);
+        for q in [0.001, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), None, "q = {q}");
+        }
+        assert_eq!(empty.p95(), None);
+        assert_eq!(empty.p99(), None);
+    }
+
+    #[test]
+    fn quantile_single_bucket_geometry() {
+        // One regular bucket of width 4: every in-range sample reports
+        // the same midpoint at every q, and the first sample at the
+        // bucket's upper edge is already overflow.
+        let mut h = Histogram::new(4.0, 1);
+        h.add(0.0);
+        h.add(3.9);
+        for q in [0.001, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), Some(2.0), "q = {q}");
+        }
+        h.add(4.0);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.p50(), Some(2.0));
+        assert_eq!(h.quantile(1.0), None, "rank 3 falls in the overflow bucket");
+    }
+
+    #[test]
+    fn quantile_all_mass_in_overflow_is_none_at_every_q() {
+        let h = Histogram::from_parts(1.0, vec![0, 0], 9);
+        for q in [0.001, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None, "q = {q}");
+        }
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p95(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(
+            h.fractions().sum::<f64>(),
+            0.0,
+            "all mass in overflow: every regular fraction is 0"
+        );
+    }
+
+    #[test]
     fn mean_is_midpoint_weighted_over_in_range_samples() {
         let h = Histogram::from_parts(10.0, vec![1, 0, 3], 0);
         // midpoints 5 and 25: (5 + 3*25) / 4

@@ -26,6 +26,7 @@
 //! exports serialises through it (no serde in the workspace).
 
 pub mod json;
+pub mod names;
 pub mod registry;
 pub mod series;
 pub mod trace;

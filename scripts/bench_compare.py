@@ -16,6 +16,14 @@ running it cold; and when the `sampled_sweep` group is present,
 representative-interval sampling must keep the same sweep at least
 --sampled-threshold (default 10x) faster than running it full.
 
+One gate crosses the snapshots: when the new snapshot carries the
+`attrib_overhead` group, its off configuration (attribution compiled in
+but disabled — the default every experiment runs in) may cost at most
+--attrib-threshold (default 1%) over the *old* snapshot's off run —
+`attrib_overhead/mcf_mix_10m_off` when the baseline has it, else
+`telemetry_overhead/mcf_mix_10m_off` (the identical run from before the
+ledger hooks existed). The on configuration is reported but not gated.
+
 Usage:
     scripts/bench_compare.py BENCH_pr3.json BENCH_pr4.json
     scripts/bench_compare.py --threshold 0.10 old.json new.json
@@ -91,6 +99,13 @@ def main():
         default=10.0,
         help="min required full-over-sampled speedup on the sampled_sweep "
         "sweep in the new snapshot (default 10.0)",
+    )
+    parser.add_argument(
+        "--attrib-threshold",
+        type=float,
+        default=0.01,
+        help="max tolerated attribution-disabled cost over the baseline "
+        "snapshot's off run, as a fraction (default 0.01)",
     )
     args = parser.parse_args()
 
@@ -183,6 +198,38 @@ def main():
                 f"{speedup:.2f}x (gate {args.sampled_threshold:.1f}x)",
                 file=sys.stderr,
             )
+
+    # Cross-snapshot attribution gate: disabled ledger hooks must stay
+    # within --attrib-threshold of the baseline's identical off run (the
+    # same config as telemetry_overhead's off bench in older snapshots).
+    att_off = new.get("attrib_overhead/mcf_mix_10m_off")
+    att_base = old.get("attrib_overhead/mcf_mix_10m_off") or old.get(
+        "telemetry_overhead/mcf_mix_10m_off"
+    )
+    if att_off and att_base:
+        overhead = att_off["min_ns"] / att_base["min_ns"] - 1.0
+        print(
+            f"bench_compare: attribution-off over baseline off = {overhead:+.2%} "
+            f"(budget {args.attrib_threshold:.0%})",
+            file=sys.stderr,
+        )
+        if overhead > args.attrib_threshold:
+            failures.append(
+                ("attrib_overhead/mcf_mix_10m_off", 1.0 / (1.0 + overhead))
+            )
+            print(
+                f"bench_compare: FAIL disabled attribution costs {overhead:.2%} "
+                f"over the baseline off run (budget {args.attrib_threshold:.0%})",
+                file=sys.stderr,
+            )
+    att_on = new.get("attrib_overhead/mcf_mix_10m_on")
+    if att_off and att_on:
+        overhead = att_on["min_ns"] / att_off["min_ns"] - 1.0
+        print(
+            f"bench_compare: attribution on-over-off = {overhead:+.2%} "
+            "(informational, not gated)",
+            file=sys.stderr,
+        )
 
     if failures:
         for name, ratio in failures:

@@ -5,9 +5,12 @@
 # `telemetry_overhead` (telemetry off / idle / traced), `frfcfs_pick`
 # (scheduler hot path), `lint_workspace` (whole-workspace asm-lint
 # pass; hard-gated at <1s), `checkpoint_fork` (38-config sweep,
-# cold vs prefix-shared forking; hard-gated at >=2x) and `sampled_sweep`
+# cold vs prefix-shared forking; hard-gated at >=2x), `sampled_sweep`
 # (the same sweep, full vs representative-interval sampling; hard-gated
-# at >=10x) bench groups and parses the criterion-shim output lines
+# at >=10x) and `attrib_overhead` (the telemetry_overhead run with the
+# attribution ledger disabled vs enabled; the disabled cost is gated
+# against the previous snapshot by scripts/bench_compare.py, not here)
+# bench groups and parses the criterion-shim output lines
 #
 #   group/id: mean 12.345ms min 11ms max 14ms (10 samples)
 #
@@ -35,6 +38,12 @@ cargo bench -p asm-bench --bench throughput 2>/dev/null | tee -a "$RAW"
 # floor. Repeated lines for the same bench id are merged min-wise below.
 for _ in 1 2 3; do
     cargo bench -p asm-bench --bench telemetry_overhead 2>/dev/null | tee -a "$RAW"
+done
+# Same treatment for the attribution ledger: bench_compare.py gates its
+# off variant at 1% against the previous snapshot, so the min needs
+# several measurement windows on both sides of that comparison too.
+for _ in 1 2 3; do
+    cargo bench -p asm-bench --bench attrib_overhead 2>/dev/null | tee -a "$RAW"
 done
 cargo bench -p asm-bench --bench substrates 2>/dev/null | tee -a "$RAW"
 cargo bench -p asm-bench --bench lint_workspace 2>/dev/null | tee -a "$RAW"
@@ -243,6 +252,20 @@ sampled = {
     "sampled_speedup_mean": sampled_full["mean_ns"] / sampled_fast["mean_ns"],
 }
 
+# Attribution ledger cost: off (hooks compiled in, disabled — the
+# default every experiment runs in) vs on. The off-vs-previous-snapshot
+# 1% gate lives in bench_compare.py because it needs a baseline file;
+# here the pair is recorded and the on-over-off ratio derived.
+attrib = {}
+att_off = results.get("attrib_overhead/mcf_mix_10m_off")
+att_on = results.get("attrib_overhead/mcf_mix_10m_on")
+if att_off and att_on:
+    attrib = {
+        "off_cycles_per_sec": cycles_per_sec("attrib_overhead/mcf_mix_10m_off", "min_ns"),
+        "on_cycles_per_sec": cycles_per_sec("attrib_overhead/mcf_mix_10m_on", "min_ns"),
+        "on_over_off_overhead": att_on["min_ns"] / att_off["min_ns"] - 1.0,
+    }
+
 snapshot = {
     "schema": "asm-bench-snapshot v1",
     "machine": {
@@ -256,6 +279,7 @@ snapshot = {
     "analytic_tier": analytic,
     "checkpoint_fork": checkpoint,
     "sampled_sweep": sampled,
+    "attrib_overhead": attrib,
     "frfcfs_pick": {
         k.split("/", 1)[1]: v for k, v in results.items() if k.startswith("frfcfs_pick/")
     },
@@ -275,6 +299,13 @@ if mcf is not None:
 tel = telemetry.get("idle_over_off_overhead")
 if tel is not None:
     print(f"bench_snapshot: telemetry idle-over-off overhead = {tel:+.2%}", file=sys.stderr)
+att = attrib.get("on_over_off_overhead")
+if att is not None:
+    print(
+        f"bench_snapshot: attribution on-over-off overhead = {att:+.2%} "
+        "(off-vs-previous-snapshot gate runs in bench_compare.py)",
+        file=sys.stderr,
+    )
 ana = analytic.get("speedup_vs_cycle_mcf_mix_10m_skip")
 if ana is not None:
     print(

@@ -17,6 +17,14 @@
 #                                             a cold run; then replay the
 #                                             finished campaign from its
 #                                             manifests and compare again)
+#   6. cycle-attribution leg                 (conservation proptest; the
+#                                             ledger is observation-only —
+#                                             attribution artefacts on vs
+#                                             off leaves every experiment's
+#                                             stdout byte-identical; and
+#                                             the --attrib report + both
+#                                             artefacts are byte-identical
+#                                             across --jobs 1 and 4)
 #
 # Usage:
 #   scripts/ci.sh                 # tier-1 only (~minutes)
@@ -46,7 +54,7 @@ while [[ $# -gt 0 ]]; do
             shift 2
             ;;
         -h|--help)
-            sed -n '2,21p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,43p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
             ;;
         *)
@@ -56,16 +64,16 @@ while [[ $# -gt 0 ]]; do
     esac
 done
 
-echo "ci: [1/5] cargo build --release --all-targets" >&2
+echo "ci: [1/6] cargo build --release --all-targets" >&2
 cargo build --release --all-targets
 
-echo "ci: [2/5] cargo test -q" >&2
+echo "ci: [2/6] cargo test -q" >&2
 cargo test -q
 
-echo "ci: [3/5] cargo run -p asm-lint --release" >&2
+echo "ci: [3/6] cargo run -p asm-lint --release" >&2
 cargo run -p asm-lint --release
 
-echo "ci: [4/5] asm-experiments xval --tiny (analytic-tier smoke)" >&2
+echo "ci: [4/6] asm-experiments xval --tiny (analytic-tier smoke)" >&2
 cargo run -q -p asm-experiments --release -- xval --tiny
 
 # CI_FULL=1 promotes the xval smoke to an enforced accuracy gate at a
@@ -74,7 +82,7 @@ cargo run -q -p asm-experiments --release -- xval --tiny
 # Opt-in because the cycle-accurate side of the sweep needs several
 # quiet minutes.
 if [[ "${CI_FULL:-0}" == "1" ]]; then
-    echo "ci: [4/5] CI_FULL=1 — enforced xval gate (--reduced)" >&2
+    echo "ci: [4/6] CI_FULL=1 — enforced xval gate (--reduced)" >&2
     XVAL_OUT="$(cargo run -q -p asm-experiments --release -- xval --reduced)"
     printf '%s\n' "$XVAL_OUT"
     if ! grep -q "PASS$" <<<"$XVAL_OUT"; then
@@ -83,7 +91,7 @@ if [[ "${CI_FULL:-0}" == "1" ]]; then
     fi
 fi
 
-echo "ci: [5/5] checkpoint resume smoke (kill mid-campaign, resume, byte-compare)" >&2
+echo "ci: [5/6] checkpoint resume smoke (kill mid-campaign, resume, byte-compare)" >&2
 EXP=target/release/asm-experiments
 SMOKE="$(mktemp -d)"
 trap 'rm -rf "$SMOKE"' EXIT
@@ -107,6 +115,39 @@ cmp "$SMOKE/cold.txt" "$SMOKE/replayed.txt" || {
     echo "ci: FAIL — manifest-replayed campaign stdout differs from the cold run" >&2
     exit 1
 }
+
+echo "ci: [6/6] cycle-attribution leg (conservation, on-vs-off, --jobs differential)" >&2
+# The conservation invariant, by name: randomized SystemConfigs where
+# every quantum's ledger rows and blame rows must sum — in integers —
+# to the quantum cycle count. Also part of step 2's suite; named here so
+# a conservation break is called out as such, not as "a test failed".
+cargo test -q -p asm-core --test attrib_conservation_prop > /dev/null
+# The ledger is observation-only: collecting attribution artefacts must
+# not change a single stdout byte, on any experiment.
+"$EXP" all --tiny > "$SMOKE/all_off.txt" 2>/dev/null
+"$EXP" all --tiny --attrib-csv "$SMOKE/all_attrib.csv" --blame-json "$SMOKE/all_blame.json" \
+    > "$SMOKE/all_on.txt" 2>/dev/null
+cmp "$SMOKE/all_off.txt" "$SMOKE/all_on.txt" || {
+    echo "ci: FAIL — attribution artefacts changed experiment stdout" >&2
+    exit 1
+}
+[[ -s "$SMOKE/all_attrib.csv" && -s "$SMOKE/all_blame.json" ]] || {
+    echo "ci: FAIL — attribution artefacts were not written" >&2
+    exit 1
+}
+# And the ledger itself is deterministic across worker counts: the
+# printed --attrib report and both artefacts byte-identical for 1 vs 4.
+for j in 1 4; do
+    "$EXP" fig11 --tiny --jobs "$j" --attrib \
+        --attrib-csv "$SMOKE/attrib_j$j.csv" --blame-json "$SMOKE/blame_j$j.json" \
+        > "$SMOKE/fig11_attrib_j$j.txt" 2>/dev/null
+done
+for f in fig11_attrib_j#.txt attrib_j#.csv blame_j#.json; do
+    cmp "$SMOKE/${f/\#/1}" "$SMOKE/${f/\#/4}" || {
+        echo "ci: FAIL — ${f/\#*/} differs between --jobs 1 and --jobs 4" >&2
+        exit 1
+    }
+done
 
 if [[ -n "$BENCH_TAG" ]]; then
     baseline="$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -n1 || true)"
